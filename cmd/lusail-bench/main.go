@@ -1,0 +1,111 @@
+// Command lusail-bench regenerates the paper's tables and figures against
+// the synthetic federations, printing each as a text table. See DESIGN.md
+// for the experiment index and EXPERIMENTS.md for recorded paper-vs-
+// measured comparisons.
+//
+// Usage:
+//
+//	lusail-bench                       # run everything at scale 1
+//	lusail-bench -experiment fig9      # one experiment
+//	lusail-bench -scale 4 -timeout 2m  # bigger data, longer cutoff
+//
+// Experiments: table1, fig8, fig9, fig10, fig11, fig12a, fig12bc, fig13,
+// fig14, table2, qerror, preprocessing, blocksize, poolsize, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"lusail/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id (or comma list)")
+	scale := flag.Int("scale", 1, "dataset scale factor")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-query timeout")
+	repeats := flag.Int("repeats", 3, "runs per query (first is warmup)")
+	endpoints := flag.String("endpoints", "4,16,64,256", "endpoint counts for fig12bc")
+	flag.Parse()
+
+	opts := bench.ExpOptions{Scale: *scale, Timeout: *timeout, Repeats: *repeats}
+
+	var counts []int
+	for _, s := range strings.Split(*endpoints, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			log.Fatalf("lusail-bench: invalid -endpoints %q", *endpoints)
+		}
+		counts = append(counts, n)
+	}
+
+	wanted := map[string]bool{}
+	for _, e := range strings.Split(*experiment, ",") {
+		wanted[strings.TrimSpace(e)] = true
+	}
+	want := func(id string) bool { return wanted["all"] || wanted[id] }
+	show := func(t *bench.Table, err error) {
+		if err != nil {
+			log.Fatalf("lusail-bench: %v", err)
+		}
+		fmt.Println(t.String())
+	}
+	showAll := func(ts []*bench.Table, err error) {
+		if err != nil {
+			log.Fatalf("lusail-bench: %v", err)
+		}
+		for _, t := range ts {
+			fmt.Println(t.String())
+		}
+	}
+
+	start := time.Now()
+	if want("table1") {
+		fmt.Println(bench.Table1Datasets(opts).String())
+	}
+	if want("fig8") {
+		show(bench.Fig8QFed(opts))
+	}
+	if want("fig9") {
+		showAll(bench.Fig9LUBM(opts))
+	}
+	if want("fig10") {
+		showAll(bench.Fig10LargeRDFBench(opts))
+	}
+	if want("fig11") {
+		showAll(bench.Fig11Geo(opts))
+	}
+	if want("fig12a") {
+		show(bench.Fig12aProfile(opts))
+	}
+	if want("fig12bc") {
+		showAll(bench.Fig12bcScaling(counts, opts))
+	}
+	if want("fig13") {
+		show(bench.Fig13Thresholds(opts))
+	}
+	if want("fig14") {
+		show(bench.Fig14Ablation(opts))
+	}
+	if want("table2") {
+		show(bench.Table2RealEndpoints(opts))
+	}
+	if want("qerror") {
+		t, _, err := bench.QErrorExperiment(opts)
+		show(t, err)
+	}
+	if want("preprocessing") {
+		show(bench.PreprocessingCost(opts))
+	}
+	if want("blocksize") {
+		show(bench.BlockSizeAblation(opts))
+	}
+	if want("poolsize") {
+		show(bench.PoolSizeAblation(opts))
+	}
+	fmt.Printf("total experiment time: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,73 @@
+// Command lusail-datagen generates the synthetic benchmark federations
+// (LUBM, QFed, LargeRDFBench-like, Bio2RDF-like) as N-Triples files, one
+// per endpoint, ready to be served with lusail-endpoint.
+//
+// Usage:
+//
+//	lusail-datagen -benchmark lubm -universities 4 -out ./data
+//	lusail-datagen -benchmark lrb -scale 2 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lusail"
+	"lusail/internal/bench"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "lubm", "benchmark: lubm, qfed, lrb, bio2rdf")
+	out := flag.String("out", ".", "output directory")
+	scale := flag.Int("scale", 1, "scale factor")
+	universities := flag.Int("universities", 4, "universities (lubm only)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var datasets []bench.Dataset
+	switch *benchmark {
+	case "lubm":
+		cfg := bench.DefaultLUBM(*universities)
+		cfg.StudentsPerDept *= *scale
+		cfg.Seed = *seed
+		datasets = bench.GenerateLUBM(cfg)
+	case "qfed":
+		cfg := bench.DefaultQFed()
+		cfg.Drugs *= *scale
+		cfg.Diseases *= *scale
+		cfg.Seed = *seed
+		datasets = bench.GenerateQFed(cfg)
+	case "lrb":
+		datasets = bench.GenerateLRB(bench.LRBConfig{Scale: *scale, Seed: *seed})
+	case "bio2rdf":
+		datasets = bench.GenerateBio2RDF(bench.Bio2RDFConfig{Scale: *scale, Seed: *seed})
+	default:
+		log.Fatalf("lusail-datagen: unknown benchmark %q", *benchmark)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("lusail-datagen: %v", err)
+	}
+	total := 0
+	for _, ds := range datasets {
+		name := strings.ToLower(strings.ReplaceAll(ds.Name, " ", "-")) + ".nt"
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatalf("lusail-datagen: %v", err)
+		}
+		if err := lusail.WriteNTriples(f, ds.Triples); err != nil {
+			log.Fatalf("lusail-datagen: writing %s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("lusail-datagen: %v", err)
+		}
+		fmt.Printf("%-30s %8d triples -> %s\n", ds.Name, len(ds.Triples), path)
+		total += len(ds.Triples)
+	}
+	fmt.Printf("%-30s %8d triples total\n", "", total)
+}

@@ -1,0 +1,56 @@
+// Command lusail-endpoint serves an RDF dataset over HTTP using the SPARQL
+// 1.1 protocol, playing the role of one endpoint in a federation.
+//
+// Usage:
+//
+//	lusail-endpoint -addr :8081 -name university0 -data u0.nt
+//
+// The dataset is read from a Turtle or N-Triples file (or stdin with -data -). The
+// endpoint answers SELECT and ASK queries at / and /sparql via GET or POST
+// and returns application/sparql-results+json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"lusail"
+)
+
+func main() {
+	addr := flag.String("addr", ":8081", "listen address")
+	name := flag.String("name", "endpoint", "endpoint name")
+	data := flag.String("data", "-", "Turtle or N-Triples file to serve ('-' for stdin)")
+	quiet := flag.Bool("quiet", false, "suppress startup output")
+	flag.Parse()
+
+	in := os.Stdin
+	if *data != "-" {
+		f, err := os.Open(*data)
+		if err != nil {
+			log.Fatalf("lusail-endpoint: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	triples, err := lusail.ParseTurtle(in)
+	if err != nil {
+		log.Fatalf("lusail-endpoint: parsing %s: %v", *data, err)
+	}
+
+	srv, err := lusail.Serve(*name, *addr, triples)
+	if err != nil {
+		log.Fatalf("lusail-endpoint: %v", err)
+	}
+	defer srv.Close()
+	if !*quiet {
+		fmt.Printf("endpoint %q serving %d triples at %s\n", *name, len(triples), srv.URL)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}

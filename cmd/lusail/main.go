@@ -1,0 +1,127 @@
+// Command lusail runs a federated SPARQL query against a set of remote
+// endpoints.
+//
+// Usage:
+//
+//	lusail -endpoint u0=http://host1:8081/sparql \
+//	       -endpoint u1=http://host2:8081/sparql \
+//	       -query 'SELECT ?s WHERE { ?s ?p ?o } LIMIT 10'
+//
+// Add -profile to print the per-phase breakdown (source selection, LADE
+// analysis, SAPE execution) and the decomposition chosen by the engine.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"lusail"
+)
+
+type endpointFlags []string
+
+func (e *endpointFlags) String() string { return strings.Join(*e, ",") }
+func (e *endpointFlags) Set(v string) error {
+	*e = append(*e, v)
+	return nil
+}
+
+func main() {
+	var endpoints endpointFlags
+	flag.Var(&endpoints, "endpoint", "endpoint as name=url (repeatable)")
+	query := flag.String("query", "", "SPARQL query text")
+	queryFile := flag.String("query-file", "", "read the query from a file")
+	format := flag.String("format", "table", "output format: table, json, csv, or tsv")
+	profile := flag.Bool("profile", false, "print the engine's phase profile")
+	timeout := flag.Duration("timeout", time.Hour, "query timeout")
+	noSAPE := flag.Bool("disable-sape", false, "run with LADE only (no selectivity-aware execution)")
+	flag.Parse()
+
+	if len(endpoints) == 0 {
+		log.Fatal("lusail: at least one -endpoint name=url is required")
+	}
+	q := *query
+	if *queryFile != "" {
+		data, err := os.ReadFile(*queryFile)
+		if err != nil {
+			log.Fatalf("lusail: %v", err)
+		}
+		q = string(data)
+	}
+	if strings.TrimSpace(q) == "" {
+		log.Fatal("lusail: provide -query or -query-file")
+	}
+
+	var eps []lusail.Endpoint
+	for _, spec := range endpoints {
+		name, url, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("lusail: invalid -endpoint %q, want name=url", spec)
+		}
+		eps = append(eps, lusail.NewHTTPEndpoint(name, url))
+	}
+	opts := lusail.DefaultOptions()
+	opts.DisableSAPE = *noSAPE
+	eng, err := lusail.NewEngine(eps, opts)
+	if err != nil {
+		log.Fatalf("lusail: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	res, prof, err := eng.QueryString(ctx, q)
+	if err != nil {
+		log.Fatalf("lusail: %v", err)
+	}
+
+	switch *format {
+	case "json":
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			log.Fatalf("lusail: %v", err)
+		}
+		fmt.Println()
+	case "csv":
+		if err := res.WriteCSV(os.Stdout); err != nil {
+			log.Fatalf("lusail: %v", err)
+		}
+	case "tsv":
+		if err := res.WriteTSV(os.Stdout); err != nil {
+			log.Fatalf("lusail: %v", err)
+		}
+	default:
+		printTable(res)
+	}
+	if *profile {
+		fmt.Fprintf(os.Stderr, "\nphases: source-selection=%v analysis=%v execution=%v total=%v\n",
+			prof.SourceSelection, prof.Analysis, prof.Execution, prof.Total)
+		fmt.Fprintf(os.Stderr, "GJVs: %v  subqueries: %d (%d delayed)  checks: %d  count-probes: %d\n",
+			prof.GJVs, prof.Subqueries, prof.Delayed, prof.ChecksIssued, prof.CountProbes)
+		for _, d := range prof.Decomposition {
+			fmt.Fprintf(os.Stderr, "  subquery %s\n", d)
+		}
+	}
+}
+
+func printTable(res *lusail.Results) {
+	if res.IsBoolean {
+		fmt.Println(res.Boolean)
+		return
+	}
+	fmt.Println(strings.Join(res.Vars, "\t"))
+	for i := range res.Rows {
+		cells := make([]string, len(res.Vars))
+		for j := range res.Vars {
+			t := res.Rows[i][j]
+			if !t.IsZero() {
+				cells[j] = t.String()
+			}
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Fprintf(os.Stderr, "%d result(s)\n", res.Len())
+}

@@ -1,0 +1,110 @@
+// lifesciences: a QFed-style federation of four interlinked biomedical
+// datasets (drugs, diseases, prescriptions, side effects) — the workload
+// the paper's introduction motivates. Shows FILTER pushdown, OPTIONAL at
+// the global level, and how the decomposition changes when a join variable
+// is instance-local versus global.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"lusail"
+)
+
+const (
+	drugNS    = "http://drugbank.example/ns/"
+	diseaseNS = "http://diseasome.example/ns/"
+	rxNS      = "http://prescriptions.example/ns/"
+	sideNS    = "http://sideeffects.example/ns/"
+	rdfsLabel = "http://www.w3.org/2000/01/rdf-schema#label"
+)
+
+func main() {
+	t := func(s, p, o lusail.Term) lusail.Triple { return lusail.Triple{S: s, P: p, O: o} }
+	drug := func(i int) lusail.Term { return lusail.IRI(fmt.Sprintf("http://drugbank.example/drug/%03d", i)) }
+
+	// DrugBank: the hub — all other datasets reference its drug URIs.
+	var drugbank []lusail.Triple
+	for i := 0; i < 25; i++ {
+		drugbank = append(drugbank,
+			t(drug(i), lusail.IRI(rdfsLabel), lusail.Literal(fmt.Sprintf("drug-%03d", i))),
+			t(drug(i), lusail.IRI(drugNS+"category"), lusail.Literal([]string{"antibiotic", "analgesic", "antiviral"}[i%3])),
+		)
+	}
+	// Diseasome: diseases with candidate drugs (interlink to DrugBank).
+	var diseasome []lusail.Triple
+	for i := 0; i < 12; i++ {
+		d := lusail.IRI(fmt.Sprintf("http://diseasome.example/disease/%03d", i))
+		diseasome = append(diseasome,
+			t(d, lusail.IRI(rdfsLabel), lusail.Literal(fmt.Sprintf("disease-%03d", i))),
+			t(d, lusail.IRI(diseaseNS+"possibleDrug"), drug(i*2)),
+		)
+	}
+	// Prescriptions: drug usage records (interlink to DrugBank).
+	var rx []lusail.Triple
+	for i := 0; i < 30; i++ {
+		p := lusail.IRI(fmt.Sprintf("http://prescriptions.example/rx/%03d", i))
+		rx = append(rx,
+			t(p, lusail.IRI(rxNS+"drug"), drug(i%25)),
+			t(p, lusail.IRI(rxNS+"dosageMg"), lusail.Integer(int64(50+10*(i%20)))),
+		)
+	}
+	// Side effects (interlink to DrugBank); sparse on purpose so OPTIONAL
+	// has something to be optional about.
+	var side []lusail.Triple
+	for i := 0; i < 25; i += 3 {
+		s := lusail.IRI(fmt.Sprintf("http://sideeffects.example/se/%03d", i))
+		side = append(side,
+			t(s, lusail.IRI(sideNS+"drug"), drug(i)),
+			t(s, lusail.IRI(sideNS+"effect"), lusail.Literal([]string{"nausea", "headache", "rash"}[i%3])),
+		)
+	}
+
+	var metrics lusail.Metrics
+	eng, err := lusail.NewEngine([]lusail.Endpoint{
+		lusail.Instrument(lusail.NewMemoryEndpoint("drugbank", drugbank), &metrics),
+		lusail.Instrument(lusail.NewMemoryEndpoint("diseasome", diseasome), &metrics),
+		lusail.Instrument(lusail.NewMemoryEndpoint("prescriptions", rx), &metrics),
+		lusail.Instrument(lusail.NewMemoryEndpoint("sideeffects", side), &metrics),
+	}, lusail.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Which diseases have a candidate drug prescribed above 150mg, and
+	// what are its known side effects (if any)?
+	query := `
+		PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+		PREFIX dis: <` + diseaseNS + `>
+		PREFIX rx: <` + rxNS + `>
+		PREFIX se: <` + sideNS + `>
+		SELECT ?disease ?drugName ?mg ?effect WHERE {
+			?d dis:possibleDrug ?drug .
+			?d rdfs:label ?disease .
+			?drug rdfs:label ?drugName .
+			?p rx:drug ?drug .
+			?p rx:dosageMg ?mg .
+			FILTER(?mg > 150)
+			OPTIONAL { ?s se:drug ?drug . ?s se:effect ?effect }
+		}`
+	res, prof, err := eng.QueryString(context.Background(), query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < res.Len(); i++ {
+		b := res.Binding(i)
+		effect := "(no recorded side effects)"
+		if e, ok := b["effect"]; ok {
+			effect = e.Value
+		}
+		fmt.Printf("%-12s %-10s %4smg  %s\n", b["disease"].Value, b["drugName"].Value, b["mg"].Value, effect)
+	}
+	s := metrics.Snapshot()
+	fmt.Printf("\nGJVs=%v subqueries=%d delayed=%d requests=%d\n",
+		prof.GJVs, prof.Subqueries, prof.Delayed, s.Requests)
+	for _, d := range prof.Decomposition {
+		fmt.Printf("  %s\n", d)
+	}
+}

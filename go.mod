@@ -1,0 +1,3 @@
+module lusail
+
+go 1.22

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lusail/internal/rdf"
+)
+
+// Bio2RDF-like federation for the paper's "real endpoints" experiment
+// (Table 2): five life-science datasets queried with five representative
+// queries (R1-R5) extracted from the Bio2RDF query log. The real experiment
+// ran against independently deployed public endpoints; here the same query
+// shapes run against synthetic datasets under WAN simulation.
+const (
+	b2rDrugNS  = "http://bio2rdf.org/drugbank_vocabulary:"
+	b2rKeggNS  = "http://bio2rdf.org/kegg_vocabulary:"
+	b2rOmimNS  = "http://bio2rdf.org/omim_vocabulary:"
+	b2rHgncNS  = "http://bio2rdf.org/hgnc_vocabulary:"
+	b2rPharmNS = "http://bio2rdf.org/pharmgkb_vocabulary:"
+)
+
+// Bio2RDFConfig scales the synthetic Bio2RDF federation.
+type Bio2RDFConfig struct {
+	Scale int
+	Seed  int64
+}
+
+// GenerateBio2RDF produces five datasets: DrugBank, KEGG, OMIM, HGNC,
+// PharmGKB.
+func GenerateBio2RDF(cfg Bio2RDFConfig) []Dataset {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	s := cfg.Scale
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	typ := rdf.NewIRI(rdf.RDFType)
+
+	nDrugs, nGenes, nDiseases, nPathways := 50*s, 60*s, 30*s, 20*s
+
+	drug := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://bio2rdf.org/drugbank:DB%05d", i)) }
+	geneHGNC := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://bio2rdf.org/hgnc:%d", 1000+i)) }
+	disease := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://bio2rdf.org/omim:%d", 600000+i)) }
+	pathway := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://bio2rdf.org/kegg:path%04d", i)) }
+
+	var drugbank, kegg, omim, hgnc, pharmgkb []rdf.Triple
+	add := func(list *[]rdf.Triple, s, p, o rdf.Term) { *list = append(*list, rdf.Triple{S: s, P: p, O: o}) }
+
+	for i := 0; i < nDrugs; i++ {
+		d := drug(i)
+		add(&drugbank, d, typ, rdf.NewIRI(b2rDrugNS+"Drug"))
+		add(&drugbank, d, rdf.NewIRI(b2rDrugNS+"name"), rdf.NewLiteral(fmt.Sprintf("bdrug-%04d", i)))
+		add(&drugbank, d, rdf.NewIRI(b2rDrugNS+"target"), geneHGNC(i%nGenes))
+		if i%3 == 0 {
+			add(&drugbank, d, rdf.NewIRI(b2rDrugNS+"indication"), disease(i%nDiseases))
+		}
+	}
+	for i := 0; i < nGenes; i++ {
+		g := geneHGNC(i)
+		add(&hgnc, g, typ, rdf.NewIRI(b2rHgncNS+"Gene"))
+		add(&hgnc, g, rdf.NewIRI(b2rHgncNS+"approved-symbol"), rdf.NewLiteral(fmt.Sprintf("SYM%04d", i)))
+	}
+	for i := 0; i < nPathways; i++ {
+		p := pathway(i)
+		add(&kegg, p, typ, rdf.NewIRI(b2rKeggNS+"Pathway"))
+		add(&kegg, p, rdf.NewIRI(b2rKeggNS+"name"), rdf.NewLiteral(fmt.Sprintf("pathway-%04d", i)))
+		for k := 0; k < 3; k++ {
+			add(&kegg, p, rdf.NewIRI(b2rKeggNS+"gene"), geneHGNC(rng.Intn(nGenes)))
+		}
+	}
+	for i := 0; i < nDiseases; i++ {
+		d := disease(i)
+		add(&omim, d, typ, rdf.NewIRI(b2rOmimNS+"Phenotype"))
+		add(&omim, d, rdf.NewIRI(b2rOmimNS+"title"), rdf.NewLiteral(fmt.Sprintf("disease-%04d", i)))
+		add(&omim, d, rdf.NewIRI(b2rOmimNS+"gene"), geneHGNC(i%nGenes))
+	}
+	for i := 0; i < nDrugs; i++ {
+		if i%2 != 0 {
+			continue
+		}
+		a := rdf.NewIRI(fmt.Sprintf("http://bio2rdf.org/pharmgkb:PA%05d", i))
+		add(&pharmgkb, a, typ, rdf.NewIRI(b2rPharmNS+"Association"))
+		add(&pharmgkb, a, rdf.NewIRI(b2rPharmNS+"drug"), drug(i))
+		add(&pharmgkb, a, rdf.NewIRI(b2rPharmNS+"gene"), geneHGNC(i%nGenes))
+		add(&pharmgkb, a, rdf.NewIRI(b2rPharmNS+"evidence"), rdf.NewLiteral(fmt.Sprintf("level-%d", 1+i%4)))
+	}
+
+	return []Dataset{
+		{Name: "DrugBank", Triples: drugbank},
+		{Name: "KEGG", Triples: kegg},
+		{Name: "OMIM", Triples: omim},
+		{Name: "HGNC", Triples: hgnc},
+		{Name: "PharmGKB", Triples: pharmgkb},
+	}
+}
+
+// Bio2RDFQueries returns R1-R5.
+func Bio2RDFQueries() []Query {
+	prefix := `
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX dbv: <http://bio2rdf.org/drugbank_vocabulary:>
+PREFIX kv: <http://bio2rdf.org/kegg_vocabulary:>
+PREFIX ov: <http://bio2rdf.org/omim_vocabulary:>
+PREFIX hv: <http://bio2rdf.org/hgnc_vocabulary:>
+PREFIX pv: <http://bio2rdf.org/pharmgkb_vocabulary:>
+`
+	qs := []struct{ name, body string }{
+		{"R1", `SELECT ?d ?n ?sym WHERE {
+			?d rdf:type dbv:Drug .
+			?d dbv:name ?n .
+			?d dbv:target ?g .
+			?g hv:approved-symbol ?sym . }`},
+		{"R2", `SELECT ?d ?dis ?t WHERE {
+			?d dbv:name "bdrug-0012" .
+			?d dbv:indication ?dis .
+			?dis ov:title ?t . }`},
+		{"R3", `SELECT ?p ?g ?sym ?d WHERE {
+			?p rdf:type kv:Pathway .
+			?p kv:gene ?g .
+			?g hv:approved-symbol ?sym .
+			?d dbv:target ?g . }`},
+		{"R4", `SELECT ?a ?d ?g ?ev WHERE {
+			?a pv:drug ?d .
+			?a pv:gene ?g .
+			?a pv:evidence ?ev .
+			?d dbv:name ?n .
+			?g hv:approved-symbol ?sym . }`},
+		{"R5", `SELECT ?dis ?g ?p WHERE {
+			?dis ov:gene ?g .
+			?p kv:gene ?g .
+			OPTIONAL { ?d dbv:target ?g . ?d dbv:name ?dn } }`},
+	}
+	out := make([]Query, len(qs))
+	for i, q := range qs {
+		out[i] = Query{Name: q.name, Text: prefix + q.body}
+	}
+	return out
+}

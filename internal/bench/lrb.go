@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lusail/internal/rdf"
+)
+
+// LargeRDFBench-like federation: 13 datasets mirroring the benchmark's
+// domains and interlink structure (Table 1 of the paper), scaled down.
+// Dataset URIs use distinct authorities so index-based source pruning
+// (HiBISCuS) has real work to do, unlike the same-schema LUBM federation.
+const (
+	tcgaNS  = "http://tcga.deri.ie/schema/"
+	chebiNS = "http://chebi.bio2rdf.org/ns/"
+	dbpNS   = "http://dbpedia.org/ontology/"
+	dbrNS   = "http://dbpedia.org/resource/"
+	drugNS  = "http://wifo5-04.informatik.uni-mannheim.de/drugbank/"
+	geoNS   = "http://www.geonames.org/ontology#"
+	jamNS   = "http://dbtune.org/jamendo/"
+	keggNS  = "http://kegg.bio2rdf.org/ns/"
+	mdbNS   = "http://data.linkedmdb.org/resource/"
+	nytNS   = "http://data.nytimes.com/elements/"
+	swdfNS  = "http://data.semanticweb.org/ns/"
+	affyNS  = "http://affymetrix.bio2rdf.org/ns/"
+)
+
+// LRBConfig scales the synthetic LargeRDFBench federation.
+type LRBConfig struct {
+	// Scale multiplies all entity counts (1 = test scale, ~10K triples).
+	Scale int
+	Seed  int64
+}
+
+// DefaultLRB returns test scale.
+func DefaultLRB() LRBConfig { return LRBConfig{Scale: 1, Seed: 11} }
+
+// GenerateLRB produces the 13 datasets.
+func GenerateLRB(cfg LRBConfig) []Dataset {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	s := cfg.Scale
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	typ := rdf.NewIRI(rdf.RDFType)
+	label := rdf.NewIRI(rdf.RDFSLabel)
+	sameAs := rdf.NewIRI(rdf.OWLSameAs)
+
+	nPatients := 40 * s
+	nDrugs := 60 * s
+	nCompounds := 50 * s
+	nGenes := 40 * s
+	nPlaces := 120 * s
+	nCountries := 8
+	nFilms := 50 * s
+	nActors := 30 * s
+	nArtists := 25 * s
+	nTracks := 80 * s
+	nTopics := 30 * s
+	nPapers := 20 * s
+	nAuthors := 15 * s
+	nProbes := 70 * s
+
+	patient := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://tcga.deri.ie/patient/p%04d", i)) }
+	drug := func(i int) rdf.Term {
+		return rdf.NewIRI(fmt.Sprintf("http://wifo5-04.informatik.uni-mannheim.de/drugbank/drug/DB%04d", i))
+	}
+	compoundChebi := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://chebi.bio2rdf.org/chebi/CHEBI%04d", i)) }
+	compoundKegg := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://kegg.bio2rdf.org/cpd/C%05d", i)) }
+	gene := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://kegg.bio2rdf.org/gene/G%04d", i)) }
+	place := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://sws.geonames.org/%d/", 100000+i)) }
+	country := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://sws.geonames.org/country/%d/", i)) }
+	dbpedia := func(kind string, i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%s%s_%04d", dbrNS, kind, i)) }
+	film := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sfilm/%04d", mdbNS, i)) }
+	actor := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sactor/%04d", mdbNS, i)) }
+	artist := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sartist/%04d", jamNS, i)) }
+	track := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%strack/%04d", jamNS, i)) }
+	topic := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://data.nytimes.com/topic/%04d", i)) }
+	paper := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://data.semanticweb.org/paper/%04d", i)) }
+	author := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://data.semanticweb.org/person/%04d", i)) }
+	probe := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://affymetrix.bio2rdf.org/probe/%05d", i)) }
+
+	ds := func(name string) *Dataset { return &Dataset{Name: name} }
+	tcgaA, tcgaM, tcgaE := ds("LinkedTCGA-A"), ds("LinkedTCGA-M"), ds("LinkedTCGA-E")
+	chebi, dbped, drugb := ds("ChEBI"), ds("DBPedia-Subset"), ds("DrugBank")
+	geon, jam, kegg := ds("GeoNames"), ds("Jamendo"), ds("KEGG")
+	mdb, nyt, swdf, affy := ds("LinkedMDB"), ds("NewYorkTimes"), ds("SWDogFood"), ds("Affymetrix")
+
+	add := func(d *Dataset, s, p, o rdf.Term) { d.Triples = append(d.Triples, rdf.Triple{S: s, P: p, O: o}) }
+
+	// --- LinkedTCGA-A: clinical records (patients live here). ---
+	for i := 0; i < nPatients; i++ {
+		p := patient(i)
+		add(tcgaA, p, typ, rdf.NewIRI(tcgaNS+"Patient"))
+		add(tcgaA, p, rdf.NewIRI(tcgaNS+"bcr_patient_barcode"), rdf.NewLiteral(fmt.Sprintf("TCGA-%04d", i)))
+		add(tcgaA, p, rdf.NewIRI(tcgaNS+"gender"), rdf.NewLiteral([]string{"male", "female"}[i%2]))
+		add(tcgaA, p, rdf.NewIRI(tcgaNS+"age_at_diagnosis"), rdf.NewInteger(int64(30+rng.Intn(50))))
+	}
+	// --- LinkedTCGA-M: methylation results referencing patients. ---
+	for i := 0; i < nPatients*8; i++ {
+		r := rdf.NewIRI(fmt.Sprintf("http://tcga.deri.ie/methylation/m%06d", i))
+		add(tcgaM, r, typ, rdf.NewIRI(tcgaNS+"MethylationResult"))
+		add(tcgaM, r, rdf.NewIRI(tcgaNS+"patient"), patient(i%nPatients))
+		add(tcgaM, r, rdf.NewIRI(tcgaNS+"beta_value"), rdf.NewDouble(rng.Float64()))
+	}
+	// --- LinkedTCGA-E: expression results referencing patients and genes. ---
+	for i := 0; i < nPatients*6; i++ {
+		r := rdf.NewIRI(fmt.Sprintf("http://tcga.deri.ie/expression/e%06d", i))
+		add(tcgaE, r, typ, rdf.NewIRI(tcgaNS+"ExpressionResult"))
+		add(tcgaE, r, rdf.NewIRI(tcgaNS+"patient"), patient(i%nPatients))
+		add(tcgaE, r, rdf.NewIRI(tcgaNS+"gene"), gene(i%nGenes))
+		add(tcgaE, r, rdf.NewIRI(tcgaNS+"expression_value"), rdf.NewDouble(rng.Float64()*10))
+	}
+	// --- ChEBI: chemical compounds. ---
+	for i := 0; i < nCompounds; i++ {
+		c := compoundChebi(i)
+		add(chebi, c, typ, rdf.NewIRI(chebiNS+"Compound"))
+		// Every tenth compound shares its label with a DrugBank drug name,
+		// giving the C5 filter-join (two disjoint subgraphs) real matches.
+		name := fmt.Sprintf("compound-%04d", i)
+		if i%10 == 0 {
+			name = fmt.Sprintf("drug-%04d", i)
+		}
+		add(chebi, c, label, rdf.NewLiteral(name))
+		add(chebi, c, rdf.NewIRI(chebiNS+"mass"), rdf.NewInteger(int64(50+rng.Intn(500))))
+	}
+	// --- KEGG: compounds (sameAs ChEBI) and genes. ---
+	for i := 0; i < nCompounds; i++ {
+		c := compoundKegg(i)
+		add(kegg, c, typ, rdf.NewIRI(keggNS+"Compound"))
+		add(kegg, c, rdf.NewIRI(keggNS+"mass"), rdf.NewInteger(int64(50+rng.Intn(500))))
+		add(kegg, c, sameAs, compoundChebi(i))
+	}
+	for i := 0; i < nGenes; i++ {
+		g := gene(i)
+		add(kegg, g, typ, rdf.NewIRI(keggNS+"Gene"))
+		add(kegg, g, rdf.NewIRI(keggNS+"symbol"), rdf.NewLiteral(fmt.Sprintf("GENE%04d", i)))
+	}
+	// --- DrugBank: drugs linking to KEGG compounds and DBPedia. ---
+	for i := 0; i < nDrugs; i++ {
+		d := drug(i)
+		add(drugb, d, typ, rdf.NewIRI(drugNS+"drugs"))
+		add(drugb, d, rdf.NewIRI(drugNS+"genericName"), rdf.NewLiteral(fmt.Sprintf("drug-%04d", i)))
+		add(drugb, d, rdf.NewIRI(drugNS+"drugCategory"), rdf.NewLiteral(fmt.Sprintf("cat-%d", i%6)))
+		add(drugb, d, rdf.NewIRI(drugNS+"keggCompoundId"), compoundKegg(i%nCompounds))
+		if i%2 == 0 {
+			add(drugb, d, sameAs, dbpedia("Drug", i))
+		}
+	}
+	// --- GeoNames: places with parent countries. ---
+	for i := 0; i < nCountries; i++ {
+		c := country(i)
+		add(geon, c, typ, rdf.NewIRI(geoNS+"Country"))
+		add(geon, c, rdf.NewIRI(geoNS+"name"), rdf.NewLiteral(fmt.Sprintf("country-%d", i)))
+	}
+	for i := 0; i < nPlaces; i++ {
+		p := place(i)
+		add(geon, p, typ, rdf.NewIRI(geoNS+"Feature"))
+		add(geon, p, rdf.NewIRI(geoNS+"name"), rdf.NewLiteral(fmt.Sprintf("place-%04d", i)))
+		add(geon, p, rdf.NewIRI(geoNS+"parentCountry"), country(i%nCountries))
+	}
+	// --- DBPedia subset: drugs, films, places; the hub via sameAs. ---
+	for i := 0; i < nDrugs; i++ {
+		if i%2 != 0 {
+			continue
+		}
+		e := dbpedia("Drug", i)
+		add(dbped, e, typ, rdf.NewIRI(dbpNS+"Drug"))
+		add(dbped, e, rdf.NewIRI(dbpNS+"abstract"), rdf.NewLiteral(fmt.Sprintf("dbpedia abstract for drug-%04d", i)))
+	}
+	for i := 0; i < nFilms; i++ {
+		e := dbpedia("Film", i)
+		add(dbped, e, typ, rdf.NewIRI(dbpNS+"Film"))
+		add(dbped, e, rdf.NewIRI(dbpNS+"director"), rdf.NewLiteral(fmt.Sprintf("director-%d", i%10)))
+	}
+	for i := 0; i < nPlaces/4; i++ {
+		e := dbpedia("Place", i)
+		add(dbped, e, typ, rdf.NewIRI(dbpNS+"Place"))
+		add(dbped, e, rdf.NewIRI(dbpNS+"country"), rdf.NewLiteral(fmt.Sprintf("country-%d", i%nCountries)))
+		add(dbped, e, sameAs, place(i))
+	}
+	// --- LinkedMDB: films and actors, sameAs into DBPedia. ---
+	for i := 0; i < nActors; i++ {
+		a := actor(i)
+		add(mdb, a, typ, rdf.NewIRI(mdbNS+"Actor"))
+		add(mdb, a, rdf.NewIRI(mdbNS+"actor_name"), rdf.NewLiteral(fmt.Sprintf("actor-%04d", i)))
+	}
+	for i := 0; i < nFilms; i++ {
+		f := film(i)
+		add(mdb, f, typ, rdf.NewIRI(mdbNS+"Film"))
+		add(mdb, f, rdf.NewIRI(mdbNS+"title"), rdf.NewLiteral(fmt.Sprintf("film-%04d", i)))
+		add(mdb, f, rdf.NewIRI(mdbNS+"actor"), actor(i%nActors))
+		add(mdb, f, rdf.NewIRI(mdbNS+"actor"), actor((i+1)%nActors))
+		add(mdb, f, sameAs, dbpedia("Film", i))
+	}
+	// --- Jamendo: artists near GeoNames places, with tracks. ---
+	for i := 0; i < nArtists; i++ {
+		a := artist(i)
+		add(jam, a, typ, rdf.NewIRI(jamNS+"MusicArtist"))
+		add(jam, a, rdf.NewIRI(jamNS+"name"), rdf.NewLiteral(fmt.Sprintf("artist-%04d", i)))
+		add(jam, a, rdf.NewIRI(jamNS+"basedNear"), place(i%nPlaces))
+	}
+	for i := 0; i < nTracks; i++ {
+		t := track(i)
+		add(jam, t, typ, rdf.NewIRI(jamNS+"Track"))
+		add(jam, t, rdf.NewIRI(jamNS+"title"), rdf.NewLiteral(fmt.Sprintf("track-%04d", i)))
+		add(jam, t, rdf.NewIRI(jamNS+"maker"), artist(i%nArtists))
+	}
+	// --- New York Times: topics about DBPedia entities. ---
+	for i := 0; i < nTopics; i++ {
+		tp := topic(i)
+		add(nyt, tp, typ, rdf.NewIRI(nytNS+"Topic"))
+		add(nyt, tp, rdf.NewIRI(nytNS+"topicPage"), rdf.NewLiteral(fmt.Sprintf("page-%04d", i)))
+		switch i % 3 {
+		case 0:
+			add(nyt, tp, sameAs, dbpedia("Film", i%nFilms))
+		case 1:
+			add(nyt, tp, sameAs, dbpedia("Drug", (i*2)%nDrugs))
+		default:
+			add(nyt, tp, sameAs, dbpedia("Place", i%(nPlaces/4)))
+		}
+	}
+	// --- Semantic Web Dog Food: papers and authors. ---
+	for i := 0; i < nAuthors; i++ {
+		a := author(i)
+		add(swdf, a, typ, rdf.NewIRI(swdfNS+"Person"))
+		add(swdf, a, rdf.NewIRI(swdfNS+"name"), rdf.NewLiteral(fmt.Sprintf("author-%04d", i)))
+	}
+	for i := 0; i < nPapers; i++ {
+		p := paper(i)
+		add(swdf, p, typ, rdf.NewIRI(swdfNS+"InProceedings"))
+		add(swdf, p, rdf.NewIRI(swdfNS+"title"), rdf.NewLiteral(fmt.Sprintf("paper-%04d", i)))
+		add(swdf, p, rdf.NewIRI(swdfNS+"author"), author(i%nAuthors))
+	}
+	// --- Affymetrix: probes referencing KEGG genes. ---
+	for i := 0; i < nProbes; i++ {
+		pr := probe(i)
+		add(affy, pr, typ, rdf.NewIRI(affyNS+"Probe"))
+		add(affy, pr, rdf.NewIRI(affyNS+"symbol"), rdf.NewLiteral(fmt.Sprintf("GENE%04d", i%nGenes)))
+		add(affy, pr, rdf.NewIRI(affyNS+"gene"), gene(i%nGenes))
+	}
+
+	return []Dataset{*tcgaM, *tcgaE, *tcgaA, *chebi, *dbped, *drugb, *geon, *jam, *kegg, *mdb, *nyt, *swdf, *affy}
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lusail/internal/rdf"
+)
+
+// LUBM vocabulary (scaled-down subset of the Lehigh University Benchmark).
+const ubNS = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+
+func ubIRI(local string) rdf.Term { return rdf.NewIRI(ubNS + local) }
+
+// LUBMConfig sizes the synthetic university federation. The paper used 256
+// universities of ~138K triples; defaults here generate ~1-2K triples per
+// university so the full experiment suite runs in seconds. Shapes are
+// preserved: same schema everywhere and cross-university interlinks through
+// degrees.
+type LUBMConfig struct {
+	Universities    int
+	DeptsPerUniv    int
+	ProfsPerDept    int
+	StudentsPerDept int
+	Seed            int64
+	// RemoteDegreeRatio is the fraction of professors whose PhD (and of
+	// students whose undergraduate degree) comes from another university —
+	// the interlinks of Figure 1.
+	RemoteDegreeRatio float64
+}
+
+// DefaultLUBM returns the configuration used by the test suite and the
+// default benchmark scale.
+func DefaultLUBM(universities int) LUBMConfig {
+	return LUBMConfig{
+		Universities:      universities,
+		DeptsPerUniv:      2,
+		ProfsPerDept:      3,
+		StudentsPerDept:   12,
+		Seed:              1,
+		RemoteDegreeRatio: 0.3,
+	}
+}
+
+// GenerateLUBM produces one dataset per university.
+func GenerateLUBM(cfg LUBMConfig) []Dataset {
+	if cfg.Universities <= 0 {
+		cfg.Universities = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	typ := rdf.NewIRI(rdf.RDFType)
+
+	univ := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://www.University%d.edu", i)) }
+
+	datasets := make([]Dataset, cfg.Universities)
+	for ui := 0; ui < cfg.Universities; ui++ {
+		var ts []rdf.Triple
+		add := func(s, p, o rdf.Term) { ts = append(ts, rdf.Triple{S: s, P: p, O: o}) }
+		u := univ(ui)
+		add(u, typ, ubIRI("University"))
+		add(u, ubIRI("name"), rdf.NewLiteral(fmt.Sprintf("University%d", ui)))
+		add(u, ubIRI("address"), rdf.NewLiteral(fmt.Sprintf("%d College Road", ui)))
+
+		remoteUniv := func() rdf.Term {
+			if cfg.Universities == 1 {
+				return u
+			}
+			for {
+				j := rng.Intn(cfg.Universities)
+				if j != ui {
+					return univ(j)
+				}
+			}
+		}
+		degreeFrom := func() rdf.Term {
+			if rng.Float64() < cfg.RemoteDegreeRatio {
+				return remoteUniv()
+			}
+			return u
+		}
+
+		for di := 0; di < cfg.DeptsPerUniv; di++ {
+			dept := rdf.NewIRI(fmt.Sprintf("http://www.University%d.edu/Department%d", ui, di))
+			add(dept, typ, ubIRI("Department"))
+			add(dept, ubIRI("subOrganizationOf"), u)
+
+			var courses []rdf.Term
+			var profs []rdf.Term
+			for pi := 0; pi < cfg.ProfsPerDept; pi++ {
+				prof := rdf.NewIRI(fmt.Sprintf("http://www.University%d.edu/Department%d/Professor%d", ui, di, pi))
+				profs = append(profs, prof)
+				class := "AssociateProfessor"
+				if pi%2 == 1 {
+					class = "FullProfessor"
+				}
+				add(prof, typ, ubIRI(class))
+				add(prof, ubIRI("worksFor"), dept)
+				add(prof, ubIRI("name"), rdf.NewLiteral(fmt.Sprintf("Prof %d.%d.%d", ui, di, pi)))
+				// Addresses are generic: every person has one, like the
+				// paper's example where <?U, ub:address, ?A> retrieves all
+				// addressed entities, making its unbound evaluation costly
+				// and its delayed (bound) evaluation selective.
+				add(prof, ubIRI("address"), rdf.NewLiteral(fmt.Sprintf("%d Faculty Row, Apt %d%d", ui, di, pi)))
+				add(prof, ubIRI("doctoralDegreeFrom"), degreeFrom())
+				course := rdf.NewIRI(fmt.Sprintf("http://www.University%d.edu/Department%d/GraduateCourse%d", ui, di, pi))
+				courses = append(courses, course)
+				add(course, typ, ubIRI("GraduateCourse"))
+				add(prof, ubIRI("teacherOf"), course)
+			}
+
+			for si := 0; si < cfg.StudentsPerDept; si++ {
+				stu := rdf.NewIRI(fmt.Sprintf("http://www.University%d.edu/Department%d/GraduateStudent%d", ui, di, si))
+				add(stu, typ, ubIRI("GraduateStudent"))
+				add(stu, ubIRI("memberOf"), dept)
+				add(stu, ubIRI("name"), rdf.NewLiteral(fmt.Sprintf("Student %d.%d.%d", ui, di, si)))
+				add(stu, ubIRI("address"), rdf.NewLiteral(fmt.Sprintf("%d Dorm St, Room %d%d", ui, di, si)))
+				add(stu, ubIRI("undergraduateDegreeFrom"), degreeFrom())
+				advisor := profs[si%len(profs)]
+				add(stu, ubIRI("advisor"), advisor)
+				// Every student takes their advisor's course (so the Q2/Q9
+				// triangle has answers) plus one other course.
+				add(stu, ubIRI("takesCourse"), courses[si%len(courses)])
+				add(stu, ubIRI("takesCourse"), courses[(si+1)%len(courses)])
+			}
+		}
+		datasets[ui] = Dataset{Name: fmt.Sprintf("University%d", ui), Triples: ts}
+	}
+	return datasets
+}
+
+// LUBMQueries returns the paper's four LUBM queries: Q1, Q2, Q3 correspond
+// to benchmark queries Q2, Q9, Q13; Q4 is the paper's variation of Q9 that
+// also retrieves information from (possibly remote) universities.
+func LUBMQueries() []Query {
+	prefix := "PREFIX ub: <" + ubNS + ">\nPREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+	return []Query{
+		{
+			// LUBM Q2: graduate students in a department of the university
+			// that granted their undergraduate degree (triangle).
+			Name: "Q1",
+			Text: prefix + `SELECT ?X ?Y ?Z WHERE {
+				?X rdf:type ub:GraduateStudent .
+				?Y rdf:type ub:University .
+				?Z rdf:type ub:Department .
+				?X ub:memberOf ?Z .
+				?Z ub:subOrganizationOf ?Y .
+				?X ub:undergraduateDegreeFrom ?Y .
+			}`,
+		},
+		{
+			// LUBM Q9: student-advisor-course triangle.
+			Name: "Q2",
+			Text: prefix + `SELECT ?X ?Y ?Z WHERE {
+				?X rdf:type ub:GraduateStudent .
+				?Y rdf:type ub:FullProfessor .
+				?Z rdf:type ub:GraduateCourse .
+				?X ub:advisor ?Y .
+				?Y ub:teacherOf ?Z .
+				?X ub:takesCourse ?Z .
+			}`,
+		},
+		{
+			// LUBM Q13 (paper's Q3): students who received their
+			// undergraduate degree from University0.
+			Name: "Q3",
+			Text: prefix + `SELECT ?X WHERE {
+				?X rdf:type ub:GraduateStudent .
+				?X ub:undergraduateDegreeFrom <http://www.University0.edu> .
+			}`,
+		},
+		{
+			// Paper's Q4: Q9 plus the advisor's doctoral university and its
+			// address, which may live at a remote endpoint.
+			Name: "Q4",
+			Text: prefix + `SELECT ?X ?Y ?U ?A WHERE {
+				?X rdf:type ub:GraduateStudent .
+				?X ub:advisor ?Y .
+				?Y ub:teacherOf ?Z .
+				?X ub:takesCourse ?Z .
+				?Y ub:doctoralDegreeFrom ?U .
+				?U ub:address ?A .
+			}`,
+		},
+	}
+}

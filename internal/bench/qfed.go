@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"lusail/internal/rdf"
+)
+
+// QFed namespaces: four real-world life-science datasets (DailyMed,
+// Diseasome, DrugBank, Sider) with cross-dataset links, mirrored here
+// synthetically with the benchmark's challenging property: all four
+// endpoints interlink on drugs.
+const (
+	dailymedNS  = "http://dailymed.bio2rdf.org/ns/"
+	diseasomeNS = "http://diseasome.bio2rdf.org/ns/"
+	drugbankNS  = "http://drugbank.bio2rdf.org/ns/"
+	siderNS     = "http://sider.bio2rdf.org/ns/"
+)
+
+// QFedConfig sizes the synthetic QFed federation.
+type QFedConfig struct {
+	Drugs    int // drugs in DrugBank; other datasets scale with this
+	Diseases int
+	Seed     int64
+	// BigLiteralBytes is the size of DailyMed's full-text descriptions,
+	// the "big literal" object of the C2P2B* queries.
+	BigLiteralBytes int
+}
+
+// DefaultQFed returns the standard scale.
+func DefaultQFed() QFedConfig {
+	return QFedConfig{Drugs: 120, Diseases: 60, Seed: 7, BigLiteralBytes: 2048}
+}
+
+// GenerateQFed produces the four QFed datasets.
+func GenerateQFed(cfg QFedConfig) []Dataset {
+	if cfg.Drugs <= 0 {
+		cfg.Drugs = 50
+	}
+	if cfg.Diseases <= 0 {
+		cfg.Diseases = cfg.Drugs / 2
+	}
+	if cfg.BigLiteralBytes <= 0 {
+		cfg.BigLiteralBytes = 1024
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	typ := rdf.NewIRI(rdf.RDFType)
+	label := rdf.NewIRI(rdf.RDFSLabel)
+
+	dbDrug := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sdrugs/DB%04d", drugbankNS, i)) }
+
+	// DrugBank: the hub dataset.
+	var drugbank []rdf.Triple
+	for i := 0; i < cfg.Drugs; i++ {
+		d := dbDrug(i)
+		drugbank = append(drugbank,
+			rdf.Triple{S: d, P: typ, O: rdf.NewIRI(drugbankNS + "Drug")},
+			rdf.Triple{S: d, P: label, O: rdf.NewLiteral(fmt.Sprintf("drug-%04d", i))},
+			rdf.Triple{S: d, P: rdf.NewIRI(drugbankNS + "category"), O: rdf.NewLiteral(fmt.Sprintf("category-%d", i%8))},
+			rdf.Triple{S: d, P: rdf.NewIRI(drugbankNS + "molecularWeight"), O: rdf.NewInteger(int64(100 + rng.Intn(900)))},
+		)
+	}
+
+	// DailyMed: ~80% of drugs have a DailyMed page with a big full-text
+	// description and a genericDrug link back to DrugBank.
+	var dailymed []rdf.Triple
+	for i := 0; i < cfg.Drugs; i++ {
+		if rng.Float64() > 0.8 {
+			continue
+		}
+		dm := rdf.NewIRI(fmt.Sprintf("%sdrugs/DM%04d", dailymedNS, i))
+		dailymed = append(dailymed,
+			rdf.Triple{S: dm, P: typ, O: rdf.NewIRI(dailymedNS + "Drug")},
+			rdf.Triple{S: dm, P: label, O: rdf.NewLiteral(fmt.Sprintf("dailymed drug-%04d", i))},
+			rdf.Triple{S: dm, P: rdf.NewIRI(dailymedNS + "genericDrug"), O: dbDrug(i)},
+			rdf.Triple{S: dm, P: rdf.NewIRI(dailymedNS + "fullText"), O: rdf.NewLiteral(bigLiteral(rng, i, cfg.BigLiteralBytes))},
+		)
+	}
+
+	// Diseasome: diseases with possibleDrug links into DrugBank.
+	var diseasome []rdf.Triple
+	for i := 0; i < cfg.Diseases; i++ {
+		ds := rdf.NewIRI(fmt.Sprintf("%sdiseases/DS%04d", diseasomeNS, i))
+		diseasome = append(diseasome,
+			rdf.Triple{S: ds, P: typ, O: rdf.NewIRI(diseasomeNS + "Disease")},
+			rdf.Triple{S: ds, P: label, O: rdf.NewLiteral(fmt.Sprintf("disease-%04d", i))},
+			rdf.Triple{S: ds, P: rdf.NewIRI(diseasomeNS + "class"), O: rdf.NewLiteral(fmt.Sprintf("class-%d", i%5))},
+		)
+		nDrugs := 1 + rng.Intn(3)
+		for k := 0; k < nDrugs; k++ {
+			diseasome = append(diseasome, rdf.Triple{
+				S: ds,
+				P: rdf.NewIRI(diseasomeNS + "possibleDrug"),
+				O: dbDrug(rng.Intn(cfg.Drugs)),
+			})
+		}
+	}
+
+	// Sider: side effects linked to DrugBank drugs.
+	var sider []rdf.Triple
+	effects := []string{"headache", "nausea", "dizziness", "rash", "fatigue", "insomnia"}
+	for i := 0; i < cfg.Drugs; i++ {
+		if rng.Float64() > 0.7 {
+			continue
+		}
+		se := rdf.NewIRI(fmt.Sprintf("%sdrugs/SE%04d", siderNS, i))
+		sider = append(sider,
+			rdf.Triple{S: se, P: typ, O: rdf.NewIRI(siderNS + "Drug")},
+			rdf.Triple{S: se, P: rdf.NewIRI(siderNS + "sameAs"), O: dbDrug(i)},
+			rdf.Triple{S: se, P: rdf.NewIRI(siderNS + "sideEffect"), O: rdf.NewLiteral(effects[rng.Intn(len(effects))])},
+		)
+	}
+
+	return []Dataset{
+		{Name: "DailyMed", Triples: dailymed},
+		{Name: "Diseasome", Triples: diseasome},
+		{Name: "DrugBank", Triples: drugbank},
+		{Name: "Sider", Triples: sider},
+	}
+}
+
+// bigLiteral builds a deterministic filler text of roughly n bytes.
+func bigLiteral(rng *rand.Rand, id, n int) string {
+	words := []string{"indication", "dosage", "warning", "clinical", "pharmacology", "adverse", "reaction", "tablet", "solution"}
+	var b strings.Builder
+	fmt.Fprintf(&b, "full prescribing information for drug-%04d. ", id)
+	for b.Len() < n {
+		b.WriteString(words[rng.Intn(len(words))])
+		b.WriteByte(' ')
+	}
+	return b.String()
+}
+
+// QFedQueries returns the C2P2 query family: two classes (disease, drug)
+// joined across two link predicates, in the paper's variants — base,
+// Filter, Optional+Filter, Big literal, and combinations. The names match
+// Figure 8.
+func QFedQueries() []Query {
+	prefix := `PREFIX dm: <` + dailymedNS + `>
+PREFIX ds: <` + diseasomeNS + `>
+PREFIX db: <` + drugbankNS + `>
+PREFIX sider: <` + siderNS + `>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+`
+	base := `?disease ds:possibleDrug ?drug .
+		?drug rdfs:label ?name .
+		?dmdrug dm:genericDrug ?drug .`
+	bigPart := `?dmdrug dm:fullText ?text .`
+	optPart := `OPTIONAL { ?sedrug sider:sameAs ?drug . ?sedrug sider:sideEffect ?effect }`
+	filterPart := `FILTER CONTAINS(STR(?name), "drug-00")`
+
+	mk := func(name string, parts ...string) Query {
+		return Query{
+			Name: name,
+			Text: prefix + "SELECT * WHERE {\n" + strings.Join(parts, "\n") + "\n}",
+		}
+	}
+	return []Query{
+		mk("C2P2", base),
+		mk("C2P2F", base, filterPart),
+		mk("C2P2OF", base, optPart, filterPart),
+		mk("C2P2B", base, bigPart),
+		mk("C2P2BO", base, bigPart, optPart),
+		mk("C2P2BF", base, bigPart, filterPart),
+		mk("C2P2BOF", base, bigPart, optPart, filterPart),
+	}
+}

@@ -1,0 +1,103 @@
+// Package client defines the Endpoint abstraction through which all
+// federated engines (Lusail and the baselines) talk to SPARQL endpoints,
+// plus the concrete implementations used in experiments:
+//
+//   - InProcess: evaluates queries directly against a local store, standing
+//     in for a co-located SPARQL server without HTTP overhead.
+//   - HTTP: speaks the SPARQL 1.1 protocol to a remote endpoint.
+//   - Instrumented: wraps any endpoint and counts requests, rows, and
+//     estimated payload bytes (the communication-cost metrics the paper
+//     reports).
+//   - Latency: wraps any endpoint and injects WAN round-trip latency and
+//     bandwidth delay (the geo-distributed Azure setting of Section 5.3).
+package client
+
+import (
+	"context"
+	"fmt"
+
+	"lusail/internal/eval"
+	"lusail/internal/sparql"
+	"lusail/internal/store"
+)
+
+// Endpoint is a queryable SPARQL endpoint.
+//
+// Implementations must be safe for concurrent use; federated engines issue
+// queries from many goroutines at once.
+type Endpoint interface {
+	// Name returns a stable identifier for the endpoint within a federation.
+	Name() string
+	// Query evaluates a SPARQL query (SELECT or ASK) and returns its results.
+	Query(ctx context.Context, query string) (*sparql.Results, error)
+}
+
+// Ask runs an ASK query and returns its boolean.
+func Ask(ctx context.Context, ep Endpoint, query string) (bool, error) {
+	res, err := ep.Query(ctx, query)
+	if err != nil {
+		return false, err
+	}
+	if !res.IsBoolean {
+		return false, fmt.Errorf("client: endpoint %s returned non-boolean result for ASK", ep.Name())
+	}
+	return res.Boolean, nil
+}
+
+// InProcess is an endpoint evaluated in the same process. It models an
+// endpoint whose network cost is negligible; wrap it with Latency to model
+// a remote one.
+type InProcess struct {
+	name string
+	ev   *eval.Evaluator
+}
+
+// NewInProcess returns an in-process endpoint over the given store.
+func NewInProcess(name string, st *store.Store) *InProcess {
+	return &InProcess{name: name, ev: eval.New(st)}
+}
+
+// Name implements Endpoint.
+func (e *InProcess) Name() string { return e.name }
+
+// Store returns the underlying store (used by data generators and tests).
+func (e *InProcess) Store() *store.Store { return e.ev.Store() }
+
+// Query implements Endpoint.
+func (e *InProcess) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := e.ev.QueryString(query)
+	if err != nil {
+		return nil, fmt.Errorf("endpoint %s: %w", e.name, err)
+	}
+	return res, nil
+}
+
+// ResultSize estimates the wire size in bytes of a result set encoded in the
+// SPARQL JSON format, without actually encoding it. Used for communication
+// accounting and bandwidth simulation.
+func ResultSize(r *sparql.Results) int {
+	if r == nil {
+		return 0
+	}
+	if r.IsBoolean {
+		return 40
+	}
+	size := 40
+	for _, v := range r.Vars {
+		size += len(v) + 4
+	}
+	for _, row := range r.Rows {
+		size += 4
+		for _, t := range row {
+			if t.IsZero() {
+				continue
+			}
+			// {"x":{"type":"uri","value":"..."}} overhead ≈ 30 bytes/term.
+			size += len(t.Value) + len(t.Lang) + len(t.Datatype) + 30
+		}
+	}
+	return size
+}

@@ -1,0 +1,174 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+	"lusail/internal/store"
+)
+
+func testEP() *InProcess {
+	st := store.NewFromTriples([]rdf.Triple{
+		{S: rdf.NewIRI("http://ex/a"), P: rdf.NewIRI("http://ex/p"), O: rdf.NewIRI("http://ex/b")},
+		{S: rdf.NewIRI("http://ex/a"), P: rdf.NewIRI("http://ex/p"), O: rdf.NewIRI("http://ex/c")},
+	})
+	return NewInProcess("ep", st)
+}
+
+func TestInProcessQuery(t *testing.T) {
+	ep := testEP()
+	res, err := ep.Query(context.Background(), `SELECT ?o WHERE { <http://ex/a> <http://ex/p> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+	if ep.Name() != "ep" {
+		t.Errorf("Name = %q", ep.Name())
+	}
+}
+
+func TestInProcessContextCancelled(t *testing.T) {
+	ep := testEP()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ep.Query(ctx, `ASK { ?s ?p ?o }`); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAskHelperErrors(t *testing.T) {
+	ep := testEP()
+	if _, err := Ask(context.Background(), ep, `SELECT ?s WHERE { ?s ?p ?o }`); err == nil {
+		t.Error("Ask on SELECT should error")
+	}
+	ok, err := Ask(context.Background(), ep, `ASK { ?s ?p ?o }`)
+	if err != nil || !ok {
+		t.Errorf("Ask = %v, %v", ok, err)
+	}
+}
+
+func TestInstrumentedCounts(t *testing.T) {
+	var m Metrics
+	ep := NewInstrumented(testEP(), &m)
+	ctx := context.Background()
+	if _, err := ep.Query(ctx, `SELECT ?o WHERE { <http://ex/a> <http://ex/p> ?o }`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ep.Query(ctx, `ASK { ?s ?p ?o }`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ep.Query(ctx, `SELECT bogus`); err == nil {
+		t.Fatal("expected parse error")
+	}
+	s := m.Snapshot()
+	if s.Requests != 3 || s.Asks != 1 || s.Rows != 2 || s.Errors != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.Bytes <= 0 {
+		t.Error("bytes should be positive")
+	}
+	m.Reset()
+	if m.Snapshot() != (Snapshot{}) {
+		t.Error("Reset did not zero counters")
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	a := Snapshot{Requests: 10, Rows: 100, Bytes: 1000}
+	b := Snapshot{Requests: 4, Rows: 40, Bytes: 400}
+	d := a.Sub(b)
+	if d.Requests != 6 || d.Rows != 60 || d.Bytes != 600 {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestLatencyInjectsDelay(t *testing.T) {
+	ep := NewLatency(testEP(), 30*time.Millisecond, 0)
+	start := time.Now()
+	if _, err := ep.Query(context.Background(), `ASK { ?s ?p ?o }`); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("elapsed = %v, want >= 30ms", elapsed)
+	}
+}
+
+func TestLatencyBandwidthDelay(t *testing.T) {
+	// 2 rows ≈ >100 bytes at 1KB/s ≈ >100ms.
+	ep := NewLatency(testEP(), 0, 1024)
+	start := time.Now()
+	if _, err := ep.Query(context.Background(), `SELECT ?o WHERE { <http://ex/a> <http://ex/p> ?o }`); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("elapsed = %v, want bandwidth delay", elapsed)
+	}
+}
+
+func TestLatencyRespectsContext(t *testing.T) {
+	ep := NewLatency(testEP(), time.Second, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ep.Query(ctx, `ASK { ?s ?p ?o }`)
+	if err == nil {
+		t.Error("expected context deadline error")
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Error("cancellation did not interrupt sleep")
+	}
+}
+
+func TestResultSize(t *testing.T) {
+	if ResultSize(nil) != 0 {
+		t.Error("nil size should be 0")
+	}
+	if ResultSize(sparql.BoolResults(true)) <= 0 {
+		t.Error("boolean size should be positive")
+	}
+	r := sparql.NewResults([]string{"x"})
+	small := ResultSize(r)
+	r.Rows = append(r.Rows, []rdf.Term{rdf.NewIRI("http://example.org/very/long/iri")})
+	if ResultSize(r) <= small {
+		t.Error("size should grow with rows")
+	}
+}
+
+func TestHTTPClientErrorPaths(t *testing.T) {
+	// Server returns 500.
+	boom := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "internal explosion", http.StatusInternalServerError)
+	}))
+	defer boom.Close()
+	ep := NewHTTP("boom", boom.URL)
+	if _, err := ep.Query(context.Background(), `ASK { ?s ?p ?o }`); err == nil ||
+		!strings.Contains(err.Error(), "HTTP 500") {
+		t.Errorf("expected HTTP 500 error, got %v", err)
+	}
+
+	// Server returns invalid JSON.
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		w.Write([]byte("{not json"))
+	}))
+	defer garbage.Close()
+	ep = NewHTTP("garbage", garbage.URL)
+	if _, err := ep.Query(context.Background(), `ASK { ?s ?p ?o }`); err == nil {
+		t.Error("expected JSON parse error")
+	}
+
+	// Connection refused.
+	ep = NewHTTP("nowhere", "http://127.0.0.1:1")
+	if _, err := ep.Query(context.Background(), `ASK { ?s ?p ?o }`); err == nil {
+		t.Error("expected connection error")
+	}
+}

@@ -1,0 +1,74 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"lusail/internal/sparql"
+)
+
+// HTTP is a SPARQL 1.1 protocol client for a remote endpoint.
+type HTTP struct {
+	name string
+	url  string
+	hc   *http.Client
+}
+
+// NewHTTP returns an endpoint client for the SPARQL endpoint at rawURL.
+func NewHTTP(name, rawURL string) *HTTP {
+	return &HTTP{
+		name: name,
+		url:  rawURL,
+		hc:   &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// NewHTTPWithClient returns an endpoint client using a caller-supplied
+// http.Client (for timeouts, transports, or test doubles).
+func NewHTTPWithClient(name, rawURL string, hc *http.Client) *HTTP {
+	return &HTTP{name: name, url: rawURL, hc: hc}
+}
+
+// Name implements Endpoint.
+func (e *HTTP) Name() string { return e.name }
+
+// URL returns the endpoint URL.
+func (e *HTTP) URL() string { return e.url }
+
+// Query implements Endpoint using a POST with form-encoded query, the most
+// widely supported SPARQL protocol binding.
+func (e *HTTP) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	form := url.Values{"query": {query}}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.url, strings.NewReader(form.Encode()))
+	if err != nil {
+		return nil, fmt.Errorf("endpoint %s: %w", e.name, err)
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.Header.Set("Accept", "application/sparql-results+json")
+	resp, err := e.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("endpoint %s: %w", e.name, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, fmt.Errorf("endpoint %s: reading response: %w", e.name, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := strings.TrimSpace(string(body))
+		if len(msg) > 300 {
+			msg = msg[:300]
+		}
+		return nil, fmt.Errorf("endpoint %s: HTTP %d: %s", e.name, resp.StatusCode, msg)
+	}
+	res, err := sparql.ParseResultsJSON(body)
+	if err != nil {
+		return nil, fmt.Errorf("endpoint %s: %w", e.name, err)
+	}
+	return res, nil
+}

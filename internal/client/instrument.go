@@ -1,0 +1,147 @@
+package client
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"lusail/internal/sparql"
+)
+
+// Metrics accumulates communication-cost counters for one endpoint or a
+// whole federation. All fields are updated atomically.
+type Metrics struct {
+	Requests atomic.Int64 // number of queries sent (ASK + SELECT)
+	Asks     atomic.Int64 // subset of Requests that were ASK queries
+	Rows     atomic.Int64 // total solution rows received
+	Bytes    atomic.Int64 // estimated payload bytes received
+	Errors   atomic.Int64 // failed requests
+}
+
+// Snapshot is a plain-value copy of Metrics.
+type Snapshot struct {
+	Requests, Asks, Rows, Bytes, Errors int64
+}
+
+// Snapshot returns the current counter values.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Requests: m.Requests.Load(),
+		Asks:     m.Asks.Load(),
+		Rows:     m.Rows.Load(),
+		Bytes:    m.Bytes.Load(),
+		Errors:   m.Errors.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (m *Metrics) Reset() {
+	m.Requests.Store(0)
+	m.Asks.Store(0)
+	m.Rows.Store(0)
+	m.Bytes.Store(0)
+	m.Errors.Store(0)
+}
+
+// Sub returns the difference between this snapshot and an earlier one.
+func (s Snapshot) Sub(earlier Snapshot) Snapshot {
+	return Snapshot{
+		Requests: s.Requests - earlier.Requests,
+		Asks:     s.Asks - earlier.Asks,
+		Rows:     s.Rows - earlier.Rows,
+		Bytes:    s.Bytes - earlier.Bytes,
+		Errors:   s.Errors - earlier.Errors,
+	}
+}
+
+// Instrumented wraps an endpoint and records metrics for every query.
+type Instrumented struct {
+	inner   Endpoint
+	metrics *Metrics
+}
+
+// NewInstrumented wraps ep so that all traffic is recorded in m.
+// Multiple endpoints may share one Metrics to get federation-wide totals.
+func NewInstrumented(ep Endpoint, m *Metrics) *Instrumented {
+	return &Instrumented{inner: ep, metrics: m}
+}
+
+// Name implements Endpoint.
+func (e *Instrumented) Name() string { return e.inner.Name() }
+
+// Unwrap returns the wrapped endpoint.
+func (e *Instrumented) Unwrap() Endpoint { return e.inner }
+
+// Metrics returns the metrics sink.
+func (e *Instrumented) Metrics() *Metrics { return e.metrics }
+
+// Query implements Endpoint.
+func (e *Instrumented) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	e.metrics.Requests.Add(1)
+	res, err := e.inner.Query(ctx, query)
+	if err != nil {
+		e.metrics.Errors.Add(1)
+		return nil, err
+	}
+	if res.IsBoolean {
+		e.metrics.Asks.Add(1)
+	}
+	e.metrics.Rows.Add(int64(len(res.Rows)))
+	e.metrics.Bytes.Add(int64(ResultSize(res)))
+	return res, nil
+}
+
+// Latency wraps an endpoint and injects network delay: a fixed round-trip
+// time per request plus a transfer time proportional to the response size.
+// It reproduces the geo-distributed setting of the paper's Section 5.3.
+type Latency struct {
+	inner Endpoint
+	// RTT is the request round-trip latency added to every query.
+	RTT time.Duration
+	// BytesPerSecond is the simulated downstream bandwidth; zero disables
+	// the bandwidth term.
+	BytesPerSecond int64
+}
+
+// NewLatency wraps ep with the given round-trip time and bandwidth.
+func NewLatency(ep Endpoint, rtt time.Duration, bytesPerSecond int64) *Latency {
+	return &Latency{inner: ep, RTT: rtt, BytesPerSecond: bytesPerSecond}
+}
+
+// Name implements Endpoint.
+func (e *Latency) Name() string { return e.inner.Name() }
+
+// Unwrap returns the wrapped endpoint.
+func (e *Latency) Unwrap() Endpoint { return e.inner }
+
+// Query implements Endpoint.
+func (e *Latency) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	if err := sleepCtx(ctx, e.RTT); err != nil {
+		return nil, err
+	}
+	res, err := e.inner.Query(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	if e.BytesPerSecond > 0 {
+		transfer := time.Duration(float64(ResultSize(res)) / float64(e.BytesPerSecond) * float64(time.Second))
+		if err := sleepCtx(ctx, transfer); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,96 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"lusail/internal/sparql"
+)
+
+// Retry wraps an endpoint and retries failed queries with exponential
+// backoff. Federated engines issue many small requests to endpoints they
+// do not control; transient failures (connection resets, 5xx responses)
+// should not abort a whole federated query.
+type Retry struct {
+	inner Endpoint
+	// Attempts is the maximum number of tries (including the first).
+	Attempts int
+	// Backoff is the delay before the second attempt; it doubles per retry.
+	Backoff time.Duration
+}
+
+// NewRetry wraps ep with up to attempts tries and the given initial backoff.
+func NewRetry(ep Endpoint, attempts int, backoff time.Duration) *Retry {
+	if attempts < 1 {
+		attempts = 1
+	}
+	return &Retry{inner: ep, Attempts: attempts, Backoff: backoff}
+}
+
+// Name implements Endpoint.
+func (e *Retry) Name() string { return e.inner.Name() }
+
+// Unwrap returns the wrapped endpoint.
+func (e *Retry) Unwrap() Endpoint { return e.inner }
+
+// Query implements Endpoint. Context cancellation is never retried.
+func (e *Retry) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	var lastErr error
+	delay := e.Backoff
+	for attempt := 0; attempt < e.Attempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, delay); err != nil {
+				return nil, err
+			}
+			delay *= 2
+		}
+		res, err := e.inner.Query(ctx, query)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("endpoint %s: %d attempts failed: %w", e.Name(), e.Attempts, lastErr)
+}
+
+// Flaky wraps an endpoint and injects failures: every FailEvery-th query
+// returns an error before reaching the inner endpoint. It exists for
+// failure-injection testing of federated engines and retry policies.
+type Flaky struct {
+	inner Endpoint
+	// FailEvery makes every n-th request fail (1 = all fail).
+	FailEvery int
+	count     atomic.Int64
+}
+
+// NewFlaky wraps ep so that every failEvery-th query errors.
+func NewFlaky(ep Endpoint, failEvery int) *Flaky {
+	if failEvery < 1 {
+		failEvery = 1
+	}
+	return &Flaky{inner: ep, FailEvery: failEvery}
+}
+
+// Name implements Endpoint.
+func (e *Flaky) Name() string { return e.inner.Name() }
+
+// Failures returns how many requests have been failed so far.
+func (e *Flaky) Failures() int64 {
+	n := e.count.Load()
+	return n / int64(e.FailEvery)
+}
+
+// Query implements Endpoint.
+func (e *Flaky) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	n := e.count.Add(1)
+	if n%int64(e.FailEvery) == 0 {
+		return nil, fmt.Errorf("endpoint %s: injected transient failure (request %d)", e.Name(), n)
+	}
+	return e.inner.Query(ctx, query)
+}

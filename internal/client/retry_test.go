@@ -1,0 +1,66 @@
+package client
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRetryRecoversFromTransientFailures(t *testing.T) {
+	flaky := NewFlaky(testEP(), 2) // every 2nd request fails
+	ep := NewRetry(flaky, 3, time.Millisecond)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		res, err := ep.Query(ctx, `ASK { ?s ?p ?o }`)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if !res.Boolean {
+			t.Fatalf("query %d: wrong answer", i)
+		}
+	}
+	if flaky.Failures() == 0 {
+		t.Error("fault injection never triggered")
+	}
+}
+
+func TestRetryGivesUpAfterAttempts(t *testing.T) {
+	flaky := NewFlaky(testEP(), 1) // all requests fail
+	ep := NewRetry(flaky, 3, time.Millisecond)
+	_, err := ep.Query(context.Background(), `ASK { ?s ?p ?o }`)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRetryDoesNotRetryCancellation(t *testing.T) {
+	ep := NewRetry(NewFlaky(testEP(), 1), 5, 50*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := ep.Query(ctx, `ASK { ?s ?p ?o }`); err == nil {
+		t.Fatal("expected error")
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("cancelled query should not sit in backoff")
+	}
+}
+
+func TestRetryPassthroughOnSuccess(t *testing.T) {
+	var m Metrics
+	inner := NewInstrumented(testEP(), &m)
+	ep := NewRetry(inner, 5, time.Millisecond)
+	if _, err := ep.Query(context.Background(), `ASK { ?s ?p ?o }`); err != nil {
+		t.Fatal(err)
+	}
+	if m.Snapshot().Requests != 1 {
+		t.Errorf("success should use exactly one attempt, used %d", m.Snapshot().Requests)
+	}
+	if ep.Name() != "ep" {
+		t.Errorf("Name = %q", ep.Name())
+	}
+}

@@ -1,0 +1,556 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"lusail/internal/client"
+	"lusail/internal/eval"
+	"lusail/internal/federation"
+	"lusail/internal/qplan"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+	"lusail/internal/store"
+)
+
+const ub = "http://lubm.org/ub#"
+
+func u(s string) rdf.Term { return rdf.NewIRI(ub + s) }
+
+func t3(s, p, o rdf.Term) rdf.Triple { return rdf.Triple{S: s, P: p, O: o} }
+
+// paperFederation builds the running example of the paper (Figures 1, 2,
+// 4): two university endpoints with the same schema, where Tim's PhD
+// university lives at the other endpoint.
+//
+// withAnn adds the professor Ann (EP1) who advises a student but teaches no
+// course — the paper's "extraneous computation" example that makes ?P a
+// false-positive GJV.
+func paperFederation(withAnn bool) (eps []*client.InProcess, oracle *store.Store) {
+	typ := rdf.NewIRI(rdf.RDFType)
+	advisor, teacherOf := u("advisor"), u("teacherOf")
+	takes, phdFrom, addr := u("takesCourse"), u("PhDDegreeFrom"), u("address")
+	gradStudent, assocProf, gradCourse := u("GraduateStudent"), u("AssociateProfessor"), u("GraduateCourse")
+
+	// EP1: university A. Self-contained staff plus the address of univA,
+	// which EP2's Tim and Ben reference remotely.
+	univA := u("univA")
+	ep1 := []rdf.Triple{
+		t3(univA, addr, rdf.NewLiteral("AddrA")),
+		t3(u("zoe"), typ, gradStudent),
+		t3(u("zoe"), advisor, u("max")),
+		t3(u("zoe"), takes, u("courseX")),
+		t3(u("max"), typ, assocProf),
+		t3(u("max"), teacherOf, u("courseX")),
+		t3(u("max"), phdFrom, univA),
+		t3(u("courseX"), typ, gradCourse),
+	}
+	if withAnn {
+		ep1 = append(ep1,
+			t3(u("sam"), typ, gradStudent),
+			t3(u("sam"), advisor, u("ann")),
+			t3(u("sam"), takes, u("courseX")),
+			t3(u("ann"), typ, assocProf),
+			t3(u("ann"), phdFrom, univA),
+			// Ann teaches no course: ?P looks global although no remote
+			// data is needed for her.
+		)
+	}
+
+	// EP2: university B. Tim and Ben got their PhDs from univA (remote).
+	univB := u("univB")
+	ep2 := []rdf.Triple{
+		t3(univB, addr, rdf.NewLiteral("AddrB")),
+		t3(u("kim"), typ, gradStudent),
+		t3(u("lee"), typ, gradStudent),
+		t3(u("kim"), advisor, u("joy")),
+		t3(u("kim"), advisor, u("tim")),
+		t3(u("lee"), advisor, u("ben")),
+		t3(u("kim"), takes, u("courseDB")),
+		t3(u("lee"), takes, u("courseOS")),
+		t3(u("joy"), typ, assocProf),
+		t3(u("tim"), typ, assocProf),
+		t3(u("ben"), typ, assocProf),
+		t3(u("joy"), teacherOf, u("courseDB")),
+		t3(u("tim"), teacherOf, u("courseDB")),
+		t3(u("ben"), teacherOf, u("courseOS")),
+		t3(u("joy"), phdFrom, univB),
+		t3(u("tim"), phdFrom, univA),
+		t3(u("ben"), phdFrom, univA),
+		t3(u("courseDB"), typ, gradCourse),
+		t3(u("courseOS"), typ, gradCourse),
+	}
+
+	oracle = store.New()
+	oracle.AddAll(ep1)
+	oracle.AddAll(ep2)
+	return []*client.InProcess{
+		client.NewInProcess("ep1", store.NewFromTriples(ep1)),
+		client.NewInProcess("ep2", store.NewFromTriples(ep2)),
+	}, oracle
+}
+
+func newEngine(t *testing.T, eps []*client.InProcess, opts Options) *Engine {
+	t.Helper()
+	var list []client.Endpoint
+	for _, ep := range eps {
+		list = append(list, ep)
+	}
+	fed, err := federation.New(list...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(fed, opts)
+}
+
+// qa is the paper's running-example query (Figure 2).
+const qa = `
+	PREFIX ub: <http://lubm.org/ub#>
+	PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+	SELECT ?S ?P ?U ?A WHERE {
+		?S ub:advisor ?P .
+		?S rdf:type ub:GraduateStudent .
+		?P ub:teacherOf ?C .
+		?P rdf:type ub:AssociateProfessor .
+		?S ub:takesCourse ?C .
+		?C rdf:type ub:GraduateCourse .
+		?P ub:PhDDegreeFrom ?U .
+		?U ub:address ?A .
+	}`
+
+// oracleResults evaluates the query centrally over the union of all
+// endpoint data — the ground-truth federated answer.
+func oracleResults(t *testing.T, oracle *store.Store, query string) *sparql.Results {
+	t.Helper()
+	res, err := eval.New(oracle).QueryString(query)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	res.Rows = qplan.DistinctRows(res.Rows)
+	res.Sort()
+	return res
+}
+
+func runLusail(t *testing.T, e *Engine, query string) (*sparql.Results, *Profile) {
+	t.Helper()
+	res, prof, err := e.QueryString(context.Background(), query)
+	if err != nil {
+		t.Fatalf("lusail: %v", err)
+	}
+	res.Rows = qplan.DistinctRows(res.Rows)
+	res.Sort()
+	return res, prof
+}
+
+func assertSameResults(t *testing.T, got, want *sparql.Results) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Vars, want.Vars) {
+		t.Fatalf("vars: got %v, want %v", got.Vars, want.Vars)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Errorf("rows mismatch:\n got (%d): %v\nwant (%d): %v",
+			len(got.Rows), got.Rows, len(want.Rows), want.Rows)
+	}
+}
+
+func TestPaperRunningExample(t *testing.T) {
+	eps, oracle := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	got, prof := runLusail(t, e, qa)
+	want := oracleResults(t, oracle, qa)
+	assertSameResults(t, got, want)
+	// The paper's analysis: ?U must be global; ?S and ?C must be local.
+	gjvs := map[string]bool{}
+	for _, v := range prof.GJVs {
+		gjvs[v] = true
+	}
+	if !gjvs["U"] {
+		t.Errorf("?U should be a GJV; got %v", prof.GJVs)
+	}
+	if gjvs["S"] || gjvs["C"] {
+		t.Errorf("?S and ?C should be local; got %v", prof.GJVs)
+	}
+	if gjvs["P"] {
+		t.Errorf("?P should be local without Ann; got %v", prof.GJVs)
+	}
+	// Cross-endpoint answers must be present: Tim's students see AddrA.
+	found := false
+	for i := range got.Rows {
+		b := got.Binding(i)
+		if b["P"] == u("tim") && b["A"] == rdf.NewLiteral("AddrA") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing interlink answer (kim, tim, univA, AddrA)")
+	}
+}
+
+func TestExtraneousGJVStillCorrect(t *testing.T) {
+	// With Ann, ?P becomes a (false) GJV; Lemma 2 says results still match.
+	eps, oracle := paperFederation(true)
+	e := newEngine(t, eps, DefaultOptions())
+	got, prof := runLusail(t, e, qa)
+	want := oracleResults(t, oracle, qa)
+	assertSameResults(t, got, want)
+	gjvs := map[string]bool{}
+	for _, v := range prof.GJVs {
+		gjvs[v] = true
+	}
+	if !gjvs["P"] {
+		t.Errorf("?P should be (extraneously) global with Ann; got %v", prof.GJVs)
+	}
+}
+
+func TestSingleSubqueryWhenNoGJV(t *testing.T) {
+	eps, oracle := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	// Students with their advisors: all instance-local. The ?C type
+	// pattern gives ?C a subject occurrence, so its locality is checkable
+	// (a pure object-only ?C would be escalated per Section 3.3 Case 2).
+	q := `PREFIX ub: <http://lubm.org/ub#>
+	      PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+	      SELECT ?S ?P ?C WHERE {
+	        ?S ub:advisor ?P . ?S ub:takesCourse ?C . ?P ub:teacherOf ?C .
+	        ?C rdf:type ub:GraduateCourse }`
+	got, prof := runLusail(t, e, q)
+	want := oracleResults(t, oracle, q)
+	assertSameResults(t, got, want)
+	if prof.Subqueries != 1 {
+		t.Errorf("expected 1 subquery, got %d (%v)", prof.Subqueries, prof.Decomposition)
+	}
+	if len(prof.GJVs) != 0 {
+		t.Errorf("expected no GJVs, got %v", prof.GJVs)
+	}
+}
+
+func TestDecompositionInvariants(t *testing.T) {
+	eps, _ := paperFederation(true)
+	e := newEngine(t, eps, DefaultOptions())
+	q := sparql.MustParse(qa)
+	branches, err := qplan.Normalize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := branches[0]
+	ctx := context.Background()
+	sources := make([][]string, len(br.Patterns))
+	for i, tp := range br.Patterns {
+		s, err := e.sel.RelevantSources(ctx, tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[i] = s
+	}
+	stats, err := e.collectStats(ctx, br, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gjv, err := e.detectGJVs(ctx, br.Patterns, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqs := e.decompose(br, sources, gjv, stats)
+
+	// Invariant 1: every pattern appears in exactly one subquery.
+	count := make(map[string]int)
+	for _, sq := range sqs {
+		for _, tp := range sq.Patterns {
+			count[tp.String()]++
+		}
+	}
+	if len(count) != len(br.Patterns) {
+		t.Errorf("pattern coverage: %d distinct patterns in subqueries, want %d", len(count), len(br.Patterns))
+	}
+	for p, c := range count {
+		if c != 1 {
+			t.Errorf("pattern %s appears %d times", p, c)
+		}
+	}
+	// Invariant 2: no subquery contains a pair sharing a GJV.
+	for _, sq := range sqs {
+		for i := 0; i < len(sq.Patterns); i++ {
+			for j := i + 1; j < len(sq.Patterns); j++ {
+				if conflict(sq.Patterns[i], sq.Patterns[j], gjv) {
+					t.Errorf("subquery %s contains conflicting pair", sq)
+				}
+			}
+		}
+	}
+	// Invariant 3: all patterns in a subquery share the subquery's sources.
+	for _, sq := range sqs {
+		for _, pi := range sq.patternIdx {
+			if !federation.SameSources(sq.Sources, sources[pi]) {
+				t.Errorf("subquery %s has pattern with different sources", sq)
+			}
+		}
+	}
+}
+
+func TestFilterPushdownAndGlobalFilter(t *testing.T) {
+	eps, oracle := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	q := `PREFIX ub: <http://lubm.org/ub#>
+	      SELECT ?S ?A WHERE {
+	        ?S ub:advisor ?P .
+	        ?P ub:PhDDegreeFrom ?U .
+	        ?U ub:address ?A .
+	        FILTER(STR(?A) != "AddrB")
+	      }`
+	got, _ := runLusail(t, e, q)
+	want := oracleResults(t, oracle, q)
+	assertSameResults(t, got, want)
+}
+
+func TestOptionalAtGlobalLevel(t *testing.T) {
+	eps, oracle := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	q := `PREFIX ub: <http://lubm.org/ub#>
+	      SELECT ?P ?U ?A WHERE {
+	        ?P ub:PhDDegreeFrom ?U .
+	        OPTIONAL { ?U ub:address ?A }
+	      }`
+	got, _ := runLusail(t, e, q)
+	want := oracleResults(t, oracle, q)
+	assertSameResults(t, got, want)
+	// Every professor keeps a row even if the university address is remote
+	// or absent; with our data all addresses resolve, so check count > 0.
+	if len(got.Rows) == 0 {
+		t.Fatal("optional query returned nothing")
+	}
+}
+
+func TestUnionDistribution(t *testing.T) {
+	eps, oracle := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	q := `PREFIX ub: <http://lubm.org/ub#>
+	      SELECT ?X WHERE {
+	        { ?X ub:teacherOf ?C } UNION { ?X ub:takesCourse ?C }
+	      }`
+	got, _ := runLusail(t, e, q)
+	want := oracleResults(t, oracle, q)
+	assertSameResults(t, got, want)
+}
+
+func TestAskForm(t *testing.T) {
+	eps, _ := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	res, _, err := e.QueryString(context.Background(), `PREFIX ub: <http://lubm.org/ub#>
+		ASK { ?P ub:PhDDegreeFrom ?U . ?U ub:address ?A }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsBoolean || !res.Boolean {
+		t.Errorf("ASK = %+v", res)
+	}
+}
+
+func TestCountAggregateFederated(t *testing.T) {
+	eps, oracle := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	q := `PREFIX ub: <http://lubm.org/ub#>
+	      SELECT (COUNT(DISTINCT ?S) AS ?n) WHERE { ?S ub:advisor ?P }`
+	got, _ := runLusail(t, e, q)
+	want := oracleResults(t, oracle, q)
+	assertSameResults(t, got, want)
+}
+
+func TestLimitTruncatesCompleteResult(t *testing.T) {
+	eps, _ := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	q := `PREFIX ub: <http://lubm.org/ub#>
+	      SELECT ?S WHERE { ?S ub:advisor ?P } ORDER BY ?S LIMIT 2`
+	got, _, err := e.QueryString(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 2 {
+		t.Errorf("LIMIT 2 returned %d rows", len(got.Rows))
+	}
+}
+
+func TestEmptyResultForUnknownPredicate(t *testing.T) {
+	eps, _ := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	got, _ := runLusail(t, e, `SELECT ?S WHERE { ?S <http://nowhere/p> ?O }`)
+	if len(got.Rows) != 0 {
+		t.Errorf("expected empty result, got %d rows", len(got.Rows))
+	}
+}
+
+func TestDisableSAPESameResults(t *testing.T) {
+	eps, oracle := paperFederation(true)
+	opts := DefaultOptions()
+	opts.DisableSAPE = true
+	e := newEngine(t, eps, opts)
+	got, prof := runLusail(t, e, qa)
+	want := oracleResults(t, oracle, qa)
+	assertSameResults(t, got, want)
+	if prof.Delayed != 0 {
+		t.Errorf("LADE-only mode delayed %d subqueries", prof.Delayed)
+	}
+}
+
+func TestAllThresholdModesSameResults(t *testing.T) {
+	for _, mode := range []ThresholdMode{ThresholdMu, ThresholdMuSigma, ThresholdMu2Sigma, ThresholdOutliers} {
+		eps, oracle := paperFederation(true)
+		opts := DefaultOptions()
+		opts.Threshold = mode
+		e := newEngine(t, eps, opts)
+		got, _ := runLusail(t, e, qa)
+		want := oracleResults(t, oracle, qa)
+		if !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Errorf("threshold %v: results differ", mode)
+		}
+	}
+}
+
+func TestCheckCacheReducesRequests(t *testing.T) {
+	eps, _ := paperFederation(false)
+	var m client.Metrics
+	var list []client.Endpoint
+	for _, ep := range eps {
+		list = append(list, client.NewInstrumented(ep, &m))
+	}
+	fed := federation.MustNew(list...)
+	e := New(fed, DefaultOptions())
+	ctx := context.Background()
+	if _, _, err := e.QueryString(ctx, qa); err != nil {
+		t.Fatal(err)
+	}
+	first := m.Snapshot()
+	if _, _, err := e.QueryString(ctx, qa); err != nil {
+		t.Fatal(err)
+	}
+	second := m.Snapshot().Sub(first)
+	if second.Requests >= first.Requests {
+		t.Errorf("cached run used %d requests, first run %d", second.Requests, first.Requests)
+	}
+	// Disabling caches restores the probe traffic.
+	e.ClearCaches()
+	preClear := m.Snapshot()
+	if _, _, err := e.QueryString(ctx, qa); err != nil {
+		t.Fatal(err)
+	}
+	third := m.Snapshot().Sub(preClear)
+	if third.Requests <= second.Requests {
+		t.Errorf("after ClearCaches expected more requests: %d <= %d", third.Requests, second.Requests)
+	}
+}
+
+func TestProfilePhases(t *testing.T) {
+	eps, _ := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	_, prof := runLusail(t, e, qa)
+	if prof.Total <= 0 {
+		t.Error("profile total missing")
+	}
+	if prof.Subqueries == 0 {
+		t.Error("profile subqueries missing")
+	}
+	if prof.CountProbes == 0 {
+		t.Error("profile count probes missing")
+	}
+	if prof.ChecksIssued == 0 {
+		t.Error("profile checks missing")
+	}
+}
+
+func TestDisconnectedSubgraphsJoinedByFilter(t *testing.T) {
+	// The C5/B5/B6 shape: two disjoint subgraphs related only by a FILTER.
+	eps, oracle := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	q := `PREFIX ub: <http://lubm.org/ub#>
+	      SELECT ?P1 ?P2 WHERE {
+	        ?P1 ub:teacherOf ?C1 .
+	        ?P2 ub:PhDDegreeFrom ?U2 .
+	        FILTER(?P1 = ?P2)
+	      }`
+	got, _ := runLusail(t, e, q)
+	want := oracleResults(t, oracle, q)
+	assertSameResults(t, got, want)
+	if len(got.Rows) == 0 {
+		t.Error("filter-joined disjoint subgraphs returned nothing")
+	}
+}
+
+// Failure injection: a flaky endpoint behind a retry wrapper must not
+// change federated answers; without retries, the engine must surface the
+// error rather than return silently partial results.
+func TestFailureInjection(t *testing.T) {
+	eps, oracle := paperFederation(false)
+	want := oracleResults(t, oracle, qa)
+
+	// With retries: correct answers despite injected failures.
+	var wrapped []client.Endpoint
+	for _, ep := range eps {
+		flaky := client.NewFlaky(ep, 4)
+		wrapped = append(wrapped, client.NewRetry(flaky, 4, time.Millisecond))
+	}
+	e := New(federation.MustNew(wrapped...), DefaultOptions())
+	got, _, err := e.QueryString(context.Background(), qa)
+	if err != nil {
+		t.Fatalf("with retry: %v", err)
+	}
+	got.Rows = qplan.DistinctRows(got.Rows)
+	got.Sort()
+	assertSameResults(t, got, want)
+
+	// Without retries: the query errors out loudly.
+	var raw []client.Endpoint
+	for _, ep := range eps {
+		raw = append(raw, client.NewFlaky(ep, 3))
+	}
+	e2 := New(federation.MustNew(raw...), DefaultOptions())
+	if _, _, err := e2.QueryString(context.Background(), qa); err == nil {
+		t.Error("expected an error from the failing federation")
+	}
+}
+
+func TestFederatedConstruct(t *testing.T) {
+	eps, oracle := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	q := `PREFIX ub: <http://lubm.org/ub#>
+	      CONSTRUCT { ?P ub:almaMaterAddress ?A }
+	      WHERE { ?P ub:PhDDegreeFrom ?U . ?U ub:address ?A }`
+	triples, prof, err := e.ConstructString(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof == nil || prof.Total <= 0 {
+		t.Error("missing profile")
+	}
+	// Oracle: run the same CONSTRUCT centrally.
+	wantTriples, err := eval.New(oracle).Construct(sparql.MustParse(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != len(wantTriples) {
+		t.Fatalf("federated construct %d triples, oracle %d", len(triples), len(wantTriples))
+	}
+	want := map[rdf.Triple]bool{}
+	for _, tr := range wantTriples {
+		want[tr] = true
+	}
+	for _, tr := range triples {
+		if !want[tr] {
+			t.Errorf("unexpected triple %v", tr)
+		}
+	}
+	// The cross-endpoint triple (tim -> AddrA) must be present.
+	cross := rdf.Triple{S: u("tim"), P: u("almaMaterAddress"), O: rdf.NewLiteral("AddrA")}
+	if !want[cross] {
+		t.Fatal("oracle sanity: cross triple missing")
+	}
+	found := false
+	for _, tr := range triples {
+		if tr == cross {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("federated CONSTRUCT missed the interlink triple")
+	}
+}

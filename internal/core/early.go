@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lusail/internal/qplan"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+)
+
+// QueryEarly executes a federated query and delivers solutions to emit as
+// soon as they are complete — the paper's future-work goal of "returning
+// fast and early results during federated query execution" for interactive
+// exploration. emit receives one solution at a time and returns false to
+// stop the query.
+//
+// Early delivery applies when LADE decomposes the query into a *single*
+// subquery (no global join variables) and the query has no solution
+// modifiers that need the complete result (ORDER BY, DISTINCT, aggregates,
+// OFFSET, OPTIONAL, VALUES): each endpoint's answers stream to emit the
+// moment that endpoint responds, so the first results arrive at the speed
+// of the fastest endpoint rather than the slowest. In streaming mode a
+// solution present at several endpoints may be delivered more than once
+// (bag semantics). Any other query falls back to full evaluation and emits
+// the final rows in order.
+//
+// The returned bool reports whether streaming mode was used.
+func (e *Engine) QueryEarly(ctx context.Context, query string, emit func(map[string]rdf.Term) bool) (bool, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return false, err
+	}
+	if !earlyEligible(q) {
+		return false, e.emitAll(ctx, q, emit)
+	}
+	branches, err := qplan.Normalize(q)
+	if err != nil {
+		return false, err
+	}
+	if len(branches) != 1 {
+		return false, e.emitAll(ctx, q, emit)
+	}
+	br := branches[0]
+	if len(br.Optionals) > 0 || len(br.Values) > 0 {
+		return false, e.emitAll(ctx, q, emit)
+	}
+
+	// Plan as usual: sources, stats, GJVs, decomposition.
+	sources := make([][]string, len(br.Patterns))
+	err = e.pool.ForEach(ctx, len(br.Patterns), func(i int) error {
+		s, err := e.sel.RelevantSources(ctx, br.Patterns[i])
+		if err != nil {
+			return err
+		}
+		sources[i] = s
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	for _, s := range sources {
+		if len(s) == 0 {
+			return true, nil // provably empty: nothing to emit
+		}
+	}
+	stats, err := e.collectStats(ctx, br, sources)
+	if err != nil {
+		return false, err
+	}
+	gjv, err := e.detectGJVs(ctx, br.Patterns, sources)
+	if err != nil {
+		return false, err
+	}
+	sqs := e.decompose(br, sources, gjv, stats)
+	if len(sqs) != 1 {
+		// A global join is needed; results are only complete after it.
+		return false, e.emitAll(ctx, q, emit)
+	}
+
+	// Streaming mode: one request per endpoint, rows forwarded as each
+	// response lands.
+	sq := sqs[0]
+	vars := q.ProjectedVars()
+	var stopped atomic.Bool
+	var emitMu sync.Mutex
+	emitted := 0
+	limit := q.Limit
+
+	queryText := sq.Query(nil).String()
+	runErr := e.pool.ForEach(ctx, len(sq.Sources), func(i int) error {
+		if stopped.Load() {
+			return nil
+		}
+		res, err := e.fed.Get(sq.Sources[i]).Query(ctx, queryText)
+		if err != nil {
+			return fmt.Errorf("early query at %s: %w", sq.Sources[i], err)
+		}
+		rel := qplan.ApplyFilters(res, br.Filters)
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		for r := range rel.Rows {
+			if stopped.Load() {
+				return nil
+			}
+			if limit >= 0 && emitted >= limit {
+				stopped.Store(true)
+				return nil
+			}
+			b := rel.Binding(r)
+			out := make(map[string]rdf.Term, len(vars))
+			for _, v := range vars {
+				if t, ok := b[v]; ok {
+					out[v] = t
+				}
+			}
+			emitted++
+			if !emit(out) {
+				stopped.Store(true)
+				return nil
+			}
+		}
+		return nil
+	})
+	if runErr != nil && !stopped.Load() {
+		return true, runErr
+	}
+	return true, nil
+}
+
+// earlyEligible reports whether the query's modifiers allow incremental
+// delivery (no modifier needs the complete result; LIMIT is fine).
+func earlyEligible(q *sparql.Query) bool {
+	return q.Form == sparql.SelectForm &&
+		!q.Distinct && !q.HasAggregates() &&
+		len(q.GroupBy) == 0 && len(q.OrderBy) == 0 && q.Offset == 0
+}
+
+// emitAll runs the full pipeline and emits the final rows.
+func (e *Engine) emitAll(ctx context.Context, q *sparql.Query, emit func(map[string]rdf.Term) bool) error {
+	res, _, err := e.Query(ctx, q)
+	if err != nil {
+		return err
+	}
+	if res.IsBoolean {
+		return fmt.Errorf("lusail: QueryEarly does not support ASK queries")
+	}
+	for i := range res.Rows {
+		if !emit(res.Binding(i)) {
+			return nil
+		}
+	}
+	return nil
+}

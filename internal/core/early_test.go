@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"lusail/internal/client"
+	"lusail/internal/federation"
+	"lusail/internal/rdf"
+)
+
+// earlyQ decomposes into one subquery on the paper federation (the ?C type
+// pattern keeps ?C out of the object-only Case-2 escalation).
+const earlyQ = `PREFIX ub: <http://lubm.org/ub#>
+	PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+	SELECT ?S ?P WHERE {
+		?S ub:advisor ?P . ?S ub:takesCourse ?C . ?P ub:teacherOf ?C .
+		?C rdf:type ub:GraduateCourse }`
+
+func TestQueryEarlyStreamsBeforeSlowEndpoint(t *testing.T) {
+	eps, _ := paperFederation(false)
+	// ep1 is fast, ep2 is slow: streaming must deliver ep1's answers long
+	// before ep2 responds.
+	slowRTT := 300 * time.Millisecond
+	fed := federation.MustNew(
+		eps[0],
+		client.NewLatency(eps[1], slowRTT, 0),
+	)
+	e := New(fed, DefaultOptions())
+
+	start := time.Now()
+	var firstEmit time.Duration
+	n := 0
+	streamed, err := e.QueryEarly(context.Background(), earlyQ, func(map[string]rdf.Term) bool {
+		if n == 0 {
+			firstEmit = time.Since(start)
+		}
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streamed {
+		t.Fatal("expected streaming mode for a single-subquery query")
+	}
+	if n == 0 {
+		t.Fatal("no rows emitted")
+	}
+	// Analysis probes also hit the slow endpoint, so use a generous bound:
+	// the first row must arrive well before all endpoints finished their
+	// final subquery (which costs at least one more slow RTT).
+	total := time.Since(start)
+	if firstEmit >= total {
+		t.Errorf("first emit (%v) should precede completion (%v)", firstEmit, total)
+	}
+}
+
+func TestQueryEarlyFallbackMatchesQuery(t *testing.T) {
+	eps, oracle := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	// Qa has a GJV → decomposes into several subqueries → fallback mode.
+	var rows []map[string]rdf.Term
+	streamed, err := e.QueryEarly(context.Background(), qa, func(b map[string]rdf.Term) bool {
+		rows = append(rows, b)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed {
+		t.Error("Qa requires a global join; expected fallback mode")
+	}
+	want := oracleResults(t, oracle, qa)
+	if len(rows) != len(want.Rows) {
+		t.Errorf("emitted %d rows, oracle %d", len(rows), len(want.Rows))
+	}
+}
+
+func TestQueryEarlyStopOnFalse(t *testing.T) {
+	eps, _ := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	n := 0
+	if _, err := e.QueryEarly(context.Background(), earlyQ, func(map[string]rdf.Term) bool {
+		n++
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("emit called %d times after returning false", n)
+	}
+}
+
+func TestQueryEarlyLimit(t *testing.T) {
+	eps, _ := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	n := 0
+	streamed, err := e.QueryEarly(context.Background(), earlyQ+" LIMIT 2", func(map[string]rdf.Term) bool {
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streamed {
+		t.Error("LIMIT should not prevent streaming")
+	}
+	if n != 2 {
+		t.Errorf("emitted %d rows, want 2", n)
+	}
+}
+
+func TestQueryEarlyModifiersFallBack(t *testing.T) {
+	eps, _ := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	for _, q := range []string{
+		`PREFIX ub: <http://lubm.org/ub#> SELECT DISTINCT ?S WHERE { ?S ub:advisor ?P }`,
+		`PREFIX ub: <http://lubm.org/ub#> SELECT ?S WHERE { ?S ub:advisor ?P } ORDER BY ?S`,
+		`PREFIX ub: <http://lubm.org/ub#> SELECT (COUNT(*) AS ?n) WHERE { ?S ub:advisor ?P }`,
+	} {
+		streamed, err := e.QueryEarly(context.Background(), q, func(map[string]rdf.Term) bool { return true })
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if streamed {
+			t.Errorf("query %q should fall back (modifier needs full result)", q)
+		}
+	}
+}

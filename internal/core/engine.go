@@ -1,0 +1,279 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lusail/internal/erh"
+	"lusail/internal/eval"
+	"lusail/internal/federation"
+	"lusail/internal/qplan"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+)
+
+// ThresholdMode selects the delay rule SAPE applies to estimated subquery
+// cardinalities (the paper's Section 5.4 sensitivity experiment).
+type ThresholdMode int
+
+const (
+	// ThresholdMuSigma delays subqueries with cardinality > μ+σ (the
+	// paper's default: "μ+σ consistently performs well").
+	ThresholdMuSigma ThresholdMode = iota
+	// ThresholdMu delays subqueries with cardinality > μ.
+	ThresholdMu
+	// ThresholdMu2Sigma delays subqueries with cardinality > μ+2σ.
+	ThresholdMu2Sigma
+	// ThresholdOutliers delays only Chauvenet-rejected outliers.
+	ThresholdOutliers
+)
+
+// String returns the label used in figures.
+func (m ThresholdMode) String() string {
+	switch m {
+	case ThresholdMu:
+		return "mu"
+	case ThresholdMuSigma:
+		return "mu+sigma"
+	case ThresholdMu2Sigma:
+		return "mu+2sigma"
+	case ThresholdOutliers:
+		return "outliers"
+	}
+	return "unknown"
+}
+
+// Options configures a Lusail engine.
+type Options struct {
+	// PoolSize bounds concurrent endpoint requests; <=0 uses NumCPU
+	// (the ERH sizing rule from the paper).
+	PoolSize int
+	// Threshold is the SAPE delay rule (default μ+σ).
+	Threshold ThresholdMode
+	// ValuesBlockSize is the number of binding rows per VALUES block in
+	// bound joins (default 500; larger blocks trade request count for
+	// request size, the balance SAPE aims for).
+	ValuesBlockSize int
+	// CacheSources enables the ASK source-selection cache (default on via
+	// DefaultOptions; turning it off re-probes per query, as in the
+	// paper's cache on/off profiling).
+	CacheSources bool
+	// CacheChecks enables the LADE check-query cache.
+	CacheChecks bool
+	// DisableSAPE turns off selectivity-aware execution: no subqueries are
+	// delayed and results are joined in input order. Used for the LADE-only
+	// ablation (paper Figure 14).
+	DisableSAPE bool
+}
+
+// DefaultOptions returns the configuration used in the paper's main
+// experiments.
+func DefaultOptions() Options {
+	return Options{
+		Threshold:       ThresholdMuSigma,
+		ValuesBlockSize: 500,
+		CacheSources:    true,
+		CacheChecks:     true,
+	}
+}
+
+// Profile reports per-phase timings and work counters for one query, the
+// measurements behind the paper's Figure 12.
+type Profile struct {
+	SourceSelection time.Duration // ASK-based source selection
+	Analysis        time.Duration // LADE: COUNT probes, GJV checks, decomposition
+	Execution       time.Duration // SAPE: subquery evaluation + global join
+	Total           time.Duration
+
+	GJVs          []string // detected global join variables
+	Subqueries    int      // number of subqueries after decomposition
+	Delayed       int      // subqueries evaluated with bound joins
+	ChecksIssued  int      // check-query requests sent to endpoints
+	CheckCacheHit int      // check queries answered from cache
+	CountProbes   int      // COUNT statistics queries sent
+	Decomposition []string // human-readable subquery forms
+
+	// SubqueryStats pairs the cost model's estimates with the measured
+	// cardinalities of subqueries evaluated unbound, for the q-error
+	// analysis of Section 4.1.
+	SubqueryStats []SubqueryStat
+}
+
+// SubqueryStat is one (estimate, actual) cardinality observation.
+type SubqueryStat struct {
+	Patterns  int     // triple patterns in the subquery
+	Estimated float64 // cost-model estimate
+	Actual    int     // materialized result rows
+}
+
+// Engine is the Lusail federated query processor over a fixed federation.
+type Engine struct {
+	fed    *federation.Federation
+	pool   *erh.Pool
+	sel    *federation.SourceSelector
+	checks *checkCache
+	opts   Options
+}
+
+// New returns an engine over the federation.
+func New(fed *federation.Federation, opts Options) *Engine {
+	if opts.ValuesBlockSize <= 0 {
+		opts.ValuesBlockSize = 500
+	}
+	pool := erh.New(opts.PoolSize)
+	return &Engine{
+		fed:    fed,
+		pool:   pool,
+		sel:    federation.NewSourceSelector(fed, pool),
+		checks: newCheckCache(),
+		opts:   opts,
+	}
+}
+
+// Federation returns the engine's federation.
+func (e *Engine) Federation() *federation.Federation { return e.fed }
+
+// ClearCaches drops the source-selection and check-query caches, as if the
+// engine had just started (used by the cache on/off experiments).
+func (e *Engine) ClearCaches() {
+	e.sel.ClearCache()
+	e.checks.clear()
+}
+
+// QueryString parses and executes a federated query.
+func (e *Engine) QueryString(ctx context.Context, query string) (*sparql.Results, *Profile, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.Query(ctx, q)
+}
+
+// Query executes a parsed federated query: source selection, LADE
+// decomposition, and SAPE evaluation, returning the final results and a
+// per-phase profile.
+func (e *Engine) Query(ctx context.Context, q *sparql.Query) (*sparql.Results, *Profile, error) {
+	start := time.Now()
+	prof := &Profile{}
+
+	branches, err := qplan.Normalize(q)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var all *sparql.Results
+	for _, br := range branches {
+		rows, err := e.evalBranch(ctx, br, prof)
+		if err != nil {
+			return nil, nil, err
+		}
+		if all == nil {
+			all = rows
+		} else {
+			all = qplan.UnionRelations(all, rows)
+		}
+	}
+	res, err := qplan.Finalize(q, all)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof.Total = time.Since(start)
+	return res, prof, nil
+}
+
+// evalBranch plans and executes one conjunctive branch of the query.
+func (e *Engine) evalBranch(ctx context.Context, br *qplan.Branch, prof *Profile) (*sparql.Results, error) {
+	// Phase 1: source selection (per triple pattern, cached ASK probes).
+	t0 := time.Now()
+	if !e.opts.CacheSources {
+		e.sel.ClearCache()
+	}
+	sources := make([][]string, len(br.Patterns))
+	err := e.pool.ForEach(ctx, len(br.Patterns), func(i int) error {
+		s, err := e.sel.RelevantSources(ctx, br.Patterns[i])
+		if err != nil {
+			return err
+		}
+		sources[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lusail: source selection: %w", err)
+	}
+	prof.SourceSelection += time.Since(t0)
+
+	for i, s := range sources {
+		if len(s) == 0 {
+			// A mandatory pattern with no relevant source: the branch is
+			// empty.
+			_ = i
+			return qplan.EmptyRelation(br.Vars()), nil
+		}
+	}
+
+	// Phase 2: LADE analysis — statistics, GJV detection, decomposition.
+	t1 := time.Now()
+	stats, err := e.collectStats(ctx, br, sources)
+	if err != nil {
+		return nil, fmt.Errorf("lusail: statistics: %w", err)
+	}
+	prof.CountProbes += stats.probes
+
+	gjv, err := e.detectGJVs(ctx, br.Patterns, sources)
+	if err != nil {
+		return nil, fmt.Errorf("lusail: GJV detection: %w", err)
+	}
+	prof.ChecksIssued += gjv.ChecksIssued
+	prof.CheckCacheHit += gjv.CacheHits
+	prof.GJVs = append(prof.GJVs, gjv.GlobalVars()...)
+
+	subqueries := e.decompose(br, sources, gjv, stats)
+	prof.Subqueries += len(subqueries)
+	for _, sq := range subqueries {
+		prof.Decomposition = append(prof.Decomposition, sq.String())
+	}
+	prof.Analysis += time.Since(t1)
+
+	// Phase 3: SAPE execution.
+	t2 := time.Now()
+	rel, err := e.execute(ctx, br, subqueries, stats, prof)
+	prof.Execution += time.Since(t2)
+	if err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// Construct executes a federated CONSTRUCT query: the WHERE clause is
+// evaluated across the federation like a SELECT over all its variables,
+// and the solutions instantiate the template into a deduplicated RDF graph.
+func (e *Engine) Construct(ctx context.Context, q *sparql.Query) ([]rdf.Triple, *Profile, error) {
+	if q.Form != sparql.ConstructForm {
+		return nil, nil, fmt.Errorf("lusail: Construct requires a CONSTRUCT query")
+	}
+	sel := &sparql.Query{
+		Form:  sparql.SelectForm,
+		Star:  true,
+		Where: q.Where,
+		Limit: -1,
+	}
+	res, prof, err := e.Query(ctx, sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	solutions := make([]map[string]rdf.Term, res.Len())
+	for i := range res.Rows {
+		solutions[i] = res.Binding(i)
+	}
+	return eval.InstantiateTemplate(q.Template, solutions), prof, nil
+}
+
+// ConstructString parses and executes a federated CONSTRUCT query.
+func (e *Engine) ConstructString(ctx context.Context, query string) ([]rdf.Triple, *Profile, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.Construct(ctx, q)
+}

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lusail/internal/federation"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+)
+
+// GJVResult records the outcome of global-join-variable detection
+// (Algorithm 1): the set of GJVs and, for diagnostics, the pattern pairs
+// that caused each variable to become global.
+type GJVResult struct {
+	// Global maps each global join variable to true.
+	Global map[string]bool
+	// CausePairs maps a GJV to the index pairs (into the analyzed pattern
+	// list) whose instance-locality check failed.
+	CausePairs map[string][][2]int
+	// ChecksIssued counts the check queries sent to endpoints.
+	ChecksIssued int
+	// CacheHits counts check queries answered from the cache.
+	CacheHits int
+}
+
+// IsGlobal reports whether v is a global join variable.
+func (r *GJVResult) IsGlobal(v string) bool { return r.Global[v] }
+
+// GlobalVars returns the sorted list of GJVs.
+func (r *GJVResult) GlobalVars() []string {
+	out := make([]string, 0, len(r.Global))
+	for v := range r.Global {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkCache caches the boolean outcome of locality check queries, keyed by
+// the normalized pattern pair. The paper caches the checks that determine
+// patterns which *cannot* be executed locally; caching both outcomes is
+// strictly more effective and remains sound for a static federation.
+type checkCache struct {
+	mu sync.Mutex
+	m  map[string]bool // key -> "pair failed the locality check" (v is global)
+}
+
+func newCheckCache() *checkCache { return &checkCache{m: map[string]bool{}} }
+
+func (c *checkCache) get(key string) (bool, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+func (c *checkCache) put(key string, v bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = v
+}
+
+func (c *checkCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = map[string]bool{}
+}
+
+func (c *checkCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// varRole describes how a variable occurs across the patterns that mention it.
+type varRole struct {
+	name    string
+	subjIdx []int // patterns where it is the subject
+	objIdx  []int // patterns where it is the object
+	predIdx []int // patterns where it is the predicate
+	allIdx  []int // union, in pattern order
+}
+
+// joinEntities returns the variables that appear in two or more patterns,
+// with their roles (getJoinEntities in Algorithm 1).
+func joinEntities(patterns []sparql.TriplePattern) []varRole {
+	byVar := map[string]*varRole{}
+	order := []string{}
+	touch := func(v string) *varRole {
+		r, ok := byVar[v]
+		if !ok {
+			r = &varRole{name: v}
+			byVar[v] = r
+			order = append(order, v)
+		}
+		return r
+	}
+	for i, tp := range patterns {
+		seenHere := map[string]bool{}
+		record := func(v string, role int) {
+			if v == "" {
+				return
+			}
+			r := touch(v)
+			switch role {
+			case 0:
+				r.subjIdx = append(r.subjIdx, i)
+			case 1:
+				r.predIdx = append(r.predIdx, i)
+			case 2:
+				r.objIdx = append(r.objIdx, i)
+			}
+			if !seenHere[v] {
+				seenHere[v] = true
+				r.allIdx = append(r.allIdx, i)
+			}
+		}
+		record(tp.S.Var, 0)
+		record(tp.P.Var, 1)
+		record(tp.O.Var, 2)
+	}
+	var out []varRole
+	for _, v := range order {
+		r := byVar[v]
+		if len(r.allIdx) >= 2 {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+// detectGJVs implements Algorithm 1. patterns is the conjunctive core of
+// the query; sources[i] lists the relevant endpoints of patterns[i];
+// typeOf maps a variable to its rdf:type constraint pattern, if the query
+// has one (used to narrow check queries, per Figure 5).
+func (e *Engine) detectGJVs(ctx context.Context, patterns []sparql.TriplePattern, sources [][]string) (*GJVResult, error) {
+	res := &GJVResult{Global: map[string]bool{}, CausePairs: map[string][][2]int{}}
+	vars := joinEntities(patterns)
+	typeOf := typeConstraints(patterns)
+
+	type pendingCheck struct {
+		varName string
+		pair    [2]int
+		queries []checkQuery
+	}
+	var pending []pendingCheck
+
+	for _, vr := range vars {
+		// A variable used in predicate position that joins with other
+		// patterns is conservatively global (sound by Lemma 2; the paper
+		// defers variable-predicate joins to the extended version).
+		if len(vr.predIdx) > 0 {
+			res.Global[vr.name] = true
+			continue
+		}
+		global := false
+		// Lines 8-11: patterns from different sources force a GJV without
+		// any check queries.
+		pairs := pairIndexes(vr.allIdx)
+		for _, pr := range pairs {
+			if !federation.SameSources(sources[pr[0]], sources[pr[1]]) {
+				res.Global[vr.name] = true
+				res.CausePairs[vr.name] = append(res.CausePairs[vr.name], pr)
+				global = true
+			}
+		}
+		if global {
+			continue
+		}
+		// Lines 13-16: formulate check queries.
+		switch {
+		case len(vr.subjIdx) > 0 && len(vr.objIdx) > 0:
+			// Subject and object: for each (object pattern, subject
+			// pattern) pair, instances seen as objects must exist locally
+			// as subjects (Figure 5).
+			for _, oi := range vr.objIdx {
+				for _, si := range vr.subjIdx {
+					if oi == si {
+						continue
+					}
+					pending = append(pending, pendingCheck{
+						varName: vr.name,
+						pair:    [2]int{oi, si},
+						queries: []checkQuery{makeCheck(vr.name, patterns[oi], patterns[si], typeOf, sources[oi])},
+					})
+				}
+			}
+		case len(vr.objIdx) > 0 && len(vr.subjIdx) == 0:
+			// Object only. Per-endpoint set-difference checks cannot see
+			// the paper's Section 3.3 Case 2: the same object URI may be
+			// referenced from several endpoints (incoming interlinks), in
+			// which case the cross-endpoint combinations must be joined at
+			// the Lusail server. We realize that server-side join by
+			// escalating the variable to a GJV whenever its patterns span
+			// more than one endpoint (sound by Lemma 2); with a single
+			// relevant endpoint everything is local by construction.
+			for _, pr := range pairs {
+				if len(sources[pr[0]]) > 1 {
+					res.Global[vr.name] = true
+					res.CausePairs[vr.name] = append(res.CausePairs[vr.name], pr)
+				}
+			}
+		default:
+			// Subject only: both set differences must be empty, so check
+			// each direction of each pair. (All triples of a subject live
+			// at its authoritative endpoint, so a subject-only join cannot
+			// straddle endpoints undetected.)
+			for _, pr := range pairs {
+				pending = append(pending, pendingCheck{
+					varName: vr.name,
+					pair:    pr,
+					queries: []checkQuery{
+						makeCheck(vr.name, patterns[pr[0]], patterns[pr[1]], typeOf, sources[pr[0]]),
+						makeCheck(vr.name, patterns[pr[1]], patterns[pr[0]], typeOf, sources[pr[1]]),
+					},
+				})
+			}
+		}
+	}
+
+	// Execute all check queries at their relevant endpoints via the ERH
+	// (lines 17-23), consulting the cache first.
+	for _, pc := range pending {
+		if res.Global[pc.varName] {
+			// Already known global; the paper still treats the variable at
+			// variable granularity, so skip further checks for it.
+			continue
+		}
+		failed, err := e.runChecks(ctx, pc.queries, res)
+		if err != nil {
+			return nil, err
+		}
+		if failed {
+			res.Global[pc.varName] = true
+			res.CausePairs[pc.varName] = append(res.CausePairs[pc.varName], pc.pair)
+		}
+	}
+	return res, nil
+}
+
+// checkQuery is one locality probe to run at a set of endpoints.
+type checkQuery struct {
+	key     string   // cache key
+	text    string   // SPARQL text
+	sources []string // endpoints to probe
+}
+
+// makeCheck builds the Figure 5 check query testing whether some binding of
+// v in tpOuter lacks a local counterpart in tpInner.
+//
+// The paper narrows the check with v's rdf:type pattern when the query has
+// one. That narrowing is only sound when the type triple is co-located with
+// the outer occurrence of v, which holds when v is the *subject* of the
+// outer pattern (an entity's triples, including its type, live at its
+// authoritative endpoint). When v is the object, the referenced entity may
+// live elsewhere and the type constraint would hide the very witness the
+// check looks for — so we omit it there.
+func makeCheck(v string, tpOuter, tpInner sparql.TriplePattern, typeOf map[string]sparql.TriplePattern, sources []string) checkQuery {
+	q := sparql.NewSelect(v)
+	q.Limit = 1
+	if tt, ok := typeOf[v]; ok && tpOuter.S.Var == v {
+		q.Where.Elements = append(q.Where.Elements, tt)
+	}
+	q.Where.Elements = append(q.Where.Elements, tpOuter)
+
+	inner := sparql.NewSelect(v)
+	inner.Where.Elements = append(inner.Where.Elements, renameExcept(tpInner, v))
+	q.Where.Elements = append(q.Where.Elements, sparql.Filter{
+		Expr: sparql.ExprExists{Not: true, Group: &sparql.GroupPattern{
+			Elements: []sparql.Element{sparql.SubSelect{Query: inner}},
+		}},
+	})
+	text := q.String()
+	return checkQuery{
+		key:     checkKey(v, tpOuter, tpInner, typeOf, sources),
+		text:    text,
+		sources: sources,
+	}
+}
+
+// checkKey canonicalizes the check (outer, inner, join variable, type
+// narrowing, sources) for the cache. Both patterns are normalized with a
+// *shared* variable mapping in which the join variable gets a reserved
+// name, so the key captures the variable's positions in both patterns and
+// any other cross-pattern sharing — normalizing each pattern independently
+// would collide, e.g., a subject-only check with a subject/object check
+// over the same predicates.
+func checkKey(v string, tpOuter, tpInner sparql.TriplePattern, typeOf map[string]sparql.TriplePattern, sources []string) string {
+	names := map[string]string{v: "?JV"}
+	canon := func(pt sparql.PatternTerm) string {
+		if !pt.IsVar() {
+			return pt.Term.String()
+		}
+		if n, ok := names[pt.Var]; ok {
+			return n
+		}
+		n := fmt.Sprintf("?v%d", len(names))
+		names[pt.Var] = n
+		return n
+	}
+	pat := func(tp sparql.TriplePattern) string {
+		return canon(tp.S) + " " + canon(tp.P) + " " + canon(tp.O)
+	}
+	key := pat(tpOuter) + "|" + pat(tpInner)
+	if tt, ok := typeOf[v]; ok && tpOuter.S.Var == v {
+		key += "|type=" + tt.O.String()
+	}
+	return key + "|" + federation.SourcesKey(sources)
+}
+
+// renameExcept renames all variables of tp except keep, so the inner check
+// pattern cannot accidentally correlate with outer variables.
+func renameExcept(tp sparql.TriplePattern, keep string) sparql.TriplePattern {
+	ren := func(pt sparql.PatternTerm, pos string) sparql.PatternTerm {
+		if pt.IsVar() && pt.Var != keep {
+			return sparql.Var(pt.Var + "_chk" + pos)
+		}
+		return pt
+	}
+	return sparql.TriplePattern{S: ren(tp.S, "s"), P: ren(tp.P, "p"), O: ren(tp.O, "o")}
+}
+
+// runChecks executes the given check queries; it reports true as soon as
+// any endpoint returns a witness (a binding with no local counterpart).
+func (e *Engine) runChecks(ctx context.Context, checks []checkQuery, res *GJVResult) (bool, error) {
+	for _, cq := range checks {
+		if e.opts.CacheChecks {
+			if failed, ok := e.checks.get(cq.key); ok {
+				res.CacheHits++
+				if failed {
+					return true, nil
+				}
+				continue
+			}
+		}
+		failed := false
+		var mu sync.Mutex
+		err := e.pool.ForEach(ctx, len(cq.sources), func(i int) error {
+			ep := e.fed.Get(cq.sources[i])
+			if ep == nil {
+				return fmt.Errorf("lusail: unknown endpoint %q", cq.sources[i])
+			}
+			r, err := ep.Query(ctx, cq.text)
+			if err != nil {
+				return fmt.Errorf("check query at %s: %w", cq.sources[i], err)
+			}
+			if len(r.Rows) > 0 {
+				mu.Lock()
+				failed = true
+				mu.Unlock()
+			}
+			return nil
+		})
+		res.ChecksIssued += len(cq.sources)
+		if err != nil {
+			return false, err
+		}
+		if e.opts.CacheChecks {
+			e.checks.put(cq.key, failed)
+		}
+		if failed {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// typeConstraints maps each variable to an rdf:type pattern constraining it,
+// when the query contains one with a constant class.
+func typeConstraints(patterns []sparql.TriplePattern) map[string]sparql.TriplePattern {
+	out := map[string]sparql.TriplePattern{}
+	for _, tp := range patterns {
+		if tp.S.IsVar() && !tp.P.IsVar() && tp.P.Term.Value == rdf.RDFType && !tp.O.IsVar() {
+			if _, dup := out[tp.S.Var]; !dup {
+				out[tp.S.Var] = tp
+			}
+		}
+	}
+	return out
+}
+
+func pairIndexes(idx []int) [][2]int {
+	var out [][2]int
+	for i := 0; i < len(idx); i++ {
+		for j := i + 1; j < len(idx); j++ {
+			out = append(out, [2]int{idx[i], idx[j]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lusail/internal/qplan"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+)
+
+func TestJoinEntitiesRoles(t *testing.T) {
+	q := sparql.MustParse(`SELECT * WHERE {
+		?s <http://p1> ?x .
+		?x <http://p2> ?o .
+		?s <http://p3> ?o .
+		?s ?pv ?z .
+	}`)
+	vars := joinEntities(q.Where.TriplePatterns())
+	byName := map[string]varRole{}
+	for _, v := range vars {
+		byName[v.name] = v
+	}
+	s := byName["s"]
+	if !reflect.DeepEqual(s.subjIdx, []int{0, 2, 3}) {
+		t.Errorf("s.subjIdx = %v", s.subjIdx)
+	}
+	x := byName["x"]
+	if !reflect.DeepEqual(x.objIdx, []int{0}) || !reflect.DeepEqual(x.subjIdx, []int{1}) {
+		t.Errorf("x roles = %+v", x)
+	}
+	o := byName["o"]
+	if !reflect.DeepEqual(o.objIdx, []int{1, 2}) {
+		t.Errorf("o.objIdx = %v", o.objIdx)
+	}
+	if _, ok := byName["z"]; ok {
+		t.Error("z appears once and is not a join entity")
+	}
+	if _, ok := byName["pv"]; ok {
+		t.Error("pv appears once and is not a join entity")
+	}
+}
+
+func TestMakeCheckShape(t *testing.T) {
+	tpOuter := sparql.TriplePattern{S: sparql.Var("s"), P: sparql.IRI("http://pi"), O: sparql.Var("v")}
+	tpInner := sparql.TriplePattern{S: sparql.Var("v"), P: sparql.IRI("http://pj"), O: sparql.Var("c")}
+	typeOf := map[string]sparql.TriplePattern{
+		"v": {S: sparql.Var("v"), P: sparql.IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"), O: sparql.IRI("http://T")},
+	}
+	cq := makeCheck("v", tpOuter, tpInner, typeOf, []string{"ep1"})
+	// The check query must parse and have the Figure 5 structure.
+	q, err := sparql.Parse(cq.text)
+	if err != nil {
+		t.Fatalf("check query does not parse: %v\n%s", err, cq.text)
+	}
+	if q.Limit != 1 {
+		t.Errorf("check query LIMIT = %d, want 1", q.Limit)
+	}
+	if got := q.ProjectedVars(); !reflect.DeepEqual(got, []string{"v"}) {
+		t.Errorf("check query projects %v", got)
+	}
+	// v is the *object* of the outer pattern here, so the rdf:type
+	// narrowing must NOT be applied (it could hide remote witnesses).
+	if strings.Contains(cq.text, "rdf-syntax-ns#type") {
+		t.Errorf("type narrowing applied to object-position outer:\n%s", cq.text)
+	}
+	hasNotExists := false
+	for _, el := range q.Where.Elements {
+		if f, ok := el.(sparql.Filter); ok {
+			if ex, ok := f.Expr.(sparql.ExprExists); ok && ex.Not {
+				hasNotExists = true
+				if len(ex.Group.Elements) != 1 {
+					t.Error("NOT EXISTS should wrap exactly the sub-select")
+				}
+			}
+		}
+	}
+	if !hasNotExists {
+		t.Errorf("check query lacks NOT EXISTS:\n%s", cq.text)
+	}
+}
+
+func TestMakeCheckTypeNarrowingForSubjectOuter(t *testing.T) {
+	tpOuter := sparql.TriplePattern{S: sparql.Var("v"), P: sparql.IRI("http://pi"), O: sparql.Var("a")}
+	tpInner := sparql.TriplePattern{S: sparql.Var("v"), P: sparql.IRI("http://pj"), O: sparql.Var("b")}
+	typeOf := map[string]sparql.TriplePattern{
+		"v": {S: sparql.Var("v"), P: sparql.IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"), O: sparql.IRI("http://T")},
+	}
+	cq := makeCheck("v", tpOuter, tpInner, typeOf, []string{"ep1"})
+	if !strings.Contains(cq.text, "rdf-syntax-ns#type") {
+		t.Errorf("type narrowing missing for subject-position outer:\n%s", cq.text)
+	}
+}
+
+func TestRenameExceptAvoidsCapture(t *testing.T) {
+	tp := sparql.TriplePattern{S: sparql.Var("v"), P: sparql.Var("p"), O: sparql.Var("c")}
+	got := renameExcept(tp, "v")
+	if got.S.Var != "v" {
+		t.Errorf("kept variable renamed: %v", got.S)
+	}
+	if got.P.Var == "p" || got.O.Var == "c" {
+		t.Errorf("other variables not renamed: %v", got)
+	}
+}
+
+func TestCheckCache(t *testing.T) {
+	c := newCheckCache()
+	if _, ok := c.get("k"); ok {
+		t.Error("empty cache hit")
+	}
+	c.put("k", true)
+	v, ok := c.get("k")
+	if !ok || !v {
+		t.Error("cache miss after put")
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d", c.len())
+	}
+	c.clear()
+	if c.len() != 0 {
+		t.Error("clear failed")
+	}
+}
+
+func TestTypeConstraints(t *testing.T) {
+	q := sparql.MustParse(`
+		PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		SELECT * WHERE {
+			?a rdf:type <http://T1> .
+			?a rdf:type <http://T2> .
+			?b rdf:type ?cls .
+			?a <http://p> ?b .
+		}`)
+	tc := typeConstraints(q.Where.TriplePatterns())
+	if _, ok := tc["a"]; !ok {
+		t.Error("missing type constraint for ?a")
+	}
+	if tc["a"].O.Term.Value != "http://T1" {
+		t.Errorf("should keep the first constraint, got %v", tc["a"].O)
+	}
+	if _, ok := tc["b"]; ok {
+		t.Error("?b's type is a variable and must not constrain checks")
+	}
+}
+
+func TestGJVDifferentSourcesShortCircuit(t *testing.T) {
+	// Patterns with different source sets force a GJV without any check
+	// queries (Algorithm 1 lines 8-11).
+	eps, _ := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	patterns := []sparql.TriplePattern{
+		{S: sparql.Var("x"), P: sparql.IRI("http://p1"), O: sparql.Var("y")},
+		{S: sparql.Var("y"), P: sparql.IRI("http://p2"), O: sparql.Var("z")},
+	}
+	sources := [][]string{{"ep1"}, {"ep2"}}
+	res, err := e.detectGJVs(context.Background(), patterns, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsGlobal("y") {
+		t.Error("y should be global (different sources)")
+	}
+	if res.ChecksIssued != 0 {
+		t.Errorf("no checks should be issued, got %d", res.ChecksIssued)
+	}
+}
+
+func TestGJVPredicateVariableConservative(t *testing.T) {
+	eps, _ := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	patterns := []sparql.TriplePattern{
+		{S: sparql.Var("x"), P: sparql.Var("p"), O: sparql.Var("y")},
+		{S: sparql.Var("z"), P: sparql.Var("p"), O: sparql.Var("w")},
+	}
+	sources := [][]string{{"ep1", "ep2"}, {"ep1", "ep2"}}
+	res, err := e.detectGJVs(context.Background(), patterns, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsGlobal("p") {
+		t.Error("predicate-position join variable should be conservatively global")
+	}
+}
+
+func TestDecomposeSingleGJVSplitsPatterns(t *testing.T) {
+	eps, _ := paperFederation(false)
+	e := newEngine(t, eps, DefaultOptions())
+	q := sparql.MustParse(`
+		PREFIX ub: <http://lubm.org/ub#>
+		SELECT * WHERE {
+			?p ub:PhDDegreeFrom ?u .
+			?u ub:address ?a .
+		}`)
+	branches, err := qplan.Normalize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := branches[0]
+	ctx := context.Background()
+	sources := make([][]string, len(br.Patterns))
+	for i, tp := range br.Patterns {
+		sources[i], err = e.sel.RelevantSources(ctx, tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := e.collectStats(ctx, br, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gjv, err := e.detectGJVs(ctx, br.Patterns, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gjv.IsGlobal("u") {
+		t.Fatalf("u should be global, got %v", gjv.GlobalVars())
+	}
+	sqs := e.decompose(br, sources, gjv, stats)
+	if len(sqs) != 2 {
+		t.Fatalf("subqueries = %d, want 2: %v", len(sqs), sqs)
+	}
+	for _, sq := range sqs {
+		if len(sq.Patterns) != 1 {
+			t.Errorf("subquery %s should hold one pattern", sq)
+		}
+	}
+}
+
+func TestSubqueryQueryRendering(t *testing.T) {
+	sq := &Subquery{
+		Patterns: []sparql.TriplePattern{
+			{S: sparql.Var("s"), P: sparql.IRI("http://p"), O: sparql.Var("o")},
+		},
+		Sources: []string{"ep1"},
+	}
+	q := sq.Query(nil)
+	if !q.Distinct {
+		t.Error("subquery should request DISTINCT")
+	}
+	text := q.String()
+	if _, err := sparql.Parse(text); err != nil {
+		t.Errorf("subquery text does not parse: %v\n%s", err, text)
+	}
+	// With a VALUES block attached.
+	vals := &sparql.InlineData{Vars: []string{"s"}, Rows: [][]rdf.Term{{rdf.NewIRI("http://a")}}}
+	text = sq.Query(vals).String()
+	if !strings.Contains(text, "VALUES") {
+		t.Errorf("bound query lacks VALUES:\n%s", text)
+	}
+	if _, err := sparql.Parse(text); err != nil {
+		t.Errorf("bound subquery text does not parse: %v\n%s", err, text)
+	}
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"context"
+	"math"
+
+	"lusail/internal/qplan"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+)
+
+// join2 hash-joins two relations, parallelizing the probe phase over the
+// ERH pool when the probe side is large (the paper's parallel in-memory
+// hash join, Section 4.2).
+func (e *Engine) join2(a, b *sparql.Results) *sparql.Results {
+	const parallelThreshold = 4096
+	if len(a.Rows) < parallelThreshold && len(b.Rows) < parallelThreshold {
+		return qplan.HashJoin(a, b)
+	}
+	return e.parallelHashJoin(a, b)
+}
+
+func (e *Engine) parallelHashJoin(a, b *sparql.Results) *sparql.Results {
+	if len(a.Rows) > len(b.Rows) {
+		a, b = b, a // build on the smaller relation
+	}
+	shared := qplan.SharedVars(a, b)
+	if len(shared) == 0 {
+		return qplan.HashJoin(a, b) // cross products are not worth parallelizing
+	}
+	outVars := append([]string(nil), a.Vars...)
+	var bExtraIdx []int
+	for i, v := range b.Vars {
+		if a.VarIndex(v) < 0 {
+			outVars = append(outVars, v)
+			bExtraIdx = append(bExtraIdx, i)
+		}
+	}
+	aIdx := make([]int, len(shared))
+	bIdx := make([]int, len(shared))
+	for i, v := range shared {
+		aIdx[i] = a.VarIndex(v)
+		bIdx[i] = b.VarIndex(v)
+	}
+	table := make(map[string][][]rdf.Term, len(a.Rows))
+	for _, ra := range a.Rows {
+		if k, ok := qplan.JoinKey(ra, aIdx); ok {
+			table[k] = append(table[k], ra)
+		}
+	}
+	// Probe in parallel chunks; each worker emits into its own slice.
+	workers := e.pool.Limit()
+	chunk := (len(b.Rows) + workers - 1) / workers
+	parts := make([][][]rdf.Term, workers)
+	_ = e.pool.ForEach(context.Background(), workers, func(w int) error {
+		lo := w * chunk
+		if lo >= len(b.Rows) {
+			return nil
+		}
+		hi := lo + chunk
+		if hi > len(b.Rows) {
+			hi = len(b.Rows)
+		}
+		var out [][]rdf.Term
+		for _, rb := range b.Rows[lo:hi] {
+			k, ok := qplan.JoinKey(rb, bIdx)
+			if !ok {
+				continue
+			}
+			for _, ra := range table[k] {
+				nr := make([]rdf.Term, 0, len(outVars))
+				nr = append(nr, ra...)
+				for _, i := range bExtraIdx {
+					nr = append(nr, rb[i])
+				}
+				out = append(out, nr)
+			}
+		}
+		parts[w] = out
+		return nil
+	})
+	res := sparql.NewResults(outVars)
+	for _, p := range parts {
+		res.Rows = append(res.Rows, p...)
+	}
+	return res
+}
+
+// joinConnected repeatedly joins relations that share variables until each
+// connected component is a single relation. Join order within the pass is
+// chosen by the DP planner.
+func (e *Engine) joinConnected(rels []*sparql.Results) []*sparql.Results {
+	rels = append([]*sparql.Results(nil), rels...)
+	for {
+		merged := false
+		for i := 0; i < len(rels) && !merged; i++ {
+			for j := i + 1; j < len(rels); j++ {
+				if len(qplan.SharedVars(rels[i], rels[j])) == 0 {
+					continue
+				}
+				group := []*sparql.Results{rels[i], rels[j]}
+				// Pull in everything transitively connected to the pair.
+				rest := append(append([]*sparql.Results(nil), rels[:i]...), rels[i+1:j]...)
+				rest = append(rest, rels[j+1:]...)
+				changed := true
+				for changed {
+					changed = false
+					for k := 0; k < len(rest); k++ {
+						for _, gr := range group {
+							if len(qplan.SharedVars(rest[k], gr)) > 0 {
+								group = append(group, rest[k])
+								rest = append(rest[:k], rest[k+1:]...)
+								changed = true
+								k--
+								break
+							}
+						}
+						if changed {
+							break
+						}
+					}
+				}
+				joined := e.joinGroup(group)
+				rels = append(rest, joined)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			return rels
+		}
+	}
+}
+
+// joinAll joins every relation into one, using connected joins first and
+// cross products last.
+func (e *Engine) joinAll(rels []*sparql.Results) *sparql.Results {
+	if len(rels) == 0 {
+		return qplan.EmptyRelation(nil)
+	}
+	rels = e.joinConnected(rels)
+	out := rels[0]
+	for _, r := range rels[1:] {
+		out = e.join2(out, r) // cross product between disjoint components
+	}
+	return out
+}
+
+// joinGroup joins a var-connected set of relations using the DP join-order
+// enumeration (Moerkotte/Neumann-style subset DP, as cited by the paper)
+// when the group is small, and a greedy smallest-pair order otherwise.
+func (e *Engine) joinGroup(rels []*sparql.Results) *sparql.Results {
+	switch {
+	case len(rels) == 1:
+		return rels[0]
+	case len(rels) == 2:
+		return e.join2(rels[0], rels[1])
+	case len(rels) <= 12:
+		return e.dpJoin(rels)
+	default:
+		return e.greedyJoin(rels)
+	}
+}
+
+// dpState tracks the best plan found for one subset of relations.
+type dpState struct {
+	cost  float64 // accumulated JoinCost
+	size  float64 // estimated result cardinality
+	left  int     // submask of the last join's left input (0 for leaves)
+	right int
+}
+
+// dpJoin enumerates join orders over connected subsets with dynamic
+// programming. Plan cost follows the paper's model — hashing the smaller
+// input plus probing the larger, normalized by the worker count — and
+// subplan sizes are estimated with the standard distinct-value formula over
+// the materialized base relations.
+func (e *Engine) dpJoin(rels []*sparql.Results) *sparql.Results {
+	n := len(rels)
+	threads := float64(e.pool.Limit())
+	full := (1 << n) - 1
+	best := make(map[int]*dpState, 1<<n)
+	varsOf := make([]map[string]bool, 1<<n)
+	for i, r := range rels {
+		m := 1 << i
+		best[m] = &dpState{cost: 0, size: float64(len(r.Rows))}
+		vs := map[string]bool{}
+		for _, v := range r.Vars {
+			vs[v] = true
+		}
+		varsOf[m] = vs
+	}
+	unionVars := func(a, b map[string]bool) map[string]bool {
+		out := make(map[string]bool, len(a)+len(b))
+		for v := range a {
+			out[v] = true
+		}
+		for v := range b {
+			out[v] = true
+		}
+		return out
+	}
+	connected := func(a, b map[string]bool) bool {
+		for v := range a {
+			if b[v] {
+				return true
+			}
+		}
+		return false
+	}
+	// Enumerate subsets in increasing popcount by iterating masks in order:
+	// any proper submask is numerically smaller, so best[sub] is ready.
+	for mask := 1; mask <= full; mask++ {
+		if best[mask] != nil {
+			continue // leaf
+		}
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			other := mask &^ sub
+			ls, rs := best[sub], best[other]
+			if ls == nil || rs == nil {
+				continue
+			}
+			if varsOf[sub] == nil || varsOf[other] == nil {
+				continue
+			}
+			if !connected(varsOf[sub], varsOf[other]) {
+				continue // avoid cross products inside a connected group
+			}
+			small, large := ls.size, rs.size
+			if small > large {
+				small, large = large, small
+			}
+			cost := ls.cost + rs.cost + small/threads + large/threads
+			if cur := best[mask]; cur == nil || cost < cur.cost {
+				best[mask] = &dpState{
+					cost:  cost,
+					size:  estimateJoinSize(ls.size, rs.size),
+					left:  sub,
+					right: other,
+				}
+				if varsOf[mask] == nil {
+					varsOf[mask] = unionVars(varsOf[sub], varsOf[other])
+				}
+			}
+		}
+	}
+	if best[full] == nil {
+		// The group was not actually fully connected; fall back to greedy.
+		return e.greedyJoin(rels)
+	}
+	var build func(mask int) *sparql.Results
+	build = func(mask int) *sparql.Results {
+		st := best[mask]
+		if st.left == 0 {
+			for i := 0; i < n; i++ {
+				if mask == 1<<i {
+					return rels[i]
+				}
+			}
+		}
+		return e.join2(build(st.left), build(st.right))
+	}
+	return build(full)
+}
+
+// estimateJoinSize is a coarse size estimate used only for DP plan costing:
+// the smaller input bounds an FK-style join, doubled as slack.
+func estimateJoinSize(a, b float64) float64 {
+	m := math.Min(a, b)
+	return m * 2
+}
+
+// greedyJoin repeatedly joins the connected pair with the smallest combined
+// size.
+func (e *Engine) greedyJoin(rels []*sparql.Results) *sparql.Results {
+	rels = append([]*sparql.Results(nil), rels...)
+	for len(rels) > 1 {
+		bi, bj := -1, -1
+		bestSize := math.Inf(1)
+		for i := 0; i < len(rels); i++ {
+			for j := i + 1; j < len(rels); j++ {
+				if len(qplan.SharedVars(rels[i], rels[j])) == 0 {
+					continue
+				}
+				s := float64(len(rels[i].Rows) + len(rels[j].Rows))
+				if s < bestSize {
+					bestSize, bi, bj = s, i, j
+				}
+			}
+		}
+		if bi < 0 {
+			bi, bj = 0, 1 // no connected pair left: cross product
+		}
+		joined := e.join2(rels[bi], rels[bj])
+		rels = append(rels[:bj], rels[bj+1:]...)
+		rels[bi] = joined
+	}
+	return rels[0]
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"lusail/internal/federation"
+	"lusail/internal/qplan"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+)
+
+func testEngine() *Engine {
+	return New(federation.MustNew(), DefaultOptions())
+}
+
+func mkRel(vars []string, rows ...[]string) *sparql.Results {
+	r := sparql.NewResults(vars)
+	for _, row := range rows {
+		terms := make([]rdf.Term, len(row))
+		for i, v := range row {
+			if v != "" {
+				terms[i] = rdf.NewIRI("http://ex/" + v)
+			}
+		}
+		r.Rows = append(r.Rows, terms)
+	}
+	return r
+}
+
+func sortedKeys(r *sparql.Results) []string {
+	var out []string
+	for _, row := range r.Rows {
+		key := ""
+		for _, t := range row {
+			key += t.Value + "|"
+		}
+		out = append(out, key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Join order must never change the result: DP, greedy, and naive left-deep
+// orders agree on random connected relation sets.
+func TestJoinOrderIndependenceProperty(t *testing.T) {
+	e := testEngine()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		// Chain-connected relations R0(v0,v1), R1(v1,v2), ...
+		n := 3 + rng.Intn(4)
+		rels := make([]*sparql.Results, n)
+		for i := 0; i < n; i++ {
+			vars := []string{fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", i+1)}
+			var rows [][]string
+			for k := 0; k < 2+rng.Intn(8); k++ {
+				rows = append(rows, []string{
+					fmt.Sprintf("x%d", rng.Intn(4)),
+					fmt.Sprintf("x%d", rng.Intn(4)),
+				})
+			}
+			rels[i] = mkRel(vars, rows...)
+			rels[i].Rows = qplan.DistinctRows(rels[i].Rows)
+		}
+		dp := e.dpJoin(append([]*sparql.Results(nil), rels...))
+		greedy := e.greedyJoin(append([]*sparql.Results(nil), rels...))
+		naive := rels[0]
+		for _, r := range rels[1:] {
+			naive = qplan.HashJoin(naive, r)
+		}
+		// Align columns before comparing.
+		align := func(r *sparql.Results) []string {
+			cols := append([]string(nil), r.Vars...)
+			sort.Strings(cols)
+			out := sparql.NewResults(cols)
+			for i := range r.Rows {
+				b := r.Binding(i)
+				row := make([]rdf.Term, len(cols))
+				for j, v := range cols {
+					row[j] = b[v]
+				}
+				out.Rows = append(out.Rows, row)
+			}
+			out.Rows = qplan.DistinctRows(out.Rows)
+			return sortedKeys(out)
+		}
+		if !reflect.DeepEqual(align(dp), align(naive)) {
+			t.Fatalf("trial %d: dp != naive", trial)
+		}
+		if !reflect.DeepEqual(align(greedy), align(naive)) {
+			t.Fatalf("trial %d: greedy != naive", trial)
+		}
+	}
+}
+
+func TestJoinConnectedCollapsesComponents(t *testing.T) {
+	e := testEngine()
+	rels := []*sparql.Results{
+		mkRel([]string{"a", "b"}, []string{"1", "2"}),
+		mkRel([]string{"b", "c"}, []string{"2", "3"}),
+		mkRel([]string{"x", "y"}, []string{"7", "8"}), // disconnected
+	}
+	out := e.joinConnected(rels)
+	if len(out) != 2 {
+		t.Fatalf("components = %d, want 2", len(out))
+	}
+}
+
+func TestJoinAllCrossProduct(t *testing.T) {
+	e := testEngine()
+	rels := []*sparql.Results{
+		mkRel([]string{"a"}, []string{"1"}, []string{"2"}),
+		mkRel([]string{"b"}, []string{"3"}),
+	}
+	out := e.joinAll(rels)
+	if len(out.Rows) != 2 {
+		t.Errorf("cross product rows = %d, want 2", len(out.Rows))
+	}
+	if out.VarIndex("a") < 0 || out.VarIndex("b") < 0 {
+		t.Errorf("vars = %v", out.Vars)
+	}
+}
+
+func TestParallelHashJoinMatchesSequential(t *testing.T) {
+	e := testEngine()
+	var rowsA, rowsB [][]string
+	for i := 0; i < 9000; i++ {
+		rowsA = append(rowsA, []string{fmt.Sprintf("a%d", i), fmt.Sprintf("k%d", i%500)})
+		rowsB = append(rowsB, []string{fmt.Sprintf("k%d", i%700), fmt.Sprintf("b%d", i)})
+	}
+	a := mkRel([]string{"x", "k"}, rowsA...)
+	b := mkRel([]string{"k", "y"}, rowsB...)
+	par := e.parallelHashJoin(a, b)
+	seq := qplan.HashJoin(a, b)
+	if len(par.Rows) != len(seq.Rows) {
+		t.Fatalf("parallel %d rows, sequential %d", len(par.Rows), len(seq.Rows))
+	}
+	if !reflect.DeepEqual(sortedKeys(par), sortedKeys(seq)) {
+		t.Error("parallel join content differs from sequential")
+	}
+}
+
+func TestMergeSubqueriesCombinesCompatible(t *testing.T) {
+	gjv := &GJVResult{Global: map[string]bool{"g": true}}
+	mk := func(src string, tps ...sparql.TriplePattern) *Subquery {
+		return &Subquery{Patterns: tps, Sources: []string{src}}
+	}
+	tpAB := sparql.TriplePattern{S: sparql.Var("a"), P: sparql.IRI("http://p1"), O: sparql.Var("b")}
+	tpBC := sparql.TriplePattern{S: sparql.Var("b"), P: sparql.IRI("http://p2"), O: sparql.Var("c")}
+	tpGX := sparql.TriplePattern{S: sparql.Var("g"), P: sparql.IRI("http://p3"), O: sparql.Var("x")}
+	tpGY := sparql.TriplePattern{S: sparql.Var("g"), P: sparql.IRI("http://p4"), O: sparql.Var("y")}
+
+	// Same sources, shared local var, no GJV conflict: must merge.
+	out := mergeSubqueries([]*Subquery{mk("ep1", tpAB), mk("ep1", tpBC)}, gjv)
+	if len(out) != 1 {
+		t.Errorf("compatible subqueries not merged: %d", len(out))
+	}
+	// Shared variable is global: must NOT merge.
+	out = mergeSubqueries([]*Subquery{mk("ep1", tpGX), mk("ep1", tpGY)}, gjv)
+	if len(out) != 2 {
+		t.Errorf("GJV-conflicting subqueries merged: %d", len(out))
+	}
+	// Different sources: must NOT merge.
+	out = mergeSubqueries([]*Subquery{mk("ep1", tpAB), mk("ep2", tpBC)}, gjv)
+	if len(out) != 2 {
+		t.Errorf("different-source subqueries merged: %d", len(out))
+	}
+	// No shared variable: must NOT merge.
+	tpXY := sparql.TriplePattern{S: sparql.Var("x9"), P: sparql.IRI("http://p5"), O: sparql.Var("y9")}
+	out = mergeSubqueries([]*Subquery{mk("ep1", tpAB), mk("ep1", tpXY)}, gjv)
+	if len(out) != 2 {
+		t.Errorf("var-disjoint subqueries merged: %d", len(out))
+	}
+}
+
+func TestSubqueryHelpers(t *testing.T) {
+	sq := &Subquery{Patterns: []sparql.TriplePattern{
+		{S: sparql.Var("a"), P: sparql.IRI("http://p"), O: sparql.Var("b")},
+		{S: sparql.Var("b"), P: sparql.IRI("http://q"), O: sparql.Var("c")},
+	}}
+	if !reflect.DeepEqual(sq.Vars(), []string{"a", "b", "c"}) {
+		t.Errorf("Vars = %v", sq.Vars())
+	}
+	if !sq.HasVar("b") || sq.HasVar("zz") {
+		t.Error("HasVar wrong")
+	}
+	other := &Subquery{Patterns: []sparql.TriplePattern{
+		{S: sparql.Var("c"), P: sparql.IRI("http://r"), O: sparql.Var("d")},
+	}}
+	if !reflect.DeepEqual(sq.SharedVars(other), []string{"c"}) {
+		t.Errorf("SharedVars = %v", sq.SharedVars(other))
+	}
+}

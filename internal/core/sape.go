@@ -1,0 +1,472 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"lusail/internal/client"
+	"lusail/internal/federation"
+	"lusail/internal/qplan"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+)
+
+// execute implements SAPE (Algorithm 3 plus the join evaluation of
+// Section 4.2): non-delayed subqueries run concurrently across endpoints,
+// delayed subqueries run afterwards as bound joins over the bindings found
+// so far, and the subquery relations are joined with a cost-based order.
+func (e *Engine) execute(ctx context.Context, br *qplan.Branch, sqs []*Subquery, stats *queryStats, prof *Profile) (*sparql.Results, error) {
+	optionals, err := e.planOptionals(ctx, br)
+	if err != nil {
+		return nil, err
+	}
+
+	// Delay decisions over the mandatory subqueries (Figure 7).
+	if !e.opts.DisableSAPE && len(sqs) > 1 {
+		cards := make([]float64, len(sqs))
+		numEPs := make([]float64, len(sqs))
+		for i, sq := range sqs {
+			cards[i] = sq.EstCard
+			numEPs[i] = float64(len(sq.Sources))
+		}
+		delayed := delayDecisions(cards, numEPs, e.opts.Threshold)
+		for i, d := range delayed {
+			sqs[i].Delayed = d
+		}
+		ensureNonDelayed(sqs)
+	}
+	for _, sq := range sqs {
+		if sq.Delayed {
+			prof.Delayed++
+		}
+	}
+
+	// Phase 1 (lines 6-9): evaluate non-delayed subqueries concurrently at
+	// all their relevant endpoints.
+	var nonDelayed, delayed []*Subquery
+	for _, sq := range sqs {
+		if sq.Delayed {
+			delayed = append(delayed, sq)
+		} else {
+			nonDelayed = append(nonDelayed, sq)
+		}
+	}
+	relations, err := e.evalSubqueriesConcurrently(ctx, nonDelayed)
+	if err != nil {
+		return nil, err
+	}
+	for i, sq := range nonDelayed {
+		if len(sq.Patterns) > 1 {
+			prof.SubqueryStats = append(prof.SubqueryStats, SubqueryStat{
+				Patterns:  len(sq.Patterns),
+				Estimated: sq.EstCard,
+				Actual:    len(relations[i].Rows),
+			})
+		}
+	}
+
+	// Join non-delayed results whenever possible: collapse each
+	// var-connected component into one relation.
+	components := e.joinConnected(relations)
+
+	// Phase 2 (lines 10-18): evaluate delayed subqueries, most selective
+	// first, bound to the found bindings.
+	for len(delayed) > 0 {
+		next := e.mostSelectiveDelayed(delayed, components)
+		sq := delayed[next]
+		delayed = append(delayed[:next], delayed[next+1:]...)
+
+		rel, comp, err := e.evalDelayed(ctx, sq, components, prof)
+		if err != nil {
+			return nil, err
+		}
+		if comp >= 0 {
+			// Join with the component that provided the bindings, updating
+			// the found bindings for subsequent delayed subqueries.
+			components[comp] = e.join2(components[comp], rel)
+		} else {
+			components = append(components, rel)
+		}
+		components = e.joinConnected(components)
+	}
+
+	// Join the remaining components (cross product if truly disjoint —
+	// e.g. the C5/B5/B6 queries whose subgraphs meet only through FILTER).
+	global := e.joinAll(components)
+
+	// VALUES blocks from the query text join the global relation.
+	for _, vd := range br.Values {
+		global = joinValuesRelation(global, vd)
+	}
+
+	// OPTIONAL blocks left-join at the global level, selective first.
+	sort.SliceStable(optionals, func(i, j int) bool {
+		return optionals[i].sq.EstCard < optionals[j].sq.EstCard
+	})
+	for _, ob := range optionals {
+		rel, err := e.evalOptional(ctx, ob, global)
+		if err != nil {
+			return nil, err
+		}
+		global = qplan.LeftJoin(global, rel)
+	}
+
+	// Global filters (including those already pushed — reapplying is
+	// harmless and catches cross-subquery predicates).
+	global = qplan.ApplyFilters(global, br.Filters)
+	global.Rows = qplan.DistinctRows(global.Rows)
+	return global, nil
+}
+
+// ensureNonDelayed guarantees phase 1 has work: if every subquery got
+// delayed, the most selective one is promoted to non-delayed.
+func ensureNonDelayed(sqs []*Subquery) {
+	anyNonDelayed := false
+	for _, sq := range sqs {
+		if !sq.Delayed {
+			anyNonDelayed = true
+			break
+		}
+	}
+	if anyNonDelayed {
+		return
+	}
+	best := 0
+	for i, sq := range sqs {
+		if sq.EstCard < sqs[best].EstCard {
+			best = i
+		}
+	}
+	sqs[best].Delayed = false
+}
+
+// evalSubqueriesConcurrently evaluates each subquery at each of its
+// relevant endpoints with the ERH pool (non-blocking, all tasks submitted
+// at once) and unions per-subquery results across endpoints.
+func (e *Engine) evalSubqueriesConcurrently(ctx context.Context, sqs []*Subquery) ([]*sparql.Results, error) {
+	type task struct {
+		sq int
+		ep string
+	}
+	var tasks []task
+	for i, sq := range sqs {
+		for _, ep := range sq.Sources {
+			tasks = append(tasks, task{sq: i, ep: ep})
+		}
+	}
+	partial := make([]*sparql.Results, len(tasks))
+	err := e.pool.ForEach(ctx, len(tasks), func(k int) error {
+		t := tasks[k]
+		q := sqs[t.sq].Query(nil).String()
+		res, err := e.fed.Get(t.ep).Query(ctx, q)
+		if err != nil {
+			return fmt.Errorf("subquery at %s: %w", t.ep, err)
+		}
+		partial[k] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	relations := make([]*sparql.Results, len(sqs))
+	for i, sq := range sqs {
+		rel := qplan.EmptyRelation(sq.Vars())
+		for k, t := range tasks {
+			if t.sq == i {
+				rel = qplan.UnionRelations(rel, partial[k])
+			}
+		}
+		rel.Rows = qplan.DistinctRows(rel.Rows)
+		relations[i] = rel
+	}
+	return relations, nil
+}
+
+// mostSelectiveDelayed picks the delayed subquery with the smallest refined
+// cardinality: the estimate is capped by the number of found bindings of
+// any variable it can join with (line 11 of Algorithm 3).
+func (e *Engine) mostSelectiveDelayed(delayed []*Subquery, components []*sparql.Results) int {
+	best, bestCard := 0, math.Inf(1)
+	for i, sq := range delayed {
+		card := sq.EstCard
+		for _, comp := range components {
+			for _, v := range sq.Vars() {
+				if comp.VarIndex(v) >= 0 {
+					if n := float64(len(qplan.ProjectDistinct(comp, []string{v}))); n < card {
+						card = n
+					}
+				}
+			}
+		}
+		if card < bestCard {
+			bestCard = card
+			best = i
+		}
+	}
+	return best
+}
+
+// evalDelayed evaluates one delayed subquery with bound joins: the found
+// bindings of its shared variables are appended as VALUES blocks (line 12),
+// its sources refined when the subquery is generic (line 13), and the block
+// results merged (lines 15-16). It returns the subquery's relation and the
+// index of the component that supplied the bindings (-1 if unbound).
+func (e *Engine) evalDelayed(ctx context.Context, sq *Subquery, components []*sparql.Results, prof *Profile) (*sparql.Results, int, error) {
+	// Choose the component with the largest variable overlap.
+	comp, shared := -1, []string(nil)
+	for i, c := range components {
+		s := sharedRelVars(sq, c)
+		if len(s) > len(shared) {
+			comp, shared = i, s
+		}
+	}
+	if comp < 0 {
+		rel, err := e.evalUnbound(ctx, sq)
+		return rel, -1, err
+	}
+
+	rows := qplan.ProjectDistinct(components[comp], shared)
+	if len(rows) == 0 {
+		// The mandatory part already has no solutions; an inner-join
+		// subquery can only produce the empty relation.
+		return qplan.EmptyRelation(sq.Vars()), comp, nil
+	}
+	sources, err := e.refineSources(ctx, sq, shared, rows)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	blockSize := e.opts.ValuesBlockSize
+	var blocks []sparql.InlineData
+	for start := 0; start < len(rows); start += blockSize {
+		end := start + blockSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		blocks = append(blocks, sparql.InlineData{Vars: shared, Rows: rows[start:end]})
+	}
+
+	type task struct {
+		block int
+		ep    string
+	}
+	var tasks []task
+	for b := range blocks {
+		for _, ep := range sources {
+			tasks = append(tasks, task{block: b, ep: ep})
+		}
+	}
+	partial := make([]*sparql.Results, len(tasks))
+	err = e.pool.ForEach(ctx, len(tasks), func(k int) error {
+		t := tasks[k]
+		q := sq.Query(&blocks[t.block]).String()
+		res, err := e.fed.Get(t.ep).Query(ctx, q)
+		if err != nil {
+			return fmt.Errorf("bound subquery at %s: %w", t.ep, err)
+		}
+		partial[k] = res
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	rel := qplan.EmptyRelation(sq.Vars())
+	for _, p := range partial {
+		rel = qplan.UnionRelations(rel, p)
+	}
+	rel.Rows = qplan.DistinctRows(rel.Rows)
+	return rel, comp, nil
+}
+
+// evalUnbound evaluates a subquery without bindings at all its sources.
+func (e *Engine) evalUnbound(ctx context.Context, sq *Subquery) (*sparql.Results, error) {
+	rels, err := e.evalSubqueriesConcurrently(ctx, []*Subquery{sq})
+	if err != nil {
+		return nil, err
+	}
+	return rels[0], nil
+}
+
+// refineSources re-runs source selection for generic subqueries (those
+// containing a variable-predicate pattern, which are relevant to every
+// endpoint) using the found bindings, as Algorithm 3 line 13 prescribes: an
+// ASK with the VALUES block attached prunes endpoints that cannot
+// contribute. The ASK probes cost far less than shipping bound subqueries
+// to irrelevant endpoints, as the paper verified empirically.
+func (e *Engine) refineSources(ctx context.Context, sq *Subquery, shared []string, rows [][]rdf.Term) ([]string, error) {
+	if !hasVarPredicate(sq) || len(sq.Sources) < 2 {
+		return sq.Sources, nil
+	}
+	ask := sparql.NewAsk()
+	for _, tp := range sq.Patterns {
+		ask.Where.Elements = append(ask.Where.Elements, tp)
+	}
+	ask.Where.Elements = append(ask.Where.Elements, sparql.InlineData{Vars: shared, Rows: rows})
+	text := ask.String()
+
+	keep := make([]bool, len(sq.Sources))
+	err := e.pool.ForEach(ctx, len(sq.Sources), func(i int) error {
+		ok, err := client.Ask(ctx, e.fed.Get(sq.Sources[i]), text)
+		if err != nil {
+			return fmt.Errorf("source refinement at %s: %w", sq.Sources[i], err)
+		}
+		keep[i] = ok
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for i, k := range keep {
+		if k {
+			out = append(out, sq.Sources[i])
+		}
+	}
+	if len(out) == 0 {
+		// The sample may simply miss; fall back to all sources rather than
+		// silently dropping results.
+		return sq.Sources, nil
+	}
+	return out, nil
+}
+
+// hasVarPredicate reports whether any pattern has a variable in predicate
+// position (the <?s ?p ?o>-style generic patterns of Section 4.2).
+func hasVarPredicate(sq *Subquery) bool {
+	for _, tp := range sq.Patterns {
+		if tp.P.IsVar() {
+			return true
+		}
+	}
+	return false
+}
+
+// sharedRelVars returns the subquery variables present in the relation.
+func sharedRelVars(sq *Subquery, rel *sparql.Results) []string {
+	var out []string
+	for _, v := range sq.Vars() {
+		if rel.VarIndex(v) >= 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// planOptionals resolves sources for each OPTIONAL block and wraps it as an
+// optional subquery. An optional block with no relevant endpoint simply
+// never extends any row.
+func (e *Engine) planOptionals(ctx context.Context, br *qplan.Branch) ([]*optionalPlan, error) {
+	var out []*optionalPlan
+	for _, ob := range br.Optionals {
+		sources := e.fed.Names()
+		var mu sync.Mutex
+		perPattern := make([][]string, len(ob.Patterns))
+		err := e.pool.ForEach(ctx, len(ob.Patterns), func(i int) error {
+			s, err := e.sel.RelevantSources(ctx, ob.Patterns[i])
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			perPattern[i] = s
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range perPattern {
+			sources = federation.IntersectSources(sources, s)
+		}
+		sq := &Subquery{Patterns: ob.Patterns, Sources: sources, Optional: true}
+		// Push optional-scoped filters that the block fully binds.
+		vars := map[string]bool{}
+		for _, v := range sq.Vars() {
+			vars[v] = true
+		}
+		var residual []sparql.Expr
+		for _, f := range ob.Filters {
+			pushable := true
+			for _, v := range sparql.ExprVars(f) {
+				if !vars[v] {
+					pushable = false
+					break
+				}
+			}
+			if _, isExists := f.(sparql.ExprExists); isExists {
+				pushable = false
+			}
+			if pushable {
+				sq.Filters = append(sq.Filters, f)
+			} else {
+				residual = append(residual, f)
+			}
+		}
+		sq.EstCard = float64(len(sources)) // coarse: more endpoints, later
+		out = append(out, &optionalPlan{sq: sq, residual: residual})
+	}
+	return out, nil
+}
+
+type optionalPlan struct {
+	sq       *Subquery
+	residual []sparql.Expr // filters evaluated on the joined rows
+}
+
+// evalOptional evaluates an optional subquery bound to the current global
+// relation when they share variables (so only potentially-joining rows are
+// fetched), unbound otherwise.
+func (e *Engine) evalOptional(ctx context.Context, ob *optionalPlan, global *sparql.Results) (*sparql.Results, error) {
+	sq := ob.sq
+	if len(sq.Sources) == 0 {
+		return qplan.EmptyRelation(sq.Vars()), nil
+	}
+	shared := sharedRelVars(sq, global)
+	var rel *sparql.Results
+	if len(shared) == 0 || len(global.Rows) == 0 {
+		var err error
+		rel, err = e.evalUnbound(ctx, sq)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rows := qplan.ProjectDistinct(global, shared)
+		blockSize := e.opts.ValuesBlockSize
+		rel = qplan.EmptyRelation(sq.Vars())
+		for start := 0; start < len(rows); start += blockSize {
+			end := start + blockSize
+			if end > len(rows) {
+				end = len(rows)
+			}
+			block := sparql.InlineData{Vars: shared, Rows: rows[start:end]}
+			partial := make([]*sparql.Results, len(sq.Sources))
+			err := e.pool.ForEach(ctx, len(sq.Sources), func(i int) error {
+				res, err := e.fed.Get(sq.Sources[i]).Query(ctx, sq.Query(&block).String())
+				if err != nil {
+					return fmt.Errorf("optional subquery at %s: %w", sq.Sources[i], err)
+				}
+				partial[i] = res
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range partial {
+				rel = qplan.UnionRelations(rel, p)
+			}
+		}
+		rel.Rows = qplan.DistinctRows(rel.Rows)
+	}
+	rel = qplan.ApplyFilters(rel, ob.residual)
+	return rel, nil
+}
+
+// joinValuesRelation joins a VALUES block from the query text into the
+// global relation.
+func joinValuesRelation(global *sparql.Results, d sparql.InlineData) *sparql.Results {
+	vrel := sparql.NewResults(d.Vars)
+	vrel.Rows = d.Rows
+	return qplan.HashJoin(global, vrel)
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"lusail/internal/qplan"
+	"lusail/internal/sparql"
+)
+
+// queryStats holds the lightweight runtime statistics SAPE collects during
+// query analysis: per-triple-pattern, per-endpoint cardinalities obtained
+// with SELECT COUNT probes (Section 4.1).
+type queryStats struct {
+	// card[i][ep] is the number of solutions of pattern i at endpoint ep.
+	card   []map[string]float64
+	probes int // COUNT queries issued
+}
+
+// collectStats issues one COUNT probe per (pattern, relevant endpoint).
+// Filters whose variables are fully covered by a pattern are pushed into
+// its probe for better estimates, as the paper describes.
+func (e *Engine) collectStats(ctx context.Context, br *qplan.Branch, sources [][]string) (*queryStats, error) {
+	st := &queryStats{card: make([]map[string]float64, len(br.Patterns))}
+	type task struct {
+		pattern int
+		source  string
+	}
+	var tasks []task
+	for i, srcs := range sources {
+		st.card[i] = make(map[string]float64, len(srcs))
+		for _, s := range srcs {
+			tasks = append(tasks, task{pattern: i, source: s})
+		}
+	}
+	var mu sync.Mutex
+	err := e.pool.ForEach(ctx, len(tasks), func(k int) error {
+		t := tasks[k]
+		tp := br.Patterns[t.pattern]
+		q := countQuery(tp, pushableFilters(tp, br.Filters))
+		ep := e.fed.Get(t.source)
+		res, err := ep.Query(ctx, q)
+		if err != nil {
+			return fmt.Errorf("count probe at %s: %w", t.source, err)
+		}
+		n := 0.0
+		if len(res.Rows) == 1 && len(res.Rows[0]) == 1 {
+			if f, ok := res.Rows[0][0].Numeric(); ok {
+				n = f
+			}
+		}
+		mu.Lock()
+		st.card[t.pattern][t.source] = n
+		mu.Unlock()
+		return nil
+	})
+	st.probes = len(tasks)
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// countQuery builds `SELECT (COUNT(*) AS ?c) WHERE { tp . filters }`.
+func countQuery(tp sparql.TriplePattern, filters []sparql.Expr) string {
+	q := &sparql.Query{
+		Form:  sparql.SelectForm,
+		Limit: -1,
+		Projection: []sparql.Projection{
+			{Var: "lusail_c", Agg: &sparql.Aggregate{Func: "COUNT"}},
+		},
+		Where: &sparql.GroupPattern{Elements: []sparql.Element{tp}},
+	}
+	for _, f := range filters {
+		q.Where.Elements = append(q.Where.Elements, sparql.Filter{Expr: f})
+	}
+	return q.String()
+}
+
+// pushableFilters returns the branch filters whose variables are all bound
+// by the single pattern (safe to push into its COUNT probe and subquery).
+func pushableFilters(tp sparql.TriplePattern, filters []sparql.Expr) []sparql.Expr {
+	tpVars := map[string]bool{}
+	for _, v := range tp.Vars() {
+		tpVars[v] = true
+	}
+	var out []sparql.Expr
+	for _, f := range filters {
+		if _, isExists := f.(sparql.ExprExists); isExists {
+			continue
+		}
+		ok := true
+		for _, v := range sparql.ExprVars(f) {
+			if !tpVars[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// varCardinality estimates C(sq, v): for each endpoint, the minimum count
+// among the subquery's patterns that bind v (join upper bound), summed over
+// the subquery's sources (the paper's cost model).
+func (st *queryStats) varCardinality(sq *Subquery, patternIdx []int, v string, patterns []sparql.TriplePattern) float64 {
+	total := 0.0
+	for _, ep := range sq.Sources {
+		min := math.Inf(1)
+		for _, pi := range patternIdx {
+			if !patterns[pi].HasVar(v) {
+				continue
+			}
+			if c, ok := st.card[pi][ep]; ok && c < min {
+				min = c
+			}
+		}
+		if !math.IsInf(min, 1) {
+			total += min
+		}
+	}
+	return total
+}
+
+// subqueryCardinality estimates C(sq) as the maximum cardinality over the
+// subquery's projected variables.
+func (st *queryStats) subqueryCardinality(sq *Subquery, patternIdx []int, patterns []sparql.TriplePattern) float64 {
+	max := 0.0
+	for _, v := range sq.Vars() {
+		if c := st.varCardinality(sq, patternIdx, v, patterns); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// meanStddev returns the mean and population standard deviation.
+func meanStddev(xs []float64) (mu, sigma float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mu += x
+	}
+	mu /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mu
+		sigma += d * d
+	}
+	sigma = math.Sqrt(sigma / float64(len(xs)))
+	return mu, sigma
+}
+
+// chauvenetReject applies Chauvenet's criterion: a sample is rejected when
+// the expected number of samples as extreme as it (under the fitted normal)
+// is below 1/2. Returns the kept samples and a parallel "rejected" mask.
+func chauvenetReject(xs []float64) (kept []float64, rejected []bool) {
+	rejected = make([]bool, len(xs))
+	if len(xs) < 3 {
+		return append([]float64(nil), xs...), rejected
+	}
+	mu, sigma := meanStddev(xs)
+	if sigma == 0 {
+		return append([]float64(nil), xs...), rejected
+	}
+	n := float64(len(xs))
+	for i, x := range xs {
+		z := math.Abs(x-mu) / sigma
+		// Two-sided tail probability of |Z| >= z for a standard normal.
+		p := math.Erfc(z / math.Sqrt2)
+		if n*p < 0.5 {
+			rejected[i] = true
+		} else {
+			kept = append(kept, x)
+		}
+	}
+	if len(kept) == 0 {
+		// Degenerate: keep everything rather than divide by zero downstream.
+		return append([]float64(nil), xs...), make([]bool, len(xs))
+	}
+	return kept, rejected
+}
+
+// delayDecisions marks subqueries to delay: Chauvenet-rejected outliers are
+// always delayed; among the rest, those whose cardinality (or number of
+// relevant endpoints) exceeds the mode's threshold are delayed (Figure 7).
+func delayDecisions(cards, numEPs []float64, mode ThresholdMode) []bool {
+	delayed := make([]bool, len(cards))
+	mark := func(xs []float64) {
+		keptVals, rejectedMask := chauvenetReject(xs)
+		if mode == ThresholdOutliers {
+			for i, r := range rejectedMask {
+				if r {
+					delayed[i] = true
+				}
+			}
+			return
+		}
+		mu, sigma := meanStddev(keptVals)
+		var threshold float64
+		switch mode {
+		case ThresholdMu:
+			threshold = mu
+		case ThresholdMu2Sigma:
+			threshold = mu + 2*sigma
+		default: // ThresholdMuSigma
+			threshold = mu + sigma
+		}
+		for i, x := range xs {
+			if rejectedMask[i] || x > threshold {
+				delayed[i] = true
+			}
+		}
+	}
+	mark(cards)
+	mark(numEPs)
+	return delayed
+}

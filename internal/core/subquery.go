@@ -1,0 +1,122 @@
+// Package core implements Lusail, the paper's federated SPARQL engine:
+//
+//   - LADE (Locality-Aware DEcomposition): instance-aware detection of
+//     global join variables via FILTER NOT EXISTS check queries
+//     (Algorithm 1) and cost-guided decomposition of the query into
+//     endpoint-local subqueries (Algorithm 2).
+//   - SAPE (Selectivity-Aware Planning and parallel Execution): cardinality
+//     estimation from COUNT probes, Chauvenet-filtered μ+σ delay rule,
+//     concurrent evaluation of non-delayed subqueries, bound-join (VALUES)
+//     evaluation of delayed subqueries with source refinement, and a
+//     DP-ordered parallel hash join of subquery results (Algorithms 3).
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"lusail/internal/sparql"
+)
+
+// Subquery is an independent unit of execution produced by LADE: a set of
+// triple patterns that every relevant endpoint can answer without missing
+// results, plus any filters that were pushed into it.
+type Subquery struct {
+	// Patterns are the triple patterns evaluated together at each endpoint.
+	Patterns []sparql.TriplePattern
+	// Filters are filter expressions pushed into the subquery (every
+	// variable they mention is bound by Patterns).
+	Filters []sparql.Expr
+	// Sources are the names of the relevant endpoints.
+	Sources []string
+	// Optional marks a subquery originating from an OPTIONAL block; it is
+	// left-joined at the global level.
+	Optional bool
+
+	// EstCard is SAPE's estimated cardinality (set during planning).
+	EstCard float64
+	// Delayed marks the subquery for bound-join evaluation in SAPE's second
+	// phase.
+	Delayed bool
+
+	// patternIdx are the indexes of Patterns in the analyzed branch's
+	// pattern list, used to look up per-pattern statistics.
+	patternIdx []int
+}
+
+// Vars returns the sorted variable names bound by the subquery's patterns.
+func (sq *Subquery) Vars() []string {
+	seen := map[string]bool{}
+	for _, tp := range sq.Patterns {
+		for _, v := range tp.Vars() {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasVar reports whether any pattern binds v.
+func (sq *Subquery) HasVar(v string) bool {
+	for _, tp := range sq.Patterns {
+		if tp.HasVar(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// SharedVars returns the variables the two subqueries have in common.
+func (sq *Subquery) SharedVars(other *Subquery) []string {
+	var out []string
+	for _, v := range sq.Vars() {
+		if other.HasVar(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Query renders the subquery as an executable SELECT projecting all its
+// variables, with optional extra VALUES bindings appended (used by SAPE's
+// bound joins).
+func (sq *Subquery) Query(values *sparql.InlineData) *sparql.Query {
+	q := sparql.NewSelect(sq.Vars()...)
+	q.Distinct = true
+	for _, tp := range sq.Patterns {
+		q.Where.Elements = append(q.Where.Elements, tp)
+	}
+	if values != nil && len(values.Vars) > 0 && len(values.Rows) > 0 {
+		q.Where.Elements = append(q.Where.Elements, *values)
+	}
+	for _, f := range sq.Filters {
+		q.Where.Elements = append(q.Where.Elements, sparql.Filter{Expr: f})
+	}
+	return q
+}
+
+// String renders a compact human-readable form for logs and tests.
+func (sq *Subquery) String() string {
+	var b strings.Builder
+	b.WriteString("{")
+	for i, tp := range sq.Patterns {
+		if i > 0 {
+			b.WriteString(" . ")
+		}
+		b.WriteString(tp.String())
+	}
+	b.WriteString("}@[")
+	b.WriteString(strings.Join(sq.Sources, ","))
+	b.WriteString("]")
+	if sq.Optional {
+		b.WriteString(" OPTIONAL")
+	}
+	if sq.Delayed {
+		b.WriteString(" DELAYED")
+	}
+	return b.String()
+}

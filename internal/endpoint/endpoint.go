@@ -1,0 +1,158 @@
+// Package endpoint serves an RDF dataset over HTTP using the SPARQL 1.1
+// protocol. Together with package store and package eval it plays the role
+// of the SPARQL servers (Jena Fuseki, Virtuoso) that host each dataset in
+// the paper's federations.
+package endpoint
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+
+	"lusail/internal/eval"
+	"lusail/internal/store"
+)
+
+// Handler is an http.Handler implementing the SPARQL protocol for one
+// dataset: GET with ?query=, POST with form-encoded query, or POST with
+// Content-Type application/sparql-query. Results are returned in the
+// SPARQL 1.1 JSON results format.
+type Handler struct {
+	name string
+	ev   *eval.Evaluator
+	logf func(format string, args ...any)
+}
+
+// NewHandler returns a SPARQL protocol handler over the given store.
+func NewHandler(name string, st *store.Store) *Handler {
+	return &Handler{name: name, ev: eval.New(st), logf: func(string, ...any) {}}
+}
+
+// SetLogger directs request logging to logf (default: silent).
+func (h *Handler) SetLogger(logf func(format string, args ...any)) { h.logf = logf }
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	query, err := extractQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if query == "" {
+		http.Error(w, "missing query parameter", http.StatusBadRequest)
+		return
+	}
+	parsed, err := sparql.Parse(query)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if parsed.Form == sparql.ConstructForm {
+		triples, err := h.ev.Construct(parsed)
+		if err != nil {
+			h.logf("endpoint %s: construct error: %v", h.name, err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/n-triples; charset=utf-8")
+		if err := rdf.WriteNTriples(w, triples); err != nil {
+			h.logf("endpoint %s: write error: %v", h.name, err)
+		}
+		return
+	}
+	res, err := h.ev.Query(parsed)
+	if err != nil {
+		h.logf("endpoint %s: query error: %v", h.name, err)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Content negotiation per the SPARQL 1.1 protocol: JSON (default),
+	// CSV, or TSV.
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, "text/csv"):
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		if err := res.WriteCSV(w); err != nil {
+			h.logf("endpoint %s: write error: %v", h.name, err)
+		}
+	case strings.Contains(accept, "application/sparql-results+xml") || strings.Contains(accept, "application/xml"):
+		w.Header().Set("Content-Type", "application/sparql-results+xml; charset=utf-8")
+		if err := res.WriteXML(w); err != nil {
+			h.logf("endpoint %s: write error: %v", h.name, err)
+		}
+	case strings.Contains(accept, "text/tab-separated-values"):
+		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+		if err := res.WriteTSV(w); err != nil {
+			h.logf("endpoint %s: write error: %v", h.name, err)
+		}
+	default:
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		if err := res.WriteJSON(w); err != nil {
+			h.logf("endpoint %s: write error: %v", h.name, err)
+		}
+	}
+}
+
+func extractQuery(r *http.Request) (string, error) {
+	switch r.Method {
+	case http.MethodGet:
+		return r.URL.Query().Get("query"), nil
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		if strings.HasPrefix(ct, "application/sparql-query") {
+			body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+			if err != nil {
+				return "", fmt.Errorf("reading query body: %w", err)
+			}
+			return string(body), nil
+		}
+		if err := r.ParseForm(); err != nil {
+			return "", fmt.Errorf("parsing form: %w", err)
+		}
+		return r.PostForm.Get("query"), nil
+	}
+	return "", fmt.Errorf("method %s not allowed", r.Method)
+}
+
+// Server is a running SPARQL endpoint on a local TCP port.
+type Server struct {
+	Name string
+	URL  string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Serve starts an HTTP SPARQL endpoint on addr (e.g. "127.0.0.1:0") and
+// returns once the listener is ready. Close releases it.
+func Serve(name, addr string, st *store.Store) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("endpoint %s: %w", name, err)
+	}
+	h := NewHandler(name, st)
+	mux := http.NewServeMux()
+	mux.Handle("/sparql", h)
+	mux.Handle("/", h)
+	srv := &http.Server{Handler: mux}
+	s := &Server{
+		Name: name,
+		URL:  fmt.Sprintf("http://%s/sparql", ln.Addr().String()),
+		srv:  srv,
+		ln:   ln,
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("endpoint %s: serve: %v", name, err)
+		}
+	}()
+	return s, nil
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

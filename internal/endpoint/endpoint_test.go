@@ -1,0 +1,201 @@
+package endpoint
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lusail/internal/client"
+	"lusail/internal/rdf"
+	"lusail/internal/store"
+)
+
+func testStore() *store.Store {
+	return store.NewFromTriples([]rdf.Triple{
+		{S: rdf.NewIRI("http://ex/a"), P: rdf.NewIRI("http://ex/p"), O: rdf.NewIRI("http://ex/b")},
+		{S: rdf.NewIRI("http://ex/a"), P: rdf.NewIRI("http://ex/p"), O: rdf.NewLiteral("lit")},
+		{S: rdf.NewIRI("http://ex/c"), P: rdf.NewIRI("http://ex/q"), O: rdf.NewLangLiteral("x", "en")},
+	})
+}
+
+func TestHTTPEndpointSelect(t *testing.T) {
+	ts := httptest.NewServer(NewHandler("ep1", testStore()))
+	defer ts.Close()
+	ep := client.NewHTTP("ep1", ts.URL)
+	res, err := ep.Query(context.Background(), `SELECT ?o WHERE { <http://ex/a> <http://ex/p> ?o }`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %d, want 2", len(res.Rows))
+	}
+}
+
+func TestHTTPEndpointAsk(t *testing.T) {
+	ts := httptest.NewServer(NewHandler("ep1", testStore()))
+	defer ts.Close()
+	ep := client.NewHTTP("ep1", ts.URL)
+	ok, err := client.Ask(context.Background(), ep, `ASK { <http://ex/a> <http://ex/p> ?o }`)
+	if err != nil || !ok {
+		t.Errorf("Ask = %v, %v; want true", ok, err)
+	}
+	ok, err = client.Ask(context.Background(), ep, `ASK { <http://ex/zzz> ?p ?o }`)
+	if err != nil || ok {
+		t.Errorf("Ask = %v, %v; want false", ok, err)
+	}
+}
+
+func TestHTTPGetBinding(t *testing.T) {
+	ts := httptest.NewServer(NewHandler("ep1", testStore()))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "?query=" + url.QueryEscape(`ASK { ?s ?p ?o }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/sparql-results+json" {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+func TestHTTPRawQueryBody(t *testing.T) {
+	ts := httptest.NewServer(NewHandler("ep1", testStore()))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL, "application/sparql-query",
+		strings.NewReader(`SELECT ?o WHERE { <http://ex/a> <http://ex/p> ?o }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("raw query status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPBadQuery(t *testing.T) {
+	ts := httptest.NewServer(NewHandler("ep1", testStore()))
+	defer ts.Close()
+	ep := client.NewHTTP("ep1", ts.URL)
+	if _, err := ep.Query(context.Background(), `SELECT WHERE`); err == nil {
+		t.Error("bad query should error")
+	}
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing query status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// HTTP and in-process endpoints must return identical results.
+func TestHTTPMatchesInProcess(t *testing.T) {
+	st := testStore()
+	ts := httptest.NewServer(NewHandler("ep1", st))
+	defer ts.Close()
+	httpEP := client.NewHTTP("ep1", ts.URL)
+	localEP := client.NewInProcess("ep1", st)
+
+	queries := []string{
+		`SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }`,
+		`SELECT ?s ?o WHERE { ?s <http://ex/q> ?o }`,
+		`SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o }`,
+		`ASK { <http://ex/c> ?p ?o }`,
+	}
+	for _, q := range queries {
+		a, err := httpEP.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("http %s: %v", q, err)
+		}
+		b, err := localEP.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("local %s: %v", q, err)
+		}
+		a.Sort()
+		b.Sort()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("query %s: http %+v != local %+v", q, a, b)
+		}
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	s, err := Serve("ep1", "127.0.0.1:0", testStore())
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer s.Close()
+	ep := client.NewHTTP(s.Name, s.URL)
+	ok, err := client.Ask(context.Background(), ep, `ASK { ?s ?p ?o }`)
+	if err != nil || !ok {
+		t.Errorf("Ask over Serve = %v, %v", ok, err)
+	}
+}
+
+func TestContentNegotiation(t *testing.T) {
+	ts := httptest.NewServer(NewHandler("ep1", testStore()))
+	defer ts.Close()
+	get := func(accept string) (string, string) {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"?query="+url.QueryEscape(`SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }`), nil)
+		req.Header.Set("Accept", accept)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.Header.Get("Content-Type"), string(body)
+	}
+
+	ct, body := get("text/csv")
+	if !strings.HasPrefix(ct, "text/csv") {
+		t.Errorf("csv content type = %q", ct)
+	}
+	if !strings.HasPrefix(body, "s,o\n") {
+		t.Errorf("csv body = %q", body)
+	}
+
+	ct, body = get("text/tab-separated-values")
+	if !strings.HasPrefix(ct, "text/tab-separated-values") {
+		t.Errorf("tsv content type = %q", ct)
+	}
+	if !strings.HasPrefix(body, "?s\t?o\n") || !strings.Contains(body, "<http://ex/a>") {
+		t.Errorf("tsv body = %q", body)
+	}
+
+	ct, _ = get("application/sparql-results+json")
+	if !strings.HasPrefix(ct, "application/sparql-results+json") {
+		t.Errorf("json content type = %q", ct)
+	}
+}
+
+func TestConstructOverHTTP(t *testing.T) {
+	ts := httptest.NewServer(NewHandler("ep1", testStore()))
+	defer ts.Close()
+	q := `CONSTRUCT { ?s <http://ex/copy> ?o } WHERE { ?s <http://ex/p> ?o }`
+	resp, err := http.Get(ts.URL + "?query=" + url.QueryEscape(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/n-triples") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	triples, err := rdf.ParseNTriples(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("response is not N-Triples: %v\n%s", err, body)
+	}
+	if len(triples) != 2 {
+		t.Errorf("triples = %d, want 2", len(triples))
+	}
+}

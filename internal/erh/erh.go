@@ -1,0 +1,77 @@
+// Package erh implements the Elastic Request Handler: a bounded worker pool
+// that multiplexes endpoint requests (ASK source-selection probes, LADE
+// check queries, COUNT cardinality probes, and SAPE subqueries) across a
+// fixed number of workers, as in Figure 3 of the paper. The pool size
+// defaults to the number of available CPU cores.
+package erh
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded-concurrency executor. The zero value is not usable;
+// call New.
+type Pool struct {
+	limit int
+}
+
+// New returns a pool running at most limit tasks concurrently. If limit
+// is <= 0 the pool sizes itself to the number of CPU cores, matching the
+// paper's "number of available threads is determined by the number of
+// physical cores".
+func New(limit int) *Pool {
+	if limit <= 0 {
+		limit = runtime.NumCPU()
+	}
+	return &Pool{limit: limit}
+}
+
+// Limit returns the pool's concurrency limit.
+func (p *Pool) Limit() int { return p.limit }
+
+// ForEach runs fn(0..n-1) with bounded concurrency and waits for all calls
+// to finish. It returns the joined errors of all failed calls. If the
+// context is cancelled, unstarted tasks are skipped and ctx.Err() is
+// included in the returned error.
+func (p *Pool) ForEach(ctx context.Context, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	sem := make(chan struct{}, p.limit)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Map runs fn over 0..n-1 with bounded concurrency and collects the
+// results, preserving order. The first error cancels nothing but is
+// reported (joined with any others).
+func Map[T any](ctx context.Context, p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := p.ForEach(ctx, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,124 @@
+package erh
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	p := New(4)
+	var n atomic.Int64
+	err := p.ForEach(context.Background(), 100, func(i int) error {
+		n.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 100 {
+		t.Errorf("ran %d tasks, want 100", n.Load())
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	p := New(3)
+	var cur, peak atomic.Int64
+	err := p.ForEach(context.Background(), 30, func(i int) error {
+		c := cur.Add(1)
+		for {
+			pk := peak.Load()
+			if c <= pk || peak.CompareAndSwap(pk, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 3 {
+		t.Errorf("peak concurrency %d exceeds limit 3", peak.Load())
+	}
+}
+
+func TestForEachCollectsErrors(t *testing.T) {
+	p := New(2)
+	sentinel := errors.New("boom")
+	err := p.ForEach(context.Background(), 10, func(i int) error {
+		if i%3 == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	p := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := p.ForEach(ctx, 50, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() == 50 {
+		t.Error("cancellation should skip remaining tasks")
+	}
+}
+
+func TestForEachZero(t *testing.T) {
+	if err := New(2).ForEach(context.Background(), 0, func(int) error { return errors.New("x") }); err != nil {
+		t.Errorf("n=0 should be a no-op, got %v", err)
+	}
+}
+
+func TestDefaultLimit(t *testing.T) {
+	if New(0).Limit() <= 0 {
+		t.Error("default limit should be positive")
+	}
+	if New(-5).Limit() <= 0 {
+		t.Error("negative limit should default")
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	p := New(8)
+	out, err := Map(context.Background(), p, 20, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	p := New(2)
+	sentinel := errors.New("bad")
+	_, err := Map(context.Background(), p, 5, func(i int) (int, error) {
+		if i == 3 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+package eval
+
+import (
+	"testing"
+
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+)
+
+func TestConstructBasic(t *testing.T) {
+	q := sparql.MustParse(`
+		PREFIX ex: <http://ex/>
+		CONSTRUCT { ?s ex:taughtBy ?p }
+		WHERE { ?s ex:advisor ?p . ?p ex:teacherOf ?c . ?s ex:takesCourse ?c }`)
+	triples, err := New(testStore()).Construct(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 3 {
+		t.Fatalf("triples = %d, want 3", len(triples))
+	}
+	for _, tr := range triples {
+		if tr.P.Value != "http://ex/taughtBy" {
+			t.Errorf("predicate = %v", tr.P)
+		}
+	}
+}
+
+func TestConstructMultiPatternTemplateAndDedup(t *testing.T) {
+	q := sparql.MustParse(`
+		PREFIX ex: <http://ex/>
+		CONSTRUCT {
+			?p a ex:Teacher .
+			?c a ex:TaughtCourse .
+		}
+		WHERE { ?p ex:teacherOf ?c }`)
+	triples, err := New(testStore()).Construct(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 teachers + 2 distinct courses (db taught twice → deduplicated).
+	if len(triples) != 5 {
+		t.Errorf("triples = %d, want 5: %v", len(triples), triples)
+	}
+}
+
+func TestConstructSkipsInvalidInstantiations(t *testing.T) {
+	// ?n binds literals: a template using it as subject must skip those
+	// solutions; optional leaves ?m unbound.
+	q := sparql.MustParse(`
+		PREFIX ex: <http://ex/>
+		CONSTRUCT { ?n ex:p ?s . ?s ex:q ?m }
+		WHERE { ?s ex:name ?n . OPTIONAL { ?s ex:missing ?m } }`)
+	triples, err := New(testStore()).Construct(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 0 {
+		t.Errorf("invalid instantiations kept: %v", triples)
+	}
+}
+
+func TestConstructRoundTripSerialization(t *testing.T) {
+	in := `CONSTRUCT { ?s <http://ex/p> ?o . } WHERE { ?s <http://ex/q> ?o . }`
+	q := sparql.MustParse(in)
+	if q.Form != sparql.ConstructForm || len(q.Template) != 1 {
+		t.Fatalf("parsed %+v", q)
+	}
+	q2, err := sparql.Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if len(q2.Template) != 1 || q2.Template[0] != q.Template[0] {
+		t.Errorf("template round trip: %v vs %v", q2.Template, q.Template)
+	}
+}
+
+func TestQueryRejectsConstruct(t *testing.T) {
+	q := sparql.MustParse(`CONSTRUCT { ?s <http://p> ?o } WHERE { ?s <http://p> ?o }`)
+	if _, err := New(testStore()).Query(q); err == nil {
+		t.Error("Query should reject CONSTRUCT form")
+	}
+}
+
+func TestConstructTemplateWithConstants(t *testing.T) {
+	q := sparql.MustParse(`
+		PREFIX ex: <http://ex/>
+		CONSTRUCT { ex:summary ex:studentCount ?s }
+		WHERE { ?s a ex:Student }`)
+	triples, err := New(testStore()).Construct(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 2 {
+		t.Errorf("triples = %d", len(triples))
+	}
+	if triples[0].S != rdf.NewIRI("http://ex/summary") {
+		t.Errorf("subject = %v", triples[0].S)
+	}
+}

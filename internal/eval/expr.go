@@ -1,0 +1,420 @@
+package eval
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+	"lusail/internal/store"
+)
+
+// errExpr signals a SPARQL expression evaluation error; per the spec, a
+// FILTER whose expression errors removes the solution.
+var errExpr = fmt.Errorf("expression error")
+
+// emptyEvaluator backs FilterBinding: expression evaluation over no graph.
+var emptyEvaluator = New(store.New())
+
+// evalEBV evaluates an expression and converts it to its effective boolean
+// value.
+func evalEBV(e *Evaluator, x sparql.Expr, b Binding) (bool, error) {
+	t, err := evalExpr(e, x, b)
+	if err != nil {
+		return false, err
+	}
+	return ebv(t)
+}
+
+// ebv implements SPARQL's effective boolean value rules.
+func ebv(t rdf.Term) (bool, error) {
+	if t.Kind != rdf.Literal {
+		return false, errExpr
+	}
+	if v, ok := t.Bool(); ok {
+		return v, nil
+	}
+	if t.Datatype == rdf.XSDBoolean {
+		return false, errExpr // malformed boolean
+	}
+	if f, ok := t.Numeric(); ok && t.Datatype != "" {
+		return f != 0, nil
+	}
+	if t.Datatype == "" || t.Datatype == rdf.XSDString {
+		return t.Value != "", nil
+	}
+	return false, errExpr
+}
+
+// evalExpr evaluates an expression to an RDF term. Boolean results are
+// xsd:boolean literals.
+func evalExpr(e *Evaluator, x sparql.Expr, b Binding) (rdf.Term, error) {
+	switch x := x.(type) {
+	case sparql.ExprTerm:
+		return x.Term, nil
+	case sparql.ExprVar:
+		t, ok := b[x.Name]
+		if !ok {
+			return rdf.Term{}, errExpr
+		}
+		return t, nil
+	case sparql.ExprUnary:
+		return evalUnary(e, x, b)
+	case sparql.ExprBinary:
+		return evalBinary(e, x, b)
+	case sparql.ExprCall:
+		return evalCall(e, x, b)
+	case sparql.ExprExists:
+		// Fast path for Lusail's check-query shape: EXISTS over a single
+		// sub-select projecting one variable reduces to set membership on
+		// the (memoized) sub-select column.
+		if sub, v, ok := singleVarSubSelect(x.Group); ok {
+			if val, bound := b[v]; bound {
+				set, err := e.subSelectSet(sub, v)
+				if err != nil {
+					return rdf.Term{}, err
+				}
+				return rdf.NewBoolean(set[val] != x.Not), nil
+			}
+		}
+		rows, err := e.evalGroup(x.Group, []Binding{b})
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean((len(rows) > 0) != x.Not), nil
+	}
+	return rdf.Term{}, fmt.Errorf("eval: unsupported expression %T", x)
+}
+
+func evalUnary(e *Evaluator, x sparql.ExprUnary, b Binding) (rdf.Term, error) {
+	switch x.Op {
+	case "!":
+		v, err := evalEBV(e, x.X, b)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(!v), nil
+	case "-":
+		t, err := evalExpr(e, x.X, b)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		f, ok := t.Numeric()
+		if !ok {
+			return rdf.Term{}, errExpr
+		}
+		return rdf.NewDouble(-f), nil
+	}
+	return rdf.Term{}, fmt.Errorf("eval: unsupported unary %q", x.Op)
+}
+
+func evalBinary(e *Evaluator, x sparql.ExprBinary, b Binding) (rdf.Term, error) {
+	switch x.Op {
+	case "&&":
+		l, err := evalEBV(e, x.L, b)
+		if err == nil && !l {
+			return rdf.NewBoolean(false), nil
+		}
+		r, rerr := evalEBV(e, x.R, b)
+		if rerr == nil && !r {
+			return rdf.NewBoolean(false), nil
+		}
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if rerr != nil {
+			return rdf.Term{}, rerr
+		}
+		return rdf.NewBoolean(true), nil
+	case "||":
+		l, err := evalEBV(e, x.L, b)
+		if err == nil && l {
+			return rdf.NewBoolean(true), nil
+		}
+		r, rerr := evalEBV(e, x.R, b)
+		if rerr == nil && r {
+			return rdf.NewBoolean(true), nil
+		}
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if rerr != nil {
+			return rdf.Term{}, rerr
+		}
+		return rdf.NewBoolean(false), nil
+	}
+
+	l, err := evalExpr(e, x.L, b)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	r, err := evalExpr(e, x.R, b)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+
+	switch x.Op {
+	case "=", "!=":
+		eq, err := termsEqual(l, r)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if x.Op == "!=" {
+			eq = !eq
+		}
+		return rdf.NewBoolean(eq), nil
+	case "<", "<=", ">", ">=":
+		c, err := compareTerms(l, r)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		var v bool
+		switch x.Op {
+		case "<":
+			v = c < 0
+		case "<=":
+			v = c <= 0
+		case ">":
+			v = c > 0
+		case ">=":
+			v = c >= 0
+		}
+		return rdf.NewBoolean(v), nil
+	case "+", "-", "*", "/":
+		lf, lok := l.Numeric()
+		rf, rok := r.Numeric()
+		if !lok || !rok {
+			return rdf.Term{}, errExpr
+		}
+		var v float64
+		switch x.Op {
+		case "+":
+			v = lf + rf
+		case "-":
+			v = lf - rf
+		case "*":
+			v = lf * rf
+		case "/":
+			if rf == 0 {
+				return rdf.Term{}, errExpr
+			}
+			v = lf / rf
+		}
+		if v == float64(int64(v)) && l.Datatype == rdf.XSDInteger && r.Datatype == rdf.XSDInteger && x.Op != "/" {
+			return rdf.NewInteger(int64(v)), nil
+		}
+		return rdf.NewDouble(v), nil
+	}
+	return rdf.Term{}, fmt.Errorf("eval: unsupported binary op %q", x.Op)
+}
+
+// termsEqual implements SPARQL '=' semantics: numeric value comparison for
+// numeric literals, term equality otherwise.
+func termsEqual(l, r rdf.Term) (bool, error) {
+	if lf, ok := l.Numeric(); ok && l.Datatype != "" {
+		if rf, ok := r.Numeric(); ok && r.Datatype != "" {
+			return lf == rf, nil
+		}
+	}
+	return l == r, nil
+}
+
+// compareTerms orders two terms for </<=/>/>=: numerics by value, strings by
+// code point; comparing across kinds is an error.
+func compareTerms(l, r rdf.Term) (int, error) {
+	if lf, ok := l.Numeric(); ok {
+		if rf, ok := r.Numeric(); ok {
+			switch {
+			case lf < rf:
+				return -1, nil
+			case lf > rf:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+	}
+	if l.Kind == rdf.Literal && r.Kind == rdf.Literal {
+		return strings.Compare(l.Value, r.Value), nil
+	}
+	if l.Kind == rdf.IRI && r.Kind == rdf.IRI {
+		return strings.Compare(l.Value, r.Value), nil
+	}
+	return 0, errExpr
+}
+
+var (
+	regexCacheMu sync.Mutex
+	regexCache   = map[string]*regexp.Regexp{}
+)
+
+func compileRegex(pattern, flags string) (*regexp.Regexp, error) {
+	key := flags + "\x00" + pattern
+	regexCacheMu.Lock()
+	defer regexCacheMu.Unlock()
+	if re, ok := regexCache[key]; ok {
+		return re, nil
+	}
+	p := pattern
+	if strings.Contains(flags, "i") {
+		p = "(?i)" + p
+	}
+	re, err := regexp.Compile(p)
+	if err != nil {
+		return nil, errExpr
+	}
+	if len(regexCache) > 1024 {
+		regexCache = map[string]*regexp.Regexp{}
+	}
+	regexCache[key] = re
+	return re, nil
+}
+
+func evalCall(e *Evaluator, x sparql.ExprCall, b Binding) (rdf.Term, error) {
+	arg := func(i int) (rdf.Term, error) {
+		if i >= len(x.Args) {
+			return rdf.Term{}, errExpr
+		}
+		return evalExpr(e, x.Args[i], b)
+	}
+	switch x.Func {
+	case "BOUND":
+		if len(x.Args) != 1 {
+			return rdf.Term{}, errExpr
+		}
+		v, ok := x.Args[0].(sparql.ExprVar)
+		if !ok {
+			return rdf.Term{}, errExpr
+		}
+		_, bound := b[v.Name]
+		return rdf.NewBoolean(bound), nil
+	case "STR":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewLiteral(t.Value), nil
+	case "LANG":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if t.Kind != rdf.Literal {
+			return rdf.Term{}, errExpr
+		}
+		return rdf.NewLiteral(t.Lang), nil
+	case "DATATYPE":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if t.Kind != rdf.Literal {
+			return rdf.Term{}, errExpr
+		}
+		dt := t.Datatype
+		if dt == "" {
+			dt = rdf.XSDString
+		}
+		return rdf.NewIRI(dt), nil
+	case "ISIRI", "ISURI":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(t.Kind == rdf.IRI), nil
+	case "ISLITERAL":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(t.Kind == rdf.Literal), nil
+	case "ISBLANK":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(t.Kind == rdf.Blank), nil
+	case "STRLEN":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewInteger(int64(len([]rune(t.Value)))), nil
+	case "UCASE":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewLiteral(strings.ToUpper(t.Value)), nil
+	case "LCASE":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewLiteral(strings.ToLower(t.Value)), nil
+	case "CONTAINS", "STRSTARTS", "STRENDS":
+		t1, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		t2, err := arg(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		var v bool
+		switch x.Func {
+		case "CONTAINS":
+			v = strings.Contains(t1.Value, t2.Value)
+		case "STRSTARTS":
+			v = strings.HasPrefix(t1.Value, t2.Value)
+		case "STRENDS":
+			v = strings.HasSuffix(t1.Value, t2.Value)
+		}
+		return rdf.NewBoolean(v), nil
+	case "REGEX":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		pat, err := arg(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		flags := ""
+		if len(x.Args) >= 3 {
+			f, err := arg(2)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			flags = f.Value
+		}
+		re, err := compileRegex(pat.Value, flags)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(re.MatchString(t.Value)), nil
+	case "SAMETERM":
+		t1, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		t2, err := arg(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(t1 == t2), nil
+	}
+	return rdf.Term{}, fmt.Errorf("eval: unsupported function %s", x.Func)
+}
+
+// FilterBinding evaluates a filter expression against a standalone binding,
+// outside any store context. EXISTS blocks see an empty graph. It is used
+// by federated engines to apply global (cross-subquery) filters to joined
+// intermediate results. Per SPARQL semantics, an erroring expression counts
+// as false.
+func FilterBinding(x sparql.Expr, b map[string]rdf.Term) bool {
+	ok, err := evalEBV(emptyEvaluator, x, Binding(b))
+	return err == nil && ok
+}

@@ -1,0 +1,200 @@
+// Package federation models a set of independent SPARQL endpoints and
+// implements the machinery shared by all federated engines in this
+// repository: the endpoint registry, ASK-based source selection with
+// caching, and per-query request accounting.
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"lusail/internal/client"
+	"lusail/internal/erh"
+	"lusail/internal/sparql"
+)
+
+// Federation is an ordered registry of endpoints.
+type Federation struct {
+	eps    []client.Endpoint
+	byName map[string]client.Endpoint
+}
+
+// New returns a federation over the given endpoints. Endpoint names must be
+// unique.
+func New(eps ...client.Endpoint) (*Federation, error) {
+	f := &Federation{byName: make(map[string]client.Endpoint, len(eps))}
+	for _, ep := range eps {
+		if _, dup := f.byName[ep.Name()]; dup {
+			return nil, fmt.Errorf("federation: duplicate endpoint name %q", ep.Name())
+		}
+		f.byName[ep.Name()] = ep
+		f.eps = append(f.eps, ep)
+	}
+	return f, nil
+}
+
+// MustNew is New but panics on error; for tests and generators that
+// construct names programmatically.
+func MustNew(eps ...client.Endpoint) *Federation {
+	f, err := New(eps...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Endpoints returns the endpoints in registration order.
+func (f *Federation) Endpoints() []client.Endpoint { return f.eps }
+
+// Names returns the endpoint names in registration order.
+func (f *Federation) Names() []string {
+	out := make([]string, len(f.eps))
+	for i, ep := range f.eps {
+		out[i] = ep.Name()
+	}
+	return out
+}
+
+// Get returns the endpoint with the given name, or nil.
+func (f *Federation) Get(name string) client.Endpoint { return f.byName[name] }
+
+// Size returns the number of endpoints.
+func (f *Federation) Size() int { return len(f.eps) }
+
+// SourceSelector performs per-triple-pattern source selection using SPARQL
+// ASK probes, with a cache keyed by the normalized pattern (like Lusail and
+// FedX, which both cache ASK results).
+type SourceSelector struct {
+	fed  *Federation
+	pool *erh.Pool
+
+	mu    sync.Mutex
+	cache map[string][]string // normalized pattern -> relevant endpoint names
+}
+
+// NewSourceSelector returns a selector over the federation using the pool
+// for concurrent ASK probes.
+func NewSourceSelector(fed *Federation, pool *erh.Pool) *SourceSelector {
+	return &SourceSelector{fed: fed, pool: pool, cache: map[string][]string{}}
+}
+
+// ClearCache drops all cached source-selection results.
+func (s *SourceSelector) ClearCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = map[string][]string{}
+}
+
+// CacheLen returns the number of cached patterns (for tests and profiling).
+func (s *SourceSelector) CacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache)
+}
+
+// RelevantSources returns the names of the endpoints that have at least one
+// triple matching the pattern, in federation order.
+func (s *SourceSelector) RelevantSources(ctx context.Context, tp sparql.TriplePattern) ([]string, error) {
+	key := NormalizePattern(tp)
+	s.mu.Lock()
+	if cached, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return cached, nil
+	}
+	s.mu.Unlock()
+
+	ask := askQuery(tp)
+	eps := s.fed.Endpoints()
+	relevant := make([]bool, len(eps))
+	err := s.pool.ForEach(ctx, len(eps), func(i int) error {
+		ok, err := client.Ask(ctx, eps[i], ask)
+		if err != nil {
+			return fmt.Errorf("source selection at %s: %w", eps[i].Name(), err)
+		}
+		relevant[i] = ok
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for i, ok := range relevant {
+		if ok {
+			names = append(names, eps[i].Name())
+		}
+	}
+	s.mu.Lock()
+	s.cache[key] = names
+	s.mu.Unlock()
+	return names, nil
+}
+
+// askQuery builds the ASK probe for one triple pattern.
+func askQuery(tp sparql.TriplePattern) string {
+	q := sparql.NewAsk()
+	q.Where.Elements = append(q.Where.Elements, tp)
+	return q.String()
+}
+
+// NormalizePattern renders a pattern with canonicalized variable names so
+// that structurally identical patterns share one cache entry, while
+// patterns that repeat a variable keep their self-join structure.
+func NormalizePattern(tp sparql.TriplePattern) string {
+	names := map[string]string{}
+	canon := func(pt sparql.PatternTerm) string {
+		if !pt.IsVar() {
+			return pt.Term.String()
+		}
+		if n, ok := names[pt.Var]; ok {
+			return n
+		}
+		n := fmt.Sprintf("?v%d", len(names))
+		names[pt.Var] = n
+		return n
+	}
+	return canon(tp.S) + " " + canon(tp.P) + " " + canon(tp.O)
+}
+
+// SameSources reports whether two sorted-or-unsorted source lists contain
+// the same endpoint names.
+func SameSources(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectSources returns the names present in both lists, preserving the
+// order of a.
+func IntersectSources(a, b []string) []string {
+	set := make(map[string]bool, len(b))
+	for _, n := range b {
+		set[n] = true
+	}
+	var out []string
+	for _, n := range a {
+		if set[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SourcesKey returns a canonical string for a set of sources.
+func SourcesKey(names []string) string {
+	s := append([]string(nil), names...)
+	sort.Strings(s)
+	return strings.Join(s, ",")
+}

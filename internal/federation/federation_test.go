@@ -1,0 +1,143 @@
+package federation
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"lusail/internal/client"
+	"lusail/internal/erh"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+	"lusail/internal/store"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://ex/" + s) }
+
+// twoEndpointFed builds EP1 with predicate p, EP2 with predicates p and q.
+func twoEndpointFed() *Federation {
+	ep1 := client.NewInProcess("ep1", store.NewFromTriples([]rdf.Triple{
+		{S: iri("a"), P: iri("p"), O: iri("b")},
+	}))
+	ep2 := client.NewInProcess("ep2", store.NewFromTriples([]rdf.Triple{
+		{S: iri("c"), P: iri("p"), O: iri("d")},
+		{S: iri("c"), P: iri("q"), O: iri("e")},
+	}))
+	return MustNew(ep1, ep2)
+}
+
+func TestFederationRegistry(t *testing.T) {
+	f := twoEndpointFed()
+	if f.Size() != 2 {
+		t.Errorf("Size = %d", f.Size())
+	}
+	if got := f.Names(); !reflect.DeepEqual(got, []string{"ep1", "ep2"}) {
+		t.Errorf("Names = %v", got)
+	}
+	if f.Get("ep2") == nil || f.Get("nope") != nil {
+		t.Error("Get lookup wrong")
+	}
+}
+
+func TestFederationDuplicateNames(t *testing.T) {
+	ep := client.NewInProcess("dup", store.New())
+	if _, err := New(ep, client.NewInProcess("dup", store.New())); err == nil {
+		t.Error("duplicate names should error")
+	}
+}
+
+func TestRelevantSources(t *testing.T) {
+	f := twoEndpointFed()
+	sel := NewSourceSelector(f, erh.New(4))
+	ctx := context.Background()
+
+	tpP := sparql.TriplePattern{S: sparql.Var("s"), P: sparql.IRI("http://ex/p"), O: sparql.Var("o")}
+	got, err := sel.RelevantSources(ctx, tpP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"ep1", "ep2"}) {
+		t.Errorf("sources for p = %v", got)
+	}
+
+	tpQ := sparql.TriplePattern{S: sparql.Var("s"), P: sparql.IRI("http://ex/q"), O: sparql.Var("o")}
+	got, err = sel.RelevantSources(ctx, tpQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"ep2"}) {
+		t.Errorf("sources for q = %v", got)
+	}
+
+	tpNone := sparql.TriplePattern{S: sparql.Var("s"), P: sparql.IRI("http://ex/zzz"), O: sparql.Var("o")}
+	got, err = sel.RelevantSources(ctx, tpNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("sources for zzz = %v", got)
+	}
+}
+
+func TestSourceSelectionCache(t *testing.T) {
+	f := twoEndpointFed()
+	var m client.Metrics
+	var eps []client.Endpoint
+	for _, ep := range f.Endpoints() {
+		eps = append(eps, client.NewInstrumented(ep, &m))
+	}
+	instr := MustNew(eps...)
+	sel := NewSourceSelector(instr, erh.New(4))
+	ctx := context.Background()
+
+	tp := sparql.TriplePattern{S: sparql.Var("s"), P: sparql.IRI("http://ex/p"), O: sparql.Var("o")}
+	if _, err := sel.RelevantSources(ctx, tp); err != nil {
+		t.Fatal(err)
+	}
+	first := m.Snapshot().Requests
+	// Structurally identical pattern with different variable names must hit
+	// the cache.
+	tp2 := sparql.TriplePattern{S: sparql.Var("x"), P: sparql.IRI("http://ex/p"), O: sparql.Var("y")}
+	if _, err := sel.RelevantSources(ctx, tp2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Snapshot().Requests != first {
+		t.Error("cache miss for normalized-identical pattern")
+	}
+	if sel.CacheLen() != 1 {
+		t.Errorf("cache len = %d", sel.CacheLen())
+	}
+	sel.ClearCache()
+	if sel.CacheLen() != 0 {
+		t.Error("ClearCache failed")
+	}
+}
+
+func TestNormalizePattern(t *testing.T) {
+	a := sparql.TriplePattern{S: sparql.Var("s"), P: sparql.IRI("http://p"), O: sparql.Var("o")}
+	b := sparql.TriplePattern{S: sparql.Var("x"), P: sparql.IRI("http://p"), O: sparql.Var("y")}
+	if NormalizePattern(a) != NormalizePattern(b) {
+		t.Error("alpha-equivalent patterns should normalize equal")
+	}
+	// Self-join structure must be preserved.
+	c := sparql.TriplePattern{S: sparql.Var("s"), P: sparql.IRI("http://p"), O: sparql.Var("s")}
+	if NormalizePattern(a) == NormalizePattern(c) {
+		t.Error("self-join pattern should normalize differently")
+	}
+}
+
+func TestSourceSetHelpers(t *testing.T) {
+	if !SameSources([]string{"b", "a"}, []string{"a", "b"}) {
+		t.Error("SameSources should ignore order")
+	}
+	if SameSources([]string{"a"}, []string{"a", "b"}) {
+		t.Error("different lengths are not same")
+	}
+	got := IntersectSources([]string{"a", "b", "c"}, []string{"c", "a"})
+	if !reflect.DeepEqual(got, []string{"a", "c"}) {
+		t.Errorf("IntersectSources = %v", got)
+	}
+	if SourcesKey([]string{"b", "a"}) != "a,b" {
+		t.Errorf("SourcesKey = %q", SourcesKey([]string{"b", "a"}))
+	}
+}

@@ -1,0 +1,481 @@
+// Package fedx implements the FedX baseline (Schwarte et al., ISWC 2011)
+// that the paper compares against: an index-free federated SPARQL engine
+// with ASK-based source selection, schema-level *exclusive groups*, and
+// left-deep *bound joins* evaluated one unit at a time with binding blocks.
+//
+// The crucial contrast with Lusail: FedX groups triple patterns only when
+// schema information proves a single endpoint can answer them (an exclusive
+// group). When several endpoints share a schema — as in LUBM — no exclusive
+// groups exist, the query executes one triple pattern at a time, and the
+// number of remote requests explodes with the number of endpoints and the
+// size of intermediate results. That behavior is what the paper's Figures 9
+// and 14 measure.
+package fedx
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"lusail/internal/erh"
+	"lusail/internal/federation"
+	"lusail/internal/qplan"
+	"lusail/internal/sparql"
+)
+
+// Selector abstracts source selection so index-based systems (HiBISCuS)
+// can plug their pruning into the same executor.
+type Selector interface {
+	RelevantSources(ctx context.Context, tp sparql.TriplePattern) ([]string, error)
+}
+
+// Options configures the FedX baseline.
+type Options struct {
+	// PoolSize bounds concurrent endpoint requests (<=0: NumCPU).
+	PoolSize int
+	// BindBlockSize is the number of bindings per bound-join block.
+	// FedX's default is 15.
+	BindBlockSize int
+	// Selector overrides ASK-based source selection (used by HiBISCuS).
+	Selector Selector
+}
+
+// Engine is a FedX-style federated query processor.
+type Engine struct {
+	fed  *federation.Federation
+	pool *erh.Pool
+	sel  Selector
+	opts Options
+}
+
+// New returns a FedX engine over the federation.
+func New(fed *federation.Federation, opts Options) *Engine {
+	if opts.BindBlockSize <= 0 {
+		opts.BindBlockSize = 15
+	}
+	pool := erh.New(opts.PoolSize)
+	sel := opts.Selector
+	if sel == nil {
+		sel = federation.NewSourceSelector(fed, pool)
+	}
+	return &Engine{fed: fed, pool: pool, sel: sel, opts: opts}
+}
+
+// QueryString parses and executes a federated query.
+func (e *Engine) QueryString(ctx context.Context, query string) (*sparql.Results, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.Query(ctx, q)
+}
+
+// Query executes a parsed query.
+func (e *Engine) Query(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
+	branches, err := qplan.Normalize(q)
+	if err != nil {
+		return nil, err
+	}
+	var all *sparql.Results
+	for _, br := range branches {
+		rel, err := e.evalBranch(ctx, q, br)
+		if err != nil {
+			return nil, err
+		}
+		if all == nil {
+			all = rel
+		} else {
+			all = qplan.UnionRelations(all, rel)
+		}
+	}
+	if all != nil {
+		all.Rows = qplan.DistinctRows(all.Rows)
+	}
+	return qplan.Finalize(q, all)
+}
+
+// unit is one execution step: an exclusive group or a single pattern.
+type unit struct {
+	patterns  []sparql.TriplePattern
+	sources   []string
+	exclusive bool
+	filters   []sparql.Expr
+}
+
+func (u *unit) vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, tp := range u.patterns {
+		for _, v := range tp.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BatchSelector is an optional extension of Selector: selectors that see
+// the whole pattern set at once can apply join-aware pruning (HiBISCuS's
+// hypergraph step).
+type BatchSelector interface {
+	PruneSources(patterns []sparql.TriplePattern) [][]string
+}
+
+func (e *Engine) evalBranch(ctx context.Context, q *sparql.Query, br *qplan.Branch) (*sparql.Results, error) {
+	var sources [][]string
+	if bs, ok := e.sel.(BatchSelector); ok {
+		sources = bs.PruneSources(br.Patterns)
+	} else {
+		sources = make([][]string, len(br.Patterns))
+		err := e.pool.ForEach(ctx, len(br.Patterns), func(i int) error {
+			s, err := e.sel.RelevantSources(ctx, br.Patterns[i])
+			if err != nil {
+				return err
+			}
+			sources[i] = s
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fedx: source selection: %w", err)
+		}
+	}
+	for _, s := range sources {
+		if len(s) == 0 {
+			return qplan.EmptyRelation(br.Vars()), nil
+		}
+	}
+
+	units := buildUnits(br, sources)
+
+	// Early termination applies when any N results are acceptable: FedX
+	// stops once LIMIT results are complete (the paper's C4 observation).
+	limit := -1
+	if q.Limit >= 0 && len(q.OrderBy) == 0 && !q.Distinct && !q.HasAggregates() &&
+		len(br.Optionals) == 0 && q.Offset == 0 {
+		limit = q.Limit
+	}
+
+	rel, err := e.runPipeline(ctx, br, units, limit)
+	if err != nil {
+		return nil, err
+	}
+
+	// OPTIONAL blocks: bound-join evaluation, left-joined.
+	for _, ob := range br.Optionals {
+		orel, err := e.evalOptional(ctx, ob, rel)
+		if err != nil {
+			return nil, err
+		}
+		rel = qplan.LeftJoin(rel, orel)
+	}
+	rel = qplan.ApplyFilters(rel, br.Filters)
+	return rel, nil
+}
+
+// buildUnits forms exclusive groups — maximal sets of patterns whose only
+// relevant endpoint is the same single source — and singleton units for
+// everything else, pushing covered filters into each unit.
+func buildUnits(br *qplan.Branch, sources [][]string) []*unit {
+	var units []*unit
+	bySource := map[string]*unit{}
+	for i, tp := range br.Patterns {
+		if len(sources[i]) == 1 {
+			key := sources[i][0]
+			if u, ok := bySource[key]; ok {
+				u.patterns = append(u.patterns, tp)
+				continue
+			}
+			u := &unit{patterns: []sparql.TriplePattern{tp}, sources: sources[i], exclusive: true}
+			bySource[key] = u
+			units = append(units, u)
+			continue
+		}
+		units = append(units, &unit{patterns: []sparql.TriplePattern{tp}, sources: sources[i]})
+	}
+	for _, u := range units {
+		vars := map[string]bool{}
+		for _, v := range u.vars() {
+			vars[v] = true
+		}
+		for _, f := range br.Filters {
+			if _, isExists := f.(sparql.ExprExists); isExists {
+				continue
+			}
+			ok := true
+			for _, v := range sparql.ExprVars(f) {
+				if !vars[v] {
+					ok = false
+					break
+				}
+			}
+			if ok && len(sparql.ExprVars(f)) > 0 {
+				u.filters = append(u.filters, f)
+			}
+		}
+	}
+	return units
+}
+
+// runPipeline executes the units left-deep in variable-counting order: the
+// unit with the fewest free variables (given what is already bound) runs
+// next; the first runs unbound, later ones as bound joins.
+func (e *Engine) runPipeline(ctx context.Context, br *qplan.Branch, units []*unit, limit int) (*sparql.Results, error) {
+	remaining := append([]*unit(nil), units...)
+	bound := map[string]bool{}
+	var rel *sparql.Results
+
+	for len(remaining) > 0 {
+		best := pickNextUnit(remaining, bound)
+		u := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		last := len(remaining) == 0
+
+		var err error
+		if rel == nil {
+			rel, err = e.evalUnitUnbound(ctx, u)
+		} else {
+			stopAt := -1
+			if last && limit >= 0 {
+				stopAt = limit
+			}
+			rel, err = e.boundJoin(ctx, u, rel, stopAt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range u.vars() {
+			bound[v] = true
+		}
+		if len(rel.Rows) == 0 {
+			return qplan.EmptyRelation(br.Vars()), nil
+		}
+	}
+	if rel == nil {
+		rel = qplan.EmptyRelation(nil)
+	}
+	return rel, nil
+}
+
+// pickNextUnit implements FedX's variable-counting heuristic: prefer the
+// unit with the fewest unbound variables; exclusive groups and constants
+// break ties.
+func pickNextUnit(units []*unit, bound map[string]bool) int {
+	best, bestScore := 0, 1<<30
+	for i, u := range units {
+		free := 0
+		for _, v := range u.vars() {
+			if !bound[v] {
+				free++
+			}
+		}
+		consts := 0
+		for _, tp := range u.patterns {
+			for _, pt := range []sparql.PatternTerm{tp.S, tp.P, tp.O} {
+				if !pt.IsVar() {
+					consts++
+				}
+			}
+		}
+		score := free*100 - consts*10
+		if u.exclusive {
+			score -= 50
+		}
+		if score < bestScore {
+			bestScore = score
+			best = i
+		}
+	}
+	return best
+}
+
+// unitQuery renders a unit as a SELECT, optionally with a VALUES block.
+func unitQuery(u *unit, values *sparql.InlineData) string {
+	q := sparql.NewSelect(u.vars()...)
+	q.Distinct = true
+	for _, tp := range u.patterns {
+		q.Where.Elements = append(q.Where.Elements, tp)
+	}
+	if values != nil {
+		q.Where.Elements = append(q.Where.Elements, *values)
+	}
+	for _, f := range u.filters {
+		q.Where.Elements = append(q.Where.Elements, sparql.Filter{Expr: f})
+	}
+	return q.String()
+}
+
+// evalUnitUnbound evaluates a unit at all its sources concurrently.
+func (e *Engine) evalUnitUnbound(ctx context.Context, u *unit) (*sparql.Results, error) {
+	partial := make([]*sparql.Results, len(u.sources))
+	err := e.pool.ForEach(ctx, len(u.sources), func(i int) error {
+		res, err := e.fed.Get(u.sources[i]).Query(ctx, unitQuery(u, nil))
+		if err != nil {
+			return fmt.Errorf("fedx: unit at %s: %w", u.sources[i], err)
+		}
+		partial[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rel := qplan.EmptyRelation(u.vars())
+	for _, p := range partial {
+		rel = qplan.UnionRelations(rel, p)
+	}
+	rel.Rows = qplan.DistinctRows(rel.Rows)
+	return rel, nil
+}
+
+// boundJoin joins the intermediate relation with a unit by shipping the
+// bindings in blocks of BindBlockSize to every relevant endpoint — FedX's
+// block nested-loop bound join. When stopAt >= 0, processing stops as soon
+// as that many joined rows exist (LIMIT pushdown).
+func (e *Engine) boundJoin(ctx context.Context, u *unit, rel *sparql.Results, stopAt int) (*sparql.Results, error) {
+	shared := sharedWith(u, rel)
+	if len(shared) == 0 {
+		// Cross product: evaluate unbound and hash join.
+		urel, err := e.evalUnitUnbound(ctx, u)
+		if err != nil {
+			return nil, err
+		}
+		return qplan.HashJoin(rel, urel), nil
+	}
+	rows := qplan.ProjectDistinct(rel, shared)
+	out := qplan.EmptyRelation(nil)
+	first := true
+	for start := 0; start < len(rows); start += e.opts.BindBlockSize {
+		end := start + e.opts.BindBlockSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		block := sparql.InlineData{Vars: shared, Rows: rows[start:end]}
+		partial := make([]*sparql.Results, len(u.sources))
+		err := e.pool.ForEach(ctx, len(u.sources), func(i int) error {
+			res, err := e.fed.Get(u.sources[i]).Query(ctx, unitQuery(u, &block))
+			if err != nil {
+				return fmt.Errorf("fedx: bound join at %s: %w", u.sources[i], err)
+			}
+			partial[i] = res
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		urel := qplan.EmptyRelation(u.vars())
+		for _, p := range partial {
+			urel = qplan.UnionRelations(urel, p)
+		}
+		urel.Rows = qplan.DistinctRows(urel.Rows)
+		joined := qplan.HashJoin(rel, urel)
+		if first {
+			out = joined
+			first = false
+		} else {
+			out = qplan.UnionRelations(out, joined)
+		}
+		if stopAt >= 0 && len(out.Rows) >= stopAt {
+			break
+		}
+	}
+	if first {
+		// No blocks executed (empty bindings): empty join result.
+		vars := append(append([]string(nil), rel.Vars...), u.vars()...)
+		return qplan.EmptyRelation(vars), nil
+	}
+	out.Rows = qplan.DistinctRows(out.Rows)
+	return out, nil
+}
+
+func sharedWith(u *unit, rel *sparql.Results) []string {
+	var out []string
+	for _, v := range u.vars() {
+		if rel.VarIndex(v) >= 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// evalOptional evaluates an optional block as a bound join against the
+// current relation.
+func (e *Engine) evalOptional(ctx context.Context, ob *qplan.OptionalBlock, rel *sparql.Results) (*sparql.Results, error) {
+	sources := e.fed.Names()
+	for _, tp := range ob.Patterns {
+		s, err := e.sel.RelevantSources(ctx, tp)
+		if err != nil {
+			return nil, err
+		}
+		sources = federation.IntersectSources(sources, s)
+	}
+	u := &unit{patterns: ob.Patterns, sources: sources}
+	vars := map[string]bool{}
+	for _, v := range u.vars() {
+		vars[v] = true
+	}
+	var residual []sparql.Expr
+	for _, f := range ob.Filters {
+		pushable := true
+		for _, v := range sparql.ExprVars(f) {
+			if !vars[v] {
+				pushable = false
+			}
+		}
+		if _, isExists := f.(sparql.ExprExists); isExists {
+			pushable = false
+		}
+		if pushable {
+			u.filters = append(u.filters, f)
+		} else {
+			residual = append(residual, f)
+		}
+	}
+	if len(sources) == 0 {
+		return qplan.EmptyRelation(u.vars()), nil
+	}
+	shared := sharedWith(u, rel)
+	var urel *sparql.Results
+	var err error
+	if len(shared) == 0 || len(rel.Rows) == 0 {
+		urel, err = e.evalUnitUnbound(ctx, u)
+	} else {
+		urel, err = e.boundFetch(ctx, u, rel, shared)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return qplan.ApplyFilters(urel, residual), nil
+}
+
+// boundFetch fetches a unit's rows restricted to the relation's bindings
+// without joining (the caller left-joins).
+func (e *Engine) boundFetch(ctx context.Context, u *unit, rel *sparql.Results, shared []string) (*sparql.Results, error) {
+	rows := qplan.ProjectDistinct(rel, shared)
+	out := qplan.EmptyRelation(u.vars())
+	for start := 0; start < len(rows); start += e.opts.BindBlockSize {
+		end := start + e.opts.BindBlockSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		block := sparql.InlineData{Vars: shared, Rows: rows[start:end]}
+		partial := make([]*sparql.Results, len(u.sources))
+		err := e.pool.ForEach(ctx, len(u.sources), func(i int) error {
+			res, err := e.fed.Get(u.sources[i]).Query(ctx, unitQuery(u, &block))
+			if err != nil {
+				return fmt.Errorf("fedx: optional at %s: %w", u.sources[i], err)
+			}
+			partial[i] = res
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range partial {
+			out = qplan.UnionRelations(out, p)
+		}
+	}
+	out.Rows = qplan.DistinctRows(out.Rows)
+	return out, nil
+}

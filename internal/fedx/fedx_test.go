@@ -1,0 +1,323 @@
+package fedx
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lusail/internal/client"
+	"lusail/internal/core"
+	"lusail/internal/eval"
+	"lusail/internal/federation"
+	"lusail/internal/qplan"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+	"lusail/internal/store"
+)
+
+const ub = "http://lubm.org/ub#"
+
+func u(s string) rdf.Term { return rdf.NewIRI(ub + s) }
+
+// lubmLike builds n same-schema endpoints, each a small university with
+// students, advisors, and courses, plus remote PhD links to university 0.
+func lubmLike(n int) ([]client.Endpoint, *store.Store) { return lubmLikeN(n, 4) }
+
+func lubmLikeN(n, studentsPer int) ([]client.Endpoint, *store.Store) {
+	typ := rdf.NewIRI(rdf.RDFType)
+	oracle := store.New()
+	var eps []client.Endpoint
+	for uni := 0; uni < n; uni++ {
+		var triples []rdf.Triple
+		univ := u(fmt.Sprintf("univ%d", uni))
+		triples = append(triples, rdf.Triple{S: univ, P: u("address"), O: rdf.NewLiteral(fmt.Sprintf("Addr%d", uni))})
+		for s := 0; s < studentsPer; s++ {
+			stu := u(fmt.Sprintf("u%d_s%d", uni, s))
+			prof := u(fmt.Sprintf("u%d_p%d", uni, s%3))
+			course := u(fmt.Sprintf("u%d_c%d", uni, s%3))
+			triples = append(triples,
+				rdf.Triple{S: stu, P: typ, O: u("GraduateStudent")},
+				rdf.Triple{S: stu, P: u("advisor"), O: prof},
+				rdf.Triple{S: stu, P: u("takesCourse"), O: course},
+				rdf.Triple{S: prof, P: typ, O: u("Professor")},
+				rdf.Triple{S: prof, P: u("teacherOf"), O: course},
+				rdf.Triple{S: course, P: typ, O: u("Course")},
+			)
+			// Professors got their PhD from university 0 (interlink).
+			triples = append(triples, rdf.Triple{S: prof, P: u("PhDDegreeFrom"), O: u("univ0")})
+		}
+		oracle.AddAll(triples)
+		eps = append(eps, client.NewInProcess(fmt.Sprintf("uni%d", uni), store.NewFromTriples(triples)))
+	}
+	return eps, oracle
+}
+
+func oracleRows(t *testing.T, oracle *store.Store, q string) *sparql.Results {
+	t.Helper()
+	res, err := eval.New(oracle).QueryString(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Rows = qplan.DistinctRows(res.Rows)
+	res.Sort()
+	return res
+}
+
+func fedxRows(t *testing.T, eps []client.Endpoint, q string) *sparql.Results {
+	t.Helper()
+	e := New(federation.MustNew(eps...), Options{})
+	res, err := e.QueryString(context.Background(), q)
+	if err != nil {
+		t.Fatalf("fedx %s: %v", q, err)
+	}
+	res.Rows = qplan.DistinctRows(res.Rows)
+	res.Sort()
+	return res
+}
+
+const studentAdvisorQuery = `
+	PREFIX ub: <http://lubm.org/ub#>
+	PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+	SELECT ?s ?p ?c WHERE {
+		?s rdf:type ub:GraduateStudent .
+		?s ub:advisor ?p .
+		?s ub:takesCourse ?c .
+		?p ub:teacherOf ?c .
+	}`
+
+func TestFedXMatchesOracle(t *testing.T) {
+	eps, oracle := lubmLike(3)
+	got := fedxRows(t, eps, studentAdvisorQuery)
+	want := oracleRows(t, oracle, studentAdvisorQuery)
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Errorf("got %d rows, want %d", len(got.Rows), len(want.Rows))
+	}
+}
+
+func TestFedXCrossEndpointJoin(t *testing.T) {
+	eps, oracle := lubmLike(3)
+	q := `PREFIX ub: <http://lubm.org/ub#>
+	      SELECT ?p ?a WHERE { ?p ub:PhDDegreeFrom ?u . ?u ub:address ?a }`
+	got := fedxRows(t, eps, q)
+	want := oracleRows(t, oracle, q)
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Errorf("got %d rows, want %d", len(got.Rows), len(want.Rows))
+	}
+	if len(got.Rows) == 0 {
+		t.Fatal("interlink join returned nothing")
+	}
+}
+
+func TestFedXOptionalAndFilter(t *testing.T) {
+	eps, oracle := lubmLike(2)
+	q := `PREFIX ub: <http://lubm.org/ub#>
+	      SELECT ?p ?a WHERE {
+	        ?p ub:PhDDegreeFrom ?u .
+	        OPTIONAL { ?u ub:address ?a }
+	        FILTER(ISIRI(?p))
+	      }`
+	got := fedxRows(t, eps, q)
+	want := oracleRows(t, oracle, q)
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Errorf("got %d rows, want %d", len(got.Rows), len(want.Rows))
+	}
+}
+
+func TestFedXUnion(t *testing.T) {
+	eps, oracle := lubmLike(2)
+	q := `PREFIX ub: <http://lubm.org/ub#>
+	      SELECT ?x WHERE { { ?x ub:teacherOf ?c } UNION { ?x ub:takesCourse ?c } }`
+	got := fedxRows(t, eps, q)
+	want := oracleRows(t, oracle, q)
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Errorf("got %d rows, want %d", len(got.Rows), len(want.Rows))
+	}
+}
+
+func TestExclusiveGroups(t *testing.T) {
+	// Two endpoints with disjoint schemas: patterns collapse into one
+	// exclusive group per endpoint → requests stay low.
+	ep1 := client.NewInProcess("ep1", store.NewFromTriples([]rdf.Triple{
+		{S: u("a"), P: u("onlyAt1"), O: u("b")},
+		{S: u("a"), P: u("alsoOnlyAt1"), O: u("c")},
+	}))
+	ep2 := client.NewInProcess("ep2", store.NewFromTriples([]rdf.Triple{
+		{S: u("b"), P: u("onlyAt2"), O: u("d")},
+	}))
+	var m client.Metrics
+	fed := federation.MustNew(
+		client.NewInstrumented(ep1, &m),
+		client.NewInstrumented(ep2, &m),
+	)
+	e := New(fed, Options{})
+	q := `PREFIX ub: <http://lubm.org/ub#>
+	      SELECT * WHERE { ?a ub:onlyAt1 ?b . ?a ub:alsoOnlyAt1 ?c . ?b ub:onlyAt2 ?d }`
+	res, err := e.QueryString(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+	// 6 ASKs (3 patterns × 2 endpoints) + 1 exclusive group + 1 bound join.
+	if got := m.Snapshot().Requests; got > 9 {
+		t.Errorf("requests = %d; exclusive groups should keep this <= 9", got)
+	}
+}
+
+// The paper's central claim, in miniature: same-schema endpoints prevent
+// exclusive groups, so FedX sends far more requests than Lusail.
+func TestFedXRequestExplosionVsLusail(t *testing.T) {
+	build := func() (*federation.Federation, *client.Metrics) {
+		// Enough students that bound-join blocks dominate FedX's request
+		// count, while Lusail's probe overhead stays constant.
+		eps, _ := lubmLikeN(4, 60)
+		var m client.Metrics
+		var wrapped []client.Endpoint
+		for _, ep := range eps {
+			wrapped = append(wrapped, client.NewInstrumented(ep, &m))
+		}
+		return federation.MustNew(wrapped...), &m
+	}
+
+	fedF, mF := build()
+	fx := New(fedF, Options{})
+	if _, err := fx.QueryString(context.Background(), studentAdvisorQuery); err != nil {
+		t.Fatal(err)
+	}
+	fedL, mL := build()
+	lu := core.New(fedL, core.DefaultOptions())
+	if _, _, err := lu.QueryString(context.Background(), studentAdvisorQuery); err != nil {
+		t.Fatal(err)
+	}
+	fedxReqs := mF.Snapshot().Requests
+	lusailReqs := mL.Snapshot().Requests
+	if fedxReqs <= lusailReqs {
+		t.Errorf("expected FedX to send more requests than Lusail: fedx=%d lusail=%d", fedxReqs, lusailReqs)
+	}
+}
+
+func TestFedXLimitEarlyTermination(t *testing.T) {
+	eps, _ := lubmLike(4)
+	var m client.Metrics
+	var wrapped []client.Endpoint
+	for _, ep := range eps {
+		wrapped = append(wrapped, client.NewInstrumented(ep, &m))
+	}
+	fed := federation.MustNew(wrapped...)
+	e := New(fed, Options{BindBlockSize: 1})
+
+	full := studentAdvisorQuery
+	if _, err := e.QueryString(context.Background(), full); err != nil {
+		t.Fatal(err)
+	}
+	fullReqs := m.Snapshot().Requests
+
+	m.Reset()
+	e2 := New(federation.MustNew(wrapped...), Options{BindBlockSize: 1})
+	limited := full + " LIMIT 1"
+	res, err := e2.QueryString(context.Background(), limited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("LIMIT 1 returned %d rows", len(res.Rows))
+	}
+	if got := m.Snapshot().Requests; got >= fullReqs {
+		t.Errorf("LIMIT should cut requests: limited=%d full=%d", got, fullReqs)
+	}
+}
+
+func TestFedXEmptySourcePattern(t *testing.T) {
+	eps, _ := lubmLike(2)
+	got := fedxRows(t, eps, `SELECT ?s WHERE { ?s <http://nowhere/p> ?o }`)
+	if len(got.Rows) != 0 {
+		t.Errorf("rows = %d, want 0", len(got.Rows))
+	}
+}
+
+// FedX and Lusail must agree on random federated queries.
+func TestFedXAgreesWithLusailProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		nEP := 2 + rng.Intn(2)
+		eps, oracle := lubmLike(nEP)
+		fed := federation.MustNew(eps...)
+		queries := []string{
+			studentAdvisorQuery,
+			`PREFIX ub: <http://lubm.org/ub#> SELECT ?p ?a WHERE { ?p ub:PhDDegreeFrom ?u . ?u ub:address ?a }`,
+			`PREFIX ub: <http://lubm.org/ub#> SELECT ?s WHERE { ?s ub:takesCourse ?c . ?p ub:teacherOf ?c . ?p ub:PhDDegreeFrom ?u }`,
+		}
+		q := queries[rng.Intn(len(queries))]
+		fx := New(fed, Options{BindBlockSize: 1 + rng.Intn(20)})
+		got, err := fx.QueryString(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Rows = qplan.DistinctRows(got.Rows)
+		got.Sort()
+		want := oracleRows(t, oracle, q)
+		if !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Errorf("trial %d (%d EPs) query %s: %d rows, want %d", trial, nEP, q, len(got.Rows), len(want.Rows))
+		}
+	}
+}
+
+func TestBuildUnitsExclusiveGrouping(t *testing.T) {
+	br := &qplan.Branch{Patterns: []sparql.TriplePattern{
+		{S: sparql.Var("a"), P: sparql.IRI("http://p1"), O: sparql.Var("b")},
+		{S: sparql.Var("a"), P: sparql.IRI("http://p2"), O: sparql.Var("c")},
+		{S: sparql.Var("b"), P: sparql.IRI("http://p3"), O: sparql.Var("d")},
+		{S: sparql.Var("d"), P: sparql.IRI("http://p4"), O: sparql.Var("e")},
+	}}
+	sources := [][]string{
+		{"ep1"},        // exclusive to ep1
+		{"ep1"},        // exclusive to ep1 → same group
+		{"ep2"},        // exclusive to ep2 → own group
+		{"ep1", "ep2"}, // multi-source → singleton unit
+	}
+	units := buildUnits(br, sources)
+	if len(units) != 3 {
+		t.Fatalf("units = %d, want 3", len(units))
+	}
+	if !units[0].exclusive || len(units[0].patterns) != 2 {
+		t.Errorf("unit0 = %+v", units[0])
+	}
+	if !units[1].exclusive || len(units[1].patterns) != 1 {
+		t.Errorf("unit1 = %+v", units[1])
+	}
+	if units[2].exclusive {
+		t.Error("multi-source unit must not be exclusive")
+	}
+}
+
+func TestPickNextUnitHeuristic(t *testing.T) {
+	mk := func(exclusive bool, tps ...sparql.TriplePattern) *unit {
+		return &unit{patterns: tps, exclusive: exclusive}
+	}
+	manyFree := mk(false, sparql.TriplePattern{S: sparql.Var("x"), P: sparql.Var("p"), O: sparql.Var("y")})
+	oneFree := mk(false, sparql.TriplePattern{S: sparql.IRI("http://s"), P: sparql.IRI("http://p"), O: sparql.Var("z")})
+	units := []*unit{manyFree, oneFree}
+	if got := pickNextUnit(units, map[string]bool{}); got != 1 {
+		t.Errorf("pickNextUnit = %d, want the fewest-free-variables unit", got)
+	}
+	// Once z is bound, the constant-rich unit still wins; binding x and y
+	// flips the choice.
+	if got := pickNextUnit(units, map[string]bool{"x": true, "y": true, "p": true}); got != 0 {
+		t.Errorf("pickNextUnit with bound vars = %d, want 0", got)
+	}
+}
+
+func TestUnitQueryParses(t *testing.T) {
+	u := &unit{
+		patterns: []sparql.TriplePattern{
+			{S: sparql.Var("s"), P: sparql.IRI("http://p"), O: sparql.Var("o")},
+		},
+	}
+	text := unitQuery(u, &sparql.InlineData{Vars: []string{"s"}, Rows: [][]rdf.Term{{rdf.NewIRI("http://a")}}})
+	if _, err := sparql.Parse(text); err != nil {
+		t.Errorf("unit query does not parse: %v\n%s", err, text)
+	}
+}

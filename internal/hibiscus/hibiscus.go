@@ -1,0 +1,286 @@
+// Package hibiscus implements the HiBISCuS baseline (Saleem & Ngonga
+// Ngomo, ESWC 2014) used in the paper's comparison: an *index-based*
+// source-selection add-on layered over a FedX-style executor.
+//
+// HiBISCuS precomputes, for every endpoint and predicate, summaries of the
+// URI *authorities* occurring in subject and object position. At query time
+// it prunes, for every triple pattern, the endpoints whose authorities
+// cannot join with the authorities of the patterns it shares variables with
+// (the hypergraph pruning step). The index requires a preprocessing pass
+// whose cost grows with the dataset — the trade-off the paper's
+// "Data Preprocessing Cost" discussion highlights.
+package hibiscus
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"lusail/internal/client"
+	"lusail/internal/erh"
+	"lusail/internal/federation"
+	"lusail/internal/fedx"
+	"lusail/internal/sparql"
+)
+
+// authSet is a set of URI authorities.
+type authSet map[string]bool
+
+// predSummary summarizes one predicate at one endpoint.
+type predSummary struct {
+	subjAuth authSet
+	objAuth  authSet // empty if objects are literals only
+	count    int
+}
+
+// Index is the per-federation HiBISCuS data summary.
+type Index struct {
+	// byEndpoint[ep][pred] is the summary of pred at ep.
+	byEndpoint map[string]map[string]*predSummary
+	// BuildTime records how long preprocessing took.
+	BuildTime time.Duration
+	// TriplesScanned counts the triples summarized.
+	TriplesScanned int
+}
+
+// BuildIndex constructs the summaries by querying each endpoint for its
+// predicates and their subject/object authorities — the offline
+// preprocessing phase of an index-based federation system.
+func BuildIndex(ctx context.Context, fed *federation.Federation, pool *erh.Pool) (*Index, error) {
+	start := time.Now()
+	idx := &Index{byEndpoint: map[string]map[string]*predSummary{}}
+	var mu sync.Mutex
+	eps := fed.Endpoints()
+	err := pool.ForEach(ctx, len(eps), func(i int) error {
+		ep := eps[i]
+		summ, scanned, err := summarizeEndpoint(ctx, ep)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		idx.byEndpoint[ep.Name()] = summ
+		idx.TriplesScanned += scanned
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx.BuildTime = time.Since(start)
+	return idx, nil
+}
+
+func summarizeEndpoint(ctx context.Context, ep client.Endpoint) (map[string]*predSummary, int, error) {
+	res, err := ep.Query(ctx, `SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
+	if err != nil {
+		return nil, 0, fmt.Errorf("hibiscus: summarizing %s: %w", ep.Name(), err)
+	}
+	summ := map[string]*predSummary{}
+	si, pi, oi := res.VarIndex("s"), res.VarIndex("p"), res.VarIndex("o")
+	for _, row := range res.Rows {
+		pred := row[pi].Value
+		ps, ok := summ[pred]
+		if !ok {
+			ps = &predSummary{subjAuth: authSet{}, objAuth: authSet{}}
+			summ[pred] = ps
+		}
+		ps.count++
+		if a := authority(row[si].Value); a != "" {
+			ps.subjAuth[a] = true
+		}
+		if row[oi].IsIRI() {
+			if a := authority(row[oi].Value); a != "" {
+				ps.objAuth[a] = true
+			}
+		}
+	}
+	return summ, len(res.Rows), nil
+}
+
+// authority extracts the URI authority (scheme + host) HiBISCuS hashes on.
+func authority(iri string) string {
+	u, err := url.Parse(iri)
+	if err != nil || u.Host == "" {
+		// Fall back to the prefix before the last separator (covers URNs
+		// and scheme-less identifiers).
+		if i := strings.LastIndexAny(iri, "/#:"); i > 0 {
+			return iri[:i]
+		}
+		return iri
+	}
+	return u.Scheme + "://" + u.Host
+}
+
+// Selector is HiBISCuS's index-based source selector with join-aware
+// pruning. It implements fedx.Selector.
+type Selector struct {
+	idx *Index
+	fed *federation.Federation
+
+	mu      sync.Mutex
+	pruned  map[string][]string // per-query pattern key -> sources
+	labeled bool
+}
+
+// NewSelector returns a selector using the prebuilt index.
+func NewSelector(idx *Index, fed *federation.Federation) *Selector {
+	return &Selector{idx: idx, fed: fed, pruned: map[string][]string{}}
+}
+
+// RelevantSources returns the endpoints that may answer the pattern
+// according to the index (predicate presence plus authority containment for
+// constant subjects/objects).
+func (s *Selector) RelevantSources(_ context.Context, tp sparql.TriplePattern) ([]string, error) {
+	var out []string
+	for _, epName := range s.fed.Names() {
+		if s.patternRelevant(epName, tp) {
+			out = append(out, epName)
+		}
+	}
+	return out, nil
+}
+
+func (s *Selector) patternRelevant(epName string, tp sparql.TriplePattern) bool {
+	summ := s.idx.byEndpoint[epName]
+	if summ == nil {
+		return false
+	}
+	var cands []*predSummary
+	if tp.P.IsVar() {
+		for _, ps := range summ {
+			cands = append(cands, ps)
+		}
+	} else {
+		ps, ok := summ[tp.P.Term.Value]
+		if !ok {
+			return false
+		}
+		cands = []*predSummary{ps}
+	}
+	for _, ps := range cands {
+		if !tp.S.IsVar() && tp.S.Term.IsIRI() && !ps.subjAuth[authority(tp.S.Term.Value)] {
+			continue
+		}
+		if !tp.O.IsVar() && tp.O.Term.IsIRI() && !ps.objAuth[authority(tp.O.Term.Value)] {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// PruneSources applies HiBISCuS's hypergraph join-aware pruning to a whole
+// conjunctive pattern set: an endpoint stays relevant for a pattern only if,
+// for every variable the pattern shares with another pattern, the authority
+// sets of the variable's positions can intersect. It runs to fixpoint and
+// returns per-pattern source lists.
+func (s *Selector) PruneSources(patterns []sparql.TriplePattern) [][]string {
+	sources := make([][]string, len(patterns))
+	for i, tp := range patterns {
+		srcs, _ := s.RelevantSources(context.Background(), tp)
+		sources[i] = srcs
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i, tpi := range patterns {
+			for _, v := range tpi.Vars() {
+				for j, tpj := range patterns {
+					if i == j || !tpj.HasVar(v) {
+						continue
+					}
+					// Union of authorities of v's position in tpj across
+					// its current sources.
+					other := authSet{}
+					for _, ep := range sources[j] {
+						for a := range s.varAuthorities(ep, tpj, v) {
+							other[a] = true
+						}
+					}
+					if len(other) == 0 {
+						continue // literals or unknown: cannot prune
+					}
+					var kept []string
+					for _, ep := range sources[i] {
+						mine := s.varAuthorities(ep, tpi, v)
+						if len(mine) == 0 || intersects(mine, other) {
+							kept = append(kept, ep)
+						}
+					}
+					if len(kept) != len(sources[i]) {
+						sources[i] = kept
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return sources
+}
+
+// varAuthorities returns the authority set of v's position in tp at ep.
+func (s *Selector) varAuthorities(epName string, tp sparql.TriplePattern, v string) authSet {
+	summ := s.idx.byEndpoint[epName]
+	if summ == nil {
+		return nil
+	}
+	collect := func(pick func(*predSummary) authSet) authSet {
+		if tp.P.IsVar() {
+			out := authSet{}
+			for _, ps := range summ {
+				for a := range pick(ps) {
+					out[a] = true
+				}
+			}
+			return out
+		}
+		ps, ok := summ[tp.P.Term.Value]
+		if !ok {
+			return nil
+		}
+		return pick(ps)
+	}
+	switch {
+	case tp.S.Var == v:
+		return collect(func(ps *predSummary) authSet { return ps.subjAuth })
+	case tp.O.Var == v:
+		return collect(func(ps *predSummary) authSet { return ps.objAuth })
+	}
+	return nil
+}
+
+func intersects(a, b authSet) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// Engine is HiBISCuS: the FedX executor with index-based source selection.
+type Engine struct {
+	inner *fedx.Engine
+}
+
+// New builds a HiBISCuS engine from a prebuilt index.
+func New(fed *federation.Federation, idx *Index, opts fedx.Options) *Engine {
+	opts.Selector = NewSelector(idx, fed)
+	return &Engine{inner: fedx.New(fed, opts)}
+}
+
+// QueryString executes a federated query.
+func (e *Engine) QueryString(ctx context.Context, query string) (*sparql.Results, error) {
+	return e.inner.QueryString(ctx, query)
+}
+
+// Query executes a parsed federated query.
+func (e *Engine) Query(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
+	return e.inner.Query(ctx, q)
+}

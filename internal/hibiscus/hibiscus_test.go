@@ -1,0 +1,148 @@
+package hibiscus
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"lusail/internal/client"
+	"lusail/internal/erh"
+	"lusail/internal/eval"
+	"lusail/internal/federation"
+	"lusail/internal/fedx"
+	"lusail/internal/qplan"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+	"lusail/internal/store"
+)
+
+func iri(host, local string) rdf.Term {
+	return rdf.NewIRI("http://" + host + "/" + local)
+}
+
+// crossDomainFed builds two endpoints with *different URI authorities*
+// (like LargeRDFBench's distinct datasets) plus one interlink.
+func crossDomainFed() (*federation.Federation, *store.Store) {
+	drugs := []rdf.Triple{
+		{S: iri("drugbank.org", "d1"), P: iri("drugbank.org", "name"), O: rdf.NewLiteral("aspirin")},
+		{S: iri("drugbank.org", "d1"), P: iri("drugbank.org", "target"), O: iri("kegg.org", "k9")},
+		{S: iri("drugbank.org", "d2"), P: iri("drugbank.org", "name"), O: rdf.NewLiteral("ibuprofen")},
+	}
+	kegg := []rdf.Triple{
+		{S: iri("kegg.org", "k9"), P: iri("kegg.org", "pathway"), O: rdf.NewLiteral("pw1")},
+		{S: iri("kegg.org", "k10"), P: iri("kegg.org", "pathway"), O: rdf.NewLiteral("pw2")},
+	}
+	oracle := store.New()
+	oracle.AddAll(drugs)
+	oracle.AddAll(kegg)
+	return federation.MustNew(
+		client.NewInProcess("drugbank", store.NewFromTriples(drugs)),
+		client.NewInProcess("kegg", store.NewFromTriples(kegg)),
+	), oracle
+}
+
+func TestBuildIndex(t *testing.T) {
+	fed, _ := crossDomainFed()
+	idx, err := BuildIndex(context.Background(), fed, erh.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.TriplesScanned != 5 {
+		t.Errorf("TriplesScanned = %d, want 5", idx.TriplesScanned)
+	}
+	if idx.BuildTime <= 0 {
+		t.Error("BuildTime not recorded")
+	}
+	db := idx.byEndpoint["drugbank"]
+	if db == nil {
+		t.Fatal("missing drugbank summary")
+	}
+	ps := db["http://drugbank.org/target"]
+	if ps == nil || !ps.objAuth["http://kegg.org"] {
+		t.Errorf("target predicate summary wrong: %+v", ps)
+	}
+}
+
+func TestIndexSourceSelection(t *testing.T) {
+	fed, _ := crossDomainFed()
+	idx, err := BuildIndex(context.Background(), fed, erh.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := NewSelector(idx, fed)
+	tp := sparql.TriplePattern{S: sparql.Var("s"), P: sparql.IRI("http://kegg.org/pathway"), O: sparql.Var("o")}
+	srcs, err := sel.RelevantSources(context.Background(), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(srcs, []string{"kegg"}) {
+		t.Errorf("sources = %v", srcs)
+	}
+	// Constant subject with wrong authority prunes the endpoint.
+	tp2 := sparql.TriplePattern{S: sparql.IRI("http://elsewhere.org/x"), P: sparql.IRI("http://kegg.org/pathway"), O: sparql.Var("o")}
+	srcs, _ = sel.RelevantSources(context.Background(), tp2)
+	if len(srcs) != 0 {
+		t.Errorf("authority pruning failed: %v", srcs)
+	}
+}
+
+func TestJoinAwarePruning(t *testing.T) {
+	fed, _ := crossDomainFed()
+	idx, err := BuildIndex(context.Background(), fed, erh.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := NewSelector(idx, fed)
+	patterns := []sparql.TriplePattern{
+		{S: sparql.Var("d"), P: sparql.IRI("http://drugbank.org/target"), O: sparql.Var("k")},
+		{S: sparql.Var("k"), P: sparql.IRI("http://kegg.org/pathway"), O: sparql.Var("p")},
+	}
+	sources := sel.PruneSources(patterns)
+	if !reflect.DeepEqual(sources[0], []string{"drugbank"}) {
+		t.Errorf("pattern 0 sources = %v", sources[0])
+	}
+	if !reflect.DeepEqual(sources[1], []string{"kegg"}) {
+		t.Errorf("pattern 1 sources = %v", sources[1])
+	}
+}
+
+func TestHiBISCuSMatchesOracle(t *testing.T) {
+	fed, oracle := crossDomainFed()
+	idx, err := BuildIndex(context.Background(), fed, erh.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(fed, idx, fedx.Options{})
+	q := `SELECT ?d ?p WHERE {
+		?d <http://drugbank.org/target> ?k .
+		?k <http://kegg.org/pathway> ?p .
+	}`
+	got, err := e.QueryString(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Rows = qplan.DistinctRows(got.Rows)
+	got.Sort()
+	want, err := eval.New(oracle).QueryString(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Sort()
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Errorf("got %v want %v", got.Rows, want.Rows)
+	}
+}
+
+func TestAuthorityExtraction(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"http://drugbank.org/d1", "http://drugbank.org"},
+		{"http://kegg.org/pathway/x", "http://kegg.org"},
+		{"urn:isbn:12345", "urn:isbn"},
+		{"noscheme/path", "noscheme"},
+	}
+	for _, tc := range tests {
+		if got := authority(tc.in); got != tc.want {
+			t.Errorf("authority(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

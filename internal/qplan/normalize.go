@@ -1,0 +1,319 @@
+// Package qplan holds the query-planning machinery shared by every
+// federated engine in this repository (Lusail and the FedX/HiBISCuS/
+// SPLENDID baselines): normalization of parsed queries into conjunctive
+// branches, relation algebra over materialized result sets, and final
+// solution-modifier application.
+package qplan
+
+import (
+	"fmt"
+	"lusail/internal/eval"
+	"sort"
+
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+)
+
+// Branch is one conjunctive alternative of the query after UNION
+// distribution: a set of triple patterns, filters, optional blocks, and
+// inline data.
+type Branch struct {
+	Patterns  []sparql.TriplePattern
+	Filters   []sparql.Expr
+	Optionals []*OptionalBlock
+	Values    []sparql.InlineData
+}
+
+// OptionalBlock is a top-level OPTIONAL group: its patterns and any filters
+// scoped to it.
+type OptionalBlock struct {
+	Patterns []sparql.TriplePattern
+	Filters  []sparql.Expr
+}
+
+// vars returns all variables bound anywhere in the Branch, sorted.
+func (br *Branch) Vars() []string {
+	seen := map[string]bool{}
+	for _, tp := range br.Patterns {
+		for _, v := range tp.Vars() {
+			seen[v] = true
+		}
+	}
+	for _, ob := range br.Optionals {
+		for _, tp := range ob.Patterns {
+			for _, v := range tp.Vars() {
+				seen[v] = true
+			}
+		}
+	}
+	for _, vd := range br.Values {
+		for _, v := range vd.Vars {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// normalize flattens the query's WHERE clause into conjunctive branches by
+// distributing UNION blocks, and collects filters and optional groups.
+// Federated evaluation then runs each Branch independently and unions the
+// results (sound because UNION distributes over join).
+func Normalize(q *sparql.Query) ([]*Branch, error) {
+	base := &Branch{}
+	branches := []*Branch{base}
+	if err := flattenGroup(q.Where, &branches); err != nil {
+		return nil, err
+	}
+	for _, br := range branches {
+		if len(br.Patterns) == 0 && len(br.Optionals) == 0 {
+			return nil, fmt.Errorf("lusail: query Branch has no triple patterns")
+		}
+	}
+	return branches, nil
+}
+
+// flattenGroup merges the elements of g into every current Branch,
+// multiplying branches at UNION blocks.
+func flattenGroup(g *sparql.GroupPattern, branches *[]*Branch) error {
+	for _, el := range g.Elements {
+		switch el := el.(type) {
+		case sparql.TriplePattern:
+			for _, br := range *branches {
+				br.Patterns = append(br.Patterns, el)
+			}
+		case sparql.Filter:
+			for _, br := range *branches {
+				br.Filters = append(br.Filters, el.Expr)
+			}
+		case sparql.InlineData:
+			for _, br := range *branches {
+				br.Values = append(br.Values, el)
+			}
+		case sparql.Optional:
+			ob, err := flattenOptional(el.Group)
+			if err != nil {
+				return err
+			}
+			for _, br := range *branches {
+				br.Optionals = append(br.Optionals, ob)
+			}
+		case sparql.Union:
+			// Distribute: each existing Branch forks once per union Branch.
+			var next []*Branch
+			for _, ub := range el.Branches {
+				forks := make([]*Branch, len(*branches))
+				for i, br := range *branches {
+					forks[i] = copyBranch(br)
+				}
+				if err := flattenGroup(ub, &forks); err != nil {
+					return err
+				}
+				next = append(next, forks...)
+			}
+			*branches = next
+		case sparql.SubSelect:
+			return fmt.Errorf("lusail: nested SELECT in federated queries is not supported")
+		case sparql.Bind:
+			return fmt.Errorf("lusail: BIND in federated queries is not supported")
+		default:
+			return fmt.Errorf("lusail: unsupported pattern element %T", el)
+		}
+	}
+	return nil
+}
+
+func flattenOptional(g *sparql.GroupPattern) (*OptionalBlock, error) {
+	ob := &OptionalBlock{}
+	for _, el := range g.Elements {
+		switch el := el.(type) {
+		case sparql.TriplePattern:
+			ob.Patterns = append(ob.Patterns, el)
+		case sparql.Filter:
+			ob.Filters = append(ob.Filters, el.Expr)
+		default:
+			return nil, fmt.Errorf("lusail: unsupported element %T inside OPTIONAL", el)
+		}
+	}
+	if len(ob.Patterns) == 0 {
+		return nil, fmt.Errorf("lusail: OPTIONAL block without triple patterns")
+	}
+	return ob, nil
+}
+
+func copyBranch(br *Branch) *Branch {
+	nb := &Branch{
+		Patterns:  append([]sparql.TriplePattern(nil), br.Patterns...),
+		Filters:   append([]sparql.Expr(nil), br.Filters...),
+		Optionals: append([]*OptionalBlock(nil), br.Optionals...),
+		Values:    append([]sparql.InlineData(nil), br.Values...),
+	}
+	return nb
+}
+
+// finalize applies the query's solution modifiers (aggregates, projection,
+// DISTINCT, ORDER BY, LIMIT/OFFSET) to the global relation.
+func Finalize(q *sparql.Query, rel *sparql.Results) (*sparql.Results, error) {
+	if rel == nil {
+		rel = EmptyRelation(nil)
+	}
+	if q.Form == sparql.AskForm {
+		return sparql.BoolResults(len(rel.Rows) > 0), nil
+	}
+	if len(q.GroupBy) > 0 {
+		bindings := make([]eval.Binding, len(rel.Rows))
+		for i := range rel.Rows {
+			bindings[i] = rel.Binding(i)
+		}
+		return eval.GroupAggregate(q, bindings)
+	}
+	if q.HasAggregates() {
+		return aggregateRelation(q, rel)
+	}
+	// ProjectedVars returns the WHERE clause's sorted variables for
+	// SELECT *, matching single-store evaluation exactly.
+	vars := q.ProjectedVars()
+	out := sparql.NewResults(vars)
+	idx := make([]int, len(vars))
+	for i, v := range vars {
+		idx[i] = rel.VarIndex(v)
+	}
+	out.Rows = make([][]rdf.Term, len(rel.Rows))
+	for r, row := range rel.Rows {
+		nr := make([]rdf.Term, len(vars))
+		for i, j := range idx {
+			if j >= 0 {
+				nr[i] = row[j]
+			}
+		}
+		out.Rows[r] = nr
+	}
+	if len(q.OrderBy) > 0 {
+		sortByOrder(out, q.OrderBy)
+	}
+	if q.Distinct {
+		out.Rows = DistinctRows(out.Rows)
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(out.Rows) {
+			out.Rows = nil
+		} else {
+			out.Rows = out.Rows[q.Offset:]
+		}
+	}
+	// Lusail's LIMIT strategy (noted in the paper's C4 discussion):
+	// compute the complete result, then truncate.
+	if q.Limit >= 0 && q.Limit < len(out.Rows) {
+		out.Rows = out.Rows[:q.Limit]
+	}
+	return out, nil
+}
+
+func sortByOrder(res *sparql.Results, conds []sparql.OrderCond) {
+	var idx []int
+	var desc []bool
+	for _, c := range conds {
+		if i := res.VarIndex(c.Var); i >= 0 {
+			idx = append(idx, i)
+			desc = append(desc, c.Desc)
+		}
+	}
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for k, i := range idx {
+			c := res.Rows[a][i].Compare(res.Rows[b][i])
+			if c == 0 {
+				continue
+			}
+			if desc[k] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+func aggregateRelation(q *sparql.Query, rel *sparql.Results) (*sparql.Results, error) {
+	vars := make([]string, len(q.Projection))
+	row := make([]rdf.Term, len(q.Projection))
+	for i, p := range q.Projection {
+		vars[i] = p.Var
+		if p.Agg == nil {
+			return nil, fmt.Errorf("lusail: mixing variables and aggregates is not supported")
+		}
+		v, err := computeAggregate(p.Agg, rel)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	out := sparql.NewResults(vars)
+	out.Rows = [][]rdf.Term{row}
+	return out, nil
+}
+
+func computeAggregate(a *sparql.Aggregate, rel *sparql.Results) (rdf.Term, error) {
+	switch a.Func {
+	case "COUNT":
+		if a.Var == "" {
+			return rdf.NewInteger(int64(len(rel.Rows))), nil
+		}
+		idx := rel.VarIndex(a.Var)
+		if idx < 0 {
+			return rdf.NewInteger(0), nil
+		}
+		if a.Distinct {
+			seen := map[rdf.Term]bool{}
+			for _, row := range rel.Rows {
+				if !row[idx].IsZero() {
+					seen[row[idx]] = true
+				}
+			}
+			return rdf.NewInteger(int64(len(seen))), nil
+		}
+		n := 0
+		for _, row := range rel.Rows {
+			if !row[idx].IsZero() {
+				n++
+			}
+		}
+		return rdf.NewInteger(int64(n)), nil
+	case "SUM", "MIN", "MAX", "AVG":
+		idx := rel.VarIndex(a.Var)
+		var vals []float64
+		if idx >= 0 {
+			for _, row := range rel.Rows {
+				if f, ok := row[idx].Numeric(); ok {
+					vals = append(vals, f)
+				}
+			}
+		}
+		if len(vals) == 0 {
+			return rdf.NewInteger(0), nil
+		}
+		agg := vals[0]
+		for _, v := range vals[1:] {
+			switch a.Func {
+			case "SUM", "AVG":
+				agg += v
+			case "MIN":
+				if v < agg {
+					agg = v
+				}
+			case "MAX":
+				if v > agg {
+					agg = v
+				}
+			}
+		}
+		if a.Func == "AVG" {
+			agg /= float64(len(vals))
+		}
+		return rdf.NewDouble(agg), nil
+	}
+	return rdf.Term{}, fmt.Errorf("lusail: unsupported aggregate %s", a.Func)
+}

@@ -1,0 +1,206 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseNTriples reads an N-Triples document and returns its triples.
+// Lines that are empty or start with '#' are skipped. The parser accepts the
+// core N-Triples grammar: IRIs in angle brackets, blank nodes, and literals
+// with optional language tags or datatypes.
+func ParseNTriples(r io.Reader) ([]Triple, error) {
+	var out []Triple
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseTripleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading n-triples: %w", err)
+	}
+	return out, nil
+}
+
+// ParseTripleLine parses a single N-Triples statement such as
+// `<s> <p> "o" .` into a Triple.
+func ParseTripleLine(line string) (Triple, error) {
+	p := &ntParser{in: line}
+	s, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("subject: %w", err)
+	}
+	pred, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("predicate: %w", err)
+	}
+	o, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("object: %w", err)
+	}
+	p.skipSpace()
+	if !p.eat('.') {
+		return Triple{}, fmt.Errorf("expected terminating '.' in %q", line)
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return Triple{}, fmt.Errorf("trailing content after '.' in %q", line)
+	}
+	if pred.Kind != IRI {
+		return Triple{}, fmt.Errorf("predicate must be an IRI, got %s", pred)
+	}
+	return Triple{S: s, P: pred, O: o}, nil
+}
+
+// WriteNTriples writes the triples in N-Triples format, one per line.
+func WriteNTriples(w io.Writer, triples []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range triples {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+type ntParser struct {
+	in  string
+	pos int
+}
+
+func (p *ntParser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *ntParser) eat(c byte) bool {
+	if p.pos < len(p.in) && p.in[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *ntParser) term() (Term, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return Term{}, fmt.Errorf("unexpected end of line")
+	}
+	switch p.in[p.pos] {
+	case '<':
+		return p.iri()
+	case '_':
+		return p.blank()
+	case '"':
+		return p.literal()
+	}
+	return Term{}, fmt.Errorf("unexpected character %q at offset %d", p.in[p.pos], p.pos)
+}
+
+func (p *ntParser) iri() (Term, error) {
+	p.pos++ // consume '<'
+	end := strings.IndexByte(p.in[p.pos:], '>')
+	if end < 0 {
+		return Term{}, fmt.Errorf("unterminated IRI")
+	}
+	iri := p.in[p.pos : p.pos+end]
+	p.pos += end + 1
+	return NewIRI(iri), nil
+}
+
+func (p *ntParser) blank() (Term, error) {
+	if !strings.HasPrefix(p.in[p.pos:], "_:") {
+		return Term{}, fmt.Errorf("malformed blank node")
+	}
+	p.pos += 2
+	start := p.pos
+	for p.pos < len(p.in) && !isNTWhitespace(p.in[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return Term{}, fmt.Errorf("empty blank node label")
+	}
+	return NewBlank(p.in[start:p.pos]), nil
+}
+
+func (p *ntParser) literal() (Term, error) {
+	p.pos++ // consume opening quote
+	var b strings.Builder
+	for {
+		if p.pos >= len(p.in) {
+			return Term{}, fmt.Errorf("unterminated literal")
+		}
+		c := p.in[p.pos]
+		if c == '"' {
+			p.pos++
+			break
+		}
+		if c == '\\' {
+			if p.pos+1 >= len(p.in) {
+				return Term{}, fmt.Errorf("dangling escape in literal")
+			}
+			p.pos++
+			switch p.in[p.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return Term{}, fmt.Errorf("unsupported escape \\%c", p.in[p.pos])
+			}
+			p.pos++
+			continue
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+	lex := b.String()
+	// Optional language tag or datatype.
+	if p.pos < len(p.in) && p.in[p.pos] == '@' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.in) && !isNTWhitespace(p.in[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			return Term{}, fmt.Errorf("empty language tag")
+		}
+		return NewLangLiteral(lex, p.in[start:p.pos]), nil
+	}
+	if strings.HasPrefix(p.in[p.pos:], "^^") {
+		p.pos += 2
+		if p.pos >= len(p.in) || p.in[p.pos] != '<' {
+			return Term{}, fmt.Errorf("datatype must be an IRI")
+		}
+		dt, err := p.iri()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewTypedLiteral(lex, dt.Value), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+func isNTWhitespace(c byte) bool { return c == ' ' || c == '\t' }

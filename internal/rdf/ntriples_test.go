@@ -1,0 +1,82 @@
+package rdf
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseNTriplesBasic(t *testing.T) {
+	doc := `
+# comment
+<http://s> <http://p> <http://o> .
+<http://s> <http://p> "plain" .
+<http://s> <http://p> "hi"@en .
+<http://s> <http://p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b0 <http://p> "x" .
+`
+	triples, err := ParseNTriples(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("ParseNTriples: %v", err)
+	}
+	want := []Triple{
+		NewTriple(NewIRI("http://s"), NewIRI("http://p"), NewIRI("http://o")),
+		NewTriple(NewIRI("http://s"), NewIRI("http://p"), NewLiteral("plain")),
+		NewTriple(NewIRI("http://s"), NewIRI("http://p"), NewLangLiteral("hi", "en")),
+		NewTriple(NewIRI("http://s"), NewIRI("http://p"), NewTypedLiteral("5", XSDInteger)),
+		NewTriple(NewBlank("b0"), NewIRI("http://p"), NewLiteral("x")),
+	}
+	if !reflect.DeepEqual(triples, want) {
+		t.Errorf("parsed %v, want %v", triples, want)
+	}
+}
+
+func TestParseNTriplesEscapes(t *testing.T) {
+	line := `<http://s> <http://p> "a\"b\\c\nd\te" .`
+	tr, err := ParseTripleLine(line)
+	if err != nil {
+		t.Fatalf("ParseTripleLine: %v", err)
+	}
+	if tr.O.Value != "a\"b\\c\nd\te" {
+		t.Errorf("unescaped value = %q", tr.O.Value)
+	}
+}
+
+func TestParseNTriplesErrors(t *testing.T) {
+	bad := []string{
+		`<http://s> <http://p> <http://o>`,         // missing dot
+		`<http://s> "lit" <http://o> .`,            // literal predicate
+		`<http://s> <http://p> .`,                  // missing object
+		`<http://s <http://p> <http://o> .`,        // unterminated IRI
+		`<http://s> <http://p> "unterminated .`,    // unterminated literal
+		`<http://s> <http://p> "x"^^"notiri" .`,    // datatype not IRI
+		`<http://s> <http://p> <http://o> . extra`, // trailing garbage
+		`_: <http://p> <http://o> .`,               // empty blank label
+	}
+	for _, line := range bad {
+		if _, err := ParseTripleLine(line); err == nil {
+			t.Errorf("ParseTripleLine(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	triples := []Triple{
+		NewTriple(NewIRI("http://s1"), NewIRI("http://p"), NewIRI("http://o")),
+		NewTriple(NewIRI("http://s2"), NewIRI("http://p"), NewLangLiteral("héllo wörld", "de")),
+		NewTriple(NewBlank("n1"), NewIRI("http://p"), NewTypedLiteral("3.14", XSDDouble)),
+		NewTriple(NewIRI("http://s3"), NewIRI("http://p"), NewLiteral("line1\nline2\t\"quoted\"")),
+	}
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, triples); err != nil {
+		t.Fatalf("WriteNTriples: %v", err)
+	}
+	back, err := ParseNTriples(&buf)
+	if err != nil {
+		t.Fatalf("ParseNTriples: %v", err)
+	}
+	if !reflect.DeepEqual(back, triples) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", back, triples)
+	}
+}

@@ -1,0 +1,155 @@
+package rdf
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func parseTTL(t *testing.T, doc string) []Triple {
+	t.Helper()
+	ts, err := ParseTurtle(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("ParseTurtle: %v", err)
+	}
+	return ts
+}
+
+func TestTurtleBasics(t *testing.T) {
+	ts := parseTTL(t, `
+		@prefix ex: <http://example.org/> .
+		@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+
+		ex:alice a foaf:Person ;
+			foaf:name "Alice" ;
+			foaf:knows ex:bob , ex:carol .
+		ex:bob foaf:name "Bob"@en .
+	`)
+	want := []Triple{
+		{S: NewIRI("http://example.org/alice"), P: NewIRI(RDFType), O: NewIRI("http://xmlns.com/foaf/0.1/Person")},
+		{S: NewIRI("http://example.org/alice"), P: NewIRI("http://xmlns.com/foaf/0.1/name"), O: NewLiteral("Alice")},
+		{S: NewIRI("http://example.org/alice"), P: NewIRI("http://xmlns.com/foaf/0.1/knows"), O: NewIRI("http://example.org/bob")},
+		{S: NewIRI("http://example.org/alice"), P: NewIRI("http://xmlns.com/foaf/0.1/knows"), O: NewIRI("http://example.org/carol")},
+		{S: NewIRI("http://example.org/bob"), P: NewIRI("http://xmlns.com/foaf/0.1/name"), O: NewLangLiteral("Bob", "en")},
+	}
+	if !reflect.DeepEqual(ts, want) {
+		t.Errorf("got:\n%v\nwant:\n%v", ts, want)
+	}
+}
+
+func TestTurtleSPARQLStylePrefix(t *testing.T) {
+	ts := parseTTL(t, `
+		PREFIX ex: <http://example.org/>
+		ex:a ex:p ex:b .
+	`)
+	if len(ts) != 1 || ts[0].S.Value != "http://example.org/a" {
+		t.Errorf("ts = %v", ts)
+	}
+}
+
+func TestTurtleNumbersAndBooleans(t *testing.T) {
+	ts := parseTTL(t, `
+		@prefix ex: <http://example.org/> .
+		ex:x ex:int 42 ; ex:neg -7 ; ex:dec 3.14 ; ex:flag true ; ex:off false .
+	`)
+	if len(ts) != 5 {
+		t.Fatalf("triples = %d", len(ts))
+	}
+	if ts[0].O != NewTypedLiteral("42", XSDInteger) {
+		t.Errorf("int = %v", ts[0].O)
+	}
+	if ts[1].O != NewTypedLiteral("-7", XSDInteger) {
+		t.Errorf("neg = %v", ts[1].O)
+	}
+	if ts[2].O != NewTypedLiteral("3.14", XSDDecimal) {
+		t.Errorf("dec = %v", ts[2].O)
+	}
+	if ts[3].O != NewBoolean(true) || ts[4].O != NewBoolean(false) {
+		t.Errorf("bools = %v %v", ts[3].O, ts[4].O)
+	}
+}
+
+func TestTurtleDatatypesAndLongStrings(t *testing.T) {
+	ts := parseTTL(t, `
+		@prefix ex: <http://example.org/> .
+		@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+		ex:x ex:a "5"^^xsd:integer ;
+		     ex:b "abc"^^<http://example.org/dt> ;
+		     ex:c """multi
+line "quoted" text""" .
+	`)
+	if ts[0].O != NewTypedLiteral("5", XSDInteger) {
+		t.Errorf("a = %v", ts[0].O)
+	}
+	if ts[1].O != NewTypedLiteral("abc", "http://example.org/dt") {
+		t.Errorf("b = %v", ts[1].O)
+	}
+	if !strings.Contains(ts[2].O.Value, "\"quoted\"") || !strings.Contains(ts[2].O.Value, "\n") {
+		t.Errorf("c = %q", ts[2].O.Value)
+	}
+}
+
+func TestTurtleBaseResolution(t *testing.T) {
+	ts := parseTTL(t, `
+		@base <http://example.org/data/> .
+		<thing1> <p> <thing2> .
+	`)
+	if ts[0].S.Value != "http://example.org/data/thing1" {
+		t.Errorf("base not applied: %v", ts[0].S)
+	}
+	// Absolute IRIs must not be rewritten.
+	ts = parseTTL(t, `
+		@base <http://example.org/data/> .
+		<http://other.org/x> <http://other.org/p> <urn:isbn:1> .
+	`)
+	if ts[0].S.Value != "http://other.org/x" || ts[0].O.Value != "urn:isbn:1" {
+		t.Errorf("absolute IRIs rewritten: %v", ts[0])
+	}
+}
+
+func TestTurtleBlankNodesAndComments(t *testing.T) {
+	ts := parseTTL(t, `
+		@prefix ex: <http://example.org/> . # trailing comment
+		# a full-line comment
+		_:b1 ex:p _:b2 .
+	`)
+	if ts[0].S != NewBlank("b1") || ts[0].O != NewBlank("b2") {
+		t.Errorf("blank nodes = %v", ts[0])
+	}
+}
+
+func TestTurtleAcceptsNTriples(t *testing.T) {
+	ts := parseTTL(t, `<http://s> <http://p> "o" .
+<http://s> <http://p> <http://o2> .`)
+	if len(ts) != 2 {
+		t.Errorf("triples = %d", len(ts))
+	}
+}
+
+func TestTurtleErrors(t *testing.T) {
+	bad := []string{
+		`ex:a ex:p ex:b .`, // undeclared prefix
+		`@prefix ex: <http://e/> . ex:a "lit" ex:b .`, // literal predicate
+		`@prefix ex: <http://e/> . ex:a ex:p ex:b`,    // missing dot
+		`@prefix ex: <http://e/> ex:a ex:p ex:b .`,    // @prefix missing dot
+		`@prefix ex: <http://e/> . "lit" ex:p ex:b .`, // literal subject
+		`@prefix ex: <http://e/> . ex:a ex:p "unterminated .`,
+	}
+	for _, doc := range bad {
+		if _, err := ParseTurtle(strings.NewReader(doc)); err == nil {
+			t.Errorf("ParseTurtle(%q) succeeded, want error", doc)
+		}
+	}
+}
+
+func TestTurtleSemicolonBeforeDot(t *testing.T) {
+	ts := parseTTL(t, `
+		@prefix ex: <http://example.org/> .
+		ex:a ex:p ex:b ;
+		     ex:q ex:c ;
+		.
+	`)
+	if len(ts) != 2 {
+		t.Errorf("triples = %d, want 2 (dangling semicolon tolerated)", len(ts))
+	}
+}

@@ -1,0 +1,289 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind int
+
+const (
+	tokEOF     tokenKind = iota
+	tokIRI               // <http://...>
+	tokPName             // prefix:local or prefix: (prefixed name)
+	tokVar               // ?x or $x
+	tokString            // "..." (value has escapes resolved)
+	tokLangTag           // @en
+	tokDTSep             // ^^
+	tokNumber            // 42, 3.14, -1e3
+	tokKeyword           // SELECT, WHERE, FILTER, ... (upper-cased)
+	tokA                 // the keyword 'a' (rdf:type)
+	tokPunct             // { } ( ) . , ; *
+	tokOp                // = != < <= > >= && || ! + - /
+)
+
+type token struct {
+	kind tokenKind
+	text string // for tokString: unescaped value; otherwise raw text
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "ASK": true, "CONSTRUCT": true, "WHERE": true, "PREFIX": true, "BASE": true,
+	"DISTINCT": true, "REDUCED": true, "FILTER": true, "OPTIONAL": true,
+	"UNION": true, "LIMIT": true, "OFFSET": true, "ORDER": true, "BY": true, "GROUP": true,
+	"ASC": true, "DESC": true, "VALUES": true, "UNDEF": true, "NOT": true,
+	"EXISTS": true, "AS": true, "BIND": true, "TRUE": true, "FALSE": true,
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
+	"IN": true,
+}
+
+type lexer struct {
+	in   string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(input string) ([]token, error) {
+	l := &lexer{in: input}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos
+	if l.pos >= len(l.in) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.in[l.pos]
+	switch {
+	case c == '<':
+		// '<' starts an IRI only if a whitespace-free run reaches '>';
+		// otherwise it is the less-than operator (e.g. FILTER(?x < 5)).
+		if end := strings.IndexByte(l.in[l.pos:], '>'); end >= 0 && !strings.ContainsAny(l.in[l.pos:l.pos+end], " \t\n\r") {
+			t := token{kind: tokIRI, text: l.in[l.pos+1 : l.pos+end], pos: start}
+			l.pos += end + 1
+			return t, nil
+		}
+		l.pos++
+		if l.pos < len(l.in) && l.in[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: "<=", pos: start}, nil
+		}
+		return token{kind: tokOp, text: "<", pos: start}, nil
+	case c == '?' || c == '$':
+		l.pos++
+		name := l.takeWhile(isVarChar)
+		if name == "" {
+			return token{}, fmt.Errorf("offset %d: empty variable name", start)
+		}
+		return token{kind: tokVar, text: name, pos: start}, nil
+	case c == '"' || c == '\'':
+		return l.lexString(c)
+	case c == '@':
+		l.pos++
+		tag := l.takeWhile(func(r rune) bool { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' })
+		if tag == "" {
+			return token{}, fmt.Errorf("offset %d: empty language tag", start)
+		}
+		return token{kind: tokLangTag, text: tag, pos: start}, nil
+	case strings.HasPrefix(l.in[l.pos:], "^^"):
+		l.pos += 2
+		return token{kind: tokDTSep, text: "^^", pos: start}, nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber()
+	case c == '{' || c == '}' || c == '(' || c == ')' || c == '.' || c == ',' || c == ';' || c == '*':
+		l.pos++
+		return token{kind: tokPunct, text: string(c), pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.in) && l.in[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{kind: tokOp, text: "!", pos: start}, nil
+	case c == '<' || c == '>': // '<' handled above; '>' here
+		l.pos++
+		if l.pos < len(l.in) && l.in[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: string(c) + "=", pos: start}, nil
+		}
+		return token{kind: tokOp, text: string(c), pos: start}, nil
+	case c == '&' && strings.HasPrefix(l.in[l.pos:], "&&"):
+		l.pos += 2
+		return token{kind: tokOp, text: "&&", pos: start}, nil
+	case c == '|' && strings.HasPrefix(l.in[l.pos:], "||"):
+		l.pos += 2
+		return token{kind: tokOp, text: "||", pos: start}, nil
+	case c == '+' || c == '/':
+		l.pos++
+		return token{kind: tokOp, text: string(c), pos: start}, nil
+	case c == '-':
+		// Could start a negative number.
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] >= '0' && l.in[l.pos+1] <= '9' {
+			l.pos++
+			t, err := l.lexNumber()
+			if err != nil {
+				return token{}, err
+			}
+			t.text = "-" + t.text
+			t.pos = start
+			return t, nil
+		}
+		l.pos++
+		return token{kind: tokOp, text: "-", pos: start}, nil
+	default:
+		return l.lexWord()
+	}
+}
+
+func (l *lexer) lexWord() (token, error) {
+	start := l.pos
+	word := l.takeWhile(func(r rune) bool {
+		return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.'
+	})
+	if word == "" {
+		return token{}, fmt.Errorf("offset %d: unexpected character %q", start, l.in[l.pos])
+	}
+	// A word followed by ':' is a prefixed-name prefix.
+	if l.pos < len(l.in) && l.in[l.pos] == ':' {
+		l.pos++
+		local := l.takeWhile(func(r rune) bool {
+			return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+		})
+		return token{kind: tokPName, text: word + ":" + local, pos: start}, nil
+	}
+	// Trailing '.' belongs to triple termination, not the word (e.g. "ex.").
+	for strings.HasSuffix(word, ".") {
+		word = word[:len(word)-1]
+		l.pos--
+	}
+	if word == "a" {
+		return token{kind: tokA, text: "a", pos: start}, nil
+	}
+	up := strings.ToUpper(word)
+	if keywords[up] {
+		return token{kind: tokKeyword, text: up, pos: start}, nil
+	}
+	// Bare words that are not keywords are only valid as function names in
+	// expressions (REGEX, STR, ...). Treat them as keyword-like tokens.
+	return token{kind: tokKeyword, text: up, pos: start}, nil
+}
+
+func (l *lexer) lexString(quote byte) (token, error) {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.in) {
+			return token{}, fmt.Errorf("offset %d: unterminated string", start)
+		}
+		c := l.in[l.pos]
+		if c == quote {
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		if c == '\\' {
+			if l.pos+1 >= len(l.in) {
+				return token{}, fmt.Errorf("offset %d: dangling escape", l.pos)
+			}
+			l.pos++
+			switch l.in[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\'', '\\':
+				b.WriteByte(l.in[l.pos])
+			default:
+				return token{}, fmt.Errorf("offset %d: unsupported escape \\%c", l.pos, l.in[l.pos])
+			}
+			l.pos++
+			continue
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	l.takeWhile(func(r rune) bool { return r >= '0' && r <= '9' })
+	if l.pos < len(l.in) && l.in[l.pos] == '.' && l.pos+1 < len(l.in) && l.in[l.pos+1] >= '0' && l.in[l.pos+1] <= '9' {
+		l.pos++
+		l.takeWhile(func(r rune) bool { return r >= '0' && r <= '9' })
+	}
+	if l.pos < len(l.in) && (l.in[l.pos] == 'e' || l.in[l.pos] == 'E') {
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.in) && (l.in[l.pos] == '+' || l.in[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos >= len(l.in) || l.in[l.pos] < '0' || l.in[l.pos] > '9' {
+			l.pos = save // not an exponent after all
+		} else {
+			l.takeWhile(func(r rune) bool { return r >= '0' && r <= '9' })
+		}
+	}
+	return token{kind: tokNumber, text: l.in[start:l.pos], pos: start}, nil
+}
+
+func (l *lexer) takeWhile(pred func(rune) bool) string {
+	start := l.pos
+	for l.pos < len(l.in) {
+		r, size := utf8.DecodeRuneInString(l.in[l.pos:])
+		if !pred(r) {
+			break
+		}
+		l.pos += size
+	}
+	return l.in[start:l.pos]
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '#' {
+			nl := strings.IndexByte(l.in[l.pos:], '\n')
+			if nl < 0 {
+				l.pos = len(l.in)
+				return
+			}
+			l.pos += nl + 1
+			continue
+		}
+		return
+	}
+}
+
+func isVarChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

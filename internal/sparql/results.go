@@ -1,0 +1,209 @@
+package sparql
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"lusail/internal/rdf"
+)
+
+// Results is a SPARQL result set: a sequence of solutions over a fixed
+// variable list for SELECT queries, or a boolean for ASK queries.
+//
+// Rows are aligned with Vars; a zero rdf.Term means the variable is unbound
+// in that solution.
+type Results struct {
+	Vars    []string
+	Rows    [][]rdf.Term
+	Boolean bool // ASK result; meaningful only when IsBoolean
+	// IsBoolean marks an ASK result.
+	IsBoolean bool
+}
+
+// NewResults returns an empty SELECT result set over the given variables.
+func NewResults(vars []string) *Results {
+	return &Results{Vars: vars}
+}
+
+// BoolResults returns an ASK result.
+func BoolResults(v bool) *Results {
+	return &Results{IsBoolean: true, Boolean: v}
+}
+
+// Len returns the number of solutions.
+func (r *Results) Len() int { return len(r.Rows) }
+
+// VarIndex returns the column index of the variable, or -1.
+func (r *Results) VarIndex(v string) int {
+	for i, name := range r.Vars {
+		if name == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Binding returns row i as a variable→term map, skipping unbound variables.
+func (r *Results) Binding(i int) map[string]rdf.Term {
+	m := make(map[string]rdf.Term, len(r.Vars))
+	for j, v := range r.Vars {
+		if !r.Rows[i][j].IsZero() {
+			m[v] = r.Rows[i][j]
+		}
+	}
+	return m
+}
+
+// Column returns the distinct bound values of a variable.
+func (r *Results) Column(v string) []rdf.Term {
+	idx := r.VarIndex(v)
+	if idx < 0 {
+		return nil
+	}
+	seen := map[rdf.Term]bool{}
+	var out []rdf.Term
+	for _, row := range r.Rows {
+		t := row[idx]
+		if !t.IsZero() && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Sort orders rows by the canonical term ordering over all columns. It makes
+// result sets comparable in tests.
+func (r *Results) Sort() {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i], r.Rows[j]
+		for k := range a {
+			if c := a[k].Compare(b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// jsonResults mirrors the SPARQL 1.1 Query Results JSON Format.
+type jsonResults struct {
+	Head    jsonHead      `json:"head"`
+	Results *jsonBindings `json:"results,omitempty"`
+	Boolean *bool         `json:"boolean,omitempty"`
+}
+
+type jsonHead struct {
+	Vars []string `json:"vars,omitempty"`
+}
+
+type jsonBindings struct {
+	Bindings []map[string]jsonTerm `json:"bindings"`
+}
+
+type jsonTerm struct {
+	Type     string `json:"type"`
+	Value    string `json:"value"`
+	Lang     string `json:"xml:lang,omitempty"`
+	Datatype string `json:"datatype,omitempty"`
+}
+
+// MarshalJSON encodes the results in the SPARQL 1.1 JSON results format.
+func (r *Results) MarshalJSON() ([]byte, error) {
+	out := jsonResults{Head: jsonHead{Vars: r.Vars}}
+	if r.IsBoolean {
+		b := r.Boolean
+		out.Boolean = &b
+		return json.Marshal(out)
+	}
+	bindings := make([]map[string]jsonTerm, len(r.Rows))
+	for i, row := range r.Rows {
+		m := make(map[string]jsonTerm, len(r.Vars))
+		for j, v := range r.Vars {
+			t := row[j]
+			if t.IsZero() {
+				continue
+			}
+			m[v] = termToJSON(t)
+		}
+		bindings[i] = m
+	}
+	out.Results = &jsonBindings{Bindings: bindings}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the SPARQL 1.1 JSON results format.
+func (r *Results) UnmarshalJSON(data []byte) error {
+	var in jsonResults
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("sparql results: %w", err)
+	}
+	if in.Boolean != nil {
+		*r = Results{IsBoolean: true, Boolean: *in.Boolean}
+		return nil
+	}
+	r.Vars = in.Head.Vars
+	r.IsBoolean = false
+	r.Rows = nil
+	if in.Results == nil {
+		return nil
+	}
+	for _, m := range in.Results.Bindings {
+		row := make([]rdf.Term, len(r.Vars))
+		for j, v := range r.Vars {
+			if jt, ok := m[v]; ok {
+				t, err := termFromJSON(jt)
+				if err != nil {
+					return err
+				}
+				row[j] = t
+			}
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return nil
+}
+
+func termToJSON(t rdf.Term) jsonTerm {
+	switch t.Kind {
+	case rdf.IRI:
+		return jsonTerm{Type: "uri", Value: t.Value}
+	case rdf.Blank:
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	default:
+		return jsonTerm{Type: "literal", Value: t.Value, Lang: t.Lang, Datatype: t.Datatype}
+	}
+}
+
+func termFromJSON(j jsonTerm) (rdf.Term, error) {
+	switch j.Type {
+	case "uri":
+		return rdf.NewIRI(j.Value), nil
+	case "bnode":
+		return rdf.NewBlank(j.Value), nil
+	case "literal", "typed-literal":
+		return rdf.Term{Kind: rdf.Literal, Value: j.Value, Lang: j.Lang, Datatype: j.Datatype}, nil
+	}
+	return rdf.Term{}, fmt.Errorf("sparql results: unknown term type %q", j.Type)
+}
+
+// WriteJSON writes the results to w in the SPARQL JSON format.
+func (r *Results) WriteJSON(w io.Writer) error {
+	data, err := r.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ParseResultsJSON reads a SPARQL JSON results document.
+func ParseResultsJSON(data []byte) (*Results, error) {
+	var r Results
+	if err := r.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,83 @@
+package sparql
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"lusail/internal/rdf"
+)
+
+// WriteCSV writes the results in the SPARQL 1.1 Query Results CSV format:
+// a header row of variable names, then one row per solution with plain
+// lexical values (IRIs bare, literals unquoted by the csv writer rules).
+// ASK results are written as a single boolean row.
+func (r *Results) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if r.IsBoolean {
+		if err := cw.Write([]string{"boolean"}); err != nil {
+			return err
+		}
+		if err := cw.Write([]string{fmt.Sprintf("%v", r.Boolean)}); err != nil {
+			return err
+		}
+		cw.Flush()
+		return cw.Error()
+	}
+	if err := cw.Write(r.Vars); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		cells := make([]string, len(row))
+		for i, t := range row {
+			cells[i] = csvValue(t)
+		}
+		if err := cw.Write(cells); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// csvValue renders a term per the CSV results spec: the bare value, with
+// blank nodes keeping their _: prefix.
+func csvValue(t rdf.Term) string {
+	if t.IsZero() {
+		return ""
+	}
+	if t.Kind == rdf.Blank {
+		return "_:" + t.Value
+	}
+	return t.Value
+}
+
+// WriteTSV writes the results in the SPARQL 1.1 Query Results TSV format:
+// a header of ?-prefixed variables, then full N-Triples-style terms
+// separated by tabs.
+func (r *Results) WriteTSV(w io.Writer) error {
+	if r.IsBoolean {
+		_, err := fmt.Fprintf(w, "?boolean\n%v\n", r.Boolean)
+		return err
+	}
+	header := make([]string, len(r.Vars))
+	for i, v := range r.Vars {
+		header[i] = "?" + v
+	}
+	if _, err := io.WriteString(w, strings.Join(header, "\t")+"\n"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		cells := make([]string, len(row))
+		for i, t := range row {
+			if !t.IsZero() {
+				cells[i] = t.String()
+			}
+		}
+		if _, err := io.WriteString(w, strings.Join(cells, "\t")+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

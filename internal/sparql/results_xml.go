@@ -1,0 +1,133 @@
+package sparql
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"lusail/internal/rdf"
+)
+
+// The SPARQL Query Results XML Format (https://www.w3.org/TR/rdf-sparql-XMLres/).
+
+type xmlSparql struct {
+	XMLName xml.Name    `xml:"http://www.w3.org/2005/sparql-results# sparql"`
+	Head    xmlHead     `xml:"head"`
+	Boolean *bool       `xml:"boolean,omitempty"`
+	Results *xmlResults `xml:"results"`
+}
+
+type xmlHead struct {
+	Variables []xmlVariable `xml:"variable"`
+}
+
+type xmlVariable struct {
+	Name string `xml:"name,attr"`
+}
+
+type xmlResults struct {
+	Results []xmlResult `xml:"result"`
+}
+
+type xmlResult struct {
+	Bindings []xmlBinding `xml:"binding"`
+}
+
+type xmlBinding struct {
+	Name    string      `xml:"name,attr"`
+	URI     *string     `xml:"uri,omitempty"`
+	BNode   *string     `xml:"bnode,omitempty"`
+	Literal *xmlLiteral `xml:"literal,omitempty"`
+}
+
+type xmlLiteral struct {
+	Lang     string `xml:"http://www.w3.org/XML/1998/namespace lang,attr,omitempty"`
+	Datatype string `xml:"datatype,attr,omitempty"`
+	Value    string `xml:",chardata"`
+}
+
+// WriteXML writes the results in the SPARQL Query Results XML Format.
+func (r *Results) WriteXML(w io.Writer) error {
+	doc := xmlSparql{}
+	if r.IsBoolean {
+		b := r.Boolean
+		doc.Boolean = &b
+	} else {
+		for _, v := range r.Vars {
+			doc.Head.Variables = append(doc.Head.Variables, xmlVariable{Name: v})
+		}
+		doc.Results = &xmlResults{}
+		for _, row := range r.Rows {
+			var res xmlResult
+			for i, v := range r.Vars {
+				t := row[i]
+				if t.IsZero() {
+					continue
+				}
+				b := xmlBinding{Name: v}
+				switch t.Kind {
+				case rdf.IRI:
+					val := t.Value
+					b.URI = &val
+				case rdf.Blank:
+					val := t.Value
+					b.BNode = &val
+				default:
+					b.Literal = &xmlLiteral{Value: t.Value, Lang: t.Lang, Datatype: t.Datatype}
+				}
+				res.Bindings = append(res.Bindings, b)
+			}
+			doc.Results.Results = append(doc.Results.Results, res)
+		}
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("sparql results xml: %w", err)
+	}
+	return enc.Flush()
+}
+
+// ParseResultsXML reads a SPARQL XML results document.
+func ParseResultsXML(data []byte) (*Results, error) {
+	var doc xmlSparql
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("sparql results xml: %w", err)
+	}
+	if doc.Boolean != nil {
+		return BoolResults(*doc.Boolean), nil
+	}
+	out := NewResults(nil)
+	for _, v := range doc.Head.Variables {
+		out.Vars = append(out.Vars, v.Name)
+	}
+	if doc.Results == nil {
+		return out, nil
+	}
+	for _, res := range doc.Results.Results {
+		row := make([]rdf.Term, len(out.Vars))
+		for _, b := range res.Bindings {
+			idx := out.VarIndex(b.Name)
+			if idx < 0 {
+				continue
+			}
+			switch {
+			case b.URI != nil:
+				row[idx] = rdf.NewIRI(*b.URI)
+			case b.BNode != nil:
+				row[idx] = rdf.NewBlank(*b.BNode)
+			case b.Literal != nil:
+				row[idx] = rdf.Term{
+					Kind:     rdf.Literal,
+					Value:    b.Literal.Value,
+					Lang:     b.Literal.Lang,
+					Datatype: b.Literal.Datatype,
+				}
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

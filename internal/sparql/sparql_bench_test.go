@@ -1,0 +1,60 @@
+package sparql
+
+import (
+	"testing"
+
+	"lusail/internal/rdf"
+)
+
+const benchQuery = `
+	PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+	PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+	SELECT ?S ?P ?U ?A WHERE {
+		?S ub:advisor ?P .
+		?S rdf:type ub:GraduateStudent .
+		?P ub:teacherOf ?C .
+		?S ub:takesCourse ?C .
+		?P ub:PhDDegreeFrom ?U .
+		?U ub:address ?A .
+		FILTER(STR(?A) != "nowhere" && ?S != ?P)
+		OPTIONAL { ?U ub:name ?N }
+	} ORDER BY ?S LIMIT 100`
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	q := MustParse(benchQuery)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q.String()
+	}
+}
+
+func BenchmarkResultsJSONRoundTrip(b *testing.B) {
+	res := NewResults([]string{"a", "b"})
+	for i := 0; i < 200; i++ {
+		res.Rows = append(res.Rows, []rdf.Term{
+			rdf.NewIRI("http://example.org/entity/very/long/path"),
+			rdf.NewLangLiteral("some literal value", "en"),
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := res.MarshalJSON()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ParseResultsJSON(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

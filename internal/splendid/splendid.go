@@ -1,0 +1,403 @@
+// Package splendid implements the SPLENDID baseline (Görlitz & Staab,
+// COLD 2011) from the paper's comparison: an index-based federated engine
+// driven by VoID-style statistics.
+//
+// SPLENDID precomputes per-endpoint VoID descriptors (triple counts, per-
+// predicate counts, per-class counts), selects sources from the index (with
+// ASK fallback for constant subjects/objects), orders joins with the
+// statistics, and picks per-join between fully materializing both sides
+// (hash join) and shipping bindings (bind join). Its tendency to
+// materialize large intermediate relations is what makes it time out on the
+// paper's complex and large queries.
+package splendid
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"lusail/internal/client"
+	"lusail/internal/erh"
+	"lusail/internal/federation"
+	"lusail/internal/qplan"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+)
+
+// VoID is the statistics descriptor of one endpoint.
+type VoID struct {
+	Triples    int
+	Predicates map[string]int // predicate IRI -> triple count
+	Classes    map[string]int // class IRI -> instance count
+}
+
+// Index is the federation-wide VoID catalog.
+type Index struct {
+	byEndpoint map[string]*VoID
+	BuildTime  time.Duration
+}
+
+// BuildIndex gathers VoID statistics from every endpoint (the offline
+// preprocessing phase; its cost scales with data size).
+func BuildIndex(ctx context.Context, fed *federation.Federation, pool *erh.Pool) (*Index, error) {
+	start := time.Now()
+	idx := &Index{byEndpoint: map[string]*VoID{}}
+	var mu sync.Mutex
+	eps := fed.Endpoints()
+	err := pool.ForEach(ctx, len(eps), func(i int) error {
+		v, err := describeEndpoint(ctx, eps[i])
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		idx.byEndpoint[eps[i].Name()] = v
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx.BuildTime = time.Since(start)
+	return idx, nil
+}
+
+func describeEndpoint(ctx context.Context, ep client.Endpoint) (*VoID, error) {
+	v := &VoID{Predicates: map[string]int{}, Classes: map[string]int{}}
+	res, err := ep.Query(ctx, `SELECT ?p ?o WHERE { ?s ?p ?o }`)
+	if err != nil {
+		return nil, fmt.Errorf("splendid: describing %s: %w", ep.Name(), err)
+	}
+	pi, oi := res.VarIndex("p"), res.VarIndex("o")
+	for _, row := range res.Rows {
+		v.Triples++
+		pred := row[pi].Value
+		v.Predicates[pred]++
+		if pred == rdf.RDFType && row[oi].IsIRI() {
+			v.Classes[row[oi].Value]++
+		}
+	}
+	return v, nil
+}
+
+// Options configures SPLENDID.
+type Options struct {
+	// PoolSize bounds concurrent endpoint requests (<=0: NumCPU).
+	PoolSize int
+	// BindJoinThreshold: when the bound side has at most this many rows,
+	// use a bind join instead of fully materializing the other side.
+	BindJoinThreshold int
+	// BindBlockSize is the VALUES block size for bind joins.
+	BindBlockSize int
+}
+
+// Engine is the SPLENDID baseline engine.
+type Engine struct {
+	fed  *federation.Federation
+	pool *erh.Pool
+	idx  *Index
+	sel  *federation.SourceSelector // ASK fallback
+	opts Options
+}
+
+// New returns a SPLENDID engine over a prebuilt VoID index.
+func New(fed *federation.Federation, idx *Index, opts Options) *Engine {
+	if opts.BindJoinThreshold <= 0 {
+		opts.BindJoinThreshold = 100
+	}
+	if opts.BindBlockSize <= 0 {
+		opts.BindBlockSize = 20
+	}
+	pool := erh.New(opts.PoolSize)
+	return &Engine{
+		fed:  fed,
+		pool: pool,
+		idx:  idx,
+		sel:  federation.NewSourceSelector(fed, pool),
+		opts: opts,
+	}
+}
+
+// QueryString parses and executes a federated query.
+func (e *Engine) QueryString(ctx context.Context, query string) (*sparql.Results, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.Query(ctx, q)
+}
+
+// Query executes a parsed query.
+func (e *Engine) Query(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
+	branches, err := qplan.Normalize(q)
+	if err != nil {
+		return nil, err
+	}
+	var all *sparql.Results
+	for _, br := range branches {
+		rel, err := e.evalBranch(ctx, br)
+		if err != nil {
+			return nil, err
+		}
+		if all == nil {
+			all = rel
+		} else {
+			all = qplan.UnionRelations(all, rel)
+		}
+	}
+	if all != nil {
+		all.Rows = qplan.DistinctRows(all.Rows)
+	}
+	return qplan.Finalize(q, all)
+}
+
+func (e *Engine) evalBranch(ctx context.Context, br *qplan.Branch) (*sparql.Results, error) {
+	type step struct {
+		tp      sparql.TriplePattern
+		sources []string
+		est     float64
+	}
+	steps := make([]*step, len(br.Patterns))
+	for i, tp := range br.Patterns {
+		srcs, err := e.selectSources(ctx, tp)
+		if err != nil {
+			return nil, err
+		}
+		if len(srcs) == 0 {
+			return qplan.EmptyRelation(br.Vars()), nil
+		}
+		steps[i] = &step{tp: tp, sources: srcs, est: e.estimate(tp, srcs)}
+	}
+
+	// Join order: statistics-driven greedy — cheapest estimated pattern
+	// first, then the connected pattern with the lowest estimate.
+	var order []*step
+	used := make([]bool, len(steps))
+	bound := map[string]bool{}
+	for len(order) < len(steps) {
+		best, bestScore := -1, 0.0
+		for i, st := range steps {
+			if used[i] {
+				continue
+			}
+			score := st.est
+			connected := false
+			for _, v := range st.tp.Vars() {
+				if bound[v] {
+					connected = true
+				}
+			}
+			if len(order) > 0 && !connected {
+				score *= 1e6 // avoid cross products
+			}
+			if best < 0 || score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+		order = append(order, steps[best])
+		used[best] = true
+		for _, v := range steps[best].tp.Vars() {
+			bound[v] = true
+		}
+	}
+
+	var rel *sparql.Results
+	for _, st := range order {
+		var err error
+		if rel == nil {
+			rel, err = e.fetchPattern(ctx, st.tp, st.sources, nil)
+		} else if len(rel.Rows) <= e.opts.BindJoinThreshold {
+			// Bind join: ship current bindings.
+			rel, err = e.bindJoin(ctx, rel, st.tp, st.sources)
+		} else {
+			// Hash join: materialize the pattern fully (SPLENDID's
+			// expensive habit on unselective queries).
+			var right *sparql.Results
+			right, err = e.fetchPattern(ctx, st.tp, st.sources, nil)
+			if err == nil {
+				rel = qplan.HashJoin(rel, right)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(rel.Rows) == 0 {
+			return qplan.EmptyRelation(br.Vars()), nil
+		}
+	}
+	if rel == nil {
+		rel = qplan.EmptyRelation(nil)
+	}
+
+	for _, ob := range br.Optionals {
+		orel, err := e.evalOptional(ctx, ob)
+		if err != nil {
+			return nil, err
+		}
+		rel = qplan.LeftJoin(rel, orel)
+	}
+	rel = qplan.ApplyFilters(rel, br.Filters)
+	return rel, nil
+}
+
+// selectSources uses the VoID index for variable-subject/object patterns
+// and ASK probes when constants make the index inconclusive.
+func (e *Engine) selectSources(ctx context.Context, tp sparql.TriplePattern) ([]string, error) {
+	var candidates []string
+	for name, v := range e.idx.byEndpoint {
+		ok := true
+		if !tp.P.IsVar() {
+			if tp.P.Term.Value == rdf.RDFType && !tp.O.IsVar() && tp.O.Term.IsIRI() {
+				ok = v.Classes[tp.O.Term.Value] > 0
+			} else {
+				ok = v.Predicates[tp.P.Term.Value] > 0
+			}
+		} else {
+			ok = v.Triples > 0
+		}
+		if ok {
+			candidates = append(candidates, name)
+		}
+	}
+	// Keep federation order deterministic.
+	candidates = federation.IntersectSources(e.fed.Names(), candidates)
+	// Constant subject or object: confirm with ASK (the index has no
+	// per-instance information).
+	if (!tp.S.IsVar() || (!tp.O.IsVar() && tp.P.IsVar())) && len(candidates) > 0 {
+		confirmed := make([]bool, len(candidates))
+		ask := sparql.NewAsk()
+		ask.Where.Elements = append(ask.Where.Elements, tp)
+		text := ask.String()
+		err := e.pool.ForEach(ctx, len(candidates), func(i int) error {
+			ok, err := client.Ask(ctx, e.fed.Get(candidates[i]), text)
+			if err != nil {
+				return err
+			}
+			confirmed[i] = ok
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("splendid: ASK fallback: %w", err)
+		}
+		var out []string
+		for i, ok := range confirmed {
+			if ok {
+				out = append(out, candidates[i])
+			}
+		}
+		return out, nil
+	}
+	return candidates, nil
+}
+
+// estimate returns the VoID-based cardinality estimate of a pattern.
+func (e *Engine) estimate(tp sparql.TriplePattern, sources []string) float64 {
+	total := 0.0
+	for _, name := range sources {
+		v := e.idx.byEndpoint[name]
+		if v == nil {
+			continue
+		}
+		switch {
+		case !tp.P.IsVar() && tp.P.Term.Value == rdf.RDFType && !tp.O.IsVar() && tp.O.Term.IsIRI():
+			total += float64(v.Classes[tp.O.Term.Value])
+		case !tp.P.IsVar():
+			c := float64(v.Predicates[tp.P.Term.Value])
+			if !tp.S.IsVar() || !tp.O.IsVar() {
+				c /= 10 // constants are selective; VoID has no finer data
+			}
+			total += c
+		default:
+			total += float64(v.Triples)
+		}
+	}
+	return total
+}
+
+func patternQuery(tp sparql.TriplePattern, values *sparql.InlineData) string {
+	q := sparql.NewSelect(tp.Vars()...)
+	q.Distinct = true
+	q.Where.Elements = append(q.Where.Elements, tp)
+	if values != nil {
+		q.Where.Elements = append(q.Where.Elements, *values)
+	}
+	return q.String()
+}
+
+// fetchPattern retrieves all matches of a pattern from its sources.
+func (e *Engine) fetchPattern(ctx context.Context, tp sparql.TriplePattern, sources []string, values *sparql.InlineData) (*sparql.Results, error) {
+	partial := make([]*sparql.Results, len(sources))
+	err := e.pool.ForEach(ctx, len(sources), func(i int) error {
+		res, err := e.fed.Get(sources[i]).Query(ctx, patternQuery(tp, values))
+		if err != nil {
+			return fmt.Errorf("splendid: fetch at %s: %w", sources[i], err)
+		}
+		partial[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rel := qplan.EmptyRelation(tp.Vars())
+	for _, p := range partial {
+		rel = qplan.UnionRelations(rel, p)
+	}
+	rel.Rows = qplan.DistinctRows(rel.Rows)
+	return rel, nil
+}
+
+// bindJoin ships the current bindings to the pattern's sources in blocks.
+func (e *Engine) bindJoin(ctx context.Context, rel *sparql.Results, tp sparql.TriplePattern, sources []string) (*sparql.Results, error) {
+	var shared []string
+	for _, v := range tp.Vars() {
+		if rel.VarIndex(v) >= 0 {
+			shared = append(shared, v)
+		}
+	}
+	if len(shared) == 0 {
+		right, err := e.fetchPattern(ctx, tp, sources, nil)
+		if err != nil {
+			return nil, err
+		}
+		return qplan.HashJoin(rel, right), nil
+	}
+	rows := qplan.ProjectDistinct(rel, shared)
+	right := qplan.EmptyRelation(tp.Vars())
+	for start := 0; start < len(rows); start += e.opts.BindBlockSize {
+		end := start + e.opts.BindBlockSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		block := sparql.InlineData{Vars: shared, Rows: rows[start:end]}
+		part, err := e.fetchPattern(ctx, tp, sources, &block)
+		if err != nil {
+			return nil, err
+		}
+		right = qplan.UnionRelations(right, part)
+	}
+	right.Rows = qplan.DistinctRows(right.Rows)
+	return qplan.HashJoin(rel, right), nil
+}
+
+func (e *Engine) evalOptional(ctx context.Context, ob *qplan.OptionalBlock) (*sparql.Results, error) {
+	var rel *sparql.Results
+	for _, tp := range ob.Patterns {
+		srcs, err := e.selectSources(ctx, tp)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.fetchPattern(ctx, tp, srcs, nil)
+		if err != nil {
+			return nil, err
+		}
+		if rel == nil {
+			rel = right
+		} else {
+			rel = qplan.HashJoin(rel, right)
+		}
+	}
+	if rel == nil {
+		rel = qplan.EmptyRelation(nil)
+	}
+	return qplan.ApplyFilters(rel, ob.Filters), nil
+}

@@ -1,0 +1,172 @@
+package splendid
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"lusail/internal/client"
+	"lusail/internal/erh"
+	"lusail/internal/eval"
+	"lusail/internal/federation"
+	"lusail/internal/qplan"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+	"lusail/internal/store"
+)
+
+const ub = "http://lubm.org/ub#"
+
+func u(s string) rdf.Term { return rdf.NewIRI(ub + s) }
+
+func smallFed(n int) (*federation.Federation, *store.Store) {
+	typ := rdf.NewIRI(rdf.RDFType)
+	oracle := store.New()
+	var eps []client.Endpoint
+	for uni := 0; uni < n; uni++ {
+		var triples []rdf.Triple
+		for s := 0; s < 5; s++ {
+			stu := u(fmt.Sprintf("u%d_s%d", uni, s))
+			prof := u(fmt.Sprintf("u%d_p%d", uni, s%2))
+			triples = append(triples,
+				rdf.Triple{S: stu, P: typ, O: u("Student")},
+				rdf.Triple{S: stu, P: u("advisor"), O: prof},
+				rdf.Triple{S: prof, P: u("PhDDegreeFrom"), O: u("univ0")},
+			)
+		}
+		if uni == 0 {
+			triples = append(triples, rdf.Triple{S: u("univ0"), P: u("address"), O: rdf.NewLiteral("Addr0")})
+		}
+		oracle.AddAll(triples)
+		eps = append(eps, client.NewInProcess(fmt.Sprintf("uni%d", uni), store.NewFromTriples(triples)))
+	}
+	return federation.MustNew(eps...), oracle
+}
+
+func buildEngine(t *testing.T, fed *federation.Federation) *Engine {
+	t.Helper()
+	idx, err := BuildIndex(context.Background(), fed, erh.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(fed, idx, Options{})
+}
+
+func TestVoIDIndex(t *testing.T) {
+	fed, _ := smallFed(2)
+	idx, err := BuildIndex(context.Background(), fed, erh.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := idx.byEndpoint["uni0"]
+	if v == nil {
+		t.Fatal("missing uni0 VoID")
+	}
+	if v.Predicates[ub+"advisor"] != 5 {
+		t.Errorf("advisor count = %d, want 5", v.Predicates[ub+"advisor"])
+	}
+	if v.Classes[ub+"Student"] != 5 {
+		t.Errorf("Student class count = %d, want 5", v.Classes[ub+"Student"])
+	}
+	if idx.BuildTime <= 0 {
+		t.Error("BuildTime missing")
+	}
+}
+
+func TestSourceSelectionFromIndex(t *testing.T) {
+	fed, _ := smallFed(2)
+	e := buildEngine(t, fed)
+	// address only exists at uni0.
+	tp := sparql.TriplePattern{S: sparql.Var("u"), P: sparql.IRI(ub + "address"), O: sparql.Var("a")}
+	srcs, err := e.selectSources(context.Background(), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(srcs, []string{"uni0"}) {
+		t.Errorf("sources = %v", srcs)
+	}
+	// Class-based selection via rdf:type.
+	tp2 := sparql.TriplePattern{S: sparql.Var("s"), P: sparql.IRI(rdf.RDFType), O: sparql.IRI(ub + "Student")}
+	srcs, _ = e.selectSources(context.Background(), tp2)
+	if len(srcs) != 2 {
+		t.Errorf("Student sources = %v", srcs)
+	}
+}
+
+func TestSplendidMatchesOracle(t *testing.T) {
+	fed, oracle := smallFed(3)
+	e := buildEngine(t, fed)
+	queries := []string{
+		`PREFIX ub: <http://lubm.org/ub#>
+		 SELECT ?s ?p WHERE { ?s ub:advisor ?p . ?p ub:PhDDegreeFrom ?u0 . ?u0 ub:address ?a }`,
+		`PREFIX ub: <http://lubm.org/ub#>
+		 PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		 SELECT ?s WHERE { ?s rdf:type ub:Student . ?s ub:advisor ?p }`,
+	}
+	for _, q := range queries {
+		got, err := e.QueryString(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		got.Rows = qplan.DistinctRows(got.Rows)
+		got.Sort()
+		want, err := eval.New(oracle).QueryString(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Rows = qplan.DistinctRows(want.Rows)
+		want.Sort()
+		if !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Errorf("query %s: got %d rows want %d", q, len(got.Rows), len(want.Rows))
+		}
+	}
+}
+
+func TestBindVsHashJoinThreshold(t *testing.T) {
+	fed, oracle := smallFed(2)
+	// Force hash joins by setting the threshold to zero rows.
+	idx, err := BuildIndex(context.Background(), fed, erh.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := `PREFIX ub: <http://lubm.org/ub#>
+	      SELECT ?s ?p WHERE { ?s ub:advisor ?p . ?p ub:PhDDegreeFrom ?u }`
+	for _, threshold := range []int{1, 1000} {
+		e := New(fed, idx, Options{BindJoinThreshold: threshold, BindBlockSize: 2})
+		got, err := e.QueryString(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Rows = qplan.DistinctRows(got.Rows)
+		got.Sort()
+		want, _ := eval.New(oracle).QueryString(q)
+		want.Rows = qplan.DistinctRows(want.Rows)
+		want.Sort()
+		if !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Errorf("threshold %d: results differ", threshold)
+		}
+	}
+}
+
+func TestSplendidOptional(t *testing.T) {
+	fed, oracle := smallFed(2)
+	e := buildEngine(t, fed)
+	q := `PREFIX ub: <http://lubm.org/ub#>
+	      SELECT ?p ?a WHERE {
+	        ?p ub:PhDDegreeFrom ?u .
+	        OPTIONAL { ?u ub:address ?a }
+	      }`
+	got, err := e.QueryString(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Rows = qplan.DistinctRows(got.Rows)
+	got.Sort()
+	want, _ := eval.New(oracle).QueryString(q)
+	want.Rows = qplan.DistinctRows(want.Rows)
+	want.Sort()
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Errorf("got %d rows want %d", len(got.Rows), len(want.Rows))
+	}
+}

@@ -1,0 +1,320 @@
+// Package store implements an in-memory, dictionary-encoded RDF triple store
+// with three sorted permutation indexes (SPO, POS, OSP). It plays the role of
+// the RDF engine behind each SPARQL endpoint (the paper used Jena Fuseki and
+// Virtuoso; any conformant store exercises the same federation code paths).
+//
+// Terms are interned into a dictionary so triples are stored and compared as
+// [3]uint32 identifiers. Pattern matching picks the index whose prefix covers
+// the bound positions of the pattern and scans a binary-searched range.
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"lusail/internal/rdf"
+)
+
+type tripleID [3]uint32 // always in (s, p, o) order
+
+// Store is a thread-safe in-memory triple store. The zero value is not
+// usable; call New.
+type Store struct {
+	mu    sync.RWMutex
+	terms []rdf.Term          // id -> term
+	ids   map[rdf.Term]uint32 // term -> id
+	set   map[tripleID]struct{}
+
+	spo, pos, osp []tripleID
+	dirty         bool // true when indexes need rebuilding
+
+	predCount map[uint32]int // predicate id -> triple count
+	version   int64          // bumped on every successful insert
+}
+
+// Version returns a counter that increases with every mutation; readers can
+// use it to invalidate caches derived from the store's contents.
+func (s *Store) Version() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		ids:       make(map[rdf.Term]uint32),
+		set:       make(map[tripleID]struct{}),
+		predCount: make(map[uint32]int),
+	}
+}
+
+// NewFromTriples returns a store loaded with the given triples.
+func NewFromTriples(triples []rdf.Triple) *Store {
+	s := New()
+	s.AddAll(triples)
+	return s
+}
+
+// Add inserts one triple. Duplicate inserts are ignored.
+func (s *Store) Add(t rdf.Triple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addLocked(t)
+}
+
+// AddAll inserts a batch of triples.
+func (s *Store) AddAll(triples []rdf.Triple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range triples {
+		s.addLocked(t)
+	}
+}
+
+func (s *Store) addLocked(t rdf.Triple) {
+	id := tripleID{s.internLocked(t.S), s.internLocked(t.P), s.internLocked(t.O)}
+	if _, ok := s.set[id]; ok {
+		return
+	}
+	s.set[id] = struct{}{}
+	s.spo = append(s.spo, id)
+	s.predCount[id[1]]++
+	s.dirty = true
+	s.version++
+}
+
+func (s *Store) internLocked(t rdf.Term) uint32 {
+	if id, ok := s.ids[t]; ok {
+		return id
+	}
+	id := uint32(len(s.terms))
+	s.terms = append(s.terms, t)
+	s.ids[t] = id
+	return id
+}
+
+// Len returns the number of triples in the store.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.set)
+}
+
+// TermCount returns the number of distinct terms in the dictionary.
+func (s *Store) TermCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.terms)
+}
+
+// PredicateCount returns the number of triples whose predicate is p.
+// This is the per-predicate statistic RDF engines keep for optimization.
+func (s *Store) PredicateCount(p rdf.Term) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.ids[p]
+	if !ok {
+		return 0
+	}
+	return s.predCount[id]
+}
+
+// Predicates returns all distinct predicates in the store.
+func (s *Store) Predicates() []rdf.Term {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]rdf.Term, 0, len(s.predCount))
+	for id := range s.predCount {
+		out = append(out, s.terms[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Triples returns a snapshot of all triples, in SPO order.
+func (s *Store) Triples() []rdf.Triple {
+	var out []rdf.Triple
+	s.Match(nil, nil, nil, func(t rdf.Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// ensureIndexes rebuilds the sorted permutation indexes if needed. It must
+// be called without holding the lock; it acquires the write lock only when
+// a rebuild is pending.
+func (s *Store) ensureIndexes() {
+	s.mu.RLock()
+	dirty := s.dirty
+	s.mu.RUnlock()
+	if !dirty {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.dirty {
+		return
+	}
+	sortIndex(s.spo, 0, 1, 2)
+	s.pos = append(s.pos[:0], s.spo...)
+	sortIndex(s.pos, 1, 2, 0)
+	s.osp = append(s.osp[:0], s.spo...)
+	sortIndex(s.osp, 2, 0, 1)
+	s.dirty = false
+}
+
+func sortIndex(idx []tripleID, a, b, c int) {
+	sort.Slice(idx, func(i, j int) bool {
+		if idx[i][a] != idx[j][a] {
+			return idx[i][a] < idx[j][a]
+		}
+		if idx[i][b] != idx[j][b] {
+			return idx[i][b] < idx[j][b]
+		}
+		return idx[i][c] < idx[j][c]
+	})
+}
+
+// Match streams all triples matching the pattern to fn. A nil term is a
+// wildcard. Iteration stops early if fn returns false.
+func (s *Store) Match(sub, pred, obj *rdf.Term, fn func(rdf.Triple) bool) {
+	s.ensureIndexes()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	var sid, pid, oid uint32
+	var sOK, pOK, oOK bool
+	resolve := func(t *rdf.Term) (uint32, bool, bool) {
+		if t == nil {
+			return 0, false, true
+		}
+		id, ok := s.ids[*t]
+		return id, true, ok
+	}
+	var present bool
+	if sid, sOK, present = resolve(sub); !present {
+		return
+	}
+	if pid, pOK, present = resolve(pred); !present {
+		return
+	}
+	if oid, oOK, present = resolve(obj); !present {
+		return
+	}
+
+	emit := func(id tripleID) bool {
+		return fn(rdf.Triple{S: s.terms[id[0]], P: s.terms[id[1]], O: s.terms[id[2]]})
+	}
+
+	// Select the index whose sort prefix covers the bound positions.
+	switch {
+	case sOK: // s bound: SPO index, prefix (s) or (s,p) or exact
+		s.scan(s.spo, 0, 1, 2, sid, sOK, pid, pOK, oid, oOK, emit)
+	case pOK: // p bound (s unbound): POS index, prefix (p) or (p,o)
+		s.scan(s.pos, 1, 2, 0, pid, pOK, oid, oOK, sid, sOK, emit)
+	case oOK: // only o bound: OSP
+		s.scan(s.osp, 2, 0, 1, oid, oOK, sid, sOK, pid, pOK, emit)
+	default: // full scan
+		for _, id := range s.spo {
+			if !emit(id) {
+				return
+			}
+		}
+	}
+}
+
+// scan walks index idx (sorted by positions a,b,c) over the range where the
+// bound prefix values match, filtering on any bound non-prefix positions.
+func (s *Store) scan(idx []tripleID, a, b, c int, va uint32, aOK bool, vb uint32, bOK bool, vc uint32, cOK bool, emit func(tripleID) bool) {
+	lo := sort.Search(len(idx), func(i int) bool { return idx[i][a] >= va })
+	for i := lo; i < len(idx) && idx[i][a] == va; i++ {
+		t := idx[i]
+		if bOK && t[b] != vb {
+			if t[b] > vb {
+				return // sorted: past the (a,b) range
+			}
+			continue
+		}
+		if cOK && t[c] != vc {
+			if bOK && t[c] > vc {
+				return // sorted by c within (a,b) prefix
+			}
+			continue
+		}
+		if !emit(t) {
+			return
+		}
+	}
+	_ = aOK
+}
+
+// Count returns the number of triples matching the pattern.
+func (s *Store) Count(sub, pred, obj *rdf.Term) int {
+	n := 0
+	s.Match(sub, pred, obj, func(rdf.Triple) bool { n++; return true })
+	return n
+}
+
+// Contains reports whether at least one triple matches the pattern.
+func (s *Store) Contains(sub, pred, obj *rdf.Term) bool {
+	found := false
+	s.Match(sub, pred, obj, func(rdf.Triple) bool { found = true; return false })
+	return found
+}
+
+// Remove deletes one triple. It reports whether the triple was present.
+// The dictionary retains interned terms (ids are stable for the store's
+// lifetime); indexes are rebuilt lazily on the next read.
+func (s *Store) Remove(t rdf.Triple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sid, ok := s.ids[t.S]
+	if !ok {
+		return false
+	}
+	pid, ok := s.ids[t.P]
+	if !ok {
+		return false
+	}
+	oid, ok := s.ids[t.O]
+	if !ok {
+		return false
+	}
+	id := tripleID{sid, pid, oid}
+	if _, ok := s.set[id]; !ok {
+		return false
+	}
+	delete(s.set, id)
+	for i, x := range s.spo {
+		if x == id {
+			s.spo = append(s.spo[:i], s.spo[i+1:]...)
+			break
+		}
+	}
+	s.predCount[pid]--
+	if s.predCount[pid] == 0 {
+		delete(s.predCount, pid)
+	}
+	s.dirty = true
+	s.version++
+	return true
+}
+
+// RemoveMatching deletes every triple matching the pattern (nil = wildcard)
+// and returns how many were removed.
+func (s *Store) RemoveMatching(sub, pred, obj *rdf.Term) int {
+	var victims []rdf.Triple
+	s.Match(sub, pred, obj, func(t rdf.Triple) bool {
+		victims = append(victims, t)
+		return true
+	})
+	n := 0
+	for _, t := range victims {
+		if s.Remove(t) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,68 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"lusail/internal/rdf"
+)
+
+func benchStore(n int) *Store {
+	s := New()
+	for i := 0; i < n; i++ {
+		s.Add(rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://ex/s%d", i%1000)),
+			P: rdf.NewIRI(fmt.Sprintf("http://ex/p%d", i%10)),
+			O: rdf.NewIRI(fmt.Sprintf("http://ex/o%d", i%500)),
+		})
+	}
+	return s
+}
+
+func BenchmarkStoreAdd(b *testing.B) {
+	b.ReportAllocs()
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.Add(rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://ex/s%d", i)),
+			P: rdf.NewIRI("http://ex/p"),
+			O: rdf.NewIRI(fmt.Sprintf("http://ex/o%d", i%100)),
+		})
+	}
+}
+
+func BenchmarkMatchByPredicate(b *testing.B) {
+	s := benchStore(20000)
+	p := rdf.NewIRI("http://ex/p3")
+	s.Count(nil, &p, nil) // force index build outside the loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.Match(nil, &p, nil, func(rdf.Triple) bool { n++; return true })
+	}
+}
+
+func BenchmarkMatchBySubject(b *testing.B) {
+	s := benchStore(20000)
+	sub := rdf.NewIRI("http://ex/s42")
+	s.Count(&sub, nil, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Count(&sub, nil, nil)
+	}
+}
+
+func BenchmarkMatchExact(b *testing.B) {
+	s := benchStore(20000)
+	sub := rdf.NewIRI("http://ex/s42")
+	p := rdf.NewIRI("http://ex/p2")
+	o := rdf.NewIRI("http://ex/o42")
+	s.Count(&sub, &p, &o)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Contains(&sub, &p, &o)
+	}
+}

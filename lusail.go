@@ -1,0 +1,176 @@
+// Package lusail is the public API of this repository: a federated SPARQL
+// query processor over decentralized RDF graphs, reproducing the system of
+// "Lusail: A System for Querying Linked Data at Scale" (PVLDB 11(4), 2017;
+// demonstrated at SIGMOD 2017).
+//
+// A federation is a set of independently maintained SPARQL endpoints.
+// Lusail answers a query over the union of their data by:
+//
+//  1. selecting the relevant endpoints per triple pattern (ASK probes),
+//  2. decomposing the query with LADE — instance-aware locality checks
+//     that detect which join variables can be resolved inside endpoints
+//     and which require a global join, and
+//  3. executing the resulting subqueries with SAPE — selectivity-aware
+//     scheduling that runs cheap subqueries concurrently, delays expensive
+//     ones into bound joins, and joins results with a cost-ordered
+//     parallel hash join.
+//
+// Quick start:
+//
+//	eps := []lusail.Endpoint{
+//		lusail.NewHTTPEndpoint("dblp", "https://dblp.example/sparql"),
+//		lusail.NewHTTPEndpoint("dbpedia", "https://dbpedia.example/sparql"),
+//	}
+//	eng, err := lusail.NewEngine(eps, lusail.DefaultOptions())
+//	...
+//	res, profile, err := eng.QueryString(ctx, "SELECT ?s WHERE { ... }")
+//
+// Endpoints can also be served from this process (see Serve and
+// NewMemoryEndpoint), which is how the benchmark suite builds federations
+// of up to 256 endpoints on one machine.
+package lusail
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"lusail/internal/client"
+	"lusail/internal/core"
+	"lusail/internal/endpoint"
+	"lusail/internal/federation"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+	"lusail/internal/store"
+)
+
+// Re-exported data-model types.
+type (
+	// Term is an RDF term (IRI, literal, or blank node).
+	Term = rdf.Term
+	// Triple is an RDF statement.
+	Triple = rdf.Triple
+	// Results is a SPARQL result set (SELECT solutions or ASK boolean).
+	Results = sparql.Results
+	// Query is a parsed SPARQL query.
+	Query = sparql.Query
+	// Endpoint is anything queryable with SPARQL: a remote HTTP endpoint,
+	// an in-process store, or a wrapped/instrumented endpoint.
+	Endpoint = client.Endpoint
+	// Engine is the Lusail federated query processor.
+	Engine = core.Engine
+	// Options configures the engine.
+	Options = core.Options
+	// Profile reports per-phase timings and planning counters of a query.
+	Profile = core.Profile
+	// ThresholdMode selects SAPE's delay rule.
+	ThresholdMode = core.ThresholdMode
+	// Metrics counts requests/rows/bytes flowing through endpoints.
+	Metrics = client.Metrics
+	// Store is an in-memory indexed triple store.
+	Store = store.Store
+	// Server is a running HTTP SPARQL endpoint.
+	Server = endpoint.Server
+)
+
+// Threshold modes for Options.Threshold (paper Section 5.4).
+const (
+	ThresholdMuSigma  = core.ThresholdMuSigma
+	ThresholdMu       = core.ThresholdMu
+	ThresholdMu2Sigma = core.ThresholdMu2Sigma
+	ThresholdOutliers = core.ThresholdOutliers
+)
+
+// DefaultOptions returns the engine configuration used in the paper's main
+// experiments (μ+σ delay threshold, caches on).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewEngine builds a Lusail engine over a federation of endpoints.
+// Endpoint names must be unique.
+func NewEngine(endpoints []Endpoint, opts Options) (*Engine, error) {
+	fed, err := federation.New(endpoints...)
+	if err != nil {
+		return nil, err
+	}
+	return core.New(fed, opts), nil
+}
+
+// NewHTTPEndpoint returns a client for a remote SPARQL 1.1 endpoint.
+func NewHTTPEndpoint(name, url string) Endpoint {
+	return client.NewHTTP(name, url)
+}
+
+// NewMemoryEndpoint returns an in-process endpoint over the given triples.
+func NewMemoryEndpoint(name string, triples []Triple) Endpoint {
+	return client.NewInProcess(name, store.NewFromTriples(triples))
+}
+
+// NewStoreEndpoint returns an in-process endpoint over an existing store.
+func NewStoreEndpoint(name string, st *Store) Endpoint {
+	return client.NewInProcess(name, st)
+}
+
+// Instrument wraps an endpoint so every request is counted in m. Several
+// endpoints may share one Metrics for federation-wide totals.
+func Instrument(ep Endpoint, m *Metrics) Endpoint {
+	return client.NewInstrumented(ep, m)
+}
+
+// WithLatency wraps an endpoint with simulated network delay: a fixed
+// round-trip time per request plus a transfer time proportional to response
+// size at the given bandwidth (bytes/second; 0 disables). It reproduces
+// geo-distributed deployments on one machine.
+func WithLatency(ep Endpoint, rtt time.Duration, bytesPerSecond int64) Endpoint {
+	return client.NewLatency(ep, rtt, bytesPerSecond)
+}
+
+// Serve starts an HTTP SPARQL endpoint for the triples on addr
+// (e.g. "127.0.0.1:8080" or ":0" for an ephemeral port). The returned
+// server reports its URL and is shut down with Close.
+func Serve(name, addr string, triples []Triple) (*Server, error) {
+	return endpoint.Serve(name, addr, store.NewFromTriples(triples))
+}
+
+// QueryEarly executes a federated query and delivers solutions to emit as
+// soon as they are complete (the paper's future-work "fast and early
+// results" mode). See core.Engine.QueryEarly for eligibility rules; the
+// returned bool reports whether streaming was possible.
+func QueryEarly(ctx context.Context, eng *Engine, query string, emit func(map[string]Term) bool) (bool, error) {
+	return eng.QueryEarly(ctx, query, emit)
+}
+
+// Parse parses a SPARQL query in the supported subset.
+func Parse(query string) (*Query, error) { return sparql.Parse(query) }
+
+// Construct executes a federated CONSTRUCT query, returning the
+// instantiated (deduplicated) triples.
+func Construct(ctx context.Context, eng *Engine, query string) ([]Triple, *Profile, error) {
+	return eng.ConstructString(ctx, query)
+}
+
+// ParseNTriples reads an N-Triples document.
+func ParseNTriples(r io.Reader) ([]Triple, error) { return rdf.ParseNTriples(r) }
+
+// ParseTurtle reads a Turtle document (N-Triples is a subset of Turtle, so
+// this reads both formats).
+func ParseTurtle(r io.Reader) ([]Triple, error) { return rdf.ParseTurtle(r) }
+
+// WriteNTriples writes triples in N-Triples format.
+func WriteNTriples(w io.Writer, triples []Triple) error { return rdf.WriteNTriples(w, triples) }
+
+// Convenience constructors for terms.
+
+// IRI returns an IRI term.
+func IRI(iri string) Term { return rdf.NewIRI(iri) }
+
+// Literal returns a plain literal term.
+func Literal(lex string) Term { return rdf.NewLiteral(lex) }
+
+// LangLiteral returns a language-tagged literal term.
+func LangLiteral(lex, lang string) Term { return rdf.NewLangLiteral(lex, lang) }
+
+// TypedLiteral returns a literal with an explicit datatype IRI.
+func TypedLiteral(lex, datatype string) Term { return rdf.NewTypedLiteral(lex, datatype) }
+
+// Integer returns an xsd:integer literal.
+func Integer(v int64) Term { return rdf.NewInteger(v) }

@@ -1,0 +1,118 @@
+package lusail_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"lusail"
+)
+
+func exampleTriples(host string, n int) []lusail.Triple {
+	var ts []lusail.Triple
+	for i := 0; i < n; i++ {
+		s := lusail.IRI(host + "/person/" + string(rune('a'+i)))
+		ts = append(ts,
+			lusail.Triple{S: s, P: lusail.IRI("http://xmlns.com/foaf/0.1/name"), O: lusail.Literal(host + "-person")},
+			lusail.Triple{S: s, P: lusail.IRI("http://xmlns.com/foaf/0.1/knows"), O: lusail.IRI("http://b.example/person/a")},
+		)
+	}
+	return ts
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	eps := []lusail.Endpoint{
+		lusail.NewMemoryEndpoint("a", exampleTriples("http://a.example", 3)),
+		lusail.NewMemoryEndpoint("b", exampleTriples("http://b.example", 2)),
+	}
+	eng, err := lusail.NewEngine(eps, lusail.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, prof, err := eng.QueryString(context.Background(), `
+		PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+		SELECT ?p ?friendName WHERE {
+			?p foaf:knows ?f .
+			?f foaf:name ?friendName .
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Error("no federated results")
+	}
+	if prof.Total <= 0 {
+		t.Error("missing profile")
+	}
+}
+
+func TestFacadeHTTPAndServe(t *testing.T) {
+	srv, err := lusail.Serve("a", "127.0.0.1:0", exampleTriples("http://a.example", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	eps := []lusail.Endpoint{
+		lusail.NewHTTPEndpoint("a", srv.URL),
+		lusail.NewMemoryEndpoint("b", exampleTriples("http://b.example", 2)),
+	}
+	var m lusail.Metrics
+	for i := range eps {
+		eps[i] = lusail.Instrument(eps[i], &m)
+	}
+	eng, err := lusail.NewEngine(eps, lusail.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := eng.QueryString(context.Background(), `
+		SELECT ?s WHERE { ?s <http://xmlns.com/foaf/0.1/knows> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 {
+		t.Errorf("rows = %d, want 4", res.Len())
+	}
+	if m.Snapshot().Requests == 0 {
+		t.Error("instrumentation recorded nothing")
+	}
+}
+
+func TestFacadeNTriplesRoundTrip(t *testing.T) {
+	ts := exampleTriples("http://a.example", 1)
+	var b strings.Builder
+	if err := lusail.WriteNTriples(&b, ts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := lusail.ParseNTriples(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ts) {
+		t.Errorf("round trip %d != %d", len(back), len(ts))
+	}
+}
+
+func TestFacadeParse(t *testing.T) {
+	q, err := lusail.Parse(`SELECT ?s WHERE { ?s ?p ?o } LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Limit != 5 {
+		t.Errorf("limit = %d", q.Limit)
+	}
+	if _, err := lusail.Parse(`NOT SPARQL`); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestFacadeTermConstructors(t *testing.T) {
+	if lusail.Integer(5).Value != "5" {
+		t.Error("Integer constructor wrong")
+	}
+	if lusail.LangLiteral("x", "en").Lang != "en" {
+		t.Error("LangLiteral constructor wrong")
+	}
+	if lusail.TypedLiteral("1", "http://dt").Datatype != "http://dt" {
+		t.Error("TypedLiteral constructor wrong")
+	}
+}
