@@ -17,11 +17,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
 	"lusail/internal/bench"
+	"lusail/internal/obs"
 )
 
 func main() {
@@ -30,7 +32,19 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-query timeout")
 	repeats := flag.Int("repeats", 3, "runs per query (first is warmup)")
 	endpoints := flag.String("endpoints", "4,16,64,256", "endpoint counts for fig12bc")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/federation on this address while experiments run")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Default().MetricsHandler())
+		mux.Handle("/debug/federation", obs.Default().DebugHandler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("lusail-bench: metrics listener: %v", err)
+			}
+		}()
+	}
 
 	opts := bench.ExpOptions{Scale: *scale, Timeout: *timeout, Repeats: *repeats}
 

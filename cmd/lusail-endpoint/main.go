@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 
 	"lusail"
 )
@@ -48,6 +49,8 @@ func main() {
 	defer srv.Close()
 	if !*quiet {
 		fmt.Printf("endpoint %q serving %d triples at %s\n", *name, len(triples), srv.URL)
+		base := strings.TrimSuffix(srv.URL, "/sparql")
+		fmt.Printf("metrics at %s/metrics (Prometheus text), snapshot at %s/debug/federation\n", base, base)
 	}
 
 	sig := make(chan os.Signal, 1)

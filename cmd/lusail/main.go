@@ -9,6 +9,14 @@
 //
 // Add -profile to print the per-phase breakdown (source selection, LADE
 // analysis, SAPE execution) and the decomposition chosen by the engine.
+//
+// Add -explain to print the full query plan and execution profile: the
+// decomposition, the span tree of everything the engine did (ASK probes,
+// check queries, COUNT probes, subqueries, bound-join batches, joins), and
+// a per-endpoint table of requests, rows, and bytes. -trace-out writes the
+// same span tree in Chrome trace_event format for chrome://tracing or
+// Perfetto. -admin serves /metrics (Prometheus text) and /debug/federation
+// (JSON) while the query runs.
 package main
 
 import (
@@ -16,11 +24,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"lusail"
+	"lusail/internal/obs"
 )
 
 type endpointFlags []string
@@ -38,6 +48,9 @@ func main() {
 	queryFile := flag.String("query-file", "", "read the query from a file")
 	format := flag.String("format", "table", "output format: table, json, csv, or tsv")
 	profile := flag.Bool("profile", false, "print the engine's phase profile")
+	explain := flag.Bool("explain", false, "print the query plan and a span-level execution profile")
+	traceOut := flag.String("trace-out", "", "write the query's span tree as a Chrome trace_event file")
+	admin := flag.String("admin", "", "serve /metrics and /debug/federation on this address (e.g. 127.0.0.1:9090)")
 	timeout := flag.Duration("timeout", time.Hour, "query timeout")
 	noSAPE := flag.Bool("disable-sape", false, "run with LADE only (no selectivity-aware execution)")
 	flag.Parse()
@@ -63,13 +76,27 @@ func main() {
 		if !ok {
 			log.Fatalf("lusail: invalid -endpoint %q, want name=url", spec)
 		}
-		eps = append(eps, lusail.NewHTTPEndpoint(name, url))
+		// Instrument every endpoint so the per-endpoint table of -explain
+		// and the /metrics series of -admin have data.
+		eps = append(eps, lusail.Instrument(lusail.NewHTTPEndpoint(name, url), nil))
 	}
 	opts := lusail.DefaultOptions()
 	opts.DisableSAPE = *noSAPE
+	opts.Trace = *explain || *traceOut != ""
 	eng, err := lusail.NewEngine(eps, opts)
 	if err != nil {
 		log.Fatalf("lusail: %v", err)
+	}
+
+	if *admin != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Default().MetricsHandler())
+		mux.Handle("/debug/federation", obs.Default().DebugHandler())
+		go func() {
+			if err := http.ListenAndServe(*admin, mux); err != nil {
+				log.Printf("lusail: admin listener: %v", err)
+			}
+		}()
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -104,6 +131,35 @@ func main() {
 		for _, d := range prof.Decomposition {
 			fmt.Fprintf(os.Stderr, "  subquery %s\n", d)
 		}
+	}
+	if *explain {
+		fmt.Fprintf(os.Stderr, "\n== PLAN ==\n")
+		fmt.Fprintf(os.Stderr, "GJVs: %v  subqueries: %d (%d delayed)\n",
+			prof.GJVs, prof.Subqueries, prof.Delayed)
+		for _, d := range prof.Decomposition {
+			fmt.Fprintf(os.Stderr, "  subquery %s\n", d)
+		}
+		fmt.Fprintf(os.Stderr, "\n== PROFILE ==\n")
+		if err := obs.WriteExplain(os.Stderr, prof.Trace); err != nil {
+			log.Fatalf("lusail: %v", err)
+		}
+		fmt.Fprintln(os.Stderr)
+		if err := obs.WriteEndpointStats(os.Stderr, obs.Default()); err != nil {
+			log.Fatalf("lusail: %v", err)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("lusail: %v", err)
+		}
+		if err := obs.WriteChromeTrace(f, prof.Trace); err != nil {
+			log.Fatalf("lusail: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("lusail: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (open in chrome://tracing or Perfetto)\n", *traceOut)
 	}
 }
 

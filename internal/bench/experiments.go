@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lusail/internal/core"
+	"lusail/internal/obs"
 )
 
 // ExpOptions configures an experiment run.
@@ -157,7 +158,9 @@ func Fig11Geo(opts ExpOptions) ([]*Table, error) {
 
 // Fig12aProfile reproduces Figure 12(a): the per-phase breakdown (source
 // selection, query analysis, execution) for a simple (S10), complex (C4),
-// and large (B1) query.
+// and large (B1) query. The phase times come from the engine's span tree
+// (Options.Trace) rather than the Profile's hand-rolled timers: each phase
+// is the sum of its named spans, and the total is the root span's duration.
 func Fig12aProfile(opts ExpOptions) (*Table, error) {
 	fed, err := NewFed(GenerateLRB(LRBConfig{Scale: opts.Scale, Seed: 11}), LocalCluster())
 	if err != nil {
@@ -174,17 +177,23 @@ func Fig12aProfile(opts ExpOptions) (*Table, error) {
 		Header: []string{"query", "source-selection", "analysis(LADE)", "execution(SAPE)", "total"},
 	}
 	for _, name := range []string{"S10", "C4", "B1"} {
-		eng := fed.NewLusail(core.DefaultOptions())
+		engOpts := core.DefaultOptions()
+		engOpts.Trace = true
+		eng := fed.NewLusail(engOpts)
 		_, prof, err := eng.QueryString(context.Background(), pick[name])
 		if err != nil {
 			return nil, fmt.Errorf("profiling %s: %w", name, err)
 		}
+		if prof.Trace == nil {
+			return nil, fmt.Errorf("profiling %s: no trace recorded", name)
+		}
+		phases := obs.SumByName(prof.Trace)
 		t.Rows = append(t.Rows, []string{
 			name,
-			FormatDuration(prof.SourceSelection),
-			FormatDuration(prof.Analysis),
-			FormatDuration(prof.Execution),
-			FormatDuration(prof.Total),
+			FormatDuration(phases["source-selection"]),
+			FormatDuration(phases["analysis"]),
+			FormatDuration(phases["execution"]),
+			FormatDuration(prof.Trace.Dur),
 		})
 	}
 	t.Notes = append(t.Notes, "paper: execution dominates; analysis adds no significant overhead")

@@ -5,11 +5,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lusail/internal/obs"
 	"lusail/internal/sparql"
 )
 
 // Metrics accumulates communication-cost counters for one endpoint or a
 // whole federation. All fields are updated atomically.
+//
+// Metrics predates the obs registry and is kept as a compatibility shim for
+// the benchmark harness's delta-based accounting (Snapshot/Sub); new code
+// should read the per-endpoint counters and histograms that Instrumented
+// reports into its obs.Registry instead.
 type Metrics struct {
 	Requests atomic.Int64 // number of queries sent (ASK + SELECT)
 	Asks     atomic.Int64 // subset of Requests that were ASK queries
@@ -54,16 +60,43 @@ func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 	}
 }
 
-// Instrumented wraps an endpoint and records metrics for every query.
+// Instrumented wraps an endpoint and records every query twice: into the
+// legacy Metrics shim (when non-nil) and into an obs.Registry as
+// per-endpoint labeled counters (requests, errors, ASKs) and histograms
+// (request latency, result rows, payload bytes).
 type Instrumented struct {
 	inner   Endpoint
 	metrics *Metrics
+
+	requests *obs.Counter
+	errors   *obs.Counter
+	asks     *obs.Counter
+	latency  *obs.Histogram
+	rows     *obs.Histogram
+	bytes    *obs.Histogram
 }
 
-// NewInstrumented wraps ep so that all traffic is recorded in m.
-// Multiple endpoints may share one Metrics to get federation-wide totals.
+// NewInstrumented wraps ep so that all traffic is recorded in m and in the
+// default obs registry. Multiple endpoints may share one Metrics to get
+// federation-wide totals; m may be nil to skip the shim.
 func NewInstrumented(ep Endpoint, m *Metrics) *Instrumented {
-	return &Instrumented{inner: ep, metrics: m}
+	return NewInstrumentedWith(ep, m, obs.Default())
+}
+
+// NewInstrumentedWith is NewInstrumented reporting into a specific
+// registry (tests and tools that need isolated metrics).
+func NewInstrumentedWith(ep Endpoint, m *Metrics, reg *obs.Registry) *Instrumented {
+	label := obs.L("endpoint", ep.Name())
+	return &Instrumented{
+		inner:    ep,
+		metrics:  m,
+		requests: reg.Counter(obs.MetricRequests, "queries sent per endpoint (ASK + SELECT)", label),
+		errors:   reg.Counter(obs.MetricErrors, "failed requests per endpoint", label),
+		asks:     reg.Counter(obs.MetricAsks, "ASK queries per endpoint", label),
+		latency:  reg.Histogram(obs.MetricRequestSeconds, "request latency per endpoint", obs.LatencyBuckets, label),
+		rows:     reg.Histogram(obs.MetricResultRows, "solution rows per response", obs.RowBuckets, label),
+		bytes:    reg.Histogram(obs.MetricResultBytes, "estimated payload bytes per response", obs.ByteBuckets, label),
+	}
 }
 
 // Name implements Endpoint.
@@ -72,22 +105,38 @@ func (e *Instrumented) Name() string { return e.inner.Name() }
 // Unwrap returns the wrapped endpoint.
 func (e *Instrumented) Unwrap() Endpoint { return e.inner }
 
-// Metrics returns the metrics sink.
+// Metrics returns the metrics sink (possibly nil).
 func (e *Instrumented) Metrics() *Metrics { return e.metrics }
 
 // Query implements Endpoint.
 func (e *Instrumented) Query(ctx context.Context, query string) (*sparql.Results, error) {
-	e.metrics.Requests.Add(1)
+	if e.metrics != nil {
+		e.metrics.Requests.Add(1)
+	}
+	e.requests.Inc()
+	start := time.Now()
 	res, err := e.inner.Query(ctx, query)
+	e.latency.Observe(time.Since(start).Seconds())
 	if err != nil {
-		e.metrics.Errors.Add(1)
+		if e.metrics != nil {
+			e.metrics.Errors.Add(1)
+		}
+		e.errors.Inc()
 		return nil, err
 	}
-	if res.IsBoolean {
-		e.metrics.Asks.Add(1)
+	size := ResultSize(res)
+	if e.metrics != nil {
+		if res.IsBoolean {
+			e.metrics.Asks.Add(1)
+		}
+		e.metrics.Rows.Add(int64(len(res.Rows)))
+		e.metrics.Bytes.Add(int64(size))
 	}
-	e.metrics.Rows.Add(int64(len(res.Rows)))
-	e.metrics.Bytes.Add(int64(ResultSize(res)))
+	if res.IsBoolean {
+		e.asks.Inc()
+	}
+	e.rows.Observe(float64(len(res.Rows)))
+	e.bytes.Observe(float64(size))
 	return res, nil
 }
 

@@ -4,30 +4,55 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sync/atomic"
 	"time"
 
+	"lusail/internal/obs"
 	"lusail/internal/sparql"
 )
 
-// Retry wraps an endpoint and retries failed queries with exponential
-// backoff. Federated engines issue many small requests to endpoints they
-// do not control; transient failures (connection resets, 5xx responses)
-// should not abort a whole federated query.
+// DefaultMaxBackoff caps the exponential backoff of Retry unless the caller
+// overrides MaxBackoff.
+const DefaultMaxBackoff = 30 * time.Second
+
+// Retry wraps an endpoint and retries failed queries with capped,
+// fully-jittered exponential backoff. Federated engines issue many small
+// requests to endpoints they do not control; transient failures (connection
+// resets, 5xx responses) should not abort a whole federated query.
+//
+// Full jitter (sleep uniformly in [0, backoff]) matters here: Lusail fans
+// subqueries out from many per-endpoint collector threads at once, so
+// deterministic backoff would synchronize all of them into retry storms
+// against an endpoint that just blipped.
 type Retry struct {
 	inner Endpoint
 	// Attempts is the maximum number of tries (including the first).
 	Attempts int
-	// Backoff is the delay before the second attempt; it doubles per retry.
+	// Backoff is the nominal delay before the second attempt; it doubles
+	// per retry up to MaxBackoff. The actual sleep is drawn uniformly from
+	// [0, nominal] (full jitter).
 	Backoff time.Duration
+	// MaxBackoff caps the nominal delay (default DefaultMaxBackoff; values
+	// <= 0 mean uncapped).
+	MaxBackoff time.Duration
+
+	retries *obs.Counter
 }
 
-// NewRetry wraps ep with up to attempts tries and the given initial backoff.
+// NewRetry wraps ep with up to attempts tries and the given initial
+// backoff, reporting retry counts into the default obs registry.
 func NewRetry(ep Endpoint, attempts int, backoff time.Duration) *Retry {
 	if attempts < 1 {
 		attempts = 1
 	}
-	return &Retry{inner: ep, Attempts: attempts, Backoff: backoff}
+	return &Retry{
+		inner:      ep,
+		Attempts:   attempts,
+		Backoff:    backoff,
+		MaxBackoff: DefaultMaxBackoff,
+		retries:    obs.Default().Counter(obs.MetricRetries, "retried requests per endpoint", obs.L("endpoint", ep.Name())),
+	}
 }
 
 // Name implements Endpoint.
@@ -40,12 +65,19 @@ func (e *Retry) Unwrap() Endpoint { return e.inner }
 func (e *Retry) Query(ctx context.Context, query string) (*sparql.Results, error) {
 	var lastErr error
 	delay := e.Backoff
+	if e.MaxBackoff > 0 && delay > e.MaxBackoff {
+		delay = e.MaxBackoff
+	}
 	for attempt := 0; attempt < e.Attempts; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, delay); err != nil {
+			e.retries.Inc()
+			if err := sleepCtx(ctx, jitter(delay)); err != nil {
 				return nil, err
 			}
 			delay *= 2
+			if e.MaxBackoff > 0 && delay > e.MaxBackoff {
+				delay = e.MaxBackoff
+			}
 		}
 		res, err := e.inner.Query(ctx, query)
 		if err == nil {
@@ -57,6 +89,14 @@ func (e *Retry) Query(ctx context.Context, query string) (*sparql.Results, error
 		lastErr = err
 	}
 	return nil, fmt.Errorf("endpoint %s: %d attempts failed: %w", e.Name(), e.Attempts, lastErr)
+}
+
+// jitter draws a full-jitter sleep uniformly from [0, d].
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int64N(int64(d) + 1))
 }
 
 // Flaky wraps an endpoint and injects failures: every FailEvery-th query

@@ -3,11 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"lusail/internal/erh"
 	"lusail/internal/eval"
 	"lusail/internal/federation"
+	"lusail/internal/obs"
 	"lusail/internal/qplan"
 	"lusail/internal/rdf"
 	"lusail/internal/sparql"
@@ -65,6 +67,11 @@ type Options struct {
 	// delayed and results are joined in input order. Used for the LADE-only
 	// ablation (paper Figure 14).
 	DisableSAPE bool
+	// Trace records a hierarchical span tree per query (source-selection
+	// ASKs, check queries, COUNT probes, subqueries, bound-join batches,
+	// joins) in Profile.Trace, for EXPLAIN output and trace export. Off by
+	// default: tracing costs one small allocation per remote request.
+	Trace bool
 }
 
 // DefaultOptions returns the configuration used in the paper's main
@@ -98,6 +105,12 @@ type Profile struct {
 	// cardinalities of subqueries evaluated unbound, for the q-error
 	// analysis of Section 4.1.
 	SubqueryStats []SubqueryStat
+
+	// Trace is the query's span tree when Options.Trace is set (nil
+	// otherwise). Render it with obs.WriteExplain or export it with
+	// obs.WriteJSONL / obs.WriteChromeTrace; sum phase spans with
+	// obs.SumByName.
+	Trace *obs.Span
 }
 
 // SubqueryStat is one (estimate, actual) cardinality observation.
@@ -156,6 +169,11 @@ func (e *Engine) QueryString(ctx context.Context, query string) (*sparql.Results
 func (e *Engine) Query(ctx context.Context, q *sparql.Query) (*sparql.Results, *Profile, error) {
 	start := time.Now()
 	prof := &Profile{}
+	if e.opts.Trace {
+		prof.Trace = obs.NewSpan("query")
+		ctx = obs.ContextWithSpan(ctx, prof.Trace)
+		defer prof.Trace.End()
+	}
 
 	branches, err := qplan.Normalize(q)
 	if err != nil {
@@ -179,25 +197,33 @@ func (e *Engine) Query(ctx context.Context, q *sparql.Query) (*sparql.Results, *
 		return nil, nil, err
 	}
 	prof.Total = time.Since(start)
+	prof.Trace.SetAttr("results", res.Len())
 	return res, prof, nil
 }
 
 // evalBranch plans and executes one conjunctive branch of the query.
 func (e *Engine) evalBranch(ctx context.Context, br *qplan.Branch, prof *Profile) (*sparql.Results, error) {
+	bctx, bsp := obs.StartSpan(ctx, "branch")
+	defer bsp.End()
+	bsp.SetAttr("patterns", len(br.Patterns))
+	ctx = bctx
+
 	// Phase 1: source selection (per triple pattern, cached ASK probes).
 	t0 := time.Now()
+	ssCtx, ssSpan := obs.StartSpan(ctx, "source-selection")
 	if !e.opts.CacheSources {
 		e.sel.ClearCache()
 	}
 	sources := make([][]string, len(br.Patterns))
-	err := e.pool.ForEach(ctx, len(br.Patterns), func(i int) error {
-		s, err := e.sel.RelevantSources(ctx, br.Patterns[i])
+	err := e.pool.ForEach(ssCtx, len(br.Patterns), func(i int) error {
+		s, err := e.sel.RelevantSources(ssCtx, br.Patterns[i])
 		if err != nil {
 			return err
 		}
 		sources[i] = s
 		return nil
 	})
+	ssSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("lusail: source selection: %w", err)
 	}
@@ -214,14 +240,17 @@ func (e *Engine) evalBranch(ctx context.Context, br *qplan.Branch, prof *Profile
 
 	// Phase 2: LADE analysis — statistics, GJV detection, decomposition.
 	t1 := time.Now()
-	stats, err := e.collectStats(ctx, br, sources)
+	anCtx, anSpan := obs.StartSpan(ctx, "analysis")
+	stats, err := e.collectStats(anCtx, br, sources)
 	if err != nil {
+		anSpan.End()
 		return nil, fmt.Errorf("lusail: statistics: %w", err)
 	}
 	prof.CountProbes += stats.probes
 
-	gjv, err := e.detectGJVs(ctx, br.Patterns, sources)
+	gjv, err := e.detectGJVs(anCtx, br.Patterns, sources)
 	if err != nil {
+		anSpan.End()
 		return nil, fmt.Errorf("lusail: GJV detection: %w", err)
 	}
 	prof.ChecksIssued += gjv.ChecksIssued
@@ -233,11 +262,16 @@ func (e *Engine) evalBranch(ctx context.Context, br *qplan.Branch, prof *Profile
 	for _, sq := range subqueries {
 		prof.Decomposition = append(prof.Decomposition, sq.String())
 	}
+	anSpan.SetAttr("gjvs", strings.Join(gjv.GlobalVars(), ","))
+	anSpan.SetAttr("subqueries", len(subqueries))
+	anSpan.End()
 	prof.Analysis += time.Since(t1)
 
 	// Phase 3: SAPE execution.
 	t2 := time.Now()
-	rel, err := e.execute(ctx, br, subqueries, stats, prof)
+	exCtx, exSpan := obs.StartSpan(ctx, "execution")
+	rel, err := e.execute(exCtx, br, subqueries, stats, prof)
+	exSpan.End()
 	prof.Execution += time.Since(t2)
 	if err != nil {
 		return nil, err

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"lusail/internal/federation"
+	"lusail/internal/obs"
 	"lusail/internal/rdf"
 	"lusail/internal/sparql"
 )
@@ -46,14 +48,29 @@ func (r *GJVResult) GlobalVars() []string {
 type checkCache struct {
 	mu sync.Mutex
 	m  map[string]bool // key -> "pair failed the locality check" (v is global)
+
+	hits   *obs.Counter
+	misses *obs.Counter
 }
 
-func newCheckCache() *checkCache { return &checkCache{m: map[string]bool{}} }
+func newCheckCache() *checkCache {
+	reg := obs.Default()
+	return &checkCache{
+		m:      map[string]bool{},
+		hits:   reg.Counter(obs.MetricCheckCacheHits, "LADE check-query cache hits"),
+		misses: reg.Counter(obs.MetricCheckCacheMisses, "LADE check-query cache misses"),
+	}
+}
 
 func (c *checkCache) get(key string) (bool, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	v, ok := c.m[key]
+	if ok {
+		c.hits.Inc()
+	} else {
+		c.misses.Inc()
+	}
 	return v, ok
 }
 
@@ -336,6 +353,8 @@ func (e *Engine) runChecks(ctx context.Context, checks []checkQuery, res *GJVRes
 				continue
 			}
 		}
+		sp := obs.FromContext(ctx).StartChild("check-query")
+		sp.SetAttr("sources", strings.Join(cq.sources, ","))
 		failed := false
 		var mu sync.Mutex
 		err := e.pool.ForEach(ctx, len(cq.sources), func(i int) error {
@@ -355,6 +374,8 @@ func (e *Engine) runChecks(ctx context.Context, checks []checkQuery, res *GJVRes
 			return nil
 		})
 		res.ChecksIssued += len(cq.sources)
+		sp.SetAttr("failed", failed)
+		sp.End()
 		if err != nil {
 			return false, err
 		}

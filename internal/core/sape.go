@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 
 	"lusail/internal/client"
 	"lusail/internal/federation"
+	"lusail/internal/obs"
 	"lusail/internal/qplan"
 	"lusail/internal/rdf"
 	"lusail/internal/sparql"
@@ -95,12 +97,16 @@ func (e *Engine) execute(ctx context.Context, br *qplan.Branch, sqs []*Subquery,
 
 	// Join the remaining components (cross product if truly disjoint —
 	// e.g. the C5/B5/B6 queries whose subgraphs meet only through FILTER).
+	_, jsp := obs.StartSpan(ctx, "join")
+	jsp.SetAttr("components", len(components))
 	global := e.joinAll(components)
 
 	// VALUES blocks from the query text join the global relation.
 	for _, vd := range br.Values {
 		global = joinValuesRelation(global, vd)
 	}
+	jsp.SetAttr("rows", len(global.Rows))
+	jsp.End()
 
 	// OPTIONAL blocks left-join at the global level, selective first.
 	sort.SliceStable(optionals, func(i, j int) bool {
@@ -160,11 +166,16 @@ func (e *Engine) evalSubqueriesConcurrently(ctx context.Context, sqs []*Subquery
 	partial := make([]*sparql.Results, len(tasks))
 	err := e.pool.ForEach(ctx, len(tasks), func(k int) error {
 		t := tasks[k]
+		sp := obs.FromContext(ctx).StartChild("subquery")
+		defer sp.End()
+		sp.SetAttr("endpoint", t.ep)
+		sp.SetAttr("patterns", len(sqs[t.sq].Patterns))
 		q := sqs[t.sq].Query(nil).String()
 		res, err := e.fed.Get(t.ep).Query(ctx, q)
 		if err != nil {
 			return fmt.Errorf("subquery at %s: %w", t.ep, err)
 		}
+		sp.SetAttr("rows", len(res.Rows))
 		partial[k] = res
 		return nil
 	})
@@ -234,6 +245,11 @@ func (e *Engine) evalDelayed(ctx context.Context, sq *Subquery, components []*sp
 		// subquery can only produce the empty relation.
 		return qplan.EmptyRelation(sq.Vars()), comp, nil
 	}
+	bjCtx, bjSpan := obs.StartSpan(ctx, "bound-join")
+	defer bjSpan.End()
+	ctx = bjCtx
+	bjSpan.SetAttr("bindings", len(rows))
+	bjSpan.SetAttr("vars", strings.Join(shared, ","))
 	sources, err := e.refineSources(ctx, sq, shared, rows)
 	if err != nil {
 		return nil, 0, err
@@ -259,14 +275,21 @@ func (e *Engine) evalDelayed(ctx context.Context, sq *Subquery, components []*sp
 			tasks = append(tasks, task{block: b, ep: ep})
 		}
 	}
+	bjSpan.SetAttr("blocks", len(blocks))
 	partial := make([]*sparql.Results, len(tasks))
 	err = e.pool.ForEach(ctx, len(tasks), func(k int) error {
 		t := tasks[k]
+		sp := bjSpan.StartChild("batch")
+		defer sp.End()
+		sp.SetAttr("endpoint", t.ep)
+		sp.SetAttr("block", t.block)
+		sp.SetAttr("values", len(blocks[t.block].Rows))
 		q := sq.Query(&blocks[t.block]).String()
 		res, err := e.fed.Get(t.ep).Query(ctx, q)
 		if err != nil {
 			return fmt.Errorf("bound subquery at %s: %w", t.ep, err)
 		}
+		sp.SetAttr("rows", len(res.Rows))
 		partial[k] = res
 		return nil
 	})
@@ -278,6 +301,7 @@ func (e *Engine) evalDelayed(ctx context.Context, sq *Subquery, components []*sp
 		rel = qplan.UnionRelations(rel, p)
 	}
 	rel.Rows = qplan.DistinctRows(rel.Rows)
+	bjSpan.SetAttr("rows", len(rel.Rows))
 	return rel, comp, nil
 }
 
@@ -423,6 +447,10 @@ func (e *Engine) evalOptional(ctx context.Context, ob *optionalPlan, global *spa
 	if len(sq.Sources) == 0 {
 		return qplan.EmptyRelation(sq.Vars()), nil
 	}
+	octx, osp := obs.StartSpan(ctx, "optional")
+	defer osp.End()
+	ctx = octx
+	osp.SetAttr("sources", strings.Join(sq.Sources, ","))
 	shared := sharedRelVars(sq, global)
 	var rel *sparql.Results
 	if len(shared) == 0 || len(global.Rows) == 0 {

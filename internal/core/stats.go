@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 
+	"lusail/internal/obs"
 	"lusail/internal/qplan"
 	"lusail/internal/sparql"
 )
@@ -38,6 +39,9 @@ func (e *Engine) collectStats(ctx context.Context, br *qplan.Branch, sources [][
 	var mu sync.Mutex
 	err := e.pool.ForEach(ctx, len(tasks), func(k int) error {
 		t := tasks[k]
+		sp := obs.FromContext(ctx).StartChild("count-probe")
+		defer sp.End()
+		sp.SetAttr("endpoint", t.source)
 		tp := br.Patterns[t.pattern]
 		q := countQuery(tp, pushableFilters(tp, br.Filters))
 		ep := e.fed.Get(t.source)
@@ -51,6 +55,7 @@ func (e *Engine) collectStats(ctx context.Context, br *qplan.Branch, sources [][
 				n = f
 			}
 		}
+		sp.SetAttr("count", int(n))
 		mu.Lock()
 		st.card[t.pattern][t.source] = n
 		mu.Unlock()

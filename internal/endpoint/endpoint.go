@@ -11,7 +11,9 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"time"
 
+	"lusail/internal/obs"
 	"lusail/internal/rdf"
 	"lusail/internal/sparql"
 
@@ -27,37 +29,63 @@ type Handler struct {
 	name string
 	ev   *eval.Evaluator
 	logf func(format string, args ...any)
+
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
 }
 
-// NewHandler returns a SPARQL protocol handler over the given store.
+// NewHandler returns a SPARQL protocol handler over the given store. The
+// handler reports request counts, error counts, and request latency into
+// the default obs registry under the endpoint's name, so /metrics shows the
+// series (including empty latency histograms) as soon as the server starts.
 func NewHandler(name string, st *store.Store) *Handler {
-	return &Handler{name: name, ev: eval.New(st), logf: func(string, ...any) {}}
+	reg := obs.Default()
+	label := obs.L("endpoint", name)
+	return &Handler{
+		name:     name,
+		ev:       eval.New(st),
+		logf:     func(string, ...any) {},
+		requests: reg.Counter(obs.MetricHTTPRequests, "SPARQL protocol requests served", label),
+		errors:   reg.Counter(obs.MetricHTTPErrors, "SPARQL protocol requests rejected", label),
+		latency:  reg.Histogram(obs.MetricHTTPRequestSeconds, "SPARQL protocol request latency", obs.LatencyBuckets, label),
+	}
 }
 
 // SetLogger directs request logging to logf (default: silent).
 func (h *Handler) SetLogger(logf func(format string, args ...any)) { h.logf = logf }
 
+// fail rejects a request, counting it as an error.
+func (h *Handler) fail(w http.ResponseWriter, msg string, code int) {
+	h.errors.Inc()
+	http.Error(w, msg, code)
+}
+
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.requests.Inc()
+	start := time.Now()
+	defer func() { h.latency.Observe(time.Since(start).Seconds()) }()
+
 	query, err := extractQuery(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		h.fail(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if query == "" {
-		http.Error(w, "missing query parameter", http.StatusBadRequest)
+		h.fail(w, "missing query parameter", http.StatusBadRequest)
 		return
 	}
 	parsed, err := sparql.Parse(query)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		h.fail(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if parsed.Form == sparql.ConstructForm {
 		triples, err := h.ev.Construct(parsed)
 		if err != nil {
 			h.logf("endpoint %s: construct error: %v", h.name, err)
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			h.fail(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		w.Header().Set("Content-Type", "application/n-triples; charset=utf-8")
@@ -69,7 +97,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	res, err := h.ev.Query(parsed)
 	if err != nil {
 		h.logf("endpoint %s: query error: %v", h.name, err)
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		h.fail(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	// Content negotiation per the SPARQL 1.1 protocol: JSON (default),
@@ -129,7 +157,10 @@ type Server struct {
 }
 
 // Serve starts an HTTP SPARQL endpoint on addr (e.g. "127.0.0.1:0") and
-// returns once the listener is ready. Close releases it.
+// returns once the listener is ready. Close releases it. Besides the SPARQL
+// protocol on /sparql (and /), the server exposes the process-wide obs
+// registry as Prometheus text on /metrics and as a JSON snapshot on
+// /debug/federation.
 func Serve(name, addr string, st *store.Store) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -138,6 +169,8 @@ func Serve(name, addr string, st *store.Store) (*Server, error) {
 	h := NewHandler(name, st)
 	mux := http.NewServeMux()
 	mux.Handle("/sparql", h)
+	mux.Handle("/metrics", obs.Default().MetricsHandler())
+	mux.Handle("/debug/federation", obs.Default().DebugHandler())
 	mux.Handle("/", h)
 	srv := &http.Server{Handler: mux}
 	s := &Server{

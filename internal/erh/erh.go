@@ -10,23 +10,38 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
+
+	"lusail/internal/obs"
 )
 
 // Pool is a bounded-concurrency executor. The zero value is not usable;
 // call New.
 type Pool struct {
 	limit int
+
+	queued   *obs.Gauge     // tasks submitted, waiting for a slot
+	inFlight *obs.Gauge     // tasks holding a slot
+	wait     *obs.Histogram // time from submission to slot acquisition
 }
 
 // New returns a pool running at most limit tasks concurrently. If limit
 // is <= 0 the pool sizes itself to the number of CPU cores, matching the
 // paper's "number of available threads is determined by the number of
-// physical cores".
+// physical cores". Pools report queue depth, in-flight tasks, and task
+// wait time into the default obs registry (all pools share the series, so
+// the gauges read as process-wide totals).
 func New(limit int) *Pool {
 	if limit <= 0 {
 		limit = runtime.NumCPU()
 	}
-	return &Pool{limit: limit}
+	reg := obs.Default()
+	return &Pool{
+		limit:    limit,
+		queued:   reg.Gauge(obs.MetricERHQueueDepth, "tasks waiting for an ERH pool slot"),
+		inFlight: reg.Gauge(obs.MetricERHInFlight, "tasks holding an ERH pool slot"),
+		wait:     reg.Histogram(obs.MetricERHWaitSeconds, "time tasks wait for an ERH pool slot", obs.LatencyBuckets),
+	}
 }
 
 // Limit returns the pool's concurrency limit.
@@ -34,8 +49,9 @@ func (p *Pool) Limit() int { return p.limit }
 
 // ForEach runs fn(0..n-1) with bounded concurrency and waits for all calls
 // to finish. It returns the joined errors of all failed calls. If the
-// context is cancelled, unstarted tasks are skipped and ctx.Err() is
-// included in the returned error.
+// context is cancelled, unstarted tasks are skipped — including tasks that
+// were already queued on the semaphore when the cancellation arrived — and
+// ctx.Err() is included in the returned error.
 func (p *Pool) ForEach(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -48,10 +64,24 @@ func (p *Pool) ForEach(ctx context.Context, n int, fn func(i int) error) error {
 			errs[i] = err
 			break
 		}
+		p.queued.Add(1)
+		waitStart := time.Now()
 		sem <- struct{}{}
+		p.queued.Add(-1)
+		p.wait.Observe(time.Since(waitStart).Seconds())
+		// Re-check after the (possibly long) wait for a slot: a cancelled
+		// context must stop queued tasks from launching, not only break
+		// the submission loop before the wait.
+		if err := ctx.Err(); err != nil {
+			<-sem
+			errs[i] = err
+			break
+		}
+		p.inFlight.Add(1)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer p.inFlight.Add(-1)
 			defer func() { <-sem }()
 			errs[i] = fn(i)
 		}(i)

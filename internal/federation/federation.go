@@ -13,6 +13,7 @@ import (
 
 	"lusail/internal/client"
 	"lusail/internal/erh"
+	"lusail/internal/obs"
 	"lusail/internal/sparql"
 )
 
@@ -73,12 +74,23 @@ type SourceSelector struct {
 
 	mu    sync.Mutex
 	cache map[string][]string // normalized pattern -> relevant endpoint names
+
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
 }
 
 // NewSourceSelector returns a selector over the federation using the pool
-// for concurrent ASK probes.
+// for concurrent ASK probes. Cache hits and misses are reported into the
+// default obs registry.
 func NewSourceSelector(fed *Federation, pool *erh.Pool) *SourceSelector {
-	return &SourceSelector{fed: fed, pool: pool, cache: map[string][]string{}}
+	reg := obs.Default()
+	return &SourceSelector{
+		fed:         fed,
+		pool:        pool,
+		cache:       map[string][]string{},
+		cacheHits:   reg.Counter(obs.MetricSourceCacheHits, "source-selection ASK cache hits"),
+		cacheMisses: reg.Counter(obs.MetricSourceCacheMisses, "source-selection ASK cache misses"),
+	}
 }
 
 // ClearCache drops all cached source-selection results.
@@ -99,21 +111,34 @@ func (s *SourceSelector) CacheLen() int {
 // triple matching the pattern, in federation order.
 func (s *SourceSelector) RelevantSources(ctx context.Context, tp sparql.TriplePattern) ([]string, error) {
 	key := NormalizePattern(tp)
+	sp := obs.FromContext(ctx).StartChild("select-sources")
+	defer sp.End()
+	sp.SetAttr("pattern", key)
+
 	s.mu.Lock()
 	if cached, ok := s.cache[key]; ok {
 		s.mu.Unlock()
+		s.cacheHits.Inc()
+		sp.SetAttr("cache", "hit")
+		sp.SetAttr("sources", strings.Join(cached, ","))
 		return cached, nil
 	}
 	s.mu.Unlock()
+	s.cacheMisses.Inc()
+	sp.SetAttr("cache", "miss")
 
 	ask := askQuery(tp)
 	eps := s.fed.Endpoints()
 	relevant := make([]bool, len(eps))
 	err := s.pool.ForEach(ctx, len(eps), func(i int) error {
+		asp := sp.StartChild("ask")
+		defer asp.End()
+		asp.SetAttr("endpoint", eps[i].Name())
 		ok, err := client.Ask(ctx, eps[i], ask)
 		if err != nil {
 			return fmt.Errorf("source selection at %s: %w", eps[i].Name(), err)
 		}
+		asp.SetAttr("relevant", ok)
 		relevant[i] = ok
 		return nil
 	})
@@ -126,6 +151,7 @@ func (s *SourceSelector) RelevantSources(ctx context.Context, tp sparql.TriplePa
 			names = append(names, eps[i].Name())
 		}
 	}
+	sp.SetAttr("sources", strings.Join(names, ","))
 	s.mu.Lock()
 	s.cache[key] = names
 	s.mu.Unlock()

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// jsonlSpan is the JSONL export schema: one object per span, ids assigned
+// depth-first so a stream can be re-assembled into a tree.
+type jsonlSpan struct {
+	ID      int            `json:"id"`
+	Parent  int            `json:"parent"` // 0 for the root
+	Name    string         `json:"name"`
+	StartUS int64          `json:"start_us"` // microseconds since the root's start
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// WriteJSONL writes the span tree as one JSON object per line.
+func WriteJSONL(w io.Writer, root *Span) error {
+	if root == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	nextID := 0
+	var walk func(s *Span, parent int) error
+	walk = func(s *Span, parent int) error {
+		nextID++
+		id := nextID
+		js := jsonlSpan{
+			ID:      id,
+			Parent:  parent,
+			Name:    s.Name,
+			StartUS: s.Start.Sub(root.Start).Microseconds(),
+			DurUS:   s.Dur.Microseconds(),
+		}
+		if attrs := s.Attrs(); len(attrs) > 0 {
+			js.Attrs = map[string]any{}
+			for _, a := range attrs {
+				js.Attrs[a.Key] = a.Value
+			}
+		}
+		if err := enc.Encode(js); err != nil {
+			return err
+		}
+		for _, c := range s.Children() {
+			if err := walk(c, id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(root, 0)
+}
+
+// chromeEvent is one entry of the Chrome trace_event "complete" (ph=X)
+// format, viewable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"` // microseconds
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the span tree in the Chrome trace_event JSON
+// array format. Concurrent sibling spans are placed on separate track ids
+// so overlapping work (parallel subqueries, ASK fan-outs) renders as
+// parallel lanes instead of colliding on one row.
+func WriteChromeTrace(w io.Writer, root *Span) error {
+	if root == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	var events []chromeEvent
+	nextTID := 1
+	var walk func(s *Span, tid int)
+	walk = func(s *Span, tid int) {
+		ev := chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			TS:   s.Start.Sub(root.Start).Microseconds(),
+			Dur:  s.Dur.Microseconds(),
+			PID:  1,
+			TID:  tid,
+		}
+		if attrs := s.Attrs(); len(attrs) > 0 {
+			ev.Args = map[string]any{}
+			for _, a := range attrs {
+				ev.Args[a.Key] = fmt.Sprint(a.Value)
+			}
+		}
+		events = append(events, ev)
+
+		// Greedy lane assignment: a child reuses a sibling lane whose last
+		// span has ended by the time it starts; the first lane is the
+		// parent's own, so purely sequential children nest under it.
+		type lane struct {
+			tid int
+			end time.Time
+		}
+		lanes := []lane{{tid: tid, end: s.Start}}
+		for _, c := range s.Children() {
+			childTID := -1
+			for i := range lanes {
+				if !c.Start.Before(lanes[i].end) {
+					childTID = lanes[i].tid
+					lanes[i].end = c.Start.Add(c.Dur)
+					break
+				}
+			}
+			if childTID < 0 {
+				nextTID++
+				childTID = nextTID
+				lanes = append(lanes, lane{tid: childTID, end: c.Start.Add(c.Dur)})
+			}
+			walk(c, childTID)
+		}
+	}
+	walk(root, 1)
+	data, err := json.MarshalIndent(events, "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedTree builds a deterministic span tree resembling a real federated
+// query trace: fixed start times and durations, so renderers are
+// golden-testable.
+func fixedTree() *Span {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(name string, startMS, durMS int, attrs ...Attr) *Span {
+		s := &Span{Name: name, Start: base.Add(time.Duration(startMS) * time.Millisecond), Dur: time.Duration(durMS) * time.Millisecond, ended: true}
+		s.attrs = attrs
+		return s
+	}
+	root := mk("query", 0, 24)
+	branch := mk("branch", 0, 23, Attr{"patterns", 3})
+	root.children = []*Span{branch}
+
+	ss := mk("source-selection", 0, 4)
+	sel := mk("select-sources", 0, 4, Attr{"pattern", "?s <p> ?o"}, Attr{"cache", "miss"}, Attr{"sources", "u0,u1"})
+	sel.children = []*Span{
+		mk("ask", 0, 3, Attr{"endpoint", "u0"}, Attr{"relevant", true}),
+		mk("ask", 0, 4, Attr{"endpoint", "u1"}, Attr{"relevant", true}),
+	}
+	ss.children = []*Span{sel}
+
+	an := mk("analysis", 4, 8)
+	an.children = []*Span{
+		mk("count-probe", 4, 2, Attr{"endpoint", "u0"}, Attr{"count", 120}),
+		mk("check-query", 6, 5, Attr{"cache", "miss"}, Attr{"global", false}),
+		mk("decompose", 11, 1, Attr{"subqueries", 2}),
+	}
+
+	ex := mk("execution", 12, 11)
+	ex.children = []*Span{
+		mk("subquery", 12, 6, Attr{"endpoint", "u0"}, Attr{"rows", 40}),
+		mk("bound-join", 18, 4, Attr{"blocks", 2}, Attr{"bindings", 40}),
+		mk("join", 22, 1, Attr{"rows", 17}),
+	}
+	branch.children = []*Span{ss, an, ex}
+	return root
+}
+
+// fixedRegistry builds a deterministic registry.
+func fixedRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter(MetricRequests, "queries sent per endpoint", L("endpoint", "u0")).Add(12)
+	r.Counter(MetricRequests, "queries sent per endpoint", L("endpoint", "u1")).Add(9)
+	r.Counter(MetricErrors, "failed requests per endpoint", L("endpoint", "u0")).Add(1)
+	r.Gauge(MetricERHQueueDepth, "tasks waiting for a pool slot").Set(0)
+	h := r.Histogram(MetricRequestSeconds, "request latency", []float64{0.001, 0.01, 0.1, 1}, L("endpoint", "u0"))
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(0.005)
+	h.Observe(0.25)
+	rows := r.Histogram(MetricResultRows, "rows per response", []float64{1, 10, 100}, L("endpoint", "u0"))
+	rows.Observe(40)
+	rows.Observe(2)
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run: go test ./internal/obs -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := fixedRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "prometheus.golden", b.Bytes())
+}
+
+func TestExplainGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteExplain(&b, fixedTree()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "explain.golden", b.Bytes())
+}
+
+func TestJSONLExport(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, fixedTree()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&b)
+	n := 0
+	roots := 0
+	for sc.Scan() {
+		var js jsonlSpan
+		if err := json.Unmarshal(sc.Bytes(), &js); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if js.Parent == 0 {
+			roots++
+		}
+		n++
+	}
+	if n != 14 {
+		t.Errorf("span lines = %d, want 14", n)
+	}
+	if roots != 1 {
+		t.Errorf("roots = %d, want 1", roots)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, fixedTree()); err != nil {
+		t.Fatal(err)
+	}
+	var events []chromeEvent
+	if err := json.Unmarshal(b.Bytes(), &events); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(events) != 14 {
+		t.Errorf("events = %d, want 14", len(events))
+	}
+	// The two concurrent ASK probes overlap, so they must land on
+	// different lanes.
+	var askTIDs []int
+	for _, ev := range events {
+		if ev.Name == "ask" {
+			askTIDs = append(askTIDs, ev.TID)
+		}
+	}
+	if len(askTIDs) != 2 || askTIDs[0] == askTIDs[1] {
+		t.Errorf("overlapping ask spans share a lane: %v", askTIDs)
+	}
+}
+
+func TestEndpointStatsPivot(t *testing.T) {
+	stats := EndpointStats(fixedRegistry())
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	u0 := stats[0]
+	if u0.Endpoint != "u0" || u0.Requests != 12 || u0.Errors != 1 || u0.Rows != 42 {
+		t.Errorf("u0 = %+v", u0)
+	}
+	var b bytes.Buffer
+	if err := WriteEndpointStats(&b, fixedRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b.Bytes(), []byte("TOTAL")) {
+		t.Errorf("missing totals row:\n%s", b.String())
+	}
+}

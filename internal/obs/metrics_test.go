@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter", L("endpoint", "u0"))
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	// Same name+labels returns the same series; label order is canonical.
+	c2 := r.Counter("c_total", "a counter", L("endpoint", "u0"))
+	if c2 != c {
+		t.Error("same labels should return the same counter")
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d", g.Value())
+	}
+}
+
+func TestLabelKeyCanonicalOrder(t *testing.T) {
+	a := labelKey([]Label{L("b", "2"), L("a", "1")})
+	b := labelKey([]Label{L("a", "1"), L("b", "2")})
+	if a != b {
+		t.Errorf("label keys differ: %q vs %q", a, b)
+	}
+	if esc := labelKey([]Label{L("k", "a\"b\\c\nd")}); !strings.Contains(esc, `a\"b\\c\nd`) {
+		t.Errorf("escaping wrong: %q", esc)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005) // -> le=0.01
+	h.Observe(0.01)  // boundary: le is inclusive -> le=0.01
+	h.Observe(0.5)   // -> le=1
+	h.Observe(3)     // -> +Inf
+	if h.Count() != 4 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.5+3; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.01"} 2`,
+		`h_seconds_bucket{le="0.1"} 2`,
+		`h_seconds_bucket{le="1"} 3`,
+		`h_seconds_bucket{le="+Inf"} 4`,
+		`h_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on metric kind mismatch")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "requests", L("endpoint", "u0")).Add(3)
+	r.Histogram("lat_seconds", "latency", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("families = %d", len(snap))
+	}
+	if snap[0].Series[0].Labels["endpoint"] != "u0" || snap[0].Series[0].Value != 3 {
+		t.Errorf("counter snapshot = %+v", snap[0])
+	}
+	hist := snap[1].Series[0].Histogram
+	if hist == nil || hist.Count != 1 || hist.Buckets[len(hist.Buckets)-1].LE != "+Inf" {
+		t.Errorf("histogram snapshot = %+v", hist)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ep := string(rune('a' + i%4))
+			for j := 0; j < 100; j++ {
+				r.Counter("reqs_total", "", L("endpoint", ep)).Inc()
+				r.Histogram("lat_seconds", "", LatencyBuckets, L("endpoint", ep)).Observe(0.001)
+				r.Gauge("depth", "").Add(1)
+				r.Gauge("depth", "").Add(-1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, fam := range r.Snapshot() {
+		if fam.Name == "reqs_total" {
+			for _, s := range fam.Series {
+				total += int64(s.Value)
+			}
+		}
+	}
+	if total != 2000 {
+		t.Errorf("total requests = %d, want 2000", total)
+	}
+	if r.Gauge("depth", "").Value() != 0 {
+		t.Errorf("gauge should net to zero")
+	}
+}

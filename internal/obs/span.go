@@ -1,0 +1,190 @@
+// Package obs is the engine's observability layer: a lightweight
+// hierarchical span tracer, a metrics registry with Prometheus text
+// exposition, and an EXPLAIN renderer that turns a query's span tree into a
+// human-readable plan/profile.
+//
+// The paper's evaluation argues from per-phase timings (Figure 12a) and
+// remote-request counts (Sections 1 and 5); obs makes both first-class. One
+// span tree is recorded per federated query — source-selection ASKs, LADE
+// check queries, COUNT probes, each concurrent subquery, each delayed
+// bound-join batch, and the final join — and every endpoint wrapper, the
+// ERH pool, and the federation caches report into a shared metrics
+// registry. There are no external dependencies.
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are kept as any so
+// exporters can emit native JSON types; renderers format them with %v.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one timed node of a query's trace tree. Spans are created with
+// NewSpan (roots) or StartChild and closed with End. All methods are safe
+// for concurrent use and nil-safe, so tracing call sites cost nothing when
+// tracing is disabled (the span is nil).
+//
+// Start and Dur are exported so tests and offline tools can build trees
+// with fixed timings; live spans set them via NewSpan/StartChild/End.
+type Span struct {
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+
+	mu       sync.Mutex
+	attrs    []Attr
+	children []*Span
+	ended    bool
+}
+
+// NewSpan returns a root span starting now.
+func NewSpan(name string) *Span {
+	return &Span{Name: name, Start: time.Now()}
+}
+
+// StartChild creates and attaches a child span starting now. It returns nil
+// when s is nil, so call sites need no tracing-enabled checks.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, fixing its duration. End is idempotent: only the
+// first call takes effect.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.Dur = time.Since(s.Start)
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr annotates the span. Setting an existing key overwrites its value.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// Attr returns the value for key and whether it is set.
+func (s *Span) Attr(key string) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Attrs returns a copy of the span's attributes in insertion order.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Children returns a copy of the span's child list in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Walk visits the span and its descendants depth-first in creation order.
+func (s *Span) Walk(fn func(sp *Span, depth int)) {
+	if s == nil {
+		return
+	}
+	var walk func(sp *Span, depth int)
+	walk = func(sp *Span, depth int) {
+		fn(sp, depth)
+		for _, c := range sp.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(s, 0)
+}
+
+// SumByName sums span durations grouped by span name over the whole tree.
+// A query with several UNION branches has one source-selection span per
+// branch; SumByName("source-selection") is the phase total, which is how
+// the Figure 12(a) experiment derives its per-phase columns.
+func SumByName(root *Span) map[string]time.Duration {
+	out := map[string]time.Duration{}
+	root.Walk(func(sp *Span, _ int) {
+		out[sp.Name] += sp.Dur
+	})
+	return out
+}
+
+// FindAll returns all spans in the tree with the given name, depth-first.
+func FindAll(root *Span, name string) []*Span {
+	var out []*Span
+	root.Walk(func(sp *Span, _ int) {
+		if sp.Name == name {
+			out = append(out, sp)
+		}
+	})
+	return out
+}
+
+type ctxKey struct{}
+
+// ContextWithSpan returns a context carrying the span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by the context, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a child of the context's span and returns a context
+// carrying the child. When the context has no span (tracing disabled) it
+// returns the context unchanged and a nil span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.StartChild(name)
+	return ContextWithSpan(ctx, c), c
+}

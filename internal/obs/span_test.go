@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanHierarchyAndAttrs(t *testing.T) {
+	root := NewSpan("query")
+	a := root.StartChild("source-selection")
+	a.SetAttr("patterns", 3)
+	a.End()
+	b := root.StartChild("execution")
+	sq := b.StartChild("subquery")
+	sq.SetAttr("endpoint", "u0")
+	sq.SetAttr("endpoint", "u1") // overwrite
+	sq.End()
+	b.End()
+	root.End()
+
+	if got := len(root.Children()); got != 2 {
+		t.Fatalf("children = %d, want 2", got)
+	}
+	if v, ok := sq.Attr("endpoint"); !ok || v != "u1" {
+		t.Errorf("attr endpoint = %v, %v", v, ok)
+	}
+	var names []string
+	root.Walk(func(s *Span, depth int) { names = append(names, s.Name) })
+	if strings.Join(names, ",") != "query,source-selection,execution,subquery" {
+		t.Errorf("walk order = %v", names)
+	}
+	if root.Dur <= 0 {
+		t.Error("End should fix a positive duration")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	s := NewSpan("x")
+	s.End()
+	d := s.Dur
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if s.Dur != d {
+		t.Error("second End must not change the duration")
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	s.SetAttr("k", 1)
+	s.End()
+	if c := s.StartChild("child"); c != nil {
+		t.Error("nil span should produce nil children")
+	}
+	if s.Children() != nil || s.Attrs() != nil {
+		t.Error("nil span accessors should return nil")
+	}
+	s.Walk(func(*Span, int) { t.Error("nil span should not be walked") })
+}
+
+func TestContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("empty context should carry no span")
+	}
+	ctx2, sp := StartSpan(ctx, "child")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("StartSpan without a parent should be a no-op")
+	}
+	root := NewSpan("root")
+	ctx = ContextWithSpan(ctx, root)
+	ctx, child := StartSpan(ctx, "phase")
+	if child == nil || FromContext(ctx) != child {
+		t.Fatal("StartSpan should create and carry the child")
+	}
+	if len(root.Children()) != 1 || root.Children()[0] != child {
+		t.Error("child not attached to root")
+	}
+}
+
+func TestSumByName(t *testing.T) {
+	root := NewSpan("query")
+	for i := 0; i < 3; i++ {
+		c := root.StartChild("phase")
+		c.Dur = 10 * time.Millisecond
+		c.ended = true
+	}
+	root.Dur = 50 * time.Millisecond
+	sums := SumByName(root)
+	if sums["phase"] != 30*time.Millisecond {
+		t.Errorf("phase sum = %v", sums["phase"])
+	}
+	if sums["query"] != 50*time.Millisecond {
+		t.Errorf("query sum = %v", sums["query"])
+	}
+	if got := len(FindAll(root, "phase")); got != 3 {
+		t.Errorf("FindAll = %d spans", got)
+	}
+}
+
+func TestSpanConcurrentUse(t *testing.T) {
+	root := NewSpan("query")
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := root.StartChild("task")
+			c.SetAttr("i", i)
+			c.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Children()); got != 50 {
+		t.Errorf("children = %d, want 50", got)
+	}
+}
