@@ -8,16 +8,20 @@
 //	lusail-bench                       # run everything at scale 1
 //	lusail-bench -experiment fig9      # one experiment
 //	lusail-bench -scale 4 -timeout 2m  # bigger data, longer cutoff
+//	lusail-bench -experiment catalog -json .  # also write BENCH_catalog.json
 //
 // Experiments: table1, fig8, fig9, fig10, fig11, fig12a, fig12bc, fig13,
-// fig14, table2, qerror, preprocessing, blocksize, poolsize, all.
+// fig14, table2, qerror, preprocessing, blocksize, poolsize, catalog, all.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -33,6 +37,7 @@ func main() {
 	repeats := flag.Int("repeats", 3, "runs per query (first is warmup)")
 	endpoints := flag.String("endpoints", "4,16,64,256", "endpoint counts for fig12bc")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/federation on this address while experiments run")
+	jsonDir := flag.String("json", "", "also write each experiment's tables to BENCH_<id>.json in this directory")
 	flag.Parse()
 
 	if *metricsAddr != "" {
@@ -62,64 +67,86 @@ func main() {
 		wanted[strings.TrimSpace(e)] = true
 	}
 	want := func(id string) bool { return wanted["all"] || wanted[id] }
-	show := func(t *bench.Table, err error) {
-		if err != nil {
-			log.Fatalf("lusail-bench: %v", err)
-		}
-		fmt.Println(t.String())
-	}
-	showAll := func(ts []*bench.Table, err error) {
+	emit := func(id string, ts []*bench.Table, err error) {
 		if err != nil {
 			log.Fatalf("lusail-bench: %v", err)
 		}
 		for _, t := range ts {
 			fmt.Println(t.String())
 		}
+		if *jsonDir == "" {
+			return
+		}
+		path := filepath.Join(*jsonDir, "BENCH_"+id+".json")
+		data, err := json.MarshalIndent(ts, "", "  ")
+		if err != nil {
+			log.Fatalf("lusail-bench: encoding %s: %v", path, err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("lusail-bench: %v", err)
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
+	show := func(id string) func(t *bench.Table, err error) {
+		return func(t *bench.Table, err error) {
+			if err != nil {
+				emit(id, nil, err)
+				return
+			}
+			emit(id, []*bench.Table{t}, nil)
+		}
 	}
 
 	start := time.Now()
 	if want("table1") {
-		fmt.Println(bench.Table1Datasets(opts).String())
+		show("table1")(bench.Table1Datasets(opts), nil)
 	}
 	if want("fig8") {
-		show(bench.Fig8QFed(opts))
+		show("fig8")(bench.Fig8QFed(opts))
 	}
 	if want("fig9") {
-		showAll(bench.Fig9LUBM(opts))
+		ts, err := bench.Fig9LUBM(opts)
+		emit("fig9", ts, err)
 	}
 	if want("fig10") {
-		showAll(bench.Fig10LargeRDFBench(opts))
+		ts, err := bench.Fig10LargeRDFBench(opts)
+		emit("fig10", ts, err)
 	}
 	if want("fig11") {
-		showAll(bench.Fig11Geo(opts))
+		ts, err := bench.Fig11Geo(opts)
+		emit("fig11", ts, err)
 	}
 	if want("fig12a") {
-		show(bench.Fig12aProfile(opts))
+		show("fig12a")(bench.Fig12aProfile(opts))
 	}
 	if want("fig12bc") {
-		showAll(bench.Fig12bcScaling(counts, opts))
+		ts, err := bench.Fig12bcScaling(counts, opts)
+		emit("fig12bc", ts, err)
 	}
 	if want("fig13") {
-		show(bench.Fig13Thresholds(opts))
+		show("fig13")(bench.Fig13Thresholds(opts))
 	}
 	if want("fig14") {
-		show(bench.Fig14Ablation(opts))
+		show("fig14")(bench.Fig14Ablation(opts))
 	}
 	if want("table2") {
-		show(bench.Table2RealEndpoints(opts))
+		show("table2")(bench.Table2RealEndpoints(opts))
 	}
 	if want("qerror") {
 		t, _, err := bench.QErrorExperiment(opts)
-		show(t, err)
+		show("qerror")(t, err)
 	}
 	if want("preprocessing") {
-		show(bench.PreprocessingCost(opts))
+		show("preprocessing")(bench.PreprocessingCost(opts))
 	}
 	if want("blocksize") {
-		show(bench.BlockSizeAblation(opts))
+		show("blocksize")(bench.BlockSizeAblation(opts))
 	}
 	if want("poolsize") {
-		show(bench.PoolSizeAblation(opts))
+		show("poolsize")(bench.PoolSizeAblation(opts))
+	}
+	if want("catalog") {
+		show("catalog")(bench.CatalogProbes(opts))
 	}
 	fmt.Printf("total experiment time: %v\n", time.Since(start).Round(time.Millisecond))
 }

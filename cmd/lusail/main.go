@@ -17,6 +17,11 @@
 // same span tree in Chrome trace_event format for chrome://tracing or
 // Perfetto. -admin serves /metrics (Prometheus text) and /debug/federation
 // (JSON) while the query runs.
+//
+// Add -catalog catalog.json (built beforehand with lusail-catalog) to
+// answer source selection and cardinality estimation from precomputed
+// summaries instead of per-query ASK/COUNT probes; -catalog-ttl bounds how
+// old a summary may be before the engine falls back to probing.
 package main
 
 import (
@@ -53,6 +58,8 @@ func main() {
 	admin := flag.String("admin", "", "serve /metrics and /debug/federation on this address (e.g. 127.0.0.1:9090)")
 	timeout := flag.Duration("timeout", time.Hour, "query timeout")
 	noSAPE := flag.Bool("disable-sape", false, "run with LADE only (no selectivity-aware execution)")
+	catalogPath := flag.String("catalog", "", "endpoint catalog file (built with lusail-catalog) for probe-free source selection and cardinality estimation")
+	catalogTTL := flag.Duration("catalog-ttl", 24*time.Hour, "treat catalog summaries older than this as stale (0 = never stale)")
 	flag.Parse()
 
 	if len(endpoints) == 0 {
@@ -83,6 +90,16 @@ func main() {
 	opts := lusail.DefaultOptions()
 	opts.DisableSAPE = *noSAPE
 	opts.Trace = *explain || *traceOut != ""
+	if *catalogPath != "" {
+		cat, err := lusail.OpenCatalog(*catalogPath, *catalogTTL)
+		if err != nil {
+			log.Fatalf("lusail: %v", err)
+		}
+		if cat.Len() == 0 {
+			log.Printf("lusail: catalog %s is empty; run lusail-catalog build first (falling back to probes)", *catalogPath)
+		}
+		opts.Catalog = cat
+	}
 	eng, err := lusail.NewEngine(eps, opts)
 	if err != nil {
 		log.Fatalf("lusail: %v", err)
@@ -126,8 +143,8 @@ func main() {
 	if *profile {
 		fmt.Fprintf(os.Stderr, "\nphases: source-selection=%v analysis=%v execution=%v total=%v\n",
 			prof.SourceSelection, prof.Analysis, prof.Execution, prof.Total)
-		fmt.Fprintf(os.Stderr, "GJVs: %v  subqueries: %d (%d delayed)  checks: %d  count-probes: %d\n",
-			prof.GJVs, prof.Subqueries, prof.Delayed, prof.ChecksIssued, prof.CountProbes)
+		fmt.Fprintf(os.Stderr, "GJVs: %v  subqueries: %d (%d delayed)  checks: %d  count-probes: %d  catalog-hits: %d\n",
+			prof.GJVs, prof.Subqueries, prof.Delayed, prof.ChecksIssued, prof.CountProbes, prof.CatalogHits)
 		for _, d := range prof.Decomposition {
 			fmt.Fprintf(os.Stderr, "  subquery %s\n", d)
 		}

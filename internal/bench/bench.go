@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"lusail/internal/catalog"
 	"lusail/internal/client"
 	"lusail/internal/core"
 	"lusail/internal/erh"
@@ -44,6 +45,11 @@ type EngineKind string
 const (
 	// Lusail is the full system (LADE + SAPE).
 	Lusail EngineKind = "Lusail"
+	// LusailCatalog is Lusail with the endpoint catalog installed: source
+	// selection and cardinality estimation answer from precomputed
+	// summaries instead of per-query ASK/COUNT probes. The catalog is
+	// built offline (like the baselines' indexes) before measurement.
+	LusailCatalog EngineKind = "Lusail+Cat"
 	// LusailLADE is the ablation with SAPE disabled (Figure 14).
 	LusailLADE EngineKind = "Lusail-LADE"
 	// FedX is the index-free baseline.
@@ -94,6 +100,7 @@ type Fed struct {
 	indexMu  sync.Mutex
 	hibIndex *hibiscus.Index
 	splIndex *splendid.Index
+	catStore *catalog.Store
 }
 
 // NewFed builds a federation from datasets under the given network profile.
@@ -158,6 +165,23 @@ func (f *Fed) PreprocessingTimes() (hibiscusPrep, splendidPrep time.Duration, er
 	return f.hibIndex.BuildTime, f.splIndex.BuildTime, nil
 }
 
+// EnsureCatalog builds the endpoint catalog if it has not been built yet.
+// Like EnsureIndexes, the build runs against the raw endpoints: catalog
+// construction is offline preprocessing, not charged to queries.
+func (f *Fed) EnsureCatalog() (*catalog.Store, error) {
+	f.indexMu.Lock()
+	defer f.indexMu.Unlock()
+	if f.catStore != nil {
+		return f.catStore, nil
+	}
+	st := catalog.NewStore("", 0) // in-memory, never stale
+	if err := catalog.Build(context.Background(), f.rawFed, erh.New(0), st); err != nil {
+		return nil, fmt.Errorf("bench: building catalog: %w", err)
+	}
+	f.catStore = st
+	return st, nil
+}
+
 // TotalTriples sums the federation's dataset sizes.
 func (f *Fed) TotalTriples() int {
 	n := 0
@@ -172,12 +196,27 @@ type engine interface {
 	QueryString(ctx context.Context, query string) (*sparql.Results, error)
 }
 
-// lusailAdapter adapts core.Engine's three-value return.
-type lusailAdapter struct{ e *core.Engine }
+// lusailAdapter adapts core.Engine's three-value return and keeps the last
+// execution profile around so the harness can report probe counts.
+type lusailAdapter struct {
+	e    *core.Engine
+	mu   sync.Mutex
+	last *core.Profile
+}
 
-func (a lusailAdapter) QueryString(ctx context.Context, q string) (*sparql.Results, error) {
-	res, _, err := a.e.QueryString(ctx, q)
+func (a *lusailAdapter) QueryString(ctx context.Context, q string) (*sparql.Results, error) {
+	res, prof, err := a.e.QueryString(ctx, q)
+	a.mu.Lock()
+	a.last = prof
+	a.mu.Unlock()
 	return res, err
+}
+
+// lastProfile returns the profile of the most recent query, or nil.
+func (a *lusailAdapter) lastProfile() *core.Profile {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.last
 }
 
 // NewEngine constructs a fresh engine of the given kind over the
@@ -185,11 +224,19 @@ func (a lusailAdapter) QueryString(ctx context.Context, q string) (*sparql.Resul
 func (f *Fed) NewEngine(kind EngineKind) (engine, error) {
 	switch kind {
 	case Lusail:
-		return lusailAdapter{core.New(f.Federation, core.DefaultOptions())}, nil
+		return &lusailAdapter{e: core.New(f.Federation, core.DefaultOptions())}, nil
+	case LusailCatalog:
+		st, err := f.EnsureCatalog()
+		if err != nil {
+			return nil, err
+		}
+		opts := core.DefaultOptions()
+		opts.Catalog = st
+		return &lusailAdapter{e: core.New(f.Federation, opts)}, nil
 	case LusailLADE:
 		opts := core.DefaultOptions()
 		opts.DisableSAPE = true
-		return lusailAdapter{core.New(f.Federation, opts)}, nil
+		return &lusailAdapter{e: core.New(f.Federation, opts)}, nil
 	case FedX:
 		return fedx.New(f.Federation, fedx.Options{}), nil
 	case HiBISCuS:
@@ -219,9 +266,16 @@ type Result struct {
 	Requests int64
 	Rows     int64
 	Bytes    int64
-	Results  int // result-set size
-	Err      error
-	TimedOut bool
+	// Asks counts ASK probes issued for source selection (all engines).
+	Asks int64
+	// CountProbes and CatalogHits come from the Lusail execution profile:
+	// SELECT COUNT probes issued vs cardinalities answered by the catalog.
+	// Both stay zero for non-Lusail engines.
+	CountProbes int64
+	CatalogHits int64
+	Results     int // result-set size
+	Err         error
+	TimedOut    bool
 }
 
 // RunOptions controls a measurement.
@@ -280,6 +334,13 @@ func (f *Fed) runOn(eng engine, kind EngineKind, query string, opts RunOptions) 
 		res.Requests += delta.Requests
 		res.Rows += delta.Rows
 		res.Bytes += delta.Bytes
+		res.Asks += delta.Asks
+		if a, ok := eng.(*lusailAdapter); ok {
+			if prof := a.lastProfile(); prof != nil {
+				res.CountProbes += int64(prof.CountProbes)
+				res.CatalogHits += int64(prof.CatalogHits)
+			}
+		}
 		res.Results = out.Len()
 	}
 	if counted > 0 {
@@ -287,6 +348,9 @@ func (f *Fed) runOn(eng engine, kind EngineKind, query string, opts RunOptions) 
 		res.Requests /= int64(counted)
 		res.Rows /= int64(counted)
 		res.Bytes /= int64(counted)
+		res.Asks /= int64(counted)
+		res.CountProbes /= int64(counted)
+		res.CatalogHits /= int64(counted)
 	}
 	return res
 }

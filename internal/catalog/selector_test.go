@@ -1,0 +1,73 @@
+package catalog
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"lusail/internal/client"
+	"lusail/internal/erh"
+	"lusail/internal/federation"
+	"lusail/internal/sparql"
+)
+
+// TestSelectorWithStore runs the real two-tier stack end to end: a fresh
+// catalog answers source selection without traffic, the same catalog gone
+// stale falls back to ASK probes, and both tiers agree on the sources.
+func TestSelectorWithStore(t *testing.T) {
+	var m client.Metrics
+	base := testFed()
+	var eps []client.Endpoint
+	for _, ep := range base.Endpoints() {
+		eps = append(eps, client.NewInstrumented(ep, &m))
+	}
+	fed := federation.MustNew(eps...)
+
+	st := NewStore("", time.Hour)
+	if err := Build(context.Background(), fed, erh.New(4), st); err != nil {
+		t.Fatal(err)
+	}
+	buildRequests := m.Snapshot().Requests
+
+	sel := federation.NewSourceSelector(fed, erh.New(4))
+	sel.SetCatalog(st)
+
+	tp := sparql.TriplePattern{S: sparql.Var("s"), P: sparql.IRI("http://kegg.org/pathway"), O: sparql.Var("o")}
+	fresh, err := sel.RelevantSources(context.Background(), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, []string{"kegg"}) {
+		t.Errorf("fresh sources = %v, want [kegg]", fresh)
+	}
+	if n := m.Snapshot().Requests - buildRequests; n != 0 {
+		t.Errorf("fresh catalog issued %d requests, want 0", n)
+	}
+
+	// The catalog goes stale: the selector must fall back to ASK probes and
+	// still find the same sources.
+	st.setClock(func() time.Time { return time.Now().Add(2 * time.Hour) })
+	sel.ClearCache()
+	before := m.Snapshot().Asks
+	stale, err := sel.RelevantSources(context.Background(), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stale, fresh) {
+		t.Errorf("stale-path sources = %v, fresh-path = %v; tiers disagree", stale, fresh)
+	}
+	if n := m.Snapshot().Asks - before; n != int64(fed.Size()) {
+		t.Errorf("stale catalog issued %d ASKs, want %d (every endpoint probed)", n, fed.Size())
+	}
+
+	// The ASK result was cached: a repeat lookup issues no traffic even
+	// though the catalog is still stale.
+	before = m.Snapshot().Asks
+	if _, err := sel.RelevantSources(context.Background(), tp); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.Snapshot().Asks - before; n != 0 {
+		t.Errorf("repeat lookup issued %d ASKs, want 0 (cache)", n)
+	}
+}

@@ -44,6 +44,33 @@ func Ask(ctx context.Context, ep Endpoint, query string) (bool, error) {
 	return res.Boolean, nil
 }
 
+// Count runs a scalar COUNT query and returns its value. ok=false reports
+// a malformed response — not a single-row single-column result, a
+// non-numeric cell, or a negative count — which callers must treat as
+// "unknown", never as zero: a remote endpoint that answers with an error
+// page or a truncated result set must not make a pattern look free.
+func Count(ctx context.Context, ep Endpoint, query string) (n float64, ok bool, err error) {
+	res, err := ep.Query(ctx, query)
+	if err != nil {
+		return 0, false, err
+	}
+	n, ok = ScalarCount(res)
+	return n, ok, nil
+}
+
+// ScalarCount extracts the value of a COUNT result set, with the same
+// malformed-result contract as Count.
+func ScalarCount(res *sparql.Results) (n float64, ok bool) {
+	if res == nil || res.IsBoolean || len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		return 0, false
+	}
+	f, numeric := res.Rows[0][0].Numeric()
+	if !numeric || f < 0 {
+		return 0, false
+	}
+	return f, true
+}
+
 // InProcess is an endpoint evaluated in the same process. It models an
 // endpoint whose network cost is negligible; wrap it with Latency to model
 // a remote one.

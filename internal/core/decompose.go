@@ -318,6 +318,7 @@ func (e *Engine) attachFilters(br *qplan.Branch, sqs []*Subquery) {
 func (e *Engine) estimate(sqs []*Subquery, patterns []sparql.TriplePattern, stats *queryStats) {
 	for _, sq := range sqs {
 		sq.EstCard = stats.subqueryCardinality(sq, sq.patternIdx, patterns)
+		sq.CardKnown = stats.known(sq.patternIdx, sq.Sources)
 	}
 }
 

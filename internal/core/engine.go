@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"lusail/internal/catalog"
 	"lusail/internal/erh"
 	"lusail/internal/eval"
 	"lusail/internal/federation"
@@ -72,6 +73,12 @@ type Options struct {
 	// joins) in Profile.Trace, for EXPLAIN output and trace export. Off by
 	// default: tracing costs one small allocation per remote request.
 	Trace bool
+	// Catalog installs the probe-free tier: fresh endpoint summaries answer
+	// source selection without ASK probes and constant-predicate
+	// cardinalities without COUNT probes, falling back to live probes for
+	// whatever the catalog cannot decide. nil (the default) keeps the pure
+	// probe-based protocol of the paper.
+	Catalog *catalog.Store
 }
 
 // DefaultOptions returns the configuration used in the paper's main
@@ -99,6 +106,7 @@ type Profile struct {
 	ChecksIssued  int      // check-query requests sent to endpoints
 	CheckCacheHit int      // check queries answered from cache
 	CountProbes   int      // COUNT statistics queries sent
+	CatalogHits   int      // cardinalities answered by the catalog (probes avoided)
 	Decomposition []string // human-readable subquery forms
 
 	// SubqueryStats pairs the cost model's estimates with the measured
@@ -126,7 +134,11 @@ type Engine struct {
 	pool   *erh.Pool
 	sel    *federation.SourceSelector
 	checks *checkCache
+	cat    *catalog.Store
 	opts   Options
+
+	catCardHits      *obs.Counter
+	catCardFallbacks *obs.Counter
 }
 
 // New returns an engine over the federation.
@@ -135,12 +147,20 @@ func New(fed *federation.Federation, opts Options) *Engine {
 		opts.ValuesBlockSize = 500
 	}
 	pool := erh.New(opts.PoolSize)
+	sel := federation.NewSourceSelector(fed, pool)
+	if opts.Catalog != nil {
+		sel.SetCatalog(opts.Catalog)
+	}
+	reg := obs.Default()
 	return &Engine{
-		fed:    fed,
-		pool:   pool,
-		sel:    federation.NewSourceSelector(fed, pool),
-		checks: newCheckCache(),
-		opts:   opts,
+		fed:              fed,
+		pool:             pool,
+		sel:              sel,
+		checks:           newCheckCache(),
+		cat:              opts.Catalog,
+		opts:             opts,
+		catCardHits:      reg.Counter(obs.MetricCatalogCardHits, "cardinalities answered by the catalog instead of COUNT probes"),
+		catCardFallbacks: reg.Counter(obs.MetricCatalogCardFallbacks, "COUNT probes issued because the catalog could not answer"),
 	}
 }
 
@@ -247,6 +267,7 @@ func (e *Engine) evalBranch(ctx context.Context, br *qplan.Branch, prof *Profile
 		return nil, fmt.Errorf("lusail: statistics: %w", err)
 	}
 	prof.CountProbes += stats.probes
+	prof.CatalogHits += stats.catalogHits
 
 	gjv, err := e.detectGJVs(anCtx, br.Patterns, sources)
 	if err != nil {

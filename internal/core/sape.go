@@ -30,11 +30,13 @@ func (e *Engine) execute(ctx context.Context, br *qplan.Branch, sqs []*Subquery,
 	if !e.opts.DisableSAPE && len(sqs) > 1 {
 		cards := make([]float64, len(sqs))
 		numEPs := make([]float64, len(sqs))
+		known := make([]bool, len(sqs))
 		for i, sq := range sqs {
 			cards[i] = sq.EstCard
 			numEPs[i] = float64(len(sq.Sources))
+			known[i] = sq.CardKnown
 		}
-		delayed := delayDecisions(cards, numEPs, e.opts.Threshold)
+		delayed := delayDecisions(cards, numEPs, known, e.opts.Threshold)
 		for i, d := range delayed {
 			sqs[i].Delayed = d
 		}
@@ -140,9 +142,14 @@ func ensureNonDelayed(sqs []*Subquery) {
 	if anyNonDelayed {
 		return
 	}
+	// Prefer promoting a subquery whose cardinality was actually measured;
+	// among those (or all, when nothing was measured), the most selective.
 	best := 0
 	for i, sq := range sqs {
-		if sq.EstCard < sqs[best].EstCard {
+		switch {
+		case sq.CardKnown && !sqs[best].CardKnown:
+			best = i
+		case sq.CardKnown == sqs[best].CardKnown && sq.EstCard < sqs[best].EstCard:
 			best = i
 		}
 	}
@@ -203,6 +210,11 @@ func (e *Engine) mostSelectiveDelayed(delayed []*Subquery, components []*sparql.
 	best, bestCard := 0, math.Inf(1)
 	for i, sq := range delayed {
 		card := sq.EstCard
+		if !sq.CardKnown {
+			// An unmeasured subquery competes only on its binding bound
+			// below; its partial estimate must not make it look cheap.
+			card = math.Inf(1)
+		}
 		for _, comp := range components {
 			for _, v := range sq.Vars() {
 				if comp.VarIndex(v) >= 0 {

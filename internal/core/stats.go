@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 
+	"lusail/internal/client"
 	"lusail/internal/obs"
 	"lusail/internal/qplan"
 	"lusail/internal/sparql"
@@ -13,16 +14,27 @@ import (
 
 // queryStats holds the lightweight runtime statistics SAPE collects during
 // query analysis: per-triple-pattern, per-endpoint cardinalities obtained
-// with SELECT COUNT probes (Section 4.1).
+// with SELECT COUNT probes (Section 4.1) or, when the engine has a fresh
+// catalog, from its precomputed summaries.
 type queryStats struct {
 	// card[i][ep] is the number of solutions of pattern i at endpoint ep.
-	card   []map[string]float64
-	probes int // COUNT queries issued
+	// Absence means the cardinality is unknown: the probe returned a
+	// malformed result, or it was never issued. Unknown is deliberately not
+	// zero — zero claims the pattern is free, and the delay heuristics
+	// would then eagerly evaluate a subquery nobody measured.
+	card        []map[string]float64
+	probes      int // COUNT queries issued
+	catalogHits int // cardinalities answered by the catalog (probes avoided)
+	malformed   int // probes whose result was unusable
 }
 
-// collectStats issues one COUNT probe per (pattern, relevant endpoint).
-// Filters whose variables are fully covered by a pattern are pushed into
-// its probe for better estimates, as the paper describes.
+// collectStats resolves one cardinality per (pattern, relevant endpoint):
+// from the catalog when it can answer (constant-predicate pattern, fresh
+// non-truncated summary, no filters to account for), otherwise with a
+// SELECT COUNT probe. Filters whose variables are fully covered by a
+// pattern are pushed into its probe for better estimates, as the paper
+// describes; a pattern with pushed filters never uses the catalog, whose
+// counts ignore filters.
 func (e *Engine) collectStats(ctx context.Context, br *qplan.Branch, sources [][]string) (*queryStats, error) {
 	st := &queryStats{card: make([]map[string]float64, len(br.Patterns))}
 	type task struct {
@@ -32,10 +44,26 @@ func (e *Engine) collectStats(ctx context.Context, br *qplan.Branch, sources [][
 	var tasks []task
 	for i, srcs := range sources {
 		st.card[i] = make(map[string]float64, len(srcs))
+		tp := br.Patterns[i]
+		filters := pushableFilters(tp, br.Filters)
 		for _, s := range srcs {
+			if e.cat != nil && len(filters) == 0 {
+				if n, ok := e.cat.Cardinality(tp, s); ok {
+					st.card[i][s] = n
+					st.catalogHits++
+					continue
+				}
+			}
 			tasks = append(tasks, task{pattern: i, source: s})
 		}
 	}
+	if st.catalogHits > 0 {
+		e.catCardHits.Add(int64(st.catalogHits))
+	}
+	if e.cat != nil && len(tasks) > 0 {
+		e.catCardFallbacks.Add(int64(len(tasks)))
+	}
+
 	var mu sync.Mutex
 	err := e.pool.ForEach(ctx, len(tasks), func(k int) error {
 		t := tasks[k]
@@ -49,11 +77,15 @@ func (e *Engine) collectStats(ctx context.Context, br *qplan.Branch, sources [][
 		if err != nil {
 			return fmt.Errorf("count probe at %s: %w", t.source, err)
 		}
-		n := 0.0
-		if len(res.Rows) == 1 && len(res.Rows[0]) == 1 {
-			if f, ok := res.Rows[0][0].Numeric(); ok {
-				n = f
-			}
+		n, ok := client.ScalarCount(res)
+		if !ok {
+			// Malformed COUNT (wrong shape, non-numeric, negative): the
+			// cardinality stays unknown rather than becoming zero.
+			sp.SetAttr("malformed", true)
+			mu.Lock()
+			st.malformed++
+			mu.Unlock()
+			return nil
 		}
 		sp.SetAttr("count", int(n))
 		mu.Lock()
@@ -66,6 +98,19 @@ func (e *Engine) collectStats(ctx context.Context, br *qplan.Branch, sources [][
 		return nil, err
 	}
 	return st, nil
+}
+
+// known reports whether every (pattern, source) cardinality of the
+// subquery was resolved, i.e. its estimate rests on complete information.
+func (st *queryStats) known(patternIdx []int, sources []string) bool {
+	for _, pi := range patternIdx {
+		for _, ep := range sources {
+			if _, ok := st.card[pi][ep]; !ok {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // countQuery builds `SELECT (COUNT(*) AS ?c) WHERE { tp . filters }`.
@@ -194,14 +239,21 @@ func chauvenetReject(xs []float64) (kept []float64, rejected []bool) {
 // delayDecisions marks subqueries to delay: Chauvenet-rejected outliers are
 // always delayed; among the rest, those whose cardinality (or number of
 // relevant endpoints) exceeds the mode's threshold are delayed (Figure 7).
-func delayDecisions(cards, numEPs []float64, mode ThresholdMode) []bool {
+//
+// known masks the cardinality samples (nil: all known). Unknown
+// cardinalities are excluded from the μ/σ statistics — a made-up value
+// would distort the thresholds for everyone else — and their subqueries
+// are conservatively delayed: evaluating an unmeasured subquery unbound
+// risks shipping a huge relation, while a bound join is never worse than
+// proportional to the bindings found so far.
+func delayDecisions(cards, numEPs []float64, known []bool, mode ThresholdMode) []bool {
 	delayed := make([]bool, len(cards))
-	mark := func(xs []float64) {
+	mark := func(idx []int, xs []float64) {
 		keptVals, rejectedMask := chauvenetReject(xs)
 		if mode == ThresholdOutliers {
-			for i, r := range rejectedMask {
+			for k, r := range rejectedMask {
 				if r {
-					delayed[i] = true
+					delayed[idx[k]] = true
 				}
 			}
 			return
@@ -216,13 +268,29 @@ func delayDecisions(cards, numEPs []float64, mode ThresholdMode) []bool {
 		default: // ThresholdMuSigma
 			threshold = mu + sigma
 		}
-		for i, x := range xs {
-			if rejectedMask[i] || x > threshold {
-				delayed[i] = true
+		for k, x := range xs {
+			if rejectedMask[k] || x > threshold {
+				delayed[idx[k]] = true
 			}
 		}
 	}
-	mark(cards)
-	mark(numEPs)
+
+	var idx []int
+	var knownCards []float64
+	for i, c := range cards {
+		if known != nil && !known[i] {
+			delayed[i] = true
+			continue
+		}
+		idx = append(idx, i)
+		knownCards = append(knownCards, c)
+	}
+	mark(idx, knownCards)
+
+	all := make([]int, len(numEPs))
+	for i := range all {
+		all[i] = i
+	}
+	mark(all, numEPs)
 	return delayed
 }

@@ -61,7 +61,7 @@ func TestDelayDecisionsMuSigma(t *testing.T) {
 	// crosses μ+σ after Chauvenet removes it from the statistics.
 	cards := []float64{10, 10, 10, 10, 100000}
 	eps := []float64{2, 2, 2, 2, 2}
-	delayed := delayDecisions(cards, eps, ThresholdMuSigma)
+	delayed := delayDecisions(cards, eps, nil, ThresholdMuSigma)
 	want := []bool{false, false, false, false, true}
 	for i := range want {
 		if delayed[i] != want[i] {
@@ -73,8 +73,8 @@ func TestDelayDecisionsMuSigma(t *testing.T) {
 func TestDelayDecisionsMuDelaysMore(t *testing.T) {
 	cards := []float64{1, 2, 3, 4, 5, 6, 7, 8}
 	eps := make([]float64, len(cards))
-	muDelayed := delayDecisions(cards, eps, ThresholdMu)
-	muSigmaDelayed := delayDecisions(cards, eps, ThresholdMuSigma)
+	muDelayed := delayDecisions(cards, eps, nil, ThresholdMu)
+	muSigmaDelayed := delayDecisions(cards, eps, nil, ThresholdMuSigma)
 	countMu, countMuSigma := 0, 0
 	for i := range cards {
 		if muDelayed[i] {
@@ -92,7 +92,7 @@ func TestDelayDecisionsMuDelaysMore(t *testing.T) {
 func TestDelayDecisionsOutliersOnly(t *testing.T) {
 	cards := []float64{10, 12, 11, 13, 1e6}
 	eps := make([]float64, len(cards))
-	delayed := delayDecisions(cards, eps, ThresholdOutliers)
+	delayed := delayDecisions(cards, eps, nil, ThresholdOutliers)
 	for i := 0; i < 4; i++ {
 		if delayed[i] {
 			t.Errorf("non-outlier %d delayed in outliers-only mode", i)
@@ -107,7 +107,7 @@ func TestDelayDecisionsByEndpointCount(t *testing.T) {
 	// Same cardinalities, but one subquery touches far more endpoints.
 	cards := []float64{10, 10, 10, 10, 10}
 	eps := []float64{2, 2, 2, 2, 200}
-	delayed := delayDecisions(cards, eps, ThresholdMuSigma)
+	delayed := delayDecisions(cards, eps, nil, ThresholdMuSigma)
 	if !delayed[4] {
 		t.Error("subquery touching many endpoints should be delayed")
 	}

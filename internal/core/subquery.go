@@ -35,6 +35,11 @@ type Subquery struct {
 
 	// EstCard is SAPE's estimated cardinality (set during planning).
 	EstCard float64
+	// CardKnown reports whether EstCard rests on complete statistics:
+	// false when any underlying COUNT probe returned a malformed result,
+	// so the estimate is partial and the delay heuristics must treat the
+	// subquery conservatively rather than trust a number nobody measured.
+	CardKnown bool
 	// Delayed marks the subquery for bound-join evaluation in SAPE's second
 	// phase.
 	Delayed bool

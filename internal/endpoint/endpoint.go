@@ -5,18 +5,23 @@
 package endpoint
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"lusail/internal/obs"
 	"lusail/internal/rdf"
 	"lusail/internal/sparql"
 
+	"lusail/internal/catalog"
+	"lusail/internal/client"
 	"lusail/internal/eval"
 	"lusail/internal/store"
 )
@@ -148,6 +153,36 @@ func extractQuery(r *http.Request) (string, error) {
 	return "", fmt.Errorf("method %s not allowed", r.Method)
 }
 
+// summaryHandler serves the endpoint's own catalog summary as JSON on
+// /summary, so a federation catalog can be assembled by fetching one
+// document per member instead of scanning each dataset over the SPARQL
+// protocol. The summary is built on first request and memoized — the
+// served stores are immutable once a server is up.
+type summaryHandler struct {
+	name string
+	st   *store.Store
+
+	once sync.Once
+	sum  *catalog.Summary
+	err  error
+}
+
+func (s *summaryHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.once.Do(func() {
+		// Deliberately not r.Context(): a canceled first request must not
+		// memoize a spurious error for every later caller.
+		s.sum, s.err = catalog.BuildSummary(context.Background(), client.NewInProcess(s.name, s.st))
+	})
+	if s.err != nil {
+		http.Error(w, s.err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.sum); err != nil {
+		log.Printf("endpoint %s: writing summary: %v", s.name, err)
+	}
+}
+
 // Server is a running SPARQL endpoint on a local TCP port.
 type Server struct {
 	Name string
@@ -159,8 +194,8 @@ type Server struct {
 // Serve starts an HTTP SPARQL endpoint on addr (e.g. "127.0.0.1:0") and
 // returns once the listener is ready. Close releases it. Besides the SPARQL
 // protocol on /sparql (and /), the server exposes the process-wide obs
-// registry as Prometheus text on /metrics and as a JSON snapshot on
-// /debug/federation.
+// registry as Prometheus text on /metrics, a JSON snapshot on
+// /debug/federation, and its own catalog data summary on /summary.
 func Serve(name, addr string, st *store.Store) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -169,6 +204,7 @@ func Serve(name, addr string, st *store.Store) (*Server, error) {
 	h := NewHandler(name, st)
 	mux := http.NewServeMux()
 	mux.Handle("/sparql", h)
+	mux.Handle("/summary", &summaryHandler{name: name, st: st})
 	mux.Handle("/metrics", obs.Default().MetricsHandler())
 	mux.Handle("/debug/federation", obs.Default().DebugHandler())
 	mux.Handle("/", h)

@@ -2,6 +2,7 @@ package endpoint
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"lusail/internal/catalog"
 	"lusail/internal/client"
 	"lusail/internal/rdf"
 	"lusail/internal/store"
@@ -197,5 +199,38 @@ func TestConstructOverHTTP(t *testing.T) {
 	}
 	if len(triples) != 2 {
 		t.Errorf("triples = %d, want 2", len(triples))
+	}
+}
+
+func TestSummaryRoute(t *testing.T) {
+	srv, err := Serve("ep1", "127.0.0.1:0", testStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := strings.TrimSuffix(srv.URL, "/sparql")
+	for i := 0; i < 2; i++ { // second hit exercises the memoized path
+		resp, err := http.Get(base + "/summary")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum catalog.Summary
+		err = json.NewDecoder(resp.Body).Decode(&sum)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decoding /summary: %v", err)
+		}
+		if sum.Endpoint != "ep1" {
+			t.Errorf("summary endpoint = %q, want ep1", sum.Endpoint)
+		}
+		if sum.Triples != 3 {
+			t.Errorf("summary triples = %d, want 3", sum.Triples)
+		}
+		if _, ok := sum.Predicates["http://ex/p"]; !ok {
+			t.Errorf("summary lacks predicate http://ex/p: %v", sum.Predicates)
+		}
+		if sum.Capabilities.Truncated {
+			t.Error("summary of a fully scanned store marked truncated")
+		}
 	}
 }

@@ -6,6 +6,7 @@ package federation
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -65,18 +66,67 @@ func (f *Federation) Get(name string) client.Endpoint { return f.byName[name] }
 // Size returns the number of endpoints.
 func (f *Federation) Size() int { return len(f.eps) }
 
-// SourceSelector performs per-triple-pattern source selection using SPARQL
-// ASK probes, with a cache keyed by the normalized pattern (like Lusail and
-// FedX, which both cache ASK results).
+// TierDecision classifies one endpoint for one triple pattern, as answered
+// by the probe-free catalog tier of source selection.
+type TierDecision int
+
+const (
+	// TierUnknown means the catalog cannot decide (missing, stale, or
+	// partial summary); the endpoint must be ASK-probed.
+	TierUnknown TierDecision = iota
+	// TierRelevant means the endpoint may hold matches of the pattern and
+	// must be included. The catalog may over-approximate here (e.g. an
+	// authority sketch cannot distinguish two entities of one authority);
+	// including a non-matching endpoint costs work but never correctness.
+	TierRelevant
+	// TierIrrelevant means the endpoint provably holds no match of the
+	// pattern (e.g. the predicate does not occur there) and is pruned
+	// without a probe.
+	TierIrrelevant
+)
+
+// String returns the span-attribute label of the decision.
+func (d TierDecision) String() string {
+	switch d {
+	case TierRelevant:
+		return "relevant"
+	case TierIrrelevant:
+		return "irrelevant"
+	}
+	return "unknown"
+}
+
+// CatalogTier answers source-selection questions from precomputed data
+// summaries so that ASK probes are only issued for endpoints the summaries
+// cannot decide. Implemented by *catalog.Store.
+type CatalogTier interface {
+	// Decide classifies the endpoint for the pattern. It must be safe for
+	// concurrent use and must return TierUnknown rather than guess when its
+	// information is stale or incomplete.
+	Decide(tp sparql.TriplePattern, endpoint string) TierDecision
+}
+
+// SourceSelector performs per-triple-pattern source selection with a
+// two-tier strategy: a probe-free catalog tier (when configured with
+// SetCatalog) answers from precomputed data summaries, and SPARQL ASK
+// probes settle whatever the catalog cannot decide. Results are cached by
+// the normalized pattern (like Lusail and FedX, which both cache ASK
+// results).
 type SourceSelector struct {
 	fed  *Federation
 	pool *erh.Pool
 
-	mu    sync.Mutex
-	cache map[string][]string // normalized pattern -> relevant endpoint names
+	mu      sync.Mutex
+	cache   map[string][]string // normalized pattern -> relevant endpoint names
+	catalog CatalogTier
 
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
+
+	catalogHits      *obs.Counter
+	catalogPartial   *obs.Counter
+	catalogFallbacks *obs.Counter
+	probeFailures    *obs.Counter
 }
 
 // NewSourceSelector returns a selector over the federation using the pool
@@ -85,12 +135,24 @@ type SourceSelector struct {
 func NewSourceSelector(fed *Federation, pool *erh.Pool) *SourceSelector {
 	reg := obs.Default()
 	return &SourceSelector{
-		fed:         fed,
-		pool:        pool,
-		cache:       map[string][]string{},
-		cacheHits:   reg.Counter(obs.MetricSourceCacheHits, "source-selection ASK cache hits"),
-		cacheMisses: reg.Counter(obs.MetricSourceCacheMisses, "source-selection ASK cache misses"),
+		fed:              fed,
+		pool:             pool,
+		cache:            map[string][]string{},
+		cacheHits:        reg.Counter(obs.MetricSourceCacheHits, "source-selection ASK cache hits"),
+		cacheMisses:      reg.Counter(obs.MetricSourceCacheMisses, "source-selection ASK cache misses"),
+		catalogHits:      reg.Counter(obs.MetricCatalogSourceHits, "patterns source-selected entirely from the catalog"),
+		catalogPartial:   reg.Counter(obs.MetricCatalogSourcePartial, "patterns where the catalog decided some endpoints and ASK probes the rest"),
+		catalogFallbacks: reg.Counter(obs.MetricCatalogSourceFallbacks, "patterns where the catalog decided nothing and all endpoints were ASK-probed"),
+		probeFailures:    reg.Counter(obs.MetricSourceProbeFailures, "ASK probes that failed and were conservatively treated as relevant"),
 	}
+}
+
+// SetCatalog installs (or, with nil, removes) the probe-free catalog tier
+// consulted before ASK probes.
+func (s *SourceSelector) SetCatalog(c CatalogTier) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.catalog = c
 }
 
 // ClearCache drops all cached source-selection results.
@@ -107,8 +169,16 @@ func (s *SourceSelector) CacheLen() int {
 	return len(s.cache)
 }
 
-// RelevantSources returns the names of the endpoints that have at least one
-// triple matching the pattern, in federation order.
+// RelevantSources returns the names of the endpoints that may have at least
+// one triple matching the pattern, in federation order.
+//
+// With a catalog tier installed, summaries answer first: endpoints the
+// catalog proves irrelevant are pruned without traffic, endpoints it proves
+// (possibly over-approximately) relevant are included, and only undecided
+// endpoints are ASK-probed. Without a catalog — or for undecided endpoints
+// — a failed ASK probe degrades gracefully: the endpoint is conservatively
+// treated as relevant and a warning counter is incremented; the query is
+// aborted only when every issued probe fails.
 func (s *SourceSelector) RelevantSources(ctx context.Context, tp sparql.TriplePattern) ([]string, error) {
 	key := NormalizePattern(tp)
 	sp := obs.FromContext(ctx).StartChild("select-sources")
@@ -123,28 +193,96 @@ func (s *SourceSelector) RelevantSources(ctx context.Context, tp sparql.TriplePa
 		sp.SetAttr("sources", strings.Join(cached, ","))
 		return cached, nil
 	}
+	catalog := s.catalog
 	s.mu.Unlock()
 	s.cacheMisses.Inc()
 	sp.SetAttr("cache", "miss")
 
-	ask := askQuery(tp)
 	eps := s.fed.Endpoints()
 	relevant := make([]bool, len(eps))
-	err := s.pool.ForEach(ctx, len(eps), func(i int) error {
-		asp := sp.StartChild("ask")
-		defer asp.End()
-		asp.SetAttr("endpoint", eps[i].Name())
-		ok, err := client.Ask(ctx, eps[i], ask)
-		if err != nil {
-			return fmt.Errorf("source selection at %s: %w", eps[i].Name(), err)
+	probe := make([]bool, len(eps)) // endpoints the catalog could not decide
+	nProbe := 0
+	if catalog != nil {
+		for i, ep := range eps {
+			switch catalog.Decide(tp, ep.Name()) {
+			case TierRelevant:
+				relevant[i] = true
+			case TierUnknown:
+				probe[i] = true
+				nProbe++
+			}
 		}
-		asp.SetAttr("relevant", ok)
-		relevant[i] = ok
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		switch {
+		case nProbe == 0:
+			s.catalogHits.Inc()
+			sp.SetAttr("tier", "catalog")
+		case nProbe == len(eps):
+			s.catalogFallbacks.Inc()
+			sp.SetAttr("tier", "ask")
+		default:
+			s.catalogPartial.Inc()
+			sp.SetAttr("tier", "catalog+ask")
+		}
+	} else {
+		for i := range eps {
+			probe[i] = true
+		}
+		nProbe = len(eps)
+		sp.SetAttr("tier", "ask")
 	}
+
+	if nProbe > 0 {
+		ask := askQuery(tp)
+		var toProbe []int
+		for i, p := range probe {
+			if p {
+				toProbe = append(toProbe, i)
+			}
+		}
+		probeErrs := make([]error, len(toProbe))
+		ferr := s.pool.ForEach(ctx, len(toProbe), func(k int) error {
+			i := toProbe[k]
+			asp := sp.StartChild("ask")
+			defer asp.End()
+			asp.SetAttr("endpoint", eps[i].Name())
+			ok, err := client.Ask(ctx, eps[i], ask)
+			if err != nil {
+				// Degrade: a single unreachable endpoint must not abort the
+				// whole query. Conservatively keep it as a candidate source
+				// (its subqueries may still fail later, but transient probe
+				// errors no longer kill cheap queries).
+				probeErrs[k] = fmt.Errorf("source selection at %s: %w", eps[i].Name(), err)
+				asp.SetAttr("error", err.Error())
+				asp.SetAttr("relevant", true)
+				s.probeFailures.Inc()
+				relevant[i] = true
+				return nil
+			}
+			asp.SetAttr("relevant", ok)
+			relevant[i] = ok
+			return nil
+		})
+		if ferr != nil {
+			// The worker callback never returns an error, so ferr can only
+			// carry context cancellation for probes that were skipped before
+			// they ran. Those endpoints have no answer at all — treating them
+			// as irrelevant would silently drop sources — so abort with the
+			// cancellation instead.
+			return nil, ferr
+		}
+		var errs []error
+		for _, e := range probeErrs {
+			if e != nil {
+				errs = append(errs, e)
+			}
+		}
+		if len(errs) == len(toProbe) {
+			// Every probe failed (endpoints down, or the context cancelled):
+			// there is no information to degrade onto.
+			return nil, errors.Join(errs...)
+		}
+	}
+
 	var names []string
 	for i, ok := range relevant {
 		if ok {

@@ -1,0 +1,217 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"lusail/internal/client"
+	"lusail/internal/erh"
+	"lusail/internal/sparql"
+)
+
+// fakeTier is a scripted CatalogTier: decisions are keyed by endpoint name.
+type fakeTier struct {
+	mu        sync.Mutex
+	decisions map[string]TierDecision
+	calls     int
+}
+
+func (f *fakeTier) Decide(tp sparql.TriplePattern, endpoint string) TierDecision {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	return f.decisions[endpoint]
+}
+
+// failingEndpoint errors on every query, standing in for an unreachable
+// remote endpoint.
+type failingEndpoint struct{ name string }
+
+func (e *failingEndpoint) Name() string { return e.name }
+func (e *failingEndpoint) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	return nil, fmt.Errorf("endpoint %s: connection refused", e.name)
+}
+
+func instrumented(f *Federation, m *client.Metrics) *Federation {
+	var eps []client.Endpoint
+	for _, ep := range f.Endpoints() {
+		eps = append(eps, client.NewInstrumented(ep, m))
+	}
+	return MustNew(eps...)
+}
+
+func TestCatalogTierFullHit(t *testing.T) {
+	var m client.Metrics
+	fed := instrumented(twoEndpointFed(), &m)
+	sel := NewSourceSelector(fed, erh.New(4))
+	sel.SetCatalog(&fakeTier{decisions: map[string]TierDecision{
+		"ep1": TierIrrelevant,
+		"ep2": TierRelevant,
+	}})
+
+	tp := sparql.TriplePattern{S: sparql.Var("s"), P: sparql.IRI("http://ex/q"), O: sparql.Var("o")}
+	got, err := sel.RelevantSources(context.Background(), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"ep2"}) {
+		t.Errorf("sources = %v, want [ep2]", got)
+	}
+	if n := m.Snapshot().Requests; n != 0 {
+		t.Errorf("catalog full hit issued %d requests, want 0", n)
+	}
+}
+
+func TestCatalogTierPartial(t *testing.T) {
+	var m client.Metrics
+	fed := instrumented(twoEndpointFed(), &m)
+	sel := NewSourceSelector(fed, erh.New(4))
+	// ep1 is undecided and must be ASK-probed; ep2 is answered by the
+	// catalog without traffic.
+	sel.SetCatalog(&fakeTier{decisions: map[string]TierDecision{
+		"ep1": TierUnknown,
+		"ep2": TierRelevant,
+	}})
+
+	tp := sparql.TriplePattern{S: sparql.Var("s"), P: sparql.IRI("http://ex/p"), O: sparql.Var("o")}
+	got, err := sel.RelevantSources(context.Background(), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"ep1", "ep2"}) {
+		t.Errorf("sources = %v, want [ep1 ep2]", got)
+	}
+	if n := m.Snapshot().Asks; n != 1 {
+		t.Errorf("partial hit issued %d ASKs, want 1 (only the undecided endpoint)", n)
+	}
+}
+
+func TestCatalogOverApproximationIsHarmless(t *testing.T) {
+	// The catalog claims both endpoints are relevant for a predicate only
+	// ep2 holds: the source list over-approximates but stays a superset of
+	// the true one, which the engine tolerates by construction.
+	var m client.Metrics
+	fed := instrumented(twoEndpointFed(), &m)
+	sel := NewSourceSelector(fed, erh.New(4))
+	sel.SetCatalog(&fakeTier{decisions: map[string]TierDecision{
+		"ep1": TierRelevant,
+		"ep2": TierRelevant,
+	}})
+	tp := sparql.TriplePattern{S: sparql.Var("s"), P: sparql.IRI("http://ex/q"), O: sparql.Var("o")}
+	got, err := sel.RelevantSources(context.Background(), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"ep1", "ep2"}) {
+		t.Errorf("sources = %v", got)
+	}
+	if n := m.Snapshot().Requests; n != 0 {
+		t.Errorf("issued %d requests, want 0", n)
+	}
+}
+
+func TestCatalogResultsAreCached(t *testing.T) {
+	fed := twoEndpointFed()
+	sel := NewSourceSelector(fed, erh.New(4))
+	tier := &fakeTier{decisions: map[string]TierDecision{
+		"ep1": TierRelevant,
+		"ep2": TierIrrelevant,
+	}}
+	sel.SetCatalog(tier)
+	tp := sparql.TriplePattern{S: sparql.Var("s"), P: sparql.IRI("http://ex/p"), O: sparql.Var("o")}
+	if _, err := sel.RelevantSources(context.Background(), tp); err != nil {
+		t.Fatal(err)
+	}
+	first := tier.calls
+	if _, err := sel.RelevantSources(context.Background(), tp); err != nil {
+		t.Fatal(err)
+	}
+	if tier.calls != first {
+		t.Errorf("second lookup consulted the catalog (%d -> %d calls), want cache hit", first, tier.calls)
+	}
+}
+
+func TestProbeFailureDegrades(t *testing.T) {
+	// One endpoint down: it is conservatively kept as a source and the
+	// query proceeds instead of aborting.
+	good := twoEndpointFed()
+	fed := MustNew(good.Get("ep1"), good.Get("ep2"), &failingEndpoint{name: "down"})
+	sel := NewSourceSelector(fed, erh.New(4))
+
+	tp := sparql.TriplePattern{S: sparql.Var("s"), P: sparql.IRI("http://ex/q"), O: sparql.Var("o")}
+	got, err := sel.RelevantSources(context.Background(), tp)
+	if err != nil {
+		t.Fatalf("single probe failure aborted the query: %v", err)
+	}
+	if !reflect.DeepEqual(got, []string{"ep2", "down"}) {
+		t.Errorf("sources = %v, want [ep2 down] (failed endpoint kept conservatively)", got)
+	}
+}
+
+func TestAllProbesFailing(t *testing.T) {
+	fed := MustNew(&failingEndpoint{name: "a"}, &failingEndpoint{name: "b"})
+	sel := NewSourceSelector(fed, erh.New(4))
+	tp := sparql.TriplePattern{S: sparql.Var("s"), P: sparql.IRI("http://ex/p"), O: sparql.Var("o")}
+	if _, err := sel.RelevantSources(context.Background(), tp); err == nil {
+		t.Fatal("all probes failing should abort, not degrade")
+	}
+}
+
+func TestProbeCancellationAborts(t *testing.T) {
+	fed := twoEndpointFed()
+	sel := NewSourceSelector(fed, erh.New(4))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tp := sparql.TriplePattern{S: sparql.Var("s"), P: sparql.IRI("http://ex/p"), O: sparql.Var("o")}
+	_, err := sel.RelevantSources(ctx, tp)
+	if err == nil {
+		t.Fatal("cancelled selection should error, not return a partial source list")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSelectorCatalogRace exercises concurrent source selection against a
+// shared cache and catalog tier while the catalog is being swapped; run
+// with -race.
+func TestSelectorCatalogRace(t *testing.T) {
+	fed := twoEndpointFed()
+	sel := NewSourceSelector(fed, erh.New(8))
+	tier := &fakeTier{decisions: map[string]TierDecision{
+		"ep1": TierRelevant,
+		"ep2": TierUnknown,
+	}}
+	patterns := []sparql.TriplePattern{
+		{S: sparql.Var("s"), P: sparql.IRI("http://ex/p"), O: sparql.Var("o")},
+		{S: sparql.Var("s"), P: sparql.IRI("http://ex/q"), O: sparql.Var("o")},
+		{S: sparql.IRI("http://ex/c"), P: sparql.IRI("http://ex/q"), O: sparql.Var("o")},
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch i % 4 {
+				case 0:
+					sel.SetCatalog(tier)
+				case 1:
+					sel.SetCatalog(nil)
+				}
+				if _, err := sel.RelevantSources(context.Background(), patterns[(w+i)%len(patterns)]); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%10 == 0 {
+					sel.ClearCache()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -36,6 +36,20 @@ const (
 	MetricCheckCacheHits    = "lusail_check_cache_hits_total"
 	MetricCheckCacheMisses  = "lusail_check_cache_misses_total"
 
+	// Source-selection robustness (package federation).
+	MetricSourceProbeFailures = "lusail_source_probe_failures_total"
+
+	// Endpoint catalog: the probe-free first tier of source selection and
+	// cardinality estimation (package catalog and its consumers).
+	MetricCatalogSourceHits      = "lusail_catalog_source_hits_total"
+	MetricCatalogSourcePartial   = "lusail_catalog_source_partial_total"
+	MetricCatalogSourceFallbacks = "lusail_catalog_source_fallbacks_total"
+	MetricCatalogCardHits        = "lusail_catalog_card_hits_total"
+	MetricCatalogCardFallbacks   = "lusail_catalog_card_fallbacks_total"
+	MetricCatalogRefreshes       = "lusail_catalog_refreshes_total"
+	MetricCatalogStaleLookups    = "lusail_catalog_stale_lookups_total"
+	MetricCatalogBuildSeconds    = "lusail_catalog_build_seconds"
+
 	// SPARQL protocol server (package endpoint).
 	MetricHTTPRequests       = "lusail_http_requests_total"
 	MetricHTTPErrors         = "lusail_http_errors_total"

@@ -35,9 +35,11 @@ import (
 	"io"
 	"time"
 
+	"lusail/internal/catalog"
 	"lusail/internal/client"
 	"lusail/internal/core"
 	"lusail/internal/endpoint"
+	"lusail/internal/erh"
 	"lusail/internal/federation"
 	"lusail/internal/rdf"
 	"lusail/internal/sparql"
@@ -71,6 +73,13 @@ type (
 	Store = store.Store
 	// Server is a running HTTP SPARQL endpoint.
 	Server = endpoint.Server
+	// Catalog is a persistent endpoint catalog: one data summary per
+	// endpoint that lets the engine answer source selection and
+	// cardinality estimation without per-query ASK/COUNT probes. Assign
+	// one to Options.Catalog to enable the probe-free tier.
+	Catalog = catalog.Store
+	// CatalogSummary is one endpoint's data summary inside a Catalog.
+	CatalogSummary = catalog.Summary
 )
 
 // Threshold modes for Options.Threshold (paper Section 5.4).
@@ -129,6 +138,41 @@ func WithLatency(ep Endpoint, rtt time.Duration, bytesPerSecond int64) Endpoint 
 // server reports its URL and is shut down with Close.
 func Serve(name, addr string, triples []Triple) (*Server, error) {
 	return endpoint.Serve(name, addr, store.NewFromTriples(triples))
+}
+
+// NewCatalog returns an empty catalog that saves to path (empty for
+// in-memory only). Summaries older than ttl are treated as stale and the
+// engine falls back to probes for them; ttl <= 0 means summaries never
+// expire.
+func NewCatalog(path string, ttl time.Duration) *Catalog {
+	return catalog.NewStore(path, ttl)
+}
+
+// OpenCatalog loads a catalog previously saved to path (a missing file
+// yields an empty catalog). See NewCatalog for the ttl semantics.
+func OpenCatalog(path string, ttl time.Duration) (*Catalog, error) {
+	return catalog.Open(path, ttl)
+}
+
+// BuildCatalog scans every endpoint and stores one fresh summary per
+// endpoint into cat, replacing any existing ones. The scan is the same
+// offline preprocessing the paper's index-based baselines perform.
+func BuildCatalog(ctx context.Context, endpoints []Endpoint, cat *Catalog) error {
+	fed, err := federation.New(endpoints...)
+	if err != nil {
+		return err
+	}
+	return catalog.Build(ctx, fed, erh.New(0), cat)
+}
+
+// RefreshCatalog rebuilds only the stale or missing summaries for the
+// given endpoints, returning how many were rebuilt.
+func RefreshCatalog(ctx context.Context, endpoints []Endpoint, cat *Catalog) (int, error) {
+	fed, err := federation.New(endpoints...)
+	if err != nil {
+		return 0, err
+	}
+	return catalog.Refresh(ctx, fed, erh.New(0), cat)
 }
 
 // QueryEarly executes a federated query and delivers solutions to emit as
