@@ -11,7 +11,8 @@
 //	lusail-bench -experiment catalog -json .  # also write BENCH_catalog.json
 //
 // Experiments: table1, fig8, fig9, fig10, fig11, fig12a, fig12bc, fig13,
-// fig14, table2, qerror, preprocessing, blocksize, poolsize, catalog, all.
+// fig14, table2, qerror, preprocessing, blocksize, poolsize, catalog,
+// faults, all.
 package main
 
 import (
@@ -36,6 +37,8 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-query timeout")
 	repeats := flag.Int("repeats", 3, "runs per query (first is warmup)")
 	endpoints := flag.String("endpoints", "4,16,64,256", "endpoint counts for fig12bc")
+	faultRate := flag.Float64("fault-rate", 0.3, "injected error rate of the faulty endpoint (faults experiment)")
+	faultHang := flag.Float64("fault-hang", 0.1, "injected hang rate of the faulty endpoint (faults experiment)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/federation on this address while experiments run")
 	jsonDir := flag.String("json", "", "also write each experiment's tables to BENCH_<id>.json in this directory")
 	flag.Parse()
@@ -51,7 +54,7 @@ func main() {
 		}()
 	}
 
-	opts := bench.ExpOptions{Scale: *scale, Timeout: *timeout, Repeats: *repeats}
+	opts := bench.ExpOptions{Scale: *scale, Timeout: *timeout, Repeats: *repeats, FaultRate: *faultRate, FaultHang: *faultHang}
 
 	var counts []int
 	for _, s := range strings.Split(*endpoints, ",") {
@@ -147,6 +150,10 @@ func main() {
 	}
 	if want("catalog") {
 		show("catalog")(bench.CatalogProbes(opts))
+	}
+	if want("faults") {
+		ts, err := bench.FaultsExperiment(opts)
+		emit("faults", ts, err)
 	}
 	fmt.Printf("total experiment time: %v\n", time.Since(start).Round(time.Millisecond))
 }

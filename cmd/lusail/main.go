@@ -22,6 +22,13 @@
 // answer source selection and cardinality estimation from precomputed
 // summaries instead of per-query ASK/COUNT probes; -catalog-ttl bounds how
 // old a summary may be before the engine falls back to probing.
+//
+// Add -on-failure=degrade to answer from the remaining endpoints when one
+// fails mid-query instead of failing the whole query (partial results; the
+// excluded contributions are reported as warnings on stderr). Degrade mode
+// also enables per-endpoint circuit breakers and hedged probes with the
+// library defaults. The default, -on-failure=fail, keeps strict
+// all-or-nothing semantics.
 package main
 
 import (
@@ -60,6 +67,7 @@ func main() {
 	noSAPE := flag.Bool("disable-sape", false, "run with LADE only (no selectivity-aware execution)")
 	catalogPath := flag.String("catalog", "", "endpoint catalog file (built with lusail-catalog) for probe-free source selection and cardinality estimation")
 	catalogTTL := flag.Duration("catalog-ttl", 24*time.Hour, "treat catalog summaries older than this as stale (0 = never stale)")
+	onFailure := flag.String("on-failure", "fail", "endpoint failure policy: fail (whole query errors) or degrade (partial results from the surviving endpoints)")
 	flag.Parse()
 
 	if len(endpoints) == 0 {
@@ -90,6 +98,14 @@ func main() {
 	opts := lusail.DefaultOptions()
 	opts.DisableSAPE = *noSAPE
 	opts.Trace = *explain || *traceOut != ""
+	switch *onFailure {
+	case "fail":
+	case "degrade":
+		opts.OnEndpointFailure = lusail.Degrade
+		opts.Resilience = lusail.DefaultResilience()
+	default:
+		log.Fatalf("lusail: invalid -on-failure %q, want fail or degrade", *onFailure)
+	}
 	if *catalogPath != "" {
 		cat, err := lusail.OpenCatalog(*catalogPath, *catalogTTL)
 		if err != nil {
@@ -121,6 +137,9 @@ func main() {
 	res, prof, err := eng.QueryString(ctx, q)
 	if err != nil {
 		log.Fatalf("lusail: %v", err)
+	}
+	for _, w := range prof.Warnings {
+		fmt.Fprintf(os.Stderr, "warning: endpoint %s (%s): %s\n", w.Endpoint, w.Phase, w.Message)
 	}
 
 	switch *format {

@@ -105,6 +105,15 @@ type Fed struct {
 
 // NewFed builds a federation from datasets under the given network profile.
 func NewFed(datasets []Dataset, net NetworkProfile) (*Fed, error) {
+	return newFed(datasets, net, nil)
+}
+
+// newFed builds the federation. When wrap is non-nil, each latency-wrapped
+// endpoint passes through it before instrumentation, so injected faults (see
+// NewFedWithFaults) still count as issued requests — the work an engine
+// wastes on a misbehaving endpoint is exactly what the faults experiment
+// measures.
+func newFed(datasets []Dataset, net NetworkProfile, wrap func(client.Endpoint) client.Endpoint) (*Fed, error) {
 	m := &client.Metrics{}
 	var wrapped []client.Endpoint
 	var raw []client.Endpoint
@@ -114,6 +123,9 @@ func NewFed(datasets []Dataset, net NetworkProfile) (*Fed, error) {
 		var e client.Endpoint = ep
 		if net.RTT > 0 || net.BytesPerSecond > 0 {
 			e = client.NewLatency(e, net.RTT, net.BytesPerSecond)
+		}
+		if wrap != nil {
+			e = wrap(e)
 		}
 		wrapped = append(wrapped, client.NewInstrumented(e, m))
 	}
@@ -224,7 +236,7 @@ func (a *lusailAdapter) lastProfile() *core.Profile {
 func (f *Fed) NewEngine(kind EngineKind) (engine, error) {
 	switch kind {
 	case Lusail:
-		return &lusailAdapter{e: core.New(f.Federation, core.DefaultOptions())}, nil
+		return &lusailAdapter{e: core.MustNew(f.Federation, core.DefaultOptions())}, nil
 	case LusailCatalog:
 		st, err := f.EnsureCatalog()
 		if err != nil {
@@ -232,11 +244,11 @@ func (f *Fed) NewEngine(kind EngineKind) (engine, error) {
 		}
 		opts := core.DefaultOptions()
 		opts.Catalog = st
-		return &lusailAdapter{e: core.New(f.Federation, opts)}, nil
+		return &lusailAdapter{e: core.MustNew(f.Federation, opts)}, nil
 	case LusailLADE:
 		opts := core.DefaultOptions()
 		opts.DisableSAPE = true
-		return &lusailAdapter{e: core.New(f.Federation, opts)}, nil
+		return &lusailAdapter{e: core.MustNew(f.Federation, opts)}, nil
 	case FedX:
 		return fedx.New(f.Federation, fedx.Options{}), nil
 	case HiBISCuS:
@@ -254,8 +266,9 @@ func (f *Fed) NewEngine(kind EngineKind) (engine, error) {
 }
 
 // NewLusail returns the full core engine (for profile-based experiments).
+// It panics on invalid options; benchmarks construct options statically.
 func (f *Fed) NewLusail(opts core.Options) *core.Engine {
-	return core.New(f.Federation, opts)
+	return core.MustNew(f.Federation, opts)
 }
 
 // Result is one measured query execution.

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"lusail/internal/client"
+	"lusail/internal/core"
+	"lusail/internal/resilience"
+	"lusail/internal/sparql"
+)
+
+// canonRows renders a result set as a sorted list of tab-joined rows, so two
+// executions can be compared independent of row order (subquery arrival
+// order is nondeterministic).
+func canonRows(res *sparql.Results) []string {
+	rows := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		cells := make([]string, len(r))
+		for j, t := range r {
+			cells[j] = t.String()
+		}
+		rows = append(rows, strings.Join(cells, "\t"))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// TestDegradeMatchesHealthySubfederation is the partial-results correctness
+// property: with one endpoint failing every request, Degrade mode must
+// return exactly what a federation without that endpoint returns — the
+// surviving endpoints' full contribution, nothing more, nothing less.
+func TestDegradeMatchesHealthySubfederation(t *testing.T) {
+	datasets := GenerateLUBM(DefaultLUBM(4))
+	faulty := datasets[len(datasets)-1].Name
+
+	fedFaulty, err := NewFedWithFaults(datasets, InProcess(), faulty, resilience.FaultSpec{ErrorRate: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degOpts := core.DefaultOptions()
+	degOpts.OnEndpointFailure = core.Degrade
+	degEng, err := core.New(fedFaulty.Federation, degOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fedHealthy, err := NewFed(datasets[:len(datasets)-1], InProcess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEng := core.MustNew(fedHealthy.Federation, core.DefaultOptions())
+
+	for _, q := range LUBMQueries() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		got, prof, err := degEng.QueryString(ctx, q.Text)
+		cancel()
+		if err != nil {
+			t.Fatalf("%s: degrade mode failed outright: %v", q.Name, err)
+		}
+		if !prof.Degraded() {
+			t.Errorf("%s: profile not marked degraded despite a dead endpoint", q.Name)
+		}
+		sawFaulty := false
+		for _, w := range prof.Warnings {
+			if w.Endpoint == faulty {
+				sawFaulty = true
+			} else {
+				t.Errorf("%s: warning blames healthy endpoint %s: %+v", q.Name, w.Endpoint, w)
+			}
+		}
+		if !sawFaulty {
+			t.Errorf("%s: no warning names the dead endpoint %s", q.Name, faulty)
+		}
+
+		ctx, cancel = context.WithTimeout(context.Background(), 30*time.Second)
+		want, _, err := refEng.QueryString(ctx, q.Text)
+		cancel()
+		if err != nil {
+			t.Fatalf("%s: reference federation failed: %v", q.Name, err)
+		}
+
+		g, w := canonRows(got), canonRows(want)
+		if len(g) != len(w) {
+			t.Fatalf("%s: degraded answer has %d rows, healthy sub-federation %d", q.Name, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("%s: row %d differs:\ndegraded: %s\nhealthy:  %s", q.Name, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestFailFastSurfacesEndpointError is the other half of the contract: in
+// the default mode a dead endpoint fails the query with a typed error
+// naming it.
+func TestFailFastSurfacesEndpointError(t *testing.T) {
+	datasets := GenerateLUBM(DefaultLUBM(4))
+	faulty := datasets[len(datasets)-1].Name
+	fed, err := NewFedWithFaults(datasets, InProcess(), faulty, resilience.FaultSpec{ErrorRate: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.MustNew(fed.Federation, core.DefaultOptions())
+	failed := 0
+	for _, q := range LUBMQueries() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		_, _, err := eng.QueryString(ctx, q.Text)
+		cancel()
+		if err == nil {
+			continue
+		}
+		failed++
+		var epErr *client.EndpointError
+		if !errors.As(err, &epErr) {
+			t.Fatalf("%s: failure is not a typed EndpointError: %v", q.Name, err)
+		}
+		if epErr.Endpoint != faulty {
+			t.Fatalf("%s: EndpointError blames %s, want %s", q.Name, epErr.Endpoint, faulty)
+		}
+		if !errors.Is(err, resilience.ErrInjected) {
+			t.Fatalf("%s: EndpointError does not unwrap to the injected cause: %v", q.Name, err)
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no query failed in fail-fast mode despite a dead endpoint")
+	}
+}
+
+// TestBreakerOpensUnderSustainedFailures runs the query mix against a dead
+// endpoint with breakers enabled: queries must still answer (Degrade), and
+// after enough traffic the endpoint's breaker must be open so later queries
+// skip it without issuing requests.
+func TestBreakerOpensUnderSustainedFailures(t *testing.T) {
+	datasets := GenerateLUBM(DefaultLUBM(4))
+	faulty := datasets[len(datasets)-1].Name
+	fed, err := NewFedWithFaults(datasets, InProcess(), faulty, resilience.FaultSpec{ErrorRate: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.OnEndpointFailure = core.Degrade
+	opts.Resilience = resilience.Config{
+		FailureThreshold: 0.5,
+		Window:           10,
+		MinSamples:       5,
+		Cooldown:         time.Minute, // stays open for the whole test
+	}
+	eng, err := core.New(fed.Federation, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, q := range LUBMQueries() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			_, _, err := eng.QueryString(ctx, q.Text)
+			cancel()
+			if err != nil {
+				t.Fatalf("pass %d %s: query failed despite Degrade+breaker: %v", pass, q.Name, err)
+			}
+		}
+	}
+	if st := eng.Resilience().State(faulty); st != resilience.Open {
+		t.Errorf("breaker state for %s = %v, want Open after sustained failures", faulty, st)
+	}
+	for _, ds := range datasets[:len(datasets)-1] {
+		if st := eng.Resilience().State(ds.Name); st != resilience.Closed {
+			t.Errorf("breaker state for healthy %s = %v, want Closed", ds.Name, st)
+		}
+	}
+}
+
+// TestDegradeAtPartialErrorRate is the acceptance scenario: one of four
+// LUBM endpoints erroring on 30% of its requests. Degrade mode must answer
+// every query, every answer must contain at least the healthy
+// sub-federation's rows (contributions from the three clean endpoints are
+// never lost), failed contributions must surface as warnings, and with a
+// threshold below the error rate the breaker must open under sustained
+// traffic.
+func TestDegradeAtPartialErrorRate(t *testing.T) {
+	datasets := GenerateLUBM(DefaultLUBM(4))
+	faulty := datasets[len(datasets)-1].Name
+	fed, err := NewFedWithFaults(datasets, InProcess(), faulty, resilience.FaultSpec{ErrorRate: 0.3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.OnEndpointFailure = core.Degrade
+	opts.Resilience = resilience.Config{
+		FailureThreshold: 0.2,
+		Window:           10,
+		MinSamples:       5,
+		Cooldown:         time.Minute,
+	}
+	eng, err := core.New(fed.Federation, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fedHealthy, err := NewFed(datasets[:len(datasets)-1], InProcess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEng := core.MustNew(fedHealthy.Federation, core.DefaultOptions())
+	healthyRows := map[string]map[string]bool{}
+	for _, q := range LUBMQueries() {
+		res, _, err := refEng.QueryString(context.Background(), q.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := map[string]bool{}
+		for _, r := range canonRows(res) {
+			rows[r] = true
+		}
+		healthyRows[q.Name] = rows
+	}
+
+	warned := false
+	for pass := 0; pass < 5; pass++ {
+		for _, q := range LUBMQueries() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			res, prof, err := eng.QueryString(ctx, q.Text)
+			cancel()
+			if err != nil {
+				t.Fatalf("pass %d %s: Degrade mode failed: %v", pass, q.Name, err)
+			}
+			for _, w := range prof.Warnings {
+				if w.Endpoint == faulty {
+					warned = true
+				}
+			}
+			got := map[string]bool{}
+			for _, r := range canonRows(res) {
+				got[r] = true
+			}
+			for r := range healthyRows[q.Name] {
+				if !got[r] {
+					t.Fatalf("pass %d %s: healthy endpoints' row lost under degradation: %s", pass, q.Name, r)
+				}
+			}
+		}
+	}
+	if !warned {
+		t.Error("no Profile warning named the faulty endpoint across 5 passes at 30% errors")
+	}
+	if st := eng.Resilience().State(faulty); st != resilience.Open {
+		t.Errorf("breaker state for %s = %v, want Open (threshold 0.2 < error rate 0.3)", faulty, st)
+	}
+}

@@ -18,11 +18,18 @@ type ExpOptions struct {
 	Timeout time.Duration
 	// Repeats per measurement (paper protocol: 3, average of last 2).
 	Repeats int
+	// FaultRate is the injected error probability of the misbehaving
+	// endpoint in the faults experiment (0 means the 0.3 default).
+	FaultRate float64
+	// FaultHang is the injected hang probability of the misbehaving
+	// endpoint in the faults experiment's hedging table (0 means the 0.1
+	// default).
+	FaultHang float64
 }
 
 // DefaultExp returns fast settings suitable for `go test -bench`.
 func DefaultExp() ExpOptions {
-	return ExpOptions{Scale: 1, Timeout: 30 * time.Second, Repeats: 3}
+	return ExpOptions{Scale: 1, Timeout: 30 * time.Second, Repeats: 3, FaultRate: 0.3, FaultHang: 0.1}
 }
 
 func (o ExpOptions) run() RunOptions {

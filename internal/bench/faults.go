@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lusail/internal/client"
+	"lusail/internal/core"
+	"lusail/internal/obs"
+	"lusail/internal/resilience"
+)
+
+// NewFedWithFaults is NewFed with the named endpoint misbehaving according
+// to spec (deterministic injection, see resilience.WithFaults). The fault
+// layer sits between the latency model and the instrumentation, so injected
+// failures are still counted as issued requests.
+func NewFedWithFaults(datasets []Dataset, net NetworkProfile, faulty string, spec resilience.FaultSpec) (*Fed, error) {
+	return newFed(datasets, net, func(e client.Endpoint) client.Endpoint {
+		if e.Name() != faulty {
+			return e
+		}
+		return resilience.WithFaults(e, spec)
+	})
+}
+
+// faultRun aggregates one resilience configuration's pass over the query mix.
+type faultRun struct {
+	ok, failed, degraded int
+	warnings             int
+	requests             int64
+	elapsed              time.Duration
+	probeDur             []time.Duration // Do/DoHedged durations to the faulty endpoint
+	hedges, hedgeWins    int64
+	brOpens, brRejects   int64
+}
+
+// runFaultConfig executes the LUBM query mix `passes` times on a fresh
+// engine over fed, collecting outcome counts, resilience counters (read as
+// deltas of the process-global obs registry), and — when the configuration
+// has an active resilience manager — the caller-experienced duration of
+// every guarded request to the faulty endpoint.
+func runFaultConfig(fed *Fed, faulty string, o core.Options, queries []Query, passes int, timeout time.Duration) (faultRun, error) {
+	eng, err := core.New(fed.Federation, o)
+	if err != nil {
+		return faultRun{}, err
+	}
+	var out faultRun
+	var mu sync.Mutex
+	eng.Resilience().SetProbeObserver(func(ep string, d time.Duration) {
+		if ep != faulty {
+			return
+		}
+		mu.Lock()
+		out.probeDur = append(out.probeDur, d)
+		mu.Unlock()
+	})
+
+	reg := obs.Default()
+	label := obs.L("endpoint", faulty)
+	opens := reg.Counter(obs.MetricBreakerOpens, "circuit breaker transitions to open per endpoint", label)
+	rejects := reg.Counter(obs.MetricBreakerRejections, "requests rejected by an open breaker per endpoint", label)
+	hedges := reg.Counter(obs.MetricHedges, "probe requests that started a hedge")
+	hedgeWins := reg.Counter(obs.MetricHedgeWins, "hedged probes where the hedge finished first")
+	opens0, rejects0 := opens.Value(), rejects.Value()
+	hedges0, wins0 := hedges.Value(), hedgeWins.Value()
+
+	before := fed.Metrics.Snapshot()
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		for _, q := range queries {
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			_, prof, err := eng.QueryString(ctx, q.Text)
+			cancel()
+			if err != nil {
+				out.failed++
+				continue
+			}
+			out.ok++
+			if prof != nil {
+				out.warnings += len(prof.Warnings)
+				if prof.Degraded() {
+					out.degraded++
+				}
+			}
+		}
+	}
+	out.elapsed = time.Since(start)
+	out.requests = fed.Metrics.Snapshot().Sub(before).Requests
+	out.brOpens = opens.Value() - opens0
+	out.brRejects = rejects.Value() - rejects0
+	out.hedges = hedges.Value() - hedges0
+	out.hedgeWins = hedgeWins.Value() - wins0
+	mu.Lock()
+	defer mu.Unlock()
+	return out, nil
+}
+
+// pctDuration returns the p-quantile (0..1) of ds by nearest-rank, or 0 when
+// ds is empty.
+func pctDuration(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(p * float64(len(s)-1))
+	return s[i]
+}
+
+// FaultsExperiment measures the resilience layer against a misbehaving
+// endpoint in the LUBM-4 federation (University3 injected with faults,
+// deterministic seed). It produces two tables:
+//
+//   - partial results: with University3 failing ErrorRate of its requests,
+//     fail-fast loses queries while Degrade answers every one from the
+//     remaining endpoints, and the circuit breaker converts repeated
+//     failures into cheap up-front rejections;
+//   - hedged probes: with University3 hanging HangRate of its requests,
+//     hedging races a second probe after the adaptive latency quantile and
+//     collapses the probe tail, where the unhedged engine burns the full
+//     per-query timeout.
+//
+// Each configuration runs on a fresh federation and engine, so breaker
+// state, caches, and the injector's random stream start cold.
+func FaultsExperiment(opts ExpOptions) ([]*Table, error) {
+	if opts.FaultRate <= 0 {
+		opts.FaultRate = 0.3
+	}
+	if opts.FaultHang <= 0 {
+		opts.FaultHang = 0.1
+	}
+	scale := opts.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	datasets := GenerateLUBM(DefaultLUBM(4 * scale))
+	faulty := datasets[len(datasets)-1].Name
+	queries := LUBMQueries()
+	const passes = 3
+
+	// Table 1: error injection — fail-fast vs degrade vs degrade+breaker.
+	failFast := core.DefaultOptions()
+	degrade := core.DefaultOptions()
+	degrade.OnEndpointFailure = core.Degrade
+	breaker := degrade
+	breaker.Resilience = resilience.Config{
+		// Threshold below the injected error rate so the breaker actually
+		// trips; a long cooldown keeps it open for the rest of the run.
+		FailureThreshold: opts.FaultRate * 0.8,
+		Window:           20,
+		MinSamples:       10,
+		Cooldown:         time.Minute,
+	}
+	errSpec := resilience.FaultSpec{ErrorRate: opts.FaultRate, Seed: 1}
+
+	t1 := &Table{
+		Title:  fmt.Sprintf("Partial results under endpoint failures (LUBM-%d, %s error rate %.0f%%)", 4*scale, faulty, 100*opts.FaultRate),
+		Header: []string{"config", "ok", "failed", "degraded", "warnings", "br.opens", "br.rejects", "requests", "time"},
+		Notes: []string{
+			fmt.Sprintf("%d queries x %d passes per config; fresh engine and fault stream per config", len(queries), passes),
+			"degraded = queries answered without the failing endpoint's contribution (Profile.Degraded)",
+		},
+	}
+	for _, cfg := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"fail-fast", failFast},
+		{"degrade", degrade},
+		{"degrade+breaker", breaker},
+	} {
+		fed, err := NewFedWithFaults(datasets, LocalCluster(), faulty, errSpec)
+		if err != nil {
+			return nil, err
+		}
+		r, err := runFaultConfig(fed, faulty, cfg.opts, queries, passes, opts.Timeout)
+		if err != nil {
+			return nil, err
+		}
+		t1.Rows = append(t1.Rows, []string{
+			cfg.name,
+			fmt.Sprint(r.ok), fmt.Sprint(r.failed), fmt.Sprint(r.degraded),
+			fmt.Sprint(r.warnings),
+			fmt.Sprint(r.brOpens), fmt.Sprint(r.brRejects),
+			fmt.Sprint(r.requests),
+			FormatDuration(r.elapsed),
+		})
+	}
+
+	// Table 2: hang injection — the same degrade+breaker configuration with
+	// and without probe hedging. Hangs only resolve at the query deadline,
+	// so the timeout is kept short to bound each unrescued hang's cost.
+	hangTimeout := 2 * time.Second
+	if opts.Timeout > 0 && opts.Timeout < hangTimeout {
+		hangTimeout = opts.Timeout
+	}
+	unhedged := core.DefaultOptions()
+	unhedged.OnEndpointFailure = core.Degrade
+	unhedged.Resilience = resilience.Config{
+		FailureThreshold: 0.5,
+		Window:           20,
+		MinSamples:       5,
+		Cooldown:         2 * time.Second,
+	}
+	hedged := unhedged
+	hedged.Resilience.HedgeQuantile = 0.9
+	hedged.Resilience.HedgeWarmup = 2
+	hedged.Resilience.HedgeMinDelay = time.Millisecond
+	hangSpec := resilience.FaultSpec{HangRate: opts.FaultHang, Seed: 2}
+
+	t2 := &Table{
+		Title:  fmt.Sprintf("Hedged probes vs a hanging endpoint (%s hang rate %.0f%%, %s timeout)", faulty, 100*opts.FaultHang, FormatDuration(hangTimeout)),
+		Header: []string{"config", "ok", "failed", "probe p50", "probe p99", "hedges", "hedge wins", "br.opens", "time"},
+		Notes: []string{
+			"probe p50/p99 = caller-experienced duration of guarded requests to the hanging endpoint",
+			"a hung probe without a hedge blocks until the query deadline; the hedge races a second request after the adaptive latency quantile",
+		},
+	}
+	for _, cfg := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"degrade+breaker", unhedged},
+		{"degrade+breaker+hedge", hedged},
+	} {
+		fed, err := NewFedWithFaults(datasets, LocalCluster(), faulty, hangSpec)
+		if err != nil {
+			return nil, err
+		}
+		r, err := runFaultConfig(fed, faulty, cfg.opts, queries, passes, hangTimeout)
+		if err != nil {
+			return nil, err
+		}
+		t2.Rows = append(t2.Rows, []string{
+			cfg.name,
+			fmt.Sprint(r.ok), fmt.Sprint(r.failed),
+			FormatDuration(pctDuration(r.probeDur, 0.50)),
+			FormatDuration(pctDuration(r.probeDur, 0.99)),
+			fmt.Sprint(r.hedges), fmt.Sprint(r.hedgeWins),
+			fmt.Sprint(r.brOpens),
+			FormatDuration(r.elapsed),
+		})
+	}
+	return []*Table{t1, t2}, nil
+}

@@ -38,8 +38,16 @@ func Ask(ctx context.Context, ep Endpoint, query string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if !res.IsBoolean {
-		return false, fmt.Errorf("client: endpoint %s returned non-boolean result for ASK", ep.Name())
+	return Boolean(res, ep.Name())
+}
+
+// Boolean extracts the boolean of an ASK result set, with the endpoint name
+// used only for the error message. Callers that obtain results through a
+// wrapper (e.g. the resilience layer's hedged probes) share Ask's contract
+// this way.
+func Boolean(res *sparql.Results, epName string) (bool, error) {
+	if res == nil || !res.IsBoolean {
+		return false, fmt.Errorf("client: endpoint %s returned non-boolean result for ASK", epName)
 	}
 	return res.Boolean, nil
 }

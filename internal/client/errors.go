@@ -1,0 +1,75 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Phase identifies which stage of federated query processing a request
+// belonged to. It is carried by EndpointError so callers (and the
+// resilience layer's Degrade mode) can decide how to react to a failure
+// without parsing error strings.
+type Phase string
+
+// The engine's request phases, in pipeline order.
+const (
+	PhaseSourceSelection Phase = "source-selection"  // ASK relevance probes
+	PhaseCheck           Phase = "check"             // LADE locality check queries
+	PhaseCount           Phase = "count-probe"       // SAPE COUNT cardinality probes
+	PhaseSubquery        Phase = "subquery"          // unbound subquery evaluation
+	PhaseBoundJoin       Phase = "bound-join"        // delayed subqueries with VALUES blocks
+	PhaseOptional        Phase = "optional"          // OPTIONAL block evaluation
+	PhaseRefinement      Phase = "source-refinement" // bound ASK source refinement
+	PhaseCatalog         Phase = "catalog"           // catalog build/refresh scans
+)
+
+// EndpointError is the typed error for any request that failed against a
+// federation endpoint. It replaces the fmt.Errorf strings the engine
+// historically returned, so callers can dispatch on the failing endpoint
+// and phase with errors.As:
+//
+//	var epErr *client.EndpointError
+//	if errors.As(err, &epErr) {
+//	    log.Printf("endpoint %s failed during %s", epErr.Endpoint, epErr.Phase)
+//	}
+//
+// EndpointError supports errors.Is/Unwrap, so sentinel checks against the
+// underlying cause (context.DeadlineExceeded, resilience.ErrBreakerOpen,
+// ...) see through it.
+type EndpointError struct {
+	// Endpoint is the federation name of the endpoint the request targeted.
+	Endpoint string
+	// Phase is the engine stage that issued the request.
+	Phase Phase
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *EndpointError) Error() string {
+	return fmt.Sprintf("%s at %s: %v", e.Phase, e.Endpoint, e.Err)
+}
+
+// Unwrap supports errors.Is/As chains.
+func (e *EndpointError) Unwrap() error { return e.Err }
+
+// Is reports whether target is an EndpointError for the same endpoint and
+// phase (empty fields in target act as wildcards), enabling
+// errors.Is(err, &EndpointError{Endpoint: "dbpedia"}).
+func (e *EndpointError) Is(target error) bool {
+	t, ok := target.(*EndpointError)
+	if !ok {
+		return false
+	}
+	return (t.Endpoint == "" || t.Endpoint == e.Endpoint) &&
+		(t.Phase == "" || t.Phase == e.Phase)
+}
+
+// AsEndpointError extracts the EndpointError from an error chain, or nil.
+func AsEndpointError(err error) *EndpointError {
+	var epErr *EndpointError
+	if errors.As(err, &epErr) {
+		return epErr
+	}
+	return nil
+}

@@ -34,7 +34,7 @@ func (e *malformedCounts) Query(ctx context.Context, query string) (*sparql.Resu
 func TestMalformedCountsAreUnknownNotZero(t *testing.T) {
 	eps, _ := paperFederation(false)
 	fed := federation.MustNew(&malformedCounts{eps[0]}, &malformedCounts{eps[1]})
-	e := New(fed, DefaultOptions())
+	e := MustNew(fed, DefaultOptions())
 
 	q, err := sparql.Parse(qa)
 	if err != nil {
@@ -83,7 +83,7 @@ func TestMalformedCountsStillAnswerCorrectly(t *testing.T) {
 	// never results.
 	eps, _ := paperFederation(true)
 	healthy := newEngine(t, eps, DefaultOptions())
-	broken := New(federation.MustNew(&malformedCounts{eps[0]}, &malformedCounts{eps[1]}), DefaultOptions())
+	broken := MustNew(federation.MustNew(&malformedCounts{eps[0]}, &malformedCounts{eps[1]}), DefaultOptions())
 
 	ctx := context.Background()
 	want, _, err := healthy.QueryString(ctx, qa)
@@ -117,7 +117,7 @@ func TestCatalogAnswersStatsWithoutProbes(t *testing.T) {
 
 	opts := DefaultOptions()
 	opts.Catalog = st
-	e := New(fed, opts)
+	e := MustNew(fed, opts)
 
 	m.Reset()
 	res, prof, err := e.QueryString(context.Background(), qa)
@@ -135,7 +135,7 @@ func TestCatalogAnswersStatsWithoutProbes(t *testing.T) {
 	}
 
 	// Same rows as the probe-based engine.
-	probe := New(fed, DefaultOptions())
+	probe := MustNew(fed, DefaultOptions())
 	want, wprof, err := probe.QueryString(context.Background(), qa)
 	if err != nil {
 		t.Fatal(err)
@@ -166,7 +166,7 @@ func TestStaleCatalogFallsBackToProbes(t *testing.T) {
 
 	opts := DefaultOptions()
 	opts.Catalog = st
-	e := New(fed, opts)
+	e := MustNew(fed, opts)
 	res, prof, err := e.QueryString(context.Background(), qa)
 	if err != nil {
 		t.Fatal(err)
@@ -178,7 +178,7 @@ func TestStaleCatalogFallsBackToProbes(t *testing.T) {
 		t.Error("stale catalog should fall back to COUNT probes")
 	}
 
-	want, _, err := New(fed, DefaultOptions()).QueryString(context.Background(), qa)
+	want, _, err := MustNew(fed, DefaultOptions()).QueryString(context.Background(), qa)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -102,7 +102,7 @@ func newEngine(t *testing.T, eps []*client.InProcess, opts Options) *Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(fed, opts)
+	return MustNew(fed, opts)
 }
 
 // qa is the paper's running-example query (Figure 2).
@@ -415,7 +415,7 @@ func TestCheckCacheReducesRequests(t *testing.T) {
 		list = append(list, client.NewInstrumented(ep, &m))
 	}
 	fed := federation.MustNew(list...)
-	e := New(fed, DefaultOptions())
+	e := MustNew(fed, DefaultOptions())
 	ctx := context.Background()
 	if _, _, err := e.QueryString(ctx, qa); err != nil {
 		t.Fatal(err)
@@ -489,7 +489,7 @@ func TestFailureInjection(t *testing.T) {
 		flaky := client.NewFlaky(ep, 4)
 		wrapped = append(wrapped, client.NewRetry(flaky, 4, time.Millisecond))
 	}
-	e := New(federation.MustNew(wrapped...), DefaultOptions())
+	e := MustNew(federation.MustNew(wrapped...), DefaultOptions())
 	got, _, err := e.QueryString(context.Background(), qa)
 	if err != nil {
 		t.Fatalf("with retry: %v", err)
@@ -503,7 +503,7 @@ func TestFailureInjection(t *testing.T) {
 	for _, ep := range eps {
 		raw = append(raw, client.NewFlaky(ep, 3))
 	}
-	e2 := New(federation.MustNew(raw...), DefaultOptions())
+	e2 := MustNew(federation.MustNew(raw...), DefaultOptions())
 	if _, _, err := e2.QueryString(context.Background(), qa); err == nil {
 		t.Error("expected an error from the failing federation")
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"lusail/internal/client"
 	"sync"
 	"sync/atomic"
 
@@ -90,40 +91,44 @@ func (e *Engine) QueryEarly(ctx context.Context, query string, emit func(map[str
 	limit := q.Limit
 
 	queryText := sq.Query(nil).String()
-	runErr := e.pool.ForEach(ctx, len(sq.Sources), func(i int) error {
-		if stopped.Load() {
-			return nil
-		}
-		res, err := e.fed.Get(sq.Sources[i]).Query(ctx, queryText)
-		if err != nil {
-			return fmt.Errorf("early query at %s: %w", sq.Sources[i], err)
-		}
-		rel := qplan.ApplyFilters(res, br.Filters)
-		emitMu.Lock()
-		defer emitMu.Unlock()
-		for r := range rel.Rows {
+	runErr := e.pool.ForEachGated(ctx, sq.Sources, e.gate(),
+		e.onRejectDegrade(ctx, client.PhaseSubquery, sq.Sources), func(i int) error {
 			if stopped.Load() {
 				return nil
 			}
-			if limit >= 0 && emitted >= limit {
-				stopped.Store(true)
-				return nil
+			res, err := e.queryEndpoint(ctx, client.PhaseSubquery, sq.Sources[i], queryText)
+			if err != nil {
+				if e.degrade(ctx, client.PhaseSubquery, sq.Sources[i], err) {
+					return nil
+				}
+				return err
 			}
-			b := rel.Binding(r)
-			out := make(map[string]rdf.Term, len(vars))
-			for _, v := range vars {
-				if t, ok := b[v]; ok {
-					out[v] = t
+			rel := qplan.ApplyFilters(res, br.Filters)
+			emitMu.Lock()
+			defer emitMu.Unlock()
+			for r := range rel.Rows {
+				if stopped.Load() {
+					return nil
+				}
+				if limit >= 0 && emitted >= limit {
+					stopped.Store(true)
+					return nil
+				}
+				b := rel.Binding(r)
+				out := make(map[string]rdf.Term, len(vars))
+				for _, v := range vars {
+					if t, ok := b[v]; ok {
+						out[v] = t
+					}
+				}
+				emitted++
+				if !emit(out) {
+					stopped.Store(true)
+					return nil
 				}
 			}
-			emitted++
-			if !emit(out) {
-				stopped.Store(true)
-				return nil
-			}
-		}
-		return nil
-	})
+			return nil
+		})
 	if runErr != nil && !stopped.Load() {
 		return true, runErr
 	}

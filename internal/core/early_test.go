@@ -27,7 +27,7 @@ func TestQueryEarlyStreamsBeforeSlowEndpoint(t *testing.T) {
 		eps[0],
 		client.NewLatency(eps[1], slowRTT, 0),
 	)
-	e := New(fed, DefaultOptions())
+	e := MustNew(fed, DefaultOptions())
 
 	start := time.Now()
 	var firstEmit time.Duration

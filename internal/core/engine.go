@@ -13,6 +13,7 @@ import (
 	"lusail/internal/obs"
 	"lusail/internal/qplan"
 	"lusail/internal/rdf"
+	"lusail/internal/resilience"
 	"lusail/internal/sparql"
 )
 
@@ -47,8 +48,60 @@ func (m ThresholdMode) String() string {
 	return "unknown"
 }
 
-// Options configures a Lusail engine.
+// FailureMode selects what the engine does when an endpoint request fails
+// during query execution.
+type FailureMode int
+
+const (
+	// FailFast aborts the query on the first endpoint failure (the
+	// historical behavior, and the zero value).
+	FailFast FailureMode = iota
+	// Degrade continues past endpoint failures wherever a sound partial
+	// answer exists: the failed endpoint's contribution is excluded
+	// (subqueries, bound joins, optionals), its cardinalities stay unknown
+	// (COUNT probes), and locality checks fall back to conservatively
+	// global decomposition. Every absorbed failure is recorded as a
+	// structured Profile.Warnings entry. The answer is complete over the
+	// endpoints that responded; rows that needed the failed endpoint are
+	// missing.
+	Degrade
+)
+
+// String returns the CLI flag spelling of the mode.
+func (m FailureMode) String() string {
+	if m == Degrade {
+		return "degrade"
+	}
+	return "fail"
+}
+
+// Options configures a Lusail engine. Fields are grouped by the subsystem
+// they tune; the zero value of every field is a safe default (DefaultOptions
+// sets the configuration used in the paper's main experiments).
 type Options struct {
+	// --- Decomposition (source selection + LADE analysis) ---
+
+	// CacheSources enables the ASK source-selection cache (default on via
+	// DefaultOptions; turning it off re-probes per query, as in the
+	// paper's cache on/off profiling).
+	CacheSources bool
+	// CacheChecks enables the LADE check-query cache.
+	CacheChecks bool
+	// Catalog installs the probe-free tier: fresh endpoint summaries answer
+	// source selection without ASK probes and constant-predicate
+	// cardinalities without COUNT probes, falling back to live probes for
+	// whatever the catalog cannot decide. nil (the default) keeps the pure
+	// probe-based protocol of the paper.
+	Catalog *catalog.Store
+	// CatalogOnly forbids live probes during planning: endpoints the
+	// catalog cannot decide are conservatively treated as relevant, and
+	// cardinalities it cannot answer stay unknown, instead of issuing
+	// ASK/COUNT probes. Requires Catalog; useful when planning must not
+	// touch the network.
+	CatalogOnly bool
+
+	// --- SAPE (selectivity-aware parallel execution) ---
+
 	// PoolSize bounds concurrent endpoint requests; <=0 uses NumCPU
 	// (the ERH sizing rule from the paper).
 	PoolSize int
@@ -58,27 +111,31 @@ type Options struct {
 	// bound joins (default 500; larger blocks trade request count for
 	// request size, the balance SAPE aims for).
 	ValuesBlockSize int
-	// CacheSources enables the ASK source-selection cache (default on via
-	// DefaultOptions; turning it off re-probes per query, as in the
-	// paper's cache on/off profiling).
-	CacheSources bool
-	// CacheChecks enables the LADE check-query cache.
-	CacheChecks bool
 	// DisableSAPE turns off selectivity-aware execution: no subqueries are
 	// delayed and results are joined in input order. Used for the LADE-only
 	// ablation (paper Figure 14).
 	DisableSAPE bool
+
+	// --- Resilience (fault tolerance against flaky endpoints) ---
+
+	// OnEndpointFailure selects FailFast (abort the query on the first
+	// endpoint failure; the default) or Degrade (exclude the failing
+	// endpoint's contribution and record a Profile warning).
+	OnEndpointFailure FailureMode
+	// Resilience tunes circuit breakers and hedged probes. The zero value
+	// disables both; resilience.DefaultConfig() enables the recommended
+	// settings. Independent of OnEndpointFailure: breakers and hedging
+	// shape how requests are issued, OnEndpointFailure decides what a
+	// failure means.
+	Resilience resilience.Config
+
+	// --- Observability ---
+
 	// Trace records a hierarchical span tree per query (source-selection
 	// ASKs, check queries, COUNT probes, subqueries, bound-join batches,
 	// joins) in Profile.Trace, for EXPLAIN output and trace export. Off by
 	// default: tracing costs one small allocation per remote request.
 	Trace bool
-	// Catalog installs the probe-free tier: fresh endpoint summaries answer
-	// source selection without ASK probes and constant-predicate
-	// cardinalities without COUNT probes, falling back to live probes for
-	// whatever the catalog cannot decide. nil (the default) keeps the pure
-	// probe-based protocol of the paper.
-	Catalog *catalog.Store
 }
 
 // DefaultOptions returns the configuration used in the paper's main
@@ -90,6 +147,29 @@ func DefaultOptions() Options {
 		CacheSources:    true,
 		CacheChecks:     true,
 	}
+}
+
+// Validate rejects configurations that cannot mean anything. New calls it,
+// so an engine never runs with an inconsistent configuration; callers that
+// assemble Options from flags can call it earlier for better error
+// placement.
+func (o Options) Validate() error {
+	if o.ValuesBlockSize < 0 {
+		return fmt.Errorf("lusail: negative ValuesBlockSize %d", o.ValuesBlockSize)
+	}
+	if o.Threshold < ThresholdMuSigma || o.Threshold > ThresholdOutliers {
+		return fmt.Errorf("lusail: unknown ThresholdMode %d", o.Threshold)
+	}
+	if o.OnEndpointFailure != FailFast && o.OnEndpointFailure != Degrade {
+		return fmt.Errorf("lusail: unknown FailureMode %d", o.OnEndpointFailure)
+	}
+	if o.CatalogOnly && o.Catalog == nil {
+		return fmt.Errorf("lusail: CatalogOnly requires a Catalog")
+	}
+	if err := o.Resilience.Validate(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Profile reports per-phase timings and work counters for one query, the
@@ -119,7 +199,15 @@ type Profile struct {
 	// obs.WriteJSONL / obs.WriteChromeTrace; sum phase spans with
 	// obs.SumByName.
 	Trace *obs.Span
+
+	// Warnings lists the endpoint failures absorbed by Degrade mode, one
+	// structured entry per degraded decision. Empty for a complete answer;
+	// always empty under FailFast (a failure aborts the query instead).
+	Warnings []resilience.Warning
 }
+
+// Degraded reports whether the answer excludes any endpoint's contribution.
+func (p *Profile) Degraded() bool { return len(p.Warnings) > 0 }
 
 // SubqueryStat is one (estimate, actual) cardinality observation.
 type SubqueryStat struct {
@@ -135,34 +223,60 @@ type Engine struct {
 	sel    *federation.SourceSelector
 	checks *checkCache
 	cat    *catalog.Store
+	res    *resilience.Manager
 	opts   Options
 
 	catCardHits      *obs.Counter
 	catCardFallbacks *obs.Counter
+	degraded         *obs.Counter
 }
 
-// New returns an engine over the federation.
-func New(fed *federation.Federation, opts Options) *Engine {
+// New returns an engine over the federation, or an error when opts fails
+// Validate.
+func New(fed *federation.Federation, opts Options) (*Engine, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.ValuesBlockSize <= 0 {
 		opts.ValuesBlockSize = 500
 	}
 	pool := erh.New(opts.PoolSize)
+	reg := obs.Default()
+	res := resilience.NewManager(opts.Resilience, reg)
 	sel := federation.NewSourceSelector(fed, pool)
 	if opts.Catalog != nil {
 		sel.SetCatalog(opts.Catalog)
 	}
-	reg := obs.Default()
+	sel.SetResilience(res)
+	sel.SetCatalogOnly(opts.CatalogOnly)
 	return &Engine{
 		fed:              fed,
 		pool:             pool,
 		sel:              sel,
 		checks:           newCheckCache(),
 		cat:              opts.Catalog,
+		res:              res,
 		opts:             opts,
 		catCardHits:      reg.Counter(obs.MetricCatalogCardHits, "cardinalities answered by the catalog instead of COUNT probes"),
 		catCardFallbacks: reg.Counter(obs.MetricCatalogCardFallbacks, "COUNT probes issued because the catalog could not answer"),
-	}
+		degraded:         reg.Counter(obs.MetricDegradedFailures, "endpoint failures absorbed by partial-results mode"),
+	}, nil
 }
+
+// MustNew is New but panics on invalid options; for tests and benchmarks
+// that construct options programmatically.
+func MustNew(fed *federation.Federation, opts Options) *Engine {
+	e, err := New(fed, opts)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Resilience returns the engine's resilience manager (nil when the
+// configuration enables neither breakers nor hedging). Exposed for
+// benchmarks and diagnostics that observe breaker state or probe latency.
+func (e *Engine) Resilience() *resilience.Manager { return e.res }
 
 // Federation returns the engine's federation.
 func (e *Engine) Federation() *federation.Federation { return e.fed }
@@ -194,6 +308,13 @@ func (e *Engine) Query(ctx context.Context, q *sparql.Query) (*sparql.Results, *
 		ctx = obs.ContextWithSpan(ctx, prof.Trace)
 		defer prof.Trace.End()
 	}
+	ctx = resilience.WithWarnings(ctx)
+	defer func() {
+		prof.Warnings = append(prof.Warnings, resilience.TakeWarnings(ctx)...)
+		if len(prof.Warnings) > 0 {
+			prof.Trace.SetAttr("degraded", len(prof.Warnings))
+		}
+	}()
 
 	branches, err := qplan.Normalize(q)
 	if err != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"lusail/internal/client"
 	"sort"
 	"strings"
 	"sync"
@@ -342,6 +343,12 @@ func renameExcept(tp sparql.TriplePattern, keep string) sparql.TriplePattern {
 
 // runChecks executes the given check queries; it reports true as soon as
 // any endpoint returns a witness (a binding with no local counterpart).
+//
+// In Degrade mode an unanswerable check falls back to the conservative
+// outcome — the variable is treated as global, which is always sound
+// (Lemma 2: a global join never loses answers, it only costs more work).
+// That degraded verdict is NOT cached: it reflects an endpoint outage, not
+// the data, and must not outlive the failure.
 func (e *Engine) runChecks(ctx context.Context, checks []checkQuery, res *GJVResult) (bool, error) {
 	for _, cq := range checks {
 		if e.opts.CacheChecks {
@@ -356,15 +363,29 @@ func (e *Engine) runChecks(ctx context.Context, checks []checkQuery, res *GJVRes
 		sp := obs.FromContext(ctx).StartChild("check-query")
 		sp.SetAttr("sources", strings.Join(cq.sources, ","))
 		failed := false
+		degraded := false
 		var mu sync.Mutex
-		err := e.pool.ForEach(ctx, len(cq.sources), func(i int) error {
-			ep := e.fed.Get(cq.sources[i])
-			if ep == nil {
-				return fmt.Errorf("lusail: unknown endpoint %q", cq.sources[i])
+		markDegraded := func() {
+			mu.Lock()
+			degraded = true
+			mu.Unlock()
+		}
+		onReject := e.onRejectDegrade(ctx, client.PhaseCheck, cq.sources)
+		var onRejectDegrade func(i int, err error)
+		if onReject != nil {
+			onRejectDegrade = func(i int, err error) {
+				onReject(i, err)
+				markDegraded()
 			}
-			r, err := ep.Query(ctx, cq.text)
+		}
+		err := e.pool.ForEachGated(ctx, cq.sources, e.gate(), onRejectDegrade, func(i int) error {
+			r, err := e.probeEndpoint(ctx, client.PhaseCheck, cq.sources[i], cq.text)
 			if err != nil {
-				return fmt.Errorf("check query at %s: %w", cq.sources[i], err)
+				if e.degrade(ctx, client.PhaseCheck, cq.sources[i], err) {
+					markDegraded()
+					return nil
+				}
+				return err
 			}
 			if len(r.Rows) > 0 {
 				mu.Lock()
@@ -375,15 +396,25 @@ func (e *Engine) runChecks(ctx context.Context, checks []checkQuery, res *GJVRes
 		})
 		res.ChecksIssued += len(cq.sources)
 		sp.SetAttr("failed", failed)
+		if degraded {
+			sp.SetAttr("degraded", true)
+		}
 		sp.End()
 		if err != nil {
 			return false, err
 		}
-		if e.opts.CacheChecks {
-			e.checks.put(cq.key, failed)
-		}
 		if failed {
+			if e.opts.CacheChecks {
+				e.checks.put(cq.key, failed)
+			}
 			return true, nil
+		}
+		if degraded {
+			// Some endpoint never answered: a local verdict would be unsound.
+			return true, nil
+		}
+		if e.opts.CacheChecks {
+			e.checks.put(cq.key, false)
 		}
 	}
 	return false, nil

@@ -14,7 +14,7 @@ import (
 )
 
 func testEngine() *Engine {
-	return New(federation.MustNew(), DefaultOptions())
+	return MustNew(federation.MustNew(), DefaultOptions())
 }
 
 func mkRel(vars []string, rows ...[]string) *sparql.Results {

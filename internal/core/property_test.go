@@ -102,7 +102,7 @@ func TestFederatedMatchesCentralizedProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		eps, oracle := randomFederation(rng, 2+rng.Intn(3), 12+rng.Intn(12))
 		fed := federation.MustNew(eps...)
-		e := New(fed, DefaultOptions())
+		e := MustNew(fed, DefaultOptions())
 		for trial := 0; trial < 3; trial++ {
 			q := randomConjunctiveQuery(rng)
 			got, _, err := e.QueryString(context.Background(), q)
@@ -149,7 +149,7 @@ func TestPlanningChoicesNeverChangeAnswersProperty(t *testing.T) {
 	for _, q := range queries {
 		want := oracleResults(t, oracle, q)
 		for ci, opts := range configs {
-			e := New(fed, opts)
+			e := MustNew(fed, opts)
 			got, _, err := e.QueryString(context.Background(), q)
 			if err != nil {
 				t.Fatalf("config %d query %s: %v", ci, q, err)

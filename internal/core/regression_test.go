@@ -22,7 +22,7 @@ func TestCheckCacheKeyEncodesVariablePositions(t *testing.T) {
 	rng := rand.New(rand.NewSource(seed))
 	eps, oracle := randomFederation(rng, 2+rng.Intn(3), 12+rng.Intn(12))
 	fed := federation.MustNew(eps...)
-	e := New(fed, DefaultOptions())
+	e := MustNew(fed, DefaultOptions())
 	for trial := 0; trial < 3; trial++ {
 		q := randomConjunctiveQuery(rng)
 		got, _, err := e.QueryString(context.Background(), q)

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"lusail/internal/client"
+	"lusail/internal/resilience"
+	"lusail/internal/sparql"
+)
+
+// queryEndpoint issues one non-idempotent request (subquery, bound join,
+// optional) through the resilience layer, wrapping failures as typed
+// *client.EndpointError so callers — and Degrade mode — can tell which
+// endpoint and phase failed.
+func (e *Engine) queryEndpoint(ctx context.Context, phase client.Phase, name, query string) (*sparql.Results, error) {
+	ep := e.fed.Get(name)
+	if ep == nil {
+		return nil, &client.EndpointError{Endpoint: name, Phase: phase,
+			Err: fmt.Errorf("unknown endpoint")}
+	}
+	res, err := e.res.Do(ctx, ep, query)
+	if err != nil {
+		return nil, &client.EndpointError{Endpoint: name, Phase: phase, Err: err}
+	}
+	return res, nil
+}
+
+// probeEndpoint issues one idempotent probe (ASK, COUNT, LIMIT-1 check)
+// with tail hedging when the resilience layer is configured for it.
+func (e *Engine) probeEndpoint(ctx context.Context, phase client.Phase, name, query string) (*sparql.Results, error) {
+	ep := e.fed.Get(name)
+	if ep == nil {
+		return nil, &client.EndpointError{Endpoint: name, Phase: phase,
+			Err: fmt.Errorf("unknown endpoint")}
+	}
+	res, err := e.res.DoHedged(ctx, ep, query)
+	if err != nil {
+		return nil, &client.EndpointError{Endpoint: name, Phase: phase, Err: err}
+	}
+	return res, nil
+}
+
+// degrade decides whether the failure of one endpoint request is absorbed
+// into a partial answer. True means the caller must exclude the endpoint's
+// contribution and carry on: the failure has been recorded as a structured
+// Profile warning and counted. False means the error must propagate —
+// either the engine is in FailFast mode, or the query itself is over
+// (cancelled or timed out), in which case "degrading" would misreport a
+// caller-initiated abort as an endpoint problem.
+func (e *Engine) degrade(ctx context.Context, phase client.Phase, endpoint string, err error) bool {
+	if e.opts.OnEndpointFailure != Degrade {
+		return false
+	}
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	e.degraded.Inc()
+	resilience.Warn(ctx, resilience.Warning{
+		Endpoint: endpoint,
+		Phase:    phase,
+		Message:  err.Error(),
+	})
+	return true
+}
+
+// gate returns the pool admission gate: the resilience manager's circuit
+// breakers (a nil manager admits everything).
+func (e *Engine) gate() *resilience.Manager { return e.res }
+
+// onRejectDegrade returns the ForEachGated rejection callback for Degrade
+// mode — record a warning for the breaker-rejected endpoint and move on —
+// or nil in FailFast mode, making a rejection the task's error.
+func (e *Engine) onRejectDegrade(ctx context.Context, phase client.Phase, names []string) func(i int, err error) {
+	if e.opts.OnEndpointFailure != Degrade {
+		return nil
+	}
+	return func(i int, err error) {
+		e.degraded.Inc()
+		resilience.Warn(ctx, resilience.Warning{
+			Endpoint: names[i],
+			Phase:    phase,
+			Message:  err.Error(),
+		})
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"sort"
 	"strings"
@@ -165,27 +164,34 @@ func (e *Engine) evalSubqueriesConcurrently(ctx context.Context, sqs []*Subquery
 		ep string
 	}
 	var tasks []task
+	var names []string
 	for i, sq := range sqs {
 		for _, ep := range sq.Sources {
 			tasks = append(tasks, task{sq: i, ep: ep})
+			names = append(names, ep)
 		}
 	}
 	partial := make([]*sparql.Results, len(tasks))
-	err := e.pool.ForEach(ctx, len(tasks), func(k int) error {
-		t := tasks[k]
-		sp := obs.FromContext(ctx).StartChild("subquery")
-		defer sp.End()
-		sp.SetAttr("endpoint", t.ep)
-		sp.SetAttr("patterns", len(sqs[t.sq].Patterns))
-		q := sqs[t.sq].Query(nil).String()
-		res, err := e.fed.Get(t.ep).Query(ctx, q)
-		if err != nil {
-			return fmt.Errorf("subquery at %s: %w", t.ep, err)
-		}
-		sp.SetAttr("rows", len(res.Rows))
-		partial[k] = res
-		return nil
-	})
+	err := e.pool.ForEachGated(ctx, names, e.gate(),
+		e.onRejectDegrade(ctx, client.PhaseSubquery, names), func(k int) error {
+			t := tasks[k]
+			sp := obs.FromContext(ctx).StartChild("subquery")
+			defer sp.End()
+			sp.SetAttr("endpoint", t.ep)
+			sp.SetAttr("patterns", len(sqs[t.sq].Patterns))
+			q := sqs[t.sq].Query(nil).String()
+			res, err := e.queryEndpoint(ctx, client.PhaseSubquery, t.ep, q)
+			if err != nil {
+				if e.degrade(ctx, client.PhaseSubquery, t.ep, err) {
+					sp.SetAttr("degraded", true)
+					return nil
+				}
+				return err
+			}
+			sp.SetAttr("rows", len(res.Rows))
+			partial[k] = res
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +199,7 @@ func (e *Engine) evalSubqueriesConcurrently(ctx context.Context, sqs []*Subquery
 	for i, sq := range sqs {
 		rel := qplan.EmptyRelation(sq.Vars())
 		for k, t := range tasks {
-			if t.sq == i {
+			if t.sq == i && partial[k] != nil {
 				rel = qplan.UnionRelations(rel, partial[k])
 			}
 		}
@@ -288,29 +294,40 @@ func (e *Engine) evalDelayed(ctx context.Context, sq *Subquery, components []*sp
 		}
 	}
 	bjSpan.SetAttr("blocks", len(blocks))
+	names := make([]string, len(tasks))
+	for k, t := range tasks {
+		names[k] = t.ep
+	}
 	partial := make([]*sparql.Results, len(tasks))
-	err = e.pool.ForEach(ctx, len(tasks), func(k int) error {
-		t := tasks[k]
-		sp := bjSpan.StartChild("batch")
-		defer sp.End()
-		sp.SetAttr("endpoint", t.ep)
-		sp.SetAttr("block", t.block)
-		sp.SetAttr("values", len(blocks[t.block].Rows))
-		q := sq.Query(&blocks[t.block]).String()
-		res, err := e.fed.Get(t.ep).Query(ctx, q)
-		if err != nil {
-			return fmt.Errorf("bound subquery at %s: %w", t.ep, err)
-		}
-		sp.SetAttr("rows", len(res.Rows))
-		partial[k] = res
-		return nil
-	})
+	err = e.pool.ForEachGated(ctx, names, e.gate(),
+		e.onRejectDegrade(ctx, client.PhaseBoundJoin, names), func(k int) error {
+			t := tasks[k]
+			sp := bjSpan.StartChild("batch")
+			defer sp.End()
+			sp.SetAttr("endpoint", t.ep)
+			sp.SetAttr("block", t.block)
+			sp.SetAttr("values", len(blocks[t.block].Rows))
+			q := sq.Query(&blocks[t.block]).String()
+			res, err := e.queryEndpoint(ctx, client.PhaseBoundJoin, t.ep, q)
+			if err != nil {
+				if e.degrade(ctx, client.PhaseBoundJoin, t.ep, err) {
+					sp.SetAttr("degraded", true)
+					return nil
+				}
+				return err
+			}
+			sp.SetAttr("rows", len(res.Rows))
+			partial[k] = res
+			return nil
+		})
 	if err != nil {
 		return nil, 0, err
 	}
 	rel := qplan.EmptyRelation(sq.Vars())
 	for _, p := range partial {
-		rel = qplan.UnionRelations(rel, p)
+		if p != nil {
+			rel = qplan.UnionRelations(rel, p)
+		}
 	}
 	rel.Rows = qplan.DistinctRows(rel.Rows)
 	bjSpan.SetAttr("rows", len(rel.Rows))
@@ -344,10 +361,21 @@ func (e *Engine) refineSources(ctx context.Context, sq *Subquery, shared []strin
 	text := ask.String()
 
 	keep := make([]bool, len(sq.Sources))
-	err := e.pool.ForEach(ctx, len(sq.Sources), func(i int) error {
-		ok, err := client.Ask(ctx, e.fed.Get(sq.Sources[i]), text)
+	// A breaker-rejected refinement probe keeps its endpoint: refinement
+	// only prunes, and pruning on missing information would drop results.
+	onReject := func(i int, err error) { keep[i] = true }
+	err := e.pool.ForEachGated(ctx, sq.Sources, e.gate(), onReject, func(i int) error {
+		res, err := e.probeEndpoint(ctx, client.PhaseRefinement, sq.Sources[i], text)
 		if err != nil {
-			return fmt.Errorf("source refinement at %s: %w", sq.Sources[i], err)
+			if e.degrade(ctx, client.PhaseRefinement, sq.Sources[i], err) {
+				keep[i] = true
+				return nil
+			}
+			return err
+		}
+		ok, err := client.Boolean(res, sq.Sources[i])
+		if err != nil {
+			return &client.EndpointError{Endpoint: sq.Sources[i], Phase: client.PhaseRefinement, Err: err}
 		}
 		keep[i] = ok
 		return nil
@@ -482,19 +510,25 @@ func (e *Engine) evalOptional(ctx context.Context, ob *optionalPlan, global *spa
 			}
 			block := sparql.InlineData{Vars: shared, Rows: rows[start:end]}
 			partial := make([]*sparql.Results, len(sq.Sources))
-			err := e.pool.ForEach(ctx, len(sq.Sources), func(i int) error {
-				res, err := e.fed.Get(sq.Sources[i]).Query(ctx, sq.Query(&block).String())
-				if err != nil {
-					return fmt.Errorf("optional subquery at %s: %w", sq.Sources[i], err)
-				}
-				partial[i] = res
-				return nil
-			})
+			err := e.pool.ForEachGated(ctx, sq.Sources, e.gate(),
+				e.onRejectDegrade(ctx, client.PhaseOptional, sq.Sources), func(i int) error {
+					res, err := e.queryEndpoint(ctx, client.PhaseOptional, sq.Sources[i], sq.Query(&block).String())
+					if err != nil {
+						if e.degrade(ctx, client.PhaseOptional, sq.Sources[i], err) {
+							return nil
+						}
+						return err
+					}
+					partial[i] = res
+					return nil
+				})
 			if err != nil {
 				return nil, err
 			}
 			for _, p := range partial {
-				rel = qplan.UnionRelations(rel, p)
+				if p != nil {
+					rel = qplan.UnionRelations(rel, p)
+				}
 			}
 		}
 		rel.Rows = qplan.DistinctRows(rel.Rows)

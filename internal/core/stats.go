@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"sync"
 
@@ -60,39 +59,55 @@ func (e *Engine) collectStats(ctx context.Context, br *qplan.Branch, sources [][
 	if st.catalogHits > 0 {
 		e.catCardHits.Add(int64(st.catalogHits))
 	}
+	if e.opts.CatalogOnly {
+		// Planning must not touch the network: cardinalities the catalog
+		// could not answer stay unknown, and the delay heuristics treat
+		// their subqueries conservatively.
+		return st, nil
+	}
 	if e.cat != nil && len(tasks) > 0 {
 		e.catCardFallbacks.Add(int64(len(tasks)))
 	}
 
+	names := make([]string, len(tasks))
+	for k, t := range tasks {
+		names[k] = t.source
+	}
 	var mu sync.Mutex
-	err := e.pool.ForEach(ctx, len(tasks), func(k int) error {
-		t := tasks[k]
-		sp := obs.FromContext(ctx).StartChild("count-probe")
-		defer sp.End()
-		sp.SetAttr("endpoint", t.source)
-		tp := br.Patterns[t.pattern]
-		q := countQuery(tp, pushableFilters(tp, br.Filters))
-		ep := e.fed.Get(t.source)
-		res, err := ep.Query(ctx, q)
-		if err != nil {
-			return fmt.Errorf("count probe at %s: %w", t.source, err)
-		}
-		n, ok := client.ScalarCount(res)
-		if !ok {
-			// Malformed COUNT (wrong shape, non-numeric, negative): the
-			// cardinality stays unknown rather than becoming zero.
-			sp.SetAttr("malformed", true)
+	err := e.pool.ForEachGated(ctx, names, e.gate(),
+		e.onRejectDegrade(ctx, client.PhaseCount, names), func(k int) error {
+			t := tasks[k]
+			sp := obs.FromContext(ctx).StartChild("count-probe")
+			defer sp.End()
+			sp.SetAttr("endpoint", t.source)
+			tp := br.Patterns[t.pattern]
+			q := countQuery(tp, pushableFilters(tp, br.Filters))
+			res, err := e.probeEndpoint(ctx, client.PhaseCount, t.source, q)
+			if err != nil {
+				if e.degrade(ctx, client.PhaseCount, t.source, err) {
+					// The cardinality stays unknown; the endpoint is still
+					// queried during execution.
+					sp.SetAttr("degraded", true)
+					return nil
+				}
+				return err
+			}
+			n, ok := client.ScalarCount(res)
+			if !ok {
+				// Malformed COUNT (wrong shape, non-numeric, negative): the
+				// cardinality stays unknown rather than becoming zero.
+				sp.SetAttr("malformed", true)
+				mu.Lock()
+				st.malformed++
+				mu.Unlock()
+				return nil
+			}
+			sp.SetAttr("count", int(n))
 			mu.Lock()
-			st.malformed++
+			st.card[t.pattern][t.source] = n
 			mu.Unlock()
 			return nil
-		}
-		sp.SetAttr("count", int(n))
-		mu.Lock()
-		st.card[t.pattern][t.source] = n
-		mu.Unlock()
-		return nil
-	})
+		})
 	st.probes = len(tasks)
 	if err != nil {
 		return nil, err

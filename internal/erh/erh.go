@@ -47,12 +47,37 @@ func New(limit int) *Pool {
 // Limit returns the pool's concurrency limit.
 func (p *Pool) Limit() int { return p.limit }
 
+// Gate decides, per named endpoint, whether a task may be dispatched right
+// now. The resilience layer's circuit-breaker Manager implements it: an
+// open breaker rejects the task before it occupies a pool slot, so a broken
+// endpoint cannot starve the pool while its requests wait out timeouts.
+type Gate interface {
+	// Allow returns nil to admit a task for the named endpoint, or the
+	// rejection cause (wrapping resilience.ErrBreakerOpen for breakers).
+	Allow(name string) error
+}
+
 // ForEach runs fn(0..n-1) with bounded concurrency and waits for all calls
 // to finish. It returns the joined errors of all failed calls. If the
 // context is cancelled, unstarted tasks are skipped — including tasks that
 // were already queued on the semaphore when the cancellation arrived — and
 // ctx.Err() is included in the returned error.
 func (p *Pool) ForEach(ctx context.Context, n int, fn func(i int) error) error {
+	return p.forEach(ctx, n, nil, nil, nil, fn)
+}
+
+// ForEachGated is ForEach with per-task admission control: before task i
+// waits for a pool slot, gate.Allow(names[i]) is consulted. A rejected
+// task never occupies a slot; its rejection is passed to onReject(i, err)
+// when set (partial-results mode records a warning and moves on), or
+// recorded as the task's error when onReject is nil (fail-fast mode). A
+// nil gate admits everything, making the call equivalent to ForEach over
+// len(names) tasks.
+func (p *Pool) ForEachGated(ctx context.Context, names []string, gate Gate, onReject func(i int, err error), fn func(i int) error) error {
+	return p.forEach(ctx, len(names), names, gate, onReject, fn)
+}
+
+func (p *Pool) forEach(ctx context.Context, n int, names []string, gate Gate, onReject func(i int, err error), fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -63,6 +88,16 @@ func (p *Pool) ForEach(ctx context.Context, n int, fn func(i int) error) error {
 		if err := ctx.Err(); err != nil {
 			errs[i] = err
 			break
+		}
+		if gate != nil && i < len(names) {
+			if err := gate.Allow(names[i]); err != nil {
+				if onReject != nil {
+					onReject(i, err)
+				} else {
+					errs[i] = err
+				}
+				continue
+			}
 		}
 		p.queued.Add(1)
 		waitStart := time.Now()

@@ -122,3 +122,66 @@ func TestMapError(t *testing.T) {
 		t.Errorf("err = %v", err)
 	}
 }
+
+// denyGate rejects the named endpoints.
+type denyGate map[string]bool
+
+func (g denyGate) Allow(name string) error {
+	if g[name] {
+		return errors.New("gate: " + name + " rejected")
+	}
+	return nil
+}
+
+func TestForEachGatedFailFast(t *testing.T) {
+	p := New(4)
+	names := []string{"u0", "u1", "u2", "u3"}
+	var ran atomic.Int64
+	err := p.ForEachGated(context.Background(), names, denyGate{"u2": true}, nil, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if err == nil || err.Error() != "gate: u2 rejected" {
+		t.Fatalf("ForEachGated with nil onReject = %v, want the gate's rejection", err)
+	}
+	if ran.Load() != 3 {
+		t.Errorf("ran %d tasks, want 3 (the admitted ones)", ran.Load())
+	}
+}
+
+func TestForEachGatedOnReject(t *testing.T) {
+	p := New(4)
+	names := []string{"u0", "u1", "u2", "u3"}
+	var ran atomic.Int64
+	var rejected []int
+	err := p.ForEachGated(context.Background(), names, denyGate{"u1": true, "u3": true},
+		func(i int, err error) { rejected = append(rejected, i) },
+		func(i int) error {
+			if names[i] == "u1" || names[i] == "u3" {
+				t.Errorf("rejected task %d ran anyway", i)
+			}
+			ran.Add(1)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("ForEachGated with onReject: %v", err)
+	}
+	if ran.Load() != 2 {
+		t.Errorf("ran %d tasks, want 2", ran.Load())
+	}
+	if len(rejected) != 2 {
+		t.Errorf("onReject saw %v, want indexes of u1 and u3", rejected)
+	}
+}
+
+func TestForEachGatedNilGate(t *testing.T) {
+	p := New(4)
+	var ran atomic.Int64
+	err := p.ForEachGated(context.Background(), []string{"a", "b"}, nil, nil, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if err != nil || ran.Load() != 2 {
+		t.Fatalf("nil gate: err=%v ran=%d, want nil and 2", err, ran.Load())
+	}
+}

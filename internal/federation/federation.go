@@ -15,6 +15,7 @@ import (
 	"lusail/internal/client"
 	"lusail/internal/erh"
 	"lusail/internal/obs"
+	"lusail/internal/resilience"
 	"lusail/internal/sparql"
 )
 
@@ -116,9 +117,11 @@ type SourceSelector struct {
 	fed  *Federation
 	pool *erh.Pool
 
-	mu      sync.Mutex
-	cache   map[string][]string // normalized pattern -> relevant endpoint names
-	catalog CatalogTier
+	mu          sync.Mutex
+	cache       map[string][]string // normalized pattern -> relevant endpoint names
+	catalog     CatalogTier
+	catalogOnly bool
+	res         *resilience.Manager
 
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
@@ -153,6 +156,24 @@ func (s *SourceSelector) SetCatalog(c CatalogTier) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.catalog = c
+}
+
+// SetCatalogOnly forbids ASK probes: endpoints the catalog cannot decide
+// are conservatively treated as relevant instead of being probed. Sound
+// (over-approximate) but never issues planning traffic.
+func (s *SourceSelector) SetCatalogOnly(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.catalogOnly = on
+}
+
+// SetResilience installs (or, with nil, removes) the resilience manager
+// through which ASK probes are issued: probes gain circuit-breaker gating
+// and tail hedging. A nil manager is the disabled state.
+func (s *SourceSelector) SetResilience(m *resilience.Manager) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.res = m
 }
 
 // ClearCache drops all cached source-selection results.
@@ -194,6 +215,8 @@ func (s *SourceSelector) RelevantSources(ctx context.Context, tp sparql.TriplePa
 		return cached, nil
 	}
 	catalog := s.catalog
+	catalogOnly := s.catalogOnly
+	res := s.res
 	s.mu.Unlock()
 	s.cacheMisses.Inc()
 	sp.SetAttr("cache", "miss")
@@ -231,31 +254,60 @@ func (s *SourceSelector) RelevantSources(ctx context.Context, tp sparql.TriplePa
 		sp.SetAttr("tier", "ask")
 	}
 
+	if nProbe > 0 && catalogOnly {
+		// Probe-free planning: undecided endpoints are conservatively kept
+		// as candidate sources. Over-approximate but sound — an irrelevant
+		// endpoint contributes empty subquery results, never wrong ones.
+		for i, p := range probe {
+			if p {
+				relevant[i] = true
+			}
+		}
+		nProbe = 0
+		sp.SetAttr("tier", "catalog-only")
+	}
+
 	if nProbe > 0 {
 		ask := askQuery(tp)
 		var toProbe []int
+		var probeNames []string
 		for i, p := range probe {
 			if p {
 				toProbe = append(toProbe, i)
+				probeNames = append(probeNames, eps[i].Name())
 			}
 		}
 		probeErrs := make([]error, len(toProbe))
-		ferr := s.pool.ForEach(ctx, len(toProbe), func(k int) error {
+		degradeToRelevant := func(k int, err error) {
+			i := toProbe[k]
+			probeErrs[k] = &client.EndpointError{
+				Endpoint: eps[i].Name(), Phase: client.PhaseSourceSelection, Err: err}
+			s.probeFailures.Inc()
+			relevant[i] = true
+			resilience.Warn(ctx, resilience.Warning{
+				Endpoint: eps[i].Name(),
+				Phase:    client.PhaseSourceSelection,
+				Message:  "probe failed; endpoint conservatively treated as relevant: " + err.Error(),
+			})
+		}
+		ferr := s.pool.ForEachGated(ctx, probeNames, res, degradeToRelevant, func(k int) error {
 			i := toProbe[k]
 			asp := sp.StartChild("ask")
 			defer asp.End()
 			asp.SetAttr("endpoint", eps[i].Name())
-			ok, err := client.Ask(ctx, eps[i], ask)
+			r, err := res.DoHedged(ctx, eps[i], ask)
+			var ok bool
+			if err == nil {
+				ok, err = client.Boolean(r, eps[i].Name())
+			}
 			if err != nil {
 				// Degrade: a single unreachable endpoint must not abort the
 				// whole query. Conservatively keep it as a candidate source
 				// (its subqueries may still fail later, but transient probe
 				// errors no longer kill cheap queries).
-				probeErrs[k] = fmt.Errorf("source selection at %s: %w", eps[i].Name(), err)
+				degradeToRelevant(k, err)
 				asp.SetAttr("error", err.Error())
 				asp.SetAttr("relevant", true)
-				s.probeFailures.Inc()
-				relevant[i] = true
 				return nil
 			}
 			asp.SetAttr("relevant", ok)

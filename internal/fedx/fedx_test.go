@@ -188,7 +188,7 @@ func TestFedXRequestExplosionVsLusail(t *testing.T) {
 		t.Fatal(err)
 	}
 	fedL, mL := build()
-	lu := core.New(fedL, core.DefaultOptions())
+	lu := core.MustNew(fedL, core.DefaultOptions())
 	if _, _, err := lu.QueryString(context.Background(), studentAdvisorQuery); err != nil {
 		t.Fatal(err)
 	}

@@ -39,6 +39,16 @@ const (
 	// Source-selection robustness (package federation).
 	MetricSourceProbeFailures = "lusail_source_probe_failures_total"
 
+	// Resilience layer: per-endpoint circuit breakers, hedged probes, and
+	// partial-results degradation (package resilience and package core).
+	MetricBreakerOpens      = "lusail_breaker_opens_total"
+	MetricBreakerRejections = "lusail_breaker_rejections_total"
+	MetricBreakerState      = "lusail_breaker_state"
+	MetricHedges            = "lusail_hedged_requests_total"
+	MetricHedgeWins         = "lusail_hedge_wins_total"
+	MetricDegradedFailures  = "lusail_degraded_failures_total"
+	MetricFaultsInjected    = "lusail_faults_injected_total"
+
 	// Endpoint catalog: the probe-free first tier of source selection and
 	// cardinality estimation (package catalog and its consumers).
 	MetricCatalogSourceHits      = "lusail_catalog_source_hits_total"

@@ -1,0 +1,261 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"lusail/internal/client"
+	"lusail/internal/obs"
+	"lusail/internal/sparql"
+)
+
+// Manager holds the per-endpoint resilience state — circuit breaker and
+// latency-quantile estimator — and mediates every remote request the engine
+// makes. A nil *Manager is valid and means "resilience disabled": Allow
+// admits everything, Do calls the endpoint directly, and DoHedged never
+// hedges. That keeps call sites free of nil checks, mirroring the obs
+// package's nil-safe spans.
+type Manager struct {
+	cfg Config
+	reg *obs.Registry
+
+	mu  sync.Mutex
+	eps map[string]*epState
+
+	hedges    *obs.Counter
+	hedgeWins *obs.Counter
+
+	// probeObs, when set, observes the wall-clock duration of every Do /
+	// DoHedged call (after hedging, so it sees the latency the caller
+	// experienced). The bench's faults experiment uses it to report probe
+	// p50/p99 with hedging on and off.
+	probeObs func(endpoint string, d time.Duration)
+}
+
+type epState struct {
+	br *breaker
+
+	mu      sync.Mutex
+	lat     *p2 // successful-request latency, seconds
+	samples int
+}
+
+// NewManager returns a Manager for the given config, or nil when the config
+// enables nothing, so callers can thread the result around unconditionally.
+// Metrics are registered on reg (obs.Default() when nil).
+func NewManager(cfg Config, reg *obs.Registry) *Manager {
+	if !cfg.Active() {
+		return nil
+	}
+	if reg == nil {
+		reg = obs.Default()
+	}
+	cfg = cfg.withDefaults()
+	return &Manager{
+		cfg:       cfg,
+		reg:       reg,
+		eps:       make(map[string]*epState),
+		hedges:    reg.Counter(obs.MetricHedges, "probe requests that started a hedge"),
+		hedgeWins: reg.Counter(obs.MetricHedgeWins, "hedged probes where the hedge finished first"),
+	}
+}
+
+// SetProbeObserver installs fn to observe the caller-experienced duration of
+// every Do/DoHedged call. Call before issuing queries; not synchronized with
+// in-flight requests.
+func (m *Manager) SetProbeObserver(fn func(endpoint string, d time.Duration)) {
+	if m != nil {
+		m.probeObs = fn
+	}
+}
+
+func (m *Manager) state(name string) *epState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.eps[name]
+	if !ok {
+		st = &epState{lat: newP2(m.cfg.HedgeQuantile)}
+		if m.cfg.FailureThreshold > 0 {
+			st.br = newBreaker(m.cfg, name, m.reg)
+		}
+		m.eps[name] = st
+	}
+	return st
+}
+
+// Allow reports whether a request to the named endpoint may be dispatched
+// now, returning an error wrapping ErrBreakerOpen when its breaker rejects.
+// It satisfies the ERH pool's Gate interface, so breaker rejections happen
+// before a worker slot is occupied.
+func (m *Manager) Allow(name string) error {
+	if m == nil || m.cfg.FailureThreshold <= 0 {
+		return nil
+	}
+	if br := m.state(name).br; br != nil {
+		return br.allow()
+	}
+	return nil
+}
+
+// State returns the named endpoint's breaker state (Closed when breakers
+// are disabled or the endpoint has never been seen).
+func (m *Manager) State(name string) BreakerState {
+	if m == nil || m.cfg.FailureThreshold <= 0 {
+		return Closed
+	}
+	m.mu.Lock()
+	st, ok := m.eps[name]
+	m.mu.Unlock()
+	if !ok || st.br == nil {
+		return Closed
+	}
+	return st.br.currentState()
+}
+
+// Record feeds one request outcome into the endpoint's breaker and latency
+// estimator. Context cancellation is neutral: a request abandoned because
+// its sibling hedge won (or the whole query was cancelled) says nothing
+// about endpoint health. Deadline expiry, by contrast, is exactly the slow
+// endpoint the breaker exists to catch, so it counts as a failure.
+func (m *Manager) Record(name string, d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		return
+	}
+	st := m.state(name)
+	if st.br != nil {
+		st.br.record(err != nil)
+	}
+	if err == nil && m.cfg.HedgeQuantile > 0 {
+		st.mu.Lock()
+		st.lat.observe(d.Seconds())
+		st.samples++
+		st.mu.Unlock()
+	}
+}
+
+// HedgeDelay returns how long a probe to the named endpoint should wait
+// before a second request races it, and whether enough latency samples
+// exist for hedging to be active there.
+func (m *Manager) HedgeDelay(name string) (time.Duration, bool) {
+	if m == nil || m.cfg.HedgeQuantile <= 0 {
+		return 0, false
+	}
+	st := m.state(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	q, ok := st.lat.quantile()
+	if !ok || st.samples < m.cfg.HedgeWarmup {
+		return 0, false
+	}
+	d := time.Duration(q * float64(time.Second))
+	if d < m.cfg.HedgeMinDelay {
+		d = m.cfg.HedgeMinDelay
+	}
+	return d, true
+}
+
+// Do runs one query through the resilience layer: breaker check, the
+// request itself, and outcome recording. It is the non-hedged path, for
+// requests that are not idempotent probes (subqueries, bound joins) or
+// whose result streams are too large to duplicate cheaply.
+func (m *Manager) Do(ctx context.Context, ep client.Endpoint, query string) (*sparql.Results, error) {
+	if m == nil {
+		return ep.Query(ctx, query)
+	}
+	if err := m.Allow(ep.Name()); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := ep.Query(ctx, query)
+	d := time.Since(start)
+	m.Record(ep.Name(), d, err)
+	if m.probeObs != nil {
+		m.probeObs(ep.Name(), d)
+	}
+	return res, err
+}
+
+// DoHedged runs an idempotent probe (ASK, COUNT, LIMIT-1 check) with tail
+// hedging: if the first request outlives the endpoint's adaptive latency
+// quantile, a second identical request races it and the first response —
+// success or failure — wins, cancelling the other. Hedging only triggers
+// after the per-endpoint warmup, so cold endpoints behave exactly like Do.
+//
+// Only the winning attempt's outcome is recorded against the breaker; the
+// loser is cancelled, and Record treats cancellation as neutral.
+func (m *Manager) DoHedged(ctx context.Context, ep client.Endpoint, query string) (*sparql.Results, error) {
+	if m == nil {
+		return ep.Query(ctx, query)
+	}
+	delay, hedgeable := m.HedgeDelay(ep.Name())
+	if !hedgeable {
+		return m.Do(ctx, ep, query)
+	}
+	if err := m.Allow(ep.Name()); err != nil {
+		return nil, err
+	}
+
+	type attempt struct {
+		res    *sparql.Results
+		err    error
+		d      time.Duration
+		hedged bool
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Buffered to the maximum number of attempts so the loser's send never
+	// blocks after the winner returns.
+	ch := make(chan attempt, 2)
+	launch := func(hedged bool) {
+		go func() {
+			start := time.Now()
+			res, err := ep.Query(actx, query)
+			ch <- attempt{res: res, err: err, d: time.Since(start), hedged: hedged}
+		}()
+	}
+
+	start := time.Now()
+	launch(false)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	outstanding := 1
+	hedgeStarted := false
+	for {
+		select {
+		case <-timer.C:
+			if !hedgeStarted {
+				hedgeStarted = true
+				m.hedges.Inc()
+				if sp := obs.FromContext(ctx); sp != nil {
+					sp.SetAttr("hedged", ep.Name())
+				}
+				outstanding++
+				launch(true)
+			}
+		case a := <-ch:
+			// Ignore attempts that lost to a cancellation — unless this is
+			// the last attempt standing, in which case its outcome (likely
+			// ctx.Err()) is the answer.
+			if errors.Is(a.err, context.Canceled) && ctx.Err() == nil && outstanding > 1 {
+				outstanding--
+				continue
+			}
+			cancel()
+			total := time.Since(start)
+			m.Record(ep.Name(), a.d, a.err)
+			if m.probeObs != nil {
+				m.probeObs(ep.Name(), total)
+			}
+			if a.hedged {
+				m.hedgeWins.Inc()
+			}
+			return a.res, a.err
+		}
+	}
+}

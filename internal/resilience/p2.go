@@ -1,0 +1,114 @@
+package resilience
+
+// p2 is the P² (Jain & Chlamtac, CACM 1985) streaming estimator of a single
+// quantile. It keeps five markers whose heights approximate the quantile
+// without storing observations, which is what makes per-endpoint latency
+// quantiles affordable on every probe. Not safe for concurrent use; the
+// Manager guards each instance with its endpoint's mutex.
+type p2 struct {
+	p     float64    // target quantile, e.g. 0.9
+	n     int        // observations so far
+	q     [5]float64 // marker heights
+	pos   [5]int     // marker positions (1-based, as in the paper)
+	want  [5]float64 // desired marker positions
+	delta [5]float64 // desired position increments per observation
+}
+
+func newP2(p float64) *p2 {
+	e := &p2{p: p}
+	e.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	e.delta = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+// observe feeds one sample.
+func (e *p2) observe(x float64) {
+	if e.n < 5 {
+		// Insertion-sort the first five samples into the marker heights.
+		i := e.n
+		for i > 0 && e.q[i-1] > x {
+			e.q[i] = e.q[i-1]
+			i--
+		}
+		e.q[i] = x
+		e.n++
+		if e.n == 5 {
+			for j := range e.pos {
+				e.pos[j] = j + 1
+			}
+		}
+		return
+	}
+
+	// Find the cell k such that q[k] <= x < q[k+1], adjusting extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.want {
+		e.want[i] += e.delta[i]
+	}
+	e.n++
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - float64(e.pos[i])
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			var sign int
+			if d >= 0 {
+				sign = 1
+			} else {
+				sign = -1
+			}
+			// Try the parabolic (P²) formula; fall back to linear if it
+			// would push the marker out of order.
+			h := e.parabolic(i, sign)
+			if e.q[i-1] < h && h < e.q[i+1] {
+				e.q[i] = h
+			} else {
+				e.q[i] = e.linear(i, sign)
+			}
+			e.pos[i] += sign
+		}
+	}
+}
+
+func (e *p2) parabolic(i, d int) float64 {
+	df := float64(d)
+	n0, n1, n2 := float64(e.pos[i-1]), float64(e.pos[i]), float64(e.pos[i+1])
+	return e.q[i] + df/(n2-n0)*
+		((n1-n0+df)*(e.q[i+1]-e.q[i])/(n2-n1)+
+			(n2-n1-df)*(e.q[i]-e.q[i-1])/(n1-n0))
+}
+
+func (e *p2) linear(i, d int) float64 {
+	df := float64(d)
+	return e.q[i] + df*(e.q[i+d]-e.q[i])/(float64(e.pos[i+d])-float64(e.pos[i]))
+}
+
+// quantile returns the current estimate; ok is false until five samples
+// have been observed.
+func (e *p2) quantile() (v float64, ok bool) {
+	if e.n < 5 {
+		return 0, false
+	}
+	return e.q[2], true
+}
+
+// count returns the number of samples observed.
+func (e *p2) count() int { return e.n }

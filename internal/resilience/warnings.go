@@ -1,0 +1,63 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+
+	"lusail/internal/client"
+)
+
+// Warning is one structured record of a degraded decision: an endpoint
+// failure that partial-results mode absorbed instead of aborting the query.
+// Warnings surface in Profile.Warnings so callers can tell a complete
+// answer from a best-effort one.
+type Warning struct {
+	// Endpoint names the endpoint whose failure was absorbed.
+	Endpoint string `json:"endpoint"`
+	// Phase is the request phase that failed (subquery, count-probe, ...).
+	Phase client.Phase `json:"phase"`
+	// Message describes the absorbed failure.
+	Message string `json:"message"`
+}
+
+// warnSink collects warnings across the goroutines of one query. It is
+// carried in the context (like obs spans) so degrade decisions deep in the
+// executor can record warnings without threading a sink through every
+// signature.
+type warnSink struct {
+	mu sync.Mutex
+	ws []Warning
+}
+
+type warnKey struct{}
+
+// WithWarnings returns a context carrying a fresh warning sink for one
+// query. TakeWarnings drains it when the query finishes.
+func WithWarnings(ctx context.Context) context.Context {
+	return context.WithValue(ctx, warnKey{}, &warnSink{})
+}
+
+// Warn records w into the context's warning sink; without a sink (a context
+// not set up by WithWarnings) it is a no-op, so library code can warn
+// unconditionally.
+func Warn(ctx context.Context, w Warning) {
+	if s, ok := ctx.Value(warnKey{}).(*warnSink); ok {
+		s.mu.Lock()
+		s.ws = append(s.ws, w)
+		s.mu.Unlock()
+	}
+}
+
+// TakeWarnings drains and returns the warnings recorded so far, nil when
+// none (or when ctx has no sink).
+func TakeWarnings(ctx context.Context) []Warning {
+	s, ok := ctx.Value(warnKey{}).(*warnSink)
+	if !ok {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.ws
+	s.ws = nil
+	return out
+}

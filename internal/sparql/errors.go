@@ -1,0 +1,25 @@
+package sparql
+
+import "fmt"
+
+// ParseError is the typed error Parse returns for malformed queries. Pos is
+// the byte offset into the query text nearest the failure (-1 when the
+// failing position is unknown), so tools can point at the offending token.
+//
+// It replaces the anonymous fmt.Errorf chain the parser historically
+// produced; errors.As(err, &pe) with pe *sparql.ParseError distinguishes
+// syntax errors from execution errors.
+type ParseError struct {
+	// Pos is the byte offset of the failure in the query text, or -1.
+	Pos int
+	// Msg describes the syntax problem.
+	Msg string
+}
+
+// Error implements error, keeping the historical "sparql:" prefix.
+func (e *ParseError) Error() string {
+	if e.Pos >= 0 {
+		return fmt.Sprintf("sparql: offset %d: %s", e.Pos, e.Msg)
+	}
+	return "sparql: " + e.Msg
+}

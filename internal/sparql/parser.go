@@ -8,16 +8,23 @@ import (
 	"lusail/internal/rdf"
 )
 
-// Parse parses a SPARQL query in the supported subset.
+// Parse parses a SPARQL query in the supported subset. Syntax errors are
+// returned as *ParseError with the byte offset of the offending token.
 func Parse(input string) (*Query, error) {
 	toks, err := lex(input)
 	if err != nil {
-		return nil, fmt.Errorf("sparql: %w", err)
+		if pe, ok := err.(*ParseError); ok {
+			return nil, pe
+		}
+		return nil, &ParseError{Pos: -1, Msg: err.Error()}
 	}
 	p := &parser{toks: toks, prefixes: map[string]string{}}
 	q, err := p.query()
 	if err != nil {
-		return nil, fmt.Errorf("sparql: %w", err)
+		if pe, ok := err.(*ParseError); ok {
+			return nil, pe
+		}
+		return nil, &ParseError{Pos: p.peek().pos, Msg: err.Error()}
 	}
 	return q, nil
 }

@@ -25,6 +25,37 @@
 //	...
 //	res, profile, err := eng.QueryString(ctx, "SELECT ?s WHERE { ... }")
 //
+// # Canonical call pattern
+//
+// All query entry points are methods on Engine, sharing one shape — context
+// first, query text in, (result, *Profile, error) out:
+//
+//	res, prof, err := eng.QueryString(ctx, query)     // SELECT / ASK
+//	triples, prof, err := eng.ConstructString(ctx, query) // CONSTRUCT
+//	streamed, err := eng.QueryEarly(ctx, query, emit) // incremental delivery
+//
+// The package-level Construct and QueryEarly functions are deprecated thin
+// wrappers kept for compatibility; new code should call the methods.
+//
+// # Resilience
+//
+// Real federations are flaky. Options has a Resilience section that makes
+// the engine fault-tolerant without changing its answers on healthy
+// federations:
+//
+//	opts := lusail.DefaultOptions()
+//	opts.OnEndpointFailure = lusail.Degrade        // partial results
+//	opts.Resilience = lusail.DefaultResilience()   // breakers + hedged probes
+//
+// With OnEndpointFailure = Degrade, an endpoint failure during execution
+// excludes that endpoint's contribution instead of aborting: the answer is
+// complete over the endpoints that responded, and each absorbed failure is
+// recorded as a structured entry in Profile.Warnings. Circuit breakers stop
+// sending to endpoints whose recent failure rate crosses a threshold, and
+// idempotent probes (ASK, COUNT, checks) are hedged with a second request
+// when they outlive the endpoint's adaptive latency quantile. WithFaults
+// wraps any endpoint with deterministic fault injection for testing.
+//
 // Endpoints can also be served from this process (see Serve and
 // NewMemoryEndpoint), which is how the benchmark suite builds federations
 // of up to 256 endpoints on one machine.
@@ -42,6 +73,7 @@ import (
 	"lusail/internal/erh"
 	"lusail/internal/federation"
 	"lusail/internal/rdf"
+	"lusail/internal/resilience"
 	"lusail/internal/sparql"
 	"lusail/internal/store"
 )
@@ -80,6 +112,40 @@ type (
 	Catalog = catalog.Store
 	// CatalogSummary is one endpoint's data summary inside a Catalog.
 	CatalogSummary = catalog.Summary
+	// FailureMode selects what an endpoint failure means during execution
+	// (Options.OnEndpointFailure): FailFast aborts, Degrade excludes the
+	// endpoint's contribution and records a Profile warning.
+	FailureMode = core.FailureMode
+	// ResilienceConfig tunes circuit breakers and hedged probes
+	// (Options.Resilience). The zero value disables both.
+	ResilienceConfig = resilience.Config
+	// Warning is one structured record of an endpoint failure absorbed by
+	// Degrade mode, surfaced in Profile.Warnings.
+	Warning = resilience.Warning
+	// FaultSpec describes deterministic fault injection for WithFaults.
+	FaultSpec = resilience.FaultSpec
+	// EndpointError is the typed error wrapping every failed endpoint
+	// request, carrying the endpoint name and request phase. Extract with
+	// errors.As.
+	EndpointError = client.EndpointError
+	// ParseError is the typed error for malformed SPARQL, carrying the byte
+	// offset of the failure. Extract with errors.As.
+	ParseError = sparql.ParseError
+)
+
+// Sentinel errors of the resilience layer; test with errors.Is.
+var (
+	// ErrBreakerOpen is the cause of requests rejected by an open circuit
+	// breaker.
+	ErrBreakerOpen = resilience.ErrBreakerOpen
+	// ErrInjected is the cause of failures produced by WithFaults.
+	ErrInjected = resilience.ErrInjected
+)
+
+// Failure modes for Options.OnEndpointFailure.
+const (
+	FailFast = core.FailFast
+	Degrade  = core.Degrade
 )
 
 // Threshold modes for Options.Threshold (paper Section 5.4).
@@ -91,8 +157,23 @@ const (
 )
 
 // DefaultOptions returns the engine configuration used in the paper's main
-// experiments (μ+σ delay threshold, caches on).
+// experiments (μ+σ delay threshold, caches on). Resilience is disabled by
+// default; see DefaultResilience.
 func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultResilience returns the recommended resilience settings for
+// Options.Resilience: circuit breakers at a 50% failure rate over a
+// 20-request window with a 5s cooldown, and p90 tail hedging for
+// idempotent probes.
+func DefaultResilience() ResilienceConfig { return resilience.DefaultConfig() }
+
+// WithFaults wraps an endpoint with deterministic fault injection per spec:
+// seeded, so a given spec reproduces the same request-by-request fault
+// sequence on every run. For chaos tests and the `faults` bench experiment;
+// injected failures wrap ErrInjected.
+func WithFaults(ep Endpoint, spec FaultSpec) Endpoint {
+	return resilience.WithFaults(ep, spec)
+}
 
 // NewEngine builds a Lusail engine over a federation of endpoints.
 // Endpoint names must be unique.
@@ -101,7 +182,7 @@ func NewEngine(endpoints []Endpoint, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.New(fed, opts), nil
+	return core.New(fed, opts)
 }
 
 // NewHTTPEndpoint returns a client for a remote SPARQL 1.1 endpoint.
@@ -177,8 +258,11 @@ func RefreshCatalog(ctx context.Context, endpoints []Endpoint, cat *Catalog) (in
 
 // QueryEarly executes a federated query and delivers solutions to emit as
 // soon as they are complete (the paper's future-work "fast and early
-// results" mode). See core.Engine.QueryEarly for eligibility rules; the
+// results" mode). See Engine.QueryEarly for eligibility rules; the
 // returned bool reports whether streaming was possible.
+//
+// Deprecated: call eng.QueryEarly(ctx, query, emit) directly; query entry
+// points are Engine methods.
 func QueryEarly(ctx context.Context, eng *Engine, query string, emit func(map[string]Term) bool) (bool, error) {
 	return eng.QueryEarly(ctx, query, emit)
 }
@@ -188,6 +272,9 @@ func Parse(query string) (*Query, error) { return sparql.Parse(query) }
 
 // Construct executes a federated CONSTRUCT query, returning the
 // instantiated (deduplicated) triples.
+//
+// Deprecated: call eng.ConstructString(ctx, query) directly; query entry
+// points are Engine methods.
 func Construct(ctx context.Context, eng *Engine, query string) ([]Triple, *Profile, error) {
 	return eng.ConstructString(ctx, query)
 }

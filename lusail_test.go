@@ -2,6 +2,7 @@ package lusail_test
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -114,5 +115,90 @@ func TestFacadeTermConstructors(t *testing.T) {
 	}
 	if lusail.TypedLiteral("1", "http://dt").Datatype != "http://dt" {
 		t.Error("TypedLiteral constructor wrong")
+	}
+}
+
+func TestFacadeOptionsValidation(t *testing.T) {
+	eps := []lusail.Endpoint{lusail.NewMemoryEndpoint("a", exampleTriples("http://a.example", 1))}
+	bad := lusail.DefaultOptions()
+	bad.Resilience.HedgeQuantile = 1.5
+	if _, err := lusail.NewEngine(eps, bad); err == nil {
+		t.Error("NewEngine accepted HedgeQuantile 1.5")
+	}
+	bad = lusail.DefaultOptions()
+	bad.ValuesBlockSize = -3
+	if _, err := lusail.NewEngine(eps, bad); err == nil {
+		t.Error("NewEngine accepted negative ValuesBlockSize")
+	}
+}
+
+func TestFacadeParseError(t *testing.T) {
+	eps := []lusail.Endpoint{lusail.NewMemoryEndpoint("a", exampleTriples("http://a.example", 1))}
+	eng, err := lusail.NewEngine(eps, lusail.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = eng.QueryString(context.Background(), "SELECT WHERE {")
+	var pe *lusail.ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("syntax error is not a typed ParseError: %v", err)
+	}
+}
+
+func TestFacadeResilience(t *testing.T) {
+	healthy := []lusail.Endpoint{
+		lusail.NewMemoryEndpoint("a", exampleTriples("http://a.example", 3)),
+		lusail.NewMemoryEndpoint("b", exampleTriples("http://b.example", 2)),
+	}
+	dead := lusail.NewMemoryEndpoint("c", exampleTriples("http://c.example", 2))
+	eps := append(append([]lusail.Endpoint{}, healthy...),
+		lusail.WithFaults(dead, lusail.FaultSpec{ErrorRate: 1, Seed: 3}))
+	query := `
+		PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+		SELECT ?p ?friendName WHERE {
+			?p foaf:knows ?f .
+			?f foaf:name ?friendName .
+		}`
+
+	// Fail-fast (the default): the dead endpoint fails the query with a
+	// typed error naming it and carrying the injected cause.
+	strict, err := lusail.NewEngine(eps, lusail.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = strict.QueryString(context.Background(), query)
+	if err == nil {
+		t.Fatal("fail-fast query succeeded despite a dead endpoint")
+	}
+	var epErr *lusail.EndpointError
+	if !errors.As(err, &epErr) || epErr.Endpoint != "c" {
+		t.Fatalf("want EndpointError for c, got: %v", err)
+	}
+	if !errors.Is(err, lusail.ErrInjected) {
+		t.Fatalf("error does not unwrap to ErrInjected: %v", err)
+	}
+
+	// Degrade: the same query answers from a and b, with warnings.
+	opts := lusail.DefaultOptions()
+	opts.OnEndpointFailure = lusail.Degrade
+	opts.Resilience = lusail.DefaultResilience()
+	eng, err := lusail.NewEngine(eps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, prof, err := eng.QueryString(context.Background(), query)
+	if err != nil {
+		t.Fatalf("degrade mode failed: %v", err)
+	}
+	if res.Len() == 0 {
+		t.Error("degraded query returned no rows from the healthy endpoints")
+	}
+	if !prof.Degraded() || len(prof.Warnings) == 0 {
+		t.Errorf("profile not marked degraded: %+v", prof.Warnings)
+	}
+	for _, w := range prof.Warnings {
+		if w.Endpoint != "c" {
+			t.Errorf("warning blames healthy endpoint: %+v", w)
+		}
 	}
 }
