@@ -175,6 +175,125 @@ func TestBreakerOpensUnderSustainedFailures(t *testing.T) {
 	}
 }
 
+// findFaulty walks an endpoint's wrapper chain to the chaos injector.
+func findFaulty(ep client.Endpoint) *resilience.Faulty {
+	for ep != nil {
+		if f, ok := ep.(*resilience.Faulty); ok {
+			return f
+		}
+		u, ok := ep.(interface{ Unwrap() client.Endpoint })
+		if !ok {
+			return nil
+		}
+		ep = u.Unwrap()
+	}
+	return nil
+}
+
+// TestBreakerRecoversAfterEndpointHeals closes the loop the open-breaker
+// tests cannot: through the real engine path (pool gate, then Do/DoHedged
+// at dispatch), a breaker tripped by a dead endpoint must — once the
+// endpoint heals and the cooldown elapses — admit a half-open trial, see
+// it succeed, and close, restoring the endpoint's contribution. This is
+// the regression test for the gate/Do double-admission bug that wedged
+// breakers in half-open forever, permanently excluding the endpoint.
+func TestBreakerRecoversAfterEndpointHeals(t *testing.T) {
+	datasets := GenerateLUBM(DefaultLUBM(4))
+	faulty := datasets[len(datasets)-1].Name
+	fed, err := NewFedWithFaults(datasets, InProcess(), faulty, resilience.FaultSpec{ErrorRate: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := findFaulty(fed.Federation.Get(faulty))
+	if inj == nil {
+		t.Fatal("fault injector not found in the endpoint wrapper chain")
+	}
+
+	const cooldown = 50 * time.Millisecond
+	opts := core.DefaultOptions()
+	opts.OnEndpointFailure = core.Degrade
+	opts.Resilience = resilience.Config{
+		FailureThreshold: 0.5,
+		Window:           10,
+		MinSamples:       5,
+		Cooldown:         cooldown,
+	}
+	eng, err := core.New(fed.Federation, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := LUBMQueries()
+	run := func(stage string) {
+		for _, q := range queries {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			_, _, err := eng.QueryString(ctx, q.Text)
+			cancel()
+			if err != nil {
+				t.Fatalf("%s: %s: Degrade mode failed: %v", stage, q.Name, err)
+			}
+		}
+	}
+
+	// Drive traffic until the dead endpoint's breaker trips. With a short
+	// cooldown the breaker oscillates open → half-open → open, so any
+	// non-Closed observation proves the trip.
+	tripped := false
+	for pass := 0; pass < 5 && !tripped; pass++ {
+		run("trip")
+		tripped = eng.Resilience().State(faulty) != resilience.Closed
+	}
+	if !tripped {
+		t.Fatalf("breaker for %s never left Closed against a dead endpoint", faulty)
+	}
+
+	// Heal the endpoint, wait out the cooldown, and drive more traffic: a
+	// half-open trial must run, succeed, and close the breaker.
+	inj.SetSpec(resilience.FaultSpec{})
+	deadline := time.Now().Add(15 * time.Second)
+	for eng.Resilience().State(faulty) != resilience.Closed {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker for %s stuck in %v long after the endpoint recovered",
+				faulty, eng.Resilience().State(faulty))
+		}
+		time.Sleep(2 * cooldown)
+		run("recover")
+	}
+
+	// With the breaker closed the healed endpoint contributes again: answers
+	// match an always-healthy 4-endpoint federation, with no warnings.
+	healthyFed, err := NewFed(datasets, InProcess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEng := core.MustNew(healthyFed.Federation, core.DefaultOptions())
+	for _, q := range queries {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		got, prof, err := eng.QueryString(ctx, q.Text)
+		cancel()
+		if err != nil {
+			t.Fatalf("%s after recovery: %v", q.Name, err)
+		}
+		if len(prof.Warnings) != 0 {
+			t.Fatalf("%s after recovery still degraded: %+v", q.Name, prof.Warnings)
+		}
+		ctx, cancel = context.WithTimeout(context.Background(), 30*time.Second)
+		want, _, err := refEng.QueryString(ctx, q.Text)
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, w := canonRows(got), canonRows(want)
+		if len(g) != len(w) {
+			t.Fatalf("%s after recovery: %d rows, healthy federation has %d", q.Name, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("%s after recovery: row %d differs:\nrecovered: %s\nhealthy:   %s", q.Name, i, g[i], w[i])
+			}
+		}
+	}
+}
+
 // TestDegradeAtPartialErrorRate is the acceptance scenario: one of four
 // LUBM endpoints erroring on 30% of its requests. Degrade mode must answer
 // every query, every answer must contain at least the healthy

@@ -65,9 +65,11 @@ func (e *Engine) degrade(ctx context.Context, phase client.Phase, endpoint strin
 	return true
 }
 
-// gate returns the pool admission gate: the resilience manager's circuit
-// breakers (a nil manager admits everything).
-func (e *Engine) gate() *resilience.Manager { return e.res }
+// gate returns the pool admission gate: the resilience manager's
+// non-claiming breaker view (a nil manager admits everything). The
+// claiming admission happens inside Do/DoHedged at dispatch, so gated
+// tasks are admitted exactly once.
+func (e *Engine) gate() resilience.Gate { return e.res.Gate() }
 
 // onRejectDegrade returns the ForEachGated rejection callback for Degrade
 // mode — record a warning for the breaker-rejected endpoint and move on —

@@ -47,10 +47,19 @@ func New(limit int) *Pool {
 // Limit returns the pool's concurrency limit.
 func (p *Pool) Limit() int { return p.limit }
 
-// Gate decides, per named endpoint, whether a task may be dispatched right
-// now. The resilience layer's circuit-breaker Manager implements it: an
-// open breaker rejects the task before it occupies a pool slot, so a broken
-// endpoint cannot starve the pool while its requests wait out timeouts.
+// Gate decides, per named endpoint, whether a task is worth dispatching
+// right now. The resilience layer's breaker view (Manager.Gate) implements
+// it: an open breaker rejects the task before it occupies a pool slot, so
+// a broken endpoint cannot starve the pool while its requests wait out
+// timeouts.
+//
+// Allow must be advisory — peek, don't claim. Tasks are gated at
+// submission, possibly long before a worker slot frees up, so a gate that
+// claimed limited admission state here (e.g. a breaker's half-open trial
+// slot) would hold it for the whole queue wait and could leak it entirely
+// when the task is skipped by cancellation. The authoritative, claiming
+// admission happens again inside the task when the request dispatches
+// (resilience.Manager.Do / DoHedged).
 type Gate interface {
 	// Allow returns nil to admit a task for the named endpoint, or the
 	// rejection cause (wrapping resilience.ErrBreakerOpen for breakers).

@@ -290,7 +290,7 @@ func (s *SourceSelector) RelevantSources(ctx context.Context, tp sparql.TriplePa
 				Message:  "probe failed; endpoint conservatively treated as relevant: " + err.Error(),
 			})
 		}
-		ferr := s.pool.ForEachGated(ctx, probeNames, res, degradeToRelevant, func(k int) error {
+		ferr := s.pool.ForEachGated(ctx, probeNames, res.Gate(), degradeToRelevant, func(k int) error {
 			i := toProbe[k]
 			asp := sp.StartChild("ask")
 			defer asp.End()

@@ -47,10 +47,10 @@ type FaultSpec struct {
 // `faults` experiment.
 type Faulty struct {
 	inner client.Endpoint
-	spec  FaultSpec
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu   sync.Mutex
+	spec FaultSpec
+	rng  *rand.Rand
 
 	injected *obs.Counter
 }
@@ -71,6 +71,16 @@ func WithFaults(ep client.Endpoint, spec FaultSpec) *Faulty {
 // Name implements client.Endpoint.
 func (f *Faulty) Name() string { return f.inner.Name() }
 
+// SetSpec replaces the fault behavior at runtime, so chaos tests can heal
+// (or break) an endpoint mid-run — e.g. to exercise breaker recovery after
+// an outage ends. The deterministic stream keeps its position across spec
+// changes.
+func (f *Faulty) SetSpec(spec FaultSpec) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.spec = spec
+}
+
 // Unwrap returns the wrapped endpoint, letting instrumentation helpers see
 // through the fault layer.
 func (f *Faulty) Unwrap() client.Endpoint { return f.inner }
@@ -83,28 +93,30 @@ const (
 	faultHang
 )
 
-// draw picks this request's fate from the deterministic stream. One draw
-// per request keeps the sequence aligned across runs regardless of which
-// fault fires.
-func (f *Faulty) draw() faultKind {
-	if f.spec.Hang {
-		return faultHang
-	}
+// draw picks this request's fate (and the slow factor in effect) from the
+// deterministic stream under one lock, so a concurrent SetSpec never tears
+// a request's view of the spec. One draw per request keeps the sequence
+// aligned across runs regardless of which fault fires.
+func (f *Faulty) draw() (faultKind, float64) {
 	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.spec.Hang {
+		return faultHang, 0
+	}
 	u := f.rng.Float64()
-	f.mu.Unlock()
 	if u < f.spec.ErrorRate {
-		return faultError
+		return faultError, 0
 	}
 	if u < f.spec.ErrorRate+f.spec.HangRate {
-		return faultHang
+		return faultHang, 0
 	}
-	return faultNone
+	return faultNone, f.spec.SlowFactor
 }
 
 // Query implements client.Endpoint.
 func (f *Faulty) Query(ctx context.Context, query string) (*sparql.Results, error) {
-	switch f.draw() {
+	kind, slow := f.draw()
+	switch kind {
 	case faultError:
 		f.injected.Inc()
 		return nil, fmt.Errorf("endpoint %s: %w", f.inner.Name(), ErrInjected)
@@ -115,8 +127,8 @@ func (f *Faulty) Query(ctx context.Context, query string) (*sparql.Results, erro
 	}
 	start := time.Now()
 	res, err := f.inner.Query(ctx, query)
-	if err == nil && f.spec.SlowFactor > 1 {
-		extra := time.Duration(float64(time.Since(start)) * (f.spec.SlowFactor - 1))
+	if err == nil && slow > 1 {
+		extra := time.Duration(float64(time.Since(start)) * (slow - 1))
 		select {
 		case <-time.After(extra):
 		case <-ctx.Done():

@@ -85,16 +85,45 @@ func (m *Manager) state(name string) *epState {
 	return st
 }
 
-// Allow reports whether a request to the named endpoint may be dispatched
-// now, returning an error wrapping ErrBreakerOpen when its breaker rejects.
-// It satisfies the ERH pool's Gate interface, so breaker rejections happen
-// before a worker slot is occupied.
+// Allow claims admission for a request to the named endpoint dispatched
+// now, returning an error wrapping ErrBreakerOpen when its breaker
+// rejects. A successful Allow may hold the endpoint's half-open trial
+// slot, so it must be paired with exactly one Record (which releases the
+// slot whatever the outcome, cancellation included). Do and DoHedged keep
+// that pairing themselves; use Gate() — which only peeks — for pool
+// admission, never Allow, or gated requests would claim twice.
 func (m *Manager) Allow(name string) error {
 	if m == nil || m.cfg.FailureThreshold <= 0 {
 		return nil
 	}
 	if br := m.state(name).br; br != nil {
 		return br.allow()
+	}
+	return nil
+}
+
+// Gate is the Manager's non-claiming admission view for the ERH pool. Its
+// Allow only peeks at breaker state: no open → half-open transition, no
+// trial-slot claim. The claiming admission happens inside Do/DoHedged when
+// the request actually dispatches, so a task queued behind a saturated
+// pool never strands the trial quota, and gate-then-Do admits exactly
+// once. The zero Gate (and a nil Manager's Gate) admits everything.
+type Gate struct{ m *Manager }
+
+// Gate returns the pool-admission view of m; valid on a nil Manager.
+func (m *Manager) Gate() Gate { return Gate{m} }
+
+// Allow implements the ERH pool's admission check. A request admitted here
+// is re-checked — and claimed — by Do/DoHedged at dispatch, so a breaker
+// that trips (or runs out of trial slots) while the task waits for a pool
+// slot still rejects it at the last moment.
+func (g Gate) Allow(name string) error {
+	m := g.m
+	if m == nil || m.cfg.FailureThreshold <= 0 {
+		return nil
+	}
+	if br := m.state(name).br; br != nil {
+		return br.peek()
 	}
 	return nil
 }
@@ -117,20 +146,27 @@ func (m *Manager) State(name string) BreakerState {
 // Record feeds one request outcome into the endpoint's breaker and latency
 // estimator. Context cancellation is neutral: a request abandoned because
 // its sibling hedge won (or the whole query was cancelled) says nothing
-// about endpoint health. Deadline expiry, by contrast, is exactly the slow
-// endpoint the breaker exists to catch, so it counts as a failure.
+// about endpoint health — but it still reaches the breaker, because a
+// cancelled request may hold the half-open trial slot its Allow claimed,
+// and that slot must be released. Deadline expiry, by contrast, is exactly
+// the slow endpoint the breaker exists to catch, so it counts as a
+// failure.
 func (m *Manager) Record(name string, d time.Duration, err error) {
 	if m == nil {
 		return
 	}
-	if errors.Is(err, context.Canceled) {
-		return
+	o := success
+	switch {
+	case errors.Is(err, context.Canceled):
+		o = neutral
+	case err != nil:
+		o = failure
 	}
 	st := m.state(name)
 	if st.br != nil {
-		st.br.record(err != nil)
+		st.br.record(o)
 	}
-	if err == nil && m.cfg.HedgeQuantile > 0 {
+	if o == success && m.cfg.HedgeQuantile > 0 {
 		st.mu.Lock()
 		st.lat.observe(d.Seconds())
 		st.samples++

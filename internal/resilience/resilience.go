@@ -171,6 +171,20 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// outcome classifies one completed request for the breaker. neutral marks
+// a request abandoned mid-flight (the query was cancelled, or a hedge
+// sibling won): it says nothing about endpoint health, but it must still
+// release the half-open trial slot the request may have been holding —
+// otherwise a single cancelled trial wedges the breaker in half-open
+// forever.
+type outcome int
+
+const (
+	success outcome = iota
+	failure
+	neutral
+)
+
 // breaker is one endpoint's circuit breaker: a failure-rate sliding window
 // in the closed state, a cooldown timer in the open state, and a bounded
 // trial quota in half-open.
@@ -202,8 +216,40 @@ func newBreaker(cfg Config, name string, reg *obs.Registry) *breaker {
 	}
 }
 
-// allow reports whether a request may be dispatched now. It performs the
-// open → half-open transition when the cooldown has elapsed.
+// peek reports whether a request to this endpoint would currently be
+// admitted, without claiming anything: no open → half-open transition, no
+// trial slot. The ERH pool gate uses it to skip tasks for broken endpoints
+// before they occupy a worker slot; the claiming admission (allow) happens
+// at dispatch time inside Manager.Do / DoHedged. Peeking and claiming must
+// stay separate operations — if the gate claimed, every gated request
+// would claim twice (gate, then Do), and with HalfOpenProbes=1 the second
+// claim would be rejected before the trial ever ran, wedging the breaker
+// in half-open permanently.
+func (b *breaker) peek() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		if b.cfg.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.rejects.Inc()
+			return ErrBreakerOpen
+		}
+		return nil // cooldown over: ripe for a trial; allow() transitions
+	default: // HalfOpen
+		if b.trialsOut >= b.cfg.HalfOpenProbes {
+			b.rejects.Inc()
+			return ErrBreakerOpen
+		}
+		return nil
+	}
+}
+
+// allow claims admission for a request dispatched now: it performs the
+// open → half-open transition when the cooldown has elapsed and takes a
+// half-open trial slot. Every successful allow must be paired with exactly
+// one record, which releases the slot.
 func (b *breaker) allow() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -228,8 +274,11 @@ func (b *breaker) allow() error {
 	}
 }
 
-// record feeds one request outcome into the breaker.
-func (b *breaker) record(failed bool) {
+// record feeds one admitted request's outcome into the breaker. In
+// half-open it always releases the trial slot, whatever the outcome; a
+// neutral outcome otherwise changes nothing, so the next request simply
+// re-probes.
+func (b *breaker) record(o outcome) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -237,17 +286,23 @@ func (b *breaker) record(failed bool) {
 		if b.trialsOut > 0 {
 			b.trialsOut--
 		}
-		if failed {
+		switch o {
+		case failure:
 			// The endpoint is still broken: restart the cooldown.
 			b.setState(Open)
 			b.openedAt = b.cfg.now()
 			b.opens.Inc()
+		case success:
+			// Recovered: close with a clean window.
+			b.setState(Closed)
+			b.resetWindow()
+		default: // neutral: slot released, state unchanged.
+		}
+	case Closed:
+		if o == neutral {
 			return
 		}
-		// Recovered: close with a clean window.
-		b.setState(Closed)
-		b.resetWindow()
-	case Closed:
+		failed := o == failure
 		if b.window[b.idx] && b.filled == len(b.window) {
 			b.failures--
 		}

@@ -70,6 +70,9 @@ func TestNilManagerIsDisabled(t *testing.T) {
 	if err := m.Allow("u0"); err != nil {
 		t.Fatalf("nil manager Allow: %v", err)
 	}
+	if err := m.Gate().Allow("u0"); err != nil {
+		t.Fatalf("nil manager Gate().Allow: %v", err)
+	}
 	m.Record("u0", time.Millisecond, nil) // must not panic
 	m.SetProbeObserver(func(string, time.Duration) {})
 	if _, ok := m.HedgeDelay("u0"); ok {
@@ -164,6 +167,93 @@ func TestBreakerLifecycle(t *testing.T) {
 	// Other endpoints are independent.
 	if st := m.State("u1"); st != Closed {
 		t.Fatalf("unrelated endpoint state = %v, want Closed", st)
+	}
+}
+
+// TestGatedAdmissionSingleShot is the regression test for the pool-gate /
+// Do double-admission bug: the gate's Allow must only peek — no open →
+// half-open transition, no trial-slot claim — so the Do it admits can
+// still claim the (single) trial slot at dispatch and close the breaker.
+// When the gate claimed too, Do's own admission found the slot taken,
+// rejected the request before it ran, and the breaker never left
+// half-open.
+func TestGatedAdmissionSingleShot(t *testing.T) {
+	clock := time.Unix(0, 0)
+	cfg := Config{
+		FailureThreshold: 0.5,
+		Window:           4,
+		MinSamples:       2,
+		Cooldown:         time.Second,
+		HalfOpenProbes:   1,
+		now:              func() time.Time { return clock },
+	}
+	m := NewManager(cfg, obs.NewRegistry())
+	boom := errors.New("boom")
+	m.Record("u0", time.Millisecond, boom)
+	m.Record("u0", time.Millisecond, boom)
+	if st := m.State("u0"); st != Open {
+		t.Fatalf("state after failures = %v, want Open", st)
+	}
+	if err := m.Gate().Allow("u0"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("gate during cooldown = %v, want ErrBreakerOpen", err)
+	}
+
+	clock = clock.Add(2 * time.Second)
+	// The pool gate admits the task; peeking must neither transition the
+	// breaker nor claim the trial slot — Do does both at dispatch.
+	if err := m.Gate().Allow("u0"); err != nil {
+		t.Fatalf("gate after cooldown: %v", err)
+	}
+	if st := m.State("u0"); st != Open {
+		t.Fatalf("gate peek transitioned the breaker (state %v)", st)
+	}
+	ep := &scriptEP{name: "u0", fn: func(int, context.Context) (*sparql.Results, error) {
+		return sparql.NewResults(nil), nil
+	}}
+	if _, err := m.Do(context.Background(), ep, "ASK {}"); err != nil {
+		t.Fatalf("Do after gate admission = %v; admission was double-claimed", err)
+	}
+	if st := m.State("u0"); st != Closed {
+		t.Fatalf("breaker did not recover through the gated path (state %v)", st)
+	}
+	if got := ep.calls(); got != 1 {
+		t.Fatalf("endpoint saw %d calls, want 1 trial", got)
+	}
+}
+
+// TestCancelledHalfOpenTrialReleasesSlot: a trial abandoned by query
+// cancellation is neutral for endpoint health, but it must hand its
+// half-open slot back so the next request can probe; a leaked slot leaves
+// the breaker rejecting every future request for the endpoint.
+func TestCancelledHalfOpenTrialReleasesSlot(t *testing.T) {
+	clock := time.Unix(0, 0)
+	cfg := Config{
+		FailureThreshold: 0.5,
+		Window:           4,
+		MinSamples:       2,
+		Cooldown:         time.Second,
+		HalfOpenProbes:   1,
+		now:              func() time.Time { return clock },
+	}
+	m := NewManager(cfg, obs.NewRegistry())
+	boom := errors.New("boom")
+	m.Record("u0", time.Millisecond, boom)
+	m.Record("u0", time.Millisecond, boom)
+	clock = clock.Add(2 * time.Second)
+	if err := m.Allow("u0"); err != nil {
+		t.Fatalf("Allow after cooldown: %v", err)
+	}
+	// The trial is cancelled mid-flight.
+	m.Record("u0", time.Millisecond, context.Canceled)
+	if st := m.State("u0"); st != HalfOpen {
+		t.Fatalf("state after cancelled trial = %v, want HalfOpen", st)
+	}
+	if err := m.Allow("u0"); err != nil {
+		t.Fatalf("Allow after cancelled trial = %v; the trial slot leaked", err)
+	}
+	m.Record("u0", time.Millisecond, nil)
+	if st := m.State("u0"); st != Closed {
+		t.Fatalf("state after successful retrial = %v, want Closed", st)
 	}
 }
 
