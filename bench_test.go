@@ -13,6 +13,7 @@ package lusail_test
 //	go run ./cmd/lusail-bench -scale 4   # bigger data, full tables
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -42,7 +43,7 @@ func BenchmarkTable1_Datasets(b *testing.B) {
 
 func BenchmarkFig8_QFed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := bench.Fig8QFed(benchExp())
+		t, err := bench.Fig8QFed(context.Background(), benchExp())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -52,7 +53,7 @@ func BenchmarkFig8_QFed(b *testing.B) {
 
 func BenchmarkFig9_LUBM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		ts, err := bench.Fig9LUBM(benchExp())
+		ts, err := bench.Fig9LUBM(context.Background(), benchExp())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,7 +63,7 @@ func BenchmarkFig9_LUBM(b *testing.B) {
 
 func BenchmarkFig10_LargeRDFBench(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		ts, err := bench.Fig10LargeRDFBench(benchExp())
+		ts, err := bench.Fig10LargeRDFBench(context.Background(), benchExp())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func BenchmarkFig10_LargeRDFBench(b *testing.B) {
 
 func BenchmarkFig11_Geo(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		ts, err := bench.Fig11Geo(benchExp())
+		ts, err := bench.Fig11Geo(context.Background(), benchExp())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -82,7 +83,7 @@ func BenchmarkFig11_Geo(b *testing.B) {
 
 func BenchmarkFig12a_Profile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := bench.Fig12aProfile(benchExp())
+		t, err := bench.Fig12aProfile(context.Background(), benchExp())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +95,7 @@ func BenchmarkFig12bc_Scaling(b *testing.B) {
 	// 2..32 endpoints keeps each iteration under a few seconds; the cmd
 	// tool sweeps to 256 (the paper's maximum).
 	for i := 0; i < b.N; i++ {
-		ts, err := bench.Fig12bcScaling([]int{2, 8, 32}, benchExp())
+		ts, err := bench.Fig12bcScaling(context.Background(), []int{2, 8, 32}, benchExp())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,7 +105,7 @@ func BenchmarkFig12bc_Scaling(b *testing.B) {
 
 func BenchmarkFig13_Thresholds(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := bench.Fig13Thresholds(benchExp())
+		t, err := bench.Fig13Thresholds(context.Background(), benchExp())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -114,7 +115,7 @@ func BenchmarkFig13_Thresholds(b *testing.B) {
 
 func BenchmarkFig14_Ablation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := bench.Fig14Ablation(benchExp())
+		t, err := bench.Fig14Ablation(context.Background(), benchExp())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -124,7 +125,7 @@ func BenchmarkFig14_Ablation(b *testing.B) {
 
 func BenchmarkTable2_RealEndpoints(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := bench.Table2RealEndpoints(benchExp())
+		t, err := bench.Table2RealEndpoints(context.Background(), benchExp())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +135,7 @@ func BenchmarkTable2_RealEndpoints(b *testing.B) {
 
 func BenchmarkQError(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, median, err := bench.QErrorExperiment(benchExp())
+		t, median, err := bench.QErrorExperiment(context.Background(), benchExp())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,7 +148,7 @@ func BenchmarkQError(b *testing.B) {
 
 func BenchmarkPreprocessingCost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := bench.PreprocessingCost(benchExp())
+		t, err := bench.PreprocessingCost(context.Background(), benchExp())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,7 +158,7 @@ func BenchmarkPreprocessingCost(b *testing.B) {
 
 func BenchmarkAblationBlockSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := bench.BlockSizeAblation(benchExp())
+		t, err := bench.BlockSizeAblation(context.Background(), benchExp())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +168,7 @@ func BenchmarkAblationBlockSize(b *testing.B) {
 
 func BenchmarkAblationPoolSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := bench.PoolSizeAblation(benchExp())
+		t, err := bench.PoolSizeAblation(context.Background(), benchExp())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,7 +29,10 @@ import (
 	"time"
 
 	"lusail/internal/bench"
+	"lusail/internal/core"
+	"lusail/internal/lint/leakcheck"
 	"lusail/internal/obs"
+	"lusail/internal/resilience"
 )
 
 func main() {
@@ -41,7 +45,16 @@ func main() {
 	faultHang := flag.Float64("fault-hang", 0.1, "injected hang rate of the faulty endpoint (faults experiment)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/federation on this address while experiments run")
 	jsonDir := flag.String("json", "", "also write each experiment's tables to BENCH_<id>.json in this directory")
+	checkInvariants := flag.Bool("check-invariants", false, "run a single LUBM query with resilience enabled under a goroutine-leak check and exit")
 	flag.Parse()
+
+	if *checkInvariants {
+		if err := runInvariantSmoke(context.Background(), *timeout); err != nil {
+			log.Fatalf("lusail-bench: invariant smoke failed: %v", err)
+		}
+		fmt.Println("invariant smoke passed: query answered, breaker state consistent, no goroutines leaked")
+		return
+	}
 
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
@@ -54,6 +67,7 @@ func main() {
 		}()
 	}
 
+	ctx := context.Background()
 	opts := bench.ExpOptions{Scale: *scale, Timeout: *timeout, Repeats: *repeats, FaultRate: *faultRate, FaultHang: *faultHang}
 
 	var counts []int
@@ -105,55 +119,97 @@ func main() {
 		show("table1")(bench.Table1Datasets(opts), nil)
 	}
 	if want("fig8") {
-		show("fig8")(bench.Fig8QFed(opts))
+		show("fig8")(bench.Fig8QFed(ctx, opts))
 	}
 	if want("fig9") {
-		ts, err := bench.Fig9LUBM(opts)
+		ts, err := bench.Fig9LUBM(ctx, opts)
 		emit("fig9", ts, err)
 	}
 	if want("fig10") {
-		ts, err := bench.Fig10LargeRDFBench(opts)
+		ts, err := bench.Fig10LargeRDFBench(ctx, opts)
 		emit("fig10", ts, err)
 	}
 	if want("fig11") {
-		ts, err := bench.Fig11Geo(opts)
+		ts, err := bench.Fig11Geo(ctx, opts)
 		emit("fig11", ts, err)
 	}
 	if want("fig12a") {
-		show("fig12a")(bench.Fig12aProfile(opts))
+		show("fig12a")(bench.Fig12aProfile(ctx, opts))
 	}
 	if want("fig12bc") {
-		ts, err := bench.Fig12bcScaling(counts, opts)
+		ts, err := bench.Fig12bcScaling(ctx, counts, opts)
 		emit("fig12bc", ts, err)
 	}
 	if want("fig13") {
-		show("fig13")(bench.Fig13Thresholds(opts))
+		show("fig13")(bench.Fig13Thresholds(ctx, opts))
 	}
 	if want("fig14") {
-		show("fig14")(bench.Fig14Ablation(opts))
+		show("fig14")(bench.Fig14Ablation(ctx, opts))
 	}
 	if want("table2") {
-		show("table2")(bench.Table2RealEndpoints(opts))
+		show("table2")(bench.Table2RealEndpoints(ctx, opts))
 	}
 	if want("qerror") {
-		t, _, err := bench.QErrorExperiment(opts)
+		t, _, err := bench.QErrorExperiment(ctx, opts)
 		show("qerror")(t, err)
 	}
 	if want("preprocessing") {
-		show("preprocessing")(bench.PreprocessingCost(opts))
+		show("preprocessing")(bench.PreprocessingCost(ctx, opts))
 	}
 	if want("blocksize") {
-		show("blocksize")(bench.BlockSizeAblation(opts))
+		show("blocksize")(bench.BlockSizeAblation(ctx, opts))
 	}
 	if want("poolsize") {
-		show("poolsize")(bench.PoolSizeAblation(opts))
+		show("poolsize")(bench.PoolSizeAblation(ctx, opts))
 	}
 	if want("catalog") {
-		show("catalog")(bench.CatalogProbes(opts))
+		show("catalog")(bench.CatalogProbes(ctx, opts))
 	}
 	if want("faults") {
-		ts, err := bench.FaultsExperiment(opts)
+		ts, err := bench.FaultsExperiment(ctx, opts)
 		emit("faults", ts, err)
 	}
 	fmt.Printf("total experiment time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runInvariantSmoke is the -check-invariants mode: one LUBM query on a
+// 2-university federation with the full resilience stack active (breakers
+// and hedged probes), bracketed by a goroutine-leak check. It exercises at
+// runtime the same invariants lusail-vet enforces statically — every claimed
+// breaker admission recorded, every span ended, every goroutine rooted in a
+// cancellable context — and fails non-zero if the engine strands work.
+func runInvariantSmoke(ctx context.Context, timeout time.Duration) error {
+	base := leakcheck.Take()
+	fed, err := bench.NewFed(bench.GenerateLUBM(bench.DefaultLUBM(2)), bench.InProcess())
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultOptions()
+	opts.OnEndpointFailure = core.Degrade
+	opts.Resilience = resilience.Config{
+		FailureThreshold: 0.5,
+		Window:           20,
+		MinSamples:       5,
+		Cooldown:         time.Second,
+		HedgeQuantile:    0.9,
+		HedgeWarmup:      2,
+		HedgeMinDelay:    time.Millisecond,
+	}
+	eng := fed.NewLusail(opts)
+	q := bench.LUBMQueries()[0]
+	qctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	res, _, err := eng.QueryString(qctx, q.Text)
+	if err != nil {
+		return fmt.Errorf("query %s: %w", q.Name, err)
+	}
+	if res.Len() == 0 {
+		return fmt.Errorf("query %s: empty result set", q.Name)
+	}
+	for _, ds := range fed.Datasets {
+		if st := eng.Resilience().State(ds.Name); st != resilience.Closed {
+			return fmt.Errorf("breaker %s ended the healthy run in state %v", ds.Name, st)
+		}
+	}
+	return leakcheck.Verify(base, leakcheck.DefaultGrace)
 }

@@ -149,18 +149,18 @@ func newFed(datasets []Dataset, net NetworkProfile, wrap func(client.Endpoint) c
 // been built yet. Index construction runs against the raw (un-delayed)
 // endpoints: it is an offline preprocessing phase whose cost is reported
 // separately (Section 5.1 of the paper), not charged to queries.
-func (f *Fed) EnsureIndexes() error {
+func (f *Fed) EnsureIndexes(ctx context.Context) error {
 	f.indexMu.Lock()
 	defer f.indexMu.Unlock()
 	if f.hibIndex != nil {
 		return nil
 	}
 	pool := erh.New(0)
-	hibIdx, err := hibiscus.BuildIndex(context.Background(), f.rawFed, pool)
+	hibIdx, err := hibiscus.BuildIndex(ctx, f.rawFed, pool)
 	if err != nil {
 		return fmt.Errorf("bench: building HiBISCuS index: %w", err)
 	}
-	splIdx, err := splendid.BuildIndex(context.Background(), f.rawFed, pool)
+	splIdx, err := splendid.BuildIndex(ctx, f.rawFed, pool)
 	if err != nil {
 		return fmt.Errorf("bench: building SPLENDID index: %w", err)
 	}
@@ -170,8 +170,8 @@ func (f *Fed) EnsureIndexes() error {
 
 // PreprocessingTimes returns the HiBISCuS and SPLENDID index build times,
 // building the indexes if necessary.
-func (f *Fed) PreprocessingTimes() (hibiscusPrep, splendidPrep time.Duration, err error) {
-	if err := f.EnsureIndexes(); err != nil {
+func (f *Fed) PreprocessingTimes(ctx context.Context) (hibiscusPrep, splendidPrep time.Duration, err error) {
+	if err := f.EnsureIndexes(ctx); err != nil {
 		return 0, 0, err
 	}
 	return f.hibIndex.BuildTime, f.splIndex.BuildTime, nil
@@ -180,14 +180,14 @@ func (f *Fed) PreprocessingTimes() (hibiscusPrep, splendidPrep time.Duration, er
 // EnsureCatalog builds the endpoint catalog if it has not been built yet.
 // Like EnsureIndexes, the build runs against the raw endpoints: catalog
 // construction is offline preprocessing, not charged to queries.
-func (f *Fed) EnsureCatalog() (*catalog.Store, error) {
+func (f *Fed) EnsureCatalog(ctx context.Context) (*catalog.Store, error) {
 	f.indexMu.Lock()
 	defer f.indexMu.Unlock()
 	if f.catStore != nil {
 		return f.catStore, nil
 	}
 	st := catalog.NewStore("", 0) // in-memory, never stale
-	if err := catalog.Build(context.Background(), f.rawFed, erh.New(0), st); err != nil {
+	if err := catalog.Build(ctx, f.rawFed, erh.New(0), st); err != nil {
 		return nil, fmt.Errorf("bench: building catalog: %w", err)
 	}
 	f.catStore = st
@@ -233,12 +233,12 @@ func (a *lusailAdapter) lastProfile() *core.Profile {
 
 // NewEngine constructs a fresh engine of the given kind over the
 // federation (cold caches).
-func (f *Fed) NewEngine(kind EngineKind) (engine, error) {
+func (f *Fed) NewEngine(ctx context.Context, kind EngineKind) (engine, error) {
 	switch kind {
 	case Lusail:
 		return &lusailAdapter{e: core.MustNew(f.Federation, core.DefaultOptions())}, nil
 	case LusailCatalog:
-		st, err := f.EnsureCatalog()
+		st, err := f.EnsureCatalog(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -252,12 +252,12 @@ func (f *Fed) NewEngine(kind EngineKind) (engine, error) {
 	case FedX:
 		return fedx.New(f.Federation, fedx.Options{}), nil
 	case HiBISCuS:
-		if err := f.EnsureIndexes(); err != nil {
+		if err := f.EnsureIndexes(ctx); err != nil {
 			return nil, err
 		}
 		return hibiscus.New(f.Federation, f.hibIndex, fedx.Options{}), nil
 	case SPLENDID:
-		if err := f.EnsureIndexes(); err != nil {
+		if err := f.EnsureIndexes(ctx); err != nil {
 			return nil, err
 		}
 		return splendid.New(f.Federation, f.splIndex, splendid.Options{}), nil
@@ -303,15 +303,15 @@ type RunOptions struct {
 }
 
 // Run measures one query on one engine kind.
-func (f *Fed) Run(kind EngineKind, query string, opts RunOptions) Result {
-	eng, err := f.NewEngine(kind)
+func (f *Fed) Run(ctx context.Context, kind EngineKind, query string, opts RunOptions) Result {
+	eng, err := f.NewEngine(ctx, kind)
 	if err != nil {
 		return Result{System: kind, Err: err}
 	}
-	return f.runOn(eng, kind, query, opts)
+	return f.runOn(ctx, eng, kind, query, opts)
 }
 
-func (f *Fed) runOn(eng engine, kind EngineKind, query string, opts RunOptions) Result {
+func (f *Fed) runOn(ctx context.Context, eng engine, kind EngineKind, query string, opts RunOptions) Result {
 	repeats := opts.Repeats
 	if repeats < 1 {
 		repeats = 1
@@ -322,19 +322,19 @@ func (f *Fed) runOn(eng engine, kind EngineKind, query string, opts RunOptions) 
 	counted := 0
 	for i := 0; i < repeats; i++ {
 		before := f.Metrics.Snapshot()
-		ctx := context.Background()
+		runCtx := ctx
 		cancel := context.CancelFunc(func() {})
 		if opts.Timeout > 0 {
-			ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+			runCtx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		}
 		start := time.Now()
-		out, err := eng.QueryString(ctx, query)
+		out, err := eng.QueryString(runCtx, query)
 		elapsed := time.Since(start)
 		cancel()
 		delta := f.Metrics.Snapshot().Sub(before)
 		if err != nil {
 			res.Err = err
-			res.TimedOut = ctx.Err() != nil
+			res.TimedOut = runCtx.Err() != nil
 			res.Time = elapsed
 			res.Requests += delta.Requests
 			return res

@@ -42,7 +42,7 @@ func checkAllEngines(t *testing.T, datasets []Dataset, q Query) {
 	limited := parsed.Limit >= 0
 
 	for _, kind := range []EngineKind{Lusail, LusailLADE, FedX, HiBISCuS, SPLENDID} {
-		eng, err := fed.NewEngine(kind)
+		eng, err := fed.NewEngine(context.Background(), kind)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -213,7 +213,7 @@ func TestRunMeasuresAndTimesOut(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := LUBMQueries()[1]
-	res := fed.Run(Lusail, q.Text, RunOptions{Repeats: 3})
+	res := fed.Run(context.Background(), Lusail, q.Text, RunOptions{Repeats: 3})
 	if res.Err != nil {
 		t.Fatalf("Run: %v", res.Err)
 	}
@@ -226,7 +226,7 @@ func TestRunMeasuresAndTimesOut(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2 := slow.Run(FedX, q.Text, RunOptions{Timeout: 50 * time.Millisecond})
+	r2 := slow.Run(context.Background(), FedX, q.Text, RunOptions{Timeout: 50 * time.Millisecond})
 	if !r2.TimedOut {
 		t.Errorf("expected timeout, got %+v", r2)
 	}
@@ -287,8 +287,8 @@ func TestGeoProfileSlowerThanLocal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rl := local.Run(Lusail, q, RunOptions{})
-	rg := geo.Run(Lusail, q, RunOptions{})
+	rl := local.Run(context.Background(), Lusail, q, RunOptions{})
+	rg := geo.Run(context.Background(), Lusail, q, RunOptions{})
 	if rl.Err != nil || rg.Err != nil {
 		t.Fatalf("errs: %v %v", rl.Err, rg.Err)
 	}
@@ -312,8 +312,8 @@ func TestHiBISCuSPrunesRequests(t *testing.T) {
 			q = cand
 		}
 	}
-	rF := fed.Run(FedX, q.Text, RunOptions{})
-	rH := fed.Run(HiBISCuS, q.Text, RunOptions{})
+	rF := fed.Run(context.Background(), FedX, q.Text, RunOptions{})
+	rH := fed.Run(context.Background(), HiBISCuS, q.Text, RunOptions{})
 	if rF.Err != nil || rH.Err != nil {
 		t.Fatalf("errs: %v / %v", rF.Err, rH.Err)
 	}
@@ -336,7 +336,7 @@ func TestRequestScalingWithEndpoints(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, kind := range []EngineKind{Lusail, FedX} {
-			r := fed.Run(kind, q.Text, RunOptions{})
+			r := fed.Run(context.Background(), kind, q.Text, RunOptions{})
 			if r.Err != nil {
 				t.Fatalf("%s: %v", kind, r.Err)
 			}

@@ -17,12 +17,12 @@ func TestCatalogProbeFreeLUBM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fed.EnsureCatalog(); err != nil {
+	if _, err := fed.EnsureCatalog(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	run := RunOptions{Repeats: 1} // cold run: warm caches would hide probes
 	for _, q := range LUBMQueries() {
-		on := fed.Run(LusailCatalog, q.Text, run)
+		on := fed.Run(context.Background(), LusailCatalog, q.Text, run)
 		if on.Err != nil {
 			t.Fatalf("%s catalog-on: %v", q.Name, on.Err)
 		}
@@ -36,7 +36,7 @@ func TestCatalogProbeFreeLUBM(t *testing.T) {
 			t.Errorf("%s: catalog-on recorded no catalog hits", q.Name)
 		}
 
-		off := fed.Run(Lusail, q.Text, run)
+		off := fed.Run(context.Background(), Lusail, q.Text, run)
 		if off.Err != nil {
 			t.Fatalf("%s catalog-off: %v", q.Name, off.Err)
 		}
@@ -60,7 +60,7 @@ func TestCatalogRowsMatchProbePath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := fed.EnsureCatalog()
+	st, err := fed.EnsureCatalog(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestCatalogProbesExperiment(t *testing.T) {
 		t.Skip("experiment driver; skipped in -short")
 	}
 	opts := DefaultExp()
-	tbl, err := CatalogProbes(opts)
+	tbl, err := CatalogProbes(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

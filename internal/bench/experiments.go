@@ -38,7 +38,7 @@ func (o ExpOptions) run() RunOptions {
 
 // compareSystems runs each query on each system and renders a table of
 // runtimes plus a request-count column per system.
-func compareSystems(title string, fed *Fed, queries []Query, systems []EngineKind, opts ExpOptions) *Table {
+func compareSystems(ctx context.Context, title string, fed *Fed, queries []Query, systems []EngineKind, opts ExpOptions) *Table {
 	t := &Table{Title: title}
 	t.Header = []string{"query", "results"}
 	for _, s := range systems {
@@ -47,7 +47,7 @@ func compareSystems(title string, fed *Fed, queries []Query, systems []EngineKin
 	for _, q := range queries {
 		row := []string{q.Name, ""}
 		for _, s := range systems {
-			r := fed.Run(s, q.Text, opts.run())
+			r := fed.Run(ctx, s, q.Text, opts.run())
 			if r.Err == nil && row[1] == "" {
 				row[1] = fmt.Sprintf("%d", r.Results)
 			}
@@ -88,7 +88,7 @@ func Table1Datasets(opts ExpOptions) *Table {
 // Fig8QFed reproduces Figure 8: QFed query runtimes for Lusail, FedX,
 // HiBISCuS, and SPLENDID. Expected shape: Lusail wins everywhere; the
 // big-literal variants (C2P2B*) hurt the bound-join systems most.
-func Fig8QFed(opts ExpOptions) (*Table, error) {
+func Fig8QFed(ctx context.Context, opts ExpOptions) (*Table, error) {
 	cfg := DefaultQFed()
 	cfg.Drugs *= opts.Scale
 	cfg.Diseases *= opts.Scale
@@ -96,7 +96,7 @@ func Fig8QFed(opts ExpOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := compareSystems("Figure 8: QFed (local cluster)", fed, QFedQueries(),
+	t := compareSystems(ctx, "Figure 8: QFed (local cluster)", fed, QFedQueries(),
 		[]EngineKind{Lusail, FedX, HiBISCuS, SPLENDID}, opts)
 	t.Notes = append(t.Notes, "paper: Lusail fastest on all; FedX/HiBISCuS degrade or time out on C2P2B/C2P2BO")
 	return t, nil
@@ -105,7 +105,7 @@ func Fig8QFed(opts ExpOptions) (*Table, error) {
 // Fig9LUBM reproduces Figure 9: LUBM queries on 2 and 4 same-schema
 // endpoints. Expected shape: FedX/HiBISCuS fall off a cliff as endpoints
 // grow (no exclusive groups -> bound joins); Lusail stays near-flat.
-func Fig9LUBM(opts ExpOptions) ([]*Table, error) {
+func Fig9LUBM(ctx context.Context, opts ExpOptions) ([]*Table, error) {
 	var tables []*Table
 	for _, n := range []int{2, 4} {
 		cfg := DefaultLUBM(n)
@@ -114,7 +114,7 @@ func Fig9LUBM(opts ExpOptions) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t := compareSystems(fmt.Sprintf("Figure 9(%c): LUBM, %d endpoints", 'a'+len(tables), n),
+		t := compareSystems(ctx, fmt.Sprintf("Figure 9(%c): LUBM, %d endpoints", 'a'+len(tables), n),
 			fed, LUBMQueries(), []EngineKind{Lusail, FedX, HiBISCuS}, opts)
 		t.Notes = append(t.Notes, "paper: Lusail up to 3 orders of magnitude faster on Q1/Q2/Q4")
 		tables = append(tables, t)
@@ -124,32 +124,32 @@ func Fig9LUBM(opts ExpOptions) ([]*Table, error) {
 
 // Fig10LargeRDFBench reproduces Figure 10: the S/C/B categories on the
 // 13-endpoint federation for all four systems.
-func Fig10LargeRDFBench(opts ExpOptions) ([]*Table, error) {
+func Fig10LargeRDFBench(ctx context.Context, opts ExpOptions) ([]*Table, error) {
 	fed, err := NewFed(GenerateLRB(LRBConfig{Scale: opts.Scale, Seed: 11}), LocalCluster())
 	if err != nil {
 		return nil, err
 	}
 	systems := []EngineKind{Lusail, FedX, HiBISCuS, SPLENDID}
-	a := compareSystems("Figure 10(a): LargeRDFBench simple queries", fed, LRBSimpleQueries(), systems, opts)
+	a := compareSystems(ctx, "Figure 10(a): LargeRDFBench simple queries", fed, LRBSimpleQueries(), systems, opts)
 	a.Notes = append(a.Notes, "paper: systems comparable on simple queries; Lusail best on S13/S14")
-	b := compareSystems("Figure 10(b): LargeRDFBench complex queries", fed, LRBComplexQueries(), systems, opts)
+	b := compareSystems(ctx, "Figure 10(b): LargeRDFBench complex queries", fed, LRBComplexQueries(), systems, opts)
 	b.Notes = append(b.Notes, "paper: Lusail dominates; FedX best on C4 (LIMIT early termination)")
-	c := compareSystems("Figure 10(c): LargeRDFBench large queries", fed, LRBLargeQueries(), systems, opts)
+	c := compareSystems(ctx, "Figure 10(c): LargeRDFBench large queries", fed, LRBLargeQueries(), systems, opts)
 	c.Notes = append(c.Notes, "paper: Lusail superior on all large queries; others time out or fail")
 	return []*Table{a, b, c}, nil
 }
 
 // Fig11Geo reproduces Figure 11: the geo-distributed (Azure) setting,
 // simulated with per-request WAN latency and bandwidth limits.
-func Fig11Geo(opts ExpOptions) ([]*Table, error) {
+func Fig11Geo(ctx context.Context, opts ExpOptions) ([]*Table, error) {
 	net := GeoDistributed()
 	fedLRB, err := NewFed(GenerateLRB(LRBConfig{Scale: opts.Scale, Seed: 11}), net)
 	if err != nil {
 		return nil, err
 	}
 	systems := []EngineKind{Lusail, FedX, HiBISCuS, SPLENDID}
-	a := compareSystems("Figure 11(a): geo-distributed, complex queries", fedLRB, LRBComplexQueries(), systems, opts)
-	b := compareSystems("Figure 11(b): geo-distributed, large queries", fedLRB, LRBLargeQueries(), systems, opts)
+	a := compareSystems(ctx, "Figure 11(a): geo-distributed, complex queries", fedLRB, LRBComplexQueries(), systems, opts)
+	b := compareSystems(ctx, "Figure 11(b): geo-distributed, large queries", fedLRB, LRBLargeQueries(), systems, opts)
 
 	cfg := DefaultLUBM(2)
 	cfg.StudentsPerDept *= opts.Scale
@@ -157,7 +157,7 @@ func Fig11Geo(opts ExpOptions) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := compareSystems("Figure 11(c): geo-distributed, LUBM 2 endpoints", fedLUBM, LUBMQueries(),
+	c := compareSystems(ctx, "Figure 11(c): geo-distributed, LUBM 2 endpoints", fedLUBM, LUBMQueries(),
 		[]EngineKind{Lusail, FedX, HiBISCuS}, opts)
 	c.Notes = append(c.Notes, "paper: Lusail ~1s; FedX/HiBISCuS >1000s (communication-bound)")
 	return []*Table{a, b, c}, nil
@@ -168,7 +168,7 @@ func Fig11Geo(opts ExpOptions) ([]*Table, error) {
 // and large (B1) query. The phase times come from the engine's span tree
 // (Options.Trace) rather than the Profile's hand-rolled timers: each phase
 // is the sum of its named spans, and the total is the root span's duration.
-func Fig12aProfile(opts ExpOptions) (*Table, error) {
+func Fig12aProfile(ctx context.Context, opts ExpOptions) (*Table, error) {
 	fed, err := NewFed(GenerateLRB(LRBConfig{Scale: opts.Scale, Seed: 11}), LocalCluster())
 	if err != nil {
 		return nil, err
@@ -187,7 +187,7 @@ func Fig12aProfile(opts ExpOptions) (*Table, error) {
 		engOpts := core.DefaultOptions()
 		engOpts.Trace = true
 		eng := fed.NewLusail(engOpts)
-		_, prof, err := eng.QueryString(context.Background(), pick[name])
+		_, prof, err := eng.QueryString(ctx, pick[name])
 		if err != nil {
 			return nil, fmt.Errorf("profiling %s: %w", name, err)
 		}
@@ -209,7 +209,7 @@ func Fig12aProfile(opts ExpOptions) (*Table, error) {
 
 // Fig12bcScaling reproduces Figures 12(b,c): LUBM Q3 and Q4 phase times as
 // the number of endpoints grows, with and without the ASK/check caches.
-func Fig12bcScaling(endpointCounts []int, opts ExpOptions) ([]*Table, error) {
+func Fig12bcScaling(ctx context.Context, endpointCounts []int, opts ExpOptions) ([]*Table, error) {
 	if len(endpointCounts) == 0 {
 		endpointCounts = []int{4, 16, 64, 256}
 	}
@@ -229,10 +229,10 @@ func Fig12bcScaling(endpointCounts []int, opts ExpOptions) ([]*Table, error) {
 			}
 			eng := fed.NewLusail(core.DefaultOptions())
 			// Warm the caches, then measure the cached run.
-			if _, _, err := eng.QueryString(context.Background(), q.Text); err != nil {
+			if _, _, err := eng.QueryString(ctx, q.Text); err != nil {
 				return nil, err
 			}
-			_, prof, err := eng.QueryString(context.Background(), q.Text)
+			_, prof, err := eng.QueryString(ctx, q.Text)
 			if err != nil {
 				return nil, err
 			}
@@ -241,7 +241,7 @@ func Fig12bcScaling(endpointCounts []int, opts ExpOptions) ([]*Table, error) {
 			cold.CacheSources = false
 			cold.CacheChecks = false
 			engCold := fed.NewLusail(cold)
-			_, profCold, err := engCold.QueryString(context.Background(), q.Text)
+			_, profCold, err := engCold.QueryString(ctx, q.Text)
 			if err != nil {
 				return nil, err
 			}
@@ -263,7 +263,7 @@ func Fig12bcScaling(endpointCounts []int, opts ExpOptions) ([]*Table, error) {
 // Fig13Thresholds reproduces Figure 13: total per-category LargeRDFBench
 // time under the four delay-threshold rules, in the geo-distributed
 // setting.
-func Fig13Thresholds(opts ExpOptions) (*Table, error) {
+func Fig13Thresholds(ctx context.Context, opts ExpOptions) (*Table, error) {
 	fed, err := NewFed(GenerateLRB(LRBConfig{Scale: opts.Scale, Seed: 11}), GeoDistributed())
 	if err != nil {
 		return nil, err
@@ -291,7 +291,7 @@ func Fig13Thresholds(opts ExpOptions) (*Table, error) {
 			eng := fed.NewLusail(o)
 			for _, q := range cat.queries {
 				start := time.Now()
-				if _, _, err := eng.QueryString(context.Background(), q.Text); err != nil {
+				if _, _, err := eng.QueryString(ctx, q.Text); err != nil {
 					return nil, fmt.Errorf("%s/%s under %v: %w", cat.name, q.Name, m, err)
 				}
 				total += time.Since(start)
@@ -306,7 +306,7 @@ func Fig13Thresholds(opts ExpOptions) (*Table, error) {
 
 // Fig14Ablation reproduces Figure 14: FedX vs Lusail-LADE-only vs full
 // Lusail (LADE+SAPE) on two queries from each benchmark.
-func Fig14Ablation(opts ExpOptions) (*Table, error) {
+func Fig14Ablation(ctx context.Context, opts ExpOptions) (*Table, error) {
 	t := &Table{
 		Title:  "Figure 14: effect of LADE and SAPE",
 		Header: []string{"benchmark", "query", "FedX", "FedX#KB", "LADE", "LADE#KB", "LADE+SAPE", "SAPE#KB"},
@@ -314,9 +314,9 @@ func Fig14Ablation(opts ExpOptions) (*Table, error) {
 	kb := func(r Result) string { return fmt.Sprintf("%d", r.Bytes/1024) }
 	addRows := func(benchName string, fed *Fed, queries []Query) {
 		for _, q := range queries {
-			rF := fed.Run(FedX, q.Text, opts.run())
-			rL := fed.Run(LusailLADE, q.Text, opts.run())
-			rLS := fed.Run(Lusail, q.Text, opts.run())
+			rF := fed.Run(ctx, FedX, q.Text, opts.run())
+			rL := fed.Run(ctx, LusailLADE, q.Text, opts.run())
+			rLS := fed.Run(ctx, Lusail, q.Text, opts.run())
 			t.Rows = append(t.Rows, []string{benchName, q.Name,
 				FormatResult(rF), kb(rF), FormatResult(rL), kb(rL), FormatResult(rLS), kb(rLS)})
 			benchName = ""
@@ -359,7 +359,7 @@ func Fig14Ablation(opts ExpOptions) (*Table, error) {
 // Table2RealEndpoints reproduces Table 2: Lusail vs FedX on the Bio2RDF
 // queries R1-R5 and six LargeRDFBench queries, over WAN-simulated
 // independently deployed endpoints.
-func Table2RealEndpoints(opts ExpOptions) (*Table, error) {
+func Table2RealEndpoints(ctx context.Context, opts ExpOptions) (*Table, error) {
 	net := GeoDistributed()
 	bio, err := NewFed(GenerateBio2RDF(Bio2RDFConfig{Scale: opts.Scale}), net)
 	if err != nil {
@@ -375,8 +375,8 @@ func Table2RealEndpoints(opts ExpOptions) (*Table, error) {
 	}
 	addRows := func(fedName string, fed *Fed, queries []Query) {
 		for _, q := range queries {
-			rL := fed.Run(Lusail, q.Text, opts.run())
-			rF := fed.Run(FedX, q.Text, opts.run())
+			rL := fed.Run(ctx, Lusail, q.Text, opts.run())
+			rF := fed.Run(ctx, FedX, q.Text, opts.run())
 			t.Rows = append(t.Rows, []string{fedName, q.Name, FormatResult(rL), FormatResult(rF)})
 			fedName = ""
 		}
@@ -398,7 +398,7 @@ func Table2RealEndpoints(opts ExpOptions) (*Table, error) {
 // of Section 4.1: the q-error (max(e/a, a/e)) of the cost model over
 // multi-pattern subqueries of the LargeRDFBench workload; the paper reports
 // a median of 1.09.
-func QErrorExperiment(opts ExpOptions) (*Table, float64, error) {
+func QErrorExperiment(ctx context.Context, opts ExpOptions) (*Table, float64, error) {
 	fed, err := NewFed(GenerateLRB(LRBConfig{Scale: opts.Scale, Seed: 11}), LocalCluster())
 	if err != nil {
 		return nil, 0, err
@@ -406,7 +406,7 @@ func QErrorExperiment(opts ExpOptions) (*Table, float64, error) {
 	var qerrors []float64
 	eng := fed.NewLusail(core.DefaultOptions())
 	for _, q := range LRBQueries() {
-		_, prof, err := eng.QueryString(context.Background(), q.Text)
+		_, prof, err := eng.QueryString(ctx, q.Text)
 		if err != nil {
 			return nil, 0, fmt.Errorf("q-error on %s: %w", q.Name, err)
 		}
@@ -447,7 +447,7 @@ func QErrorExperiment(opts ExpOptions) (*Table, float64, error) {
 // PreprocessingCost reproduces the Section 5.1 discussion: index-based
 // systems pay a preprocessing cost proportional to data size; index-free
 // systems pay none.
-func PreprocessingCost(opts ExpOptions) (*Table, error) {
+func PreprocessingCost(ctx context.Context, opts ExpOptions) (*Table, error) {
 	qfed, err := NewFed(GenerateQFed(DefaultQFed()), LocalCluster())
 	if err != nil {
 		return nil, err
@@ -456,11 +456,11 @@ func PreprocessingCost(opts ExpOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	qfedHib, qfedSpl, err := qfed.PreprocessingTimes()
+	qfedHib, qfedSpl, err := qfed.PreprocessingTimes(ctx)
 	if err != nil {
 		return nil, err
 	}
-	lrbHib, lrbSpl, err := lrb.PreprocessingTimes()
+	lrbHib, lrbSpl, err := lrb.PreprocessingTimes(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -480,7 +480,7 @@ func PreprocessingCost(opts ExpOptions) (*Table, error) {
 // it sweeps SAPE's VALUES block size on the bound-join-heavy LUBM Q4 to
 // expose the trade-off between the number of bound-join requests (small
 // blocks) and per-request payload (large blocks).
-func BlockSizeAblation(opts ExpOptions) (*Table, error) {
+func BlockSizeAblation(ctx context.Context, opts ExpOptions) (*Table, error) {
 	cfg := DefaultLUBM(4)
 	cfg.StudentsPerDept *= opts.Scale
 	fed, err := NewFed(GenerateLUBM(cfg), LocalCluster())
@@ -497,12 +497,12 @@ func BlockSizeAblation(opts ExpOptions) (*Table, error) {
 		o.ValuesBlockSize = size
 		eng := fed.NewLusail(o)
 		// Warm caches, then measure.
-		if _, _, err := eng.QueryString(context.Background(), q.Text); err != nil {
+		if _, _, err := eng.QueryString(ctx, q.Text); err != nil {
 			return nil, err
 		}
 		before := fed.Metrics.Snapshot()
 		start := time.Now()
-		if _, _, err := eng.QueryString(context.Background(), q.Text); err != nil {
+		if _, _, err := eng.QueryString(ctx, q.Text); err != nil {
 			return nil, err
 		}
 		elapsed := time.Since(start)
@@ -522,7 +522,7 @@ func BlockSizeAblation(opts ExpOptions) (*Table, error) {
 // PoolSizeAblation is an extension experiment: it sweeps the ERH worker
 // pool size to show how endpoint-request parallelism drives response time
 // (the paper sizes the pool to the number of physical cores).
-func PoolSizeAblation(opts ExpOptions) (*Table, error) {
+func PoolSizeAblation(ctx context.Context, opts ExpOptions) (*Table, error) {
 	fed, err := NewFed(GenerateLRB(LRBConfig{Scale: opts.Scale, Seed: 11}), GeoDistributed())
 	if err != nil {
 		return nil, err
@@ -541,11 +541,11 @@ func PoolSizeAblation(opts ExpOptions) (*Table, error) {
 		o := core.DefaultOptions()
 		o.PoolSize = size
 		eng := fed.NewLusail(o)
-		if _, _, err := eng.QueryString(context.Background(), q.Text); err != nil {
+		if _, _, err := eng.QueryString(ctx, q.Text); err != nil {
 			return nil, err
 		}
 		start := time.Now()
-		if _, _, err := eng.QueryString(context.Background(), q.Text); err != nil {
+		if _, _, err := eng.QueryString(ctx, q.Text); err != nil {
 			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", size), FormatDuration(time.Since(start))})
@@ -561,7 +561,7 @@ func PoolSizeAblation(opts ExpOptions) (*Table, error) {
 // a warm engine would let the selector's ASK cache hide exactly the probes
 // this experiment counts. The catalog build itself is offline
 // preprocessing, reported in a note like the baselines' index builds.
-func CatalogProbes(opts ExpOptions) (*Table, error) {
+func CatalogProbes(ctx context.Context, opts ExpOptions) (*Table, error) {
 	cfg := DefaultLUBM(4)
 	cfg.StudentsPerDept *= opts.Scale
 	fed, err := NewFed(GenerateLUBM(cfg), LocalCluster())
@@ -569,7 +569,7 @@ func CatalogProbes(opts ExpOptions) (*Table, error) {
 		return nil, err
 	}
 	buildStart := time.Now()
-	if _, err := fed.EnsureCatalog(); err != nil {
+	if _, err := fed.EnsureCatalog(ctx); err != nil {
 		return nil, err
 	}
 	buildTime := time.Since(buildStart)
@@ -580,8 +580,8 @@ func CatalogProbes(opts ExpOptions) (*Table, error) {
 		"off:time", "off:req", "off:ASK", "off:COUNT",
 		"on:time", "on:req", "on:ASK", "on:COUNT", "on:hits"}
 	for _, q := range LUBMQueries() {
-		off := fed.Run(Lusail, q.Text, run)
-		on := fed.Run(LusailCatalog, q.Text, run)
+		off := fed.Run(ctx, Lusail, q.Text, run)
+		on := fed.Run(ctx, LusailCatalog, q.Text, run)
 		t.Rows = append(t.Rows, []string{
 			q.Name, fmt.Sprintf("%d", off.Results),
 			FormatResult(off), fmt.Sprintf("%d", off.Requests),

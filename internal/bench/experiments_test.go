@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -39,7 +40,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFig8Smoke(t *testing.T) {
-	tb, err := Fig8QFed(fastExp())
+	tb, err := Fig8QFed(context.Background(), fastExp())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestFig8Smoke(t *testing.T) {
 }
 
 func TestFig9Smoke(t *testing.T) {
-	tables, err := Fig9LUBM(fastExp())
+	tables, err := Fig9LUBM(context.Background(), fastExp())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestFig10Smoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy")
 	}
-	tables, err := Fig10LargeRDFBench(fastExp())
+	tables, err := Fig10LargeRDFBench(context.Background(), fastExp())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestFig11Smoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy")
 	}
-	tables, err := Fig11Geo(fastExp())
+	tables, err := Fig11Geo(context.Background(), fastExp())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestFig11Smoke(t *testing.T) {
 }
 
 func TestFig12aSmoke(t *testing.T) {
-	tb, err := Fig12aProfile(fastExp())
+	tb, err := Fig12aProfile(context.Background(), fastExp())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestFig12aSmoke(t *testing.T) {
 }
 
 func TestFig12bcSmoke(t *testing.T) {
-	tables, err := Fig12bcScaling([]int{2, 4}, fastExp())
+	tables, err := Fig12bcScaling(context.Background(), []int{2, 4}, fastExp())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestFig13Smoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy")
 	}
-	tb, err := Fig13Thresholds(fastExp())
+	tb, err := Fig13Thresholds(context.Background(), fastExp())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestFig13Smoke(t *testing.T) {
 }
 
 func TestFig14Smoke(t *testing.T) {
-	tb, err := Fig14Ablation(fastExp())
+	tb, err := Fig14Ablation(context.Background(), fastExp())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestTable2Smoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy")
 	}
-	tb, err := Table2RealEndpoints(fastExp())
+	tb, err := Table2RealEndpoints(context.Background(), fastExp())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestTable2Smoke(t *testing.T) {
 }
 
 func TestQErrorSmoke(t *testing.T) {
-	tb, median, err := QErrorExperiment(fastExp())
+	tb, median, err := QErrorExperiment(context.Background(), fastExp())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestQErrorSmoke(t *testing.T) {
 }
 
 func TestPreprocessingCostSmoke(t *testing.T) {
-	tb, err := PreprocessingCost(fastExp())
+	tb, err := PreprocessingCost(context.Background(), fastExp())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestPreprocessingCostSmoke(t *testing.T) {
 }
 
 func TestBlockSizeAblationSmoke(t *testing.T) {
-	tb, err := BlockSizeAblation(fastExp())
+	tb, err := BlockSizeAblation(context.Background(), fastExp())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestPoolSizeAblationSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy")
 	}
-	tb, err := PoolSizeAblation(fastExp())
+	tb, err := PoolSizeAblation(context.Background(), fastExp())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,7 +42,7 @@ type faultRun struct {
 // deltas of the process-global obs registry), and — when the configuration
 // has an active resilience manager — the caller-experienced duration of
 // every guarded request to the faulty endpoint.
-func runFaultConfig(fed *Fed, faulty string, o core.Options, queries []Query, passes int, timeout time.Duration) (faultRun, error) {
+func runFaultConfig(ctx context.Context, fed *Fed, faulty string, o core.Options, queries []Query, passes int, timeout time.Duration) (faultRun, error) {
 	eng, err := core.New(fed.Federation, o)
 	if err != nil {
 		return faultRun{}, err
@@ -71,8 +71,8 @@ func runFaultConfig(fed *Fed, faulty string, o core.Options, queries []Query, pa
 	start := time.Now()
 	for p := 0; p < passes; p++ {
 		for _, q := range queries {
-			ctx, cancel := context.WithTimeout(context.Background(), timeout)
-			_, prof, err := eng.QueryString(ctx, q.Text)
+			qctx, cancel := context.WithTimeout(ctx, timeout)
+			_, prof, err := eng.QueryString(qctx, q.Text)
 			cancel()
 			if err != nil {
 				out.failed++
@@ -125,7 +125,7 @@ func pctDuration(ds []time.Duration, p float64) time.Duration {
 //
 // Each configuration runs on a fresh federation and engine, so breaker
 // state, caches, and the injector's random stream start cold.
-func FaultsExperiment(opts ExpOptions) ([]*Table, error) {
+func FaultsExperiment(ctx context.Context, opts ExpOptions) ([]*Table, error) {
 	if opts.FaultRate <= 0 {
 		opts.FaultRate = 0.3
 	}
@@ -176,7 +176,7 @@ func FaultsExperiment(opts ExpOptions) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := runFaultConfig(fed, faulty, cfg.opts, queries, passes, opts.Timeout)
+		r, err := runFaultConfig(ctx, fed, faulty, cfg.opts, queries, passes, opts.Timeout)
 		if err != nil {
 			return nil, err
 		}
@@ -230,7 +230,7 @@ func FaultsExperiment(opts ExpOptions) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := runFaultConfig(fed, faulty, cfg.opts, queries, passes, hangTimeout)
+		r, err := runFaultConfig(ctx, fed, faulty, cfg.opts, queries, passes, hangTimeout)
 		if err != nil {
 			return nil, err
 		}

@@ -222,6 +222,7 @@ func StartRefresher(st *Store, fed *federation.Federation, pool *erh.Pool, inter
 				return
 			case <-ticker.C:
 			}
+			//lint:lusail-vet ctxflow -- detached background refresher rooted on its own stop channel, not a request
 			ctx, cancel := context.WithCancel(context.Background())
 			go func() {
 				select {

@@ -12,15 +12,15 @@ import (
 // join2 hash-joins two relations, parallelizing the probe phase over the
 // ERH pool when the probe side is large (the paper's parallel in-memory
 // hash join, Section 4.2).
-func (e *Engine) join2(a, b *sparql.Results) *sparql.Results {
+func (e *Engine) join2(ctx context.Context, a, b *sparql.Results) *sparql.Results {
 	const parallelThreshold = 4096
 	if len(a.Rows) < parallelThreshold && len(b.Rows) < parallelThreshold {
 		return qplan.HashJoin(a, b)
 	}
-	return e.parallelHashJoin(a, b)
+	return e.parallelHashJoin(ctx, a, b)
 }
 
-func (e *Engine) parallelHashJoin(a, b *sparql.Results) *sparql.Results {
+func (e *Engine) parallelHashJoin(ctx context.Context, a, b *sparql.Results) *sparql.Results {
 	if len(a.Rows) > len(b.Rows) {
 		a, b = b, a // build on the smaller relation
 	}
@@ -52,7 +52,7 @@ func (e *Engine) parallelHashJoin(a, b *sparql.Results) *sparql.Results {
 	workers := e.pool.Limit()
 	chunk := (len(b.Rows) + workers - 1) / workers
 	parts := make([][][]rdf.Term, workers)
-	_ = e.pool.ForEach(context.Background(), workers, func(w int) error {
+	_ = e.pool.ForEach(ctx, workers, func(w int) error {
 		lo := w * chunk
 		if lo >= len(b.Rows) {
 			return nil
@@ -89,7 +89,7 @@ func (e *Engine) parallelHashJoin(a, b *sparql.Results) *sparql.Results {
 // joinConnected repeatedly joins relations that share variables until each
 // connected component is a single relation. Join order within the pass is
 // chosen by the DP planner.
-func (e *Engine) joinConnected(rels []*sparql.Results) []*sparql.Results {
+func (e *Engine) joinConnected(ctx context.Context, rels []*sparql.Results) []*sparql.Results {
 	rels = append([]*sparql.Results(nil), rels...)
 	for {
 		merged := false
@@ -120,7 +120,7 @@ func (e *Engine) joinConnected(rels []*sparql.Results) []*sparql.Results {
 						}
 					}
 				}
-				joined := e.joinGroup(group)
+				joined := e.joinGroup(ctx, group)
 				rels = append(rest, joined)
 				merged = true
 				break
@@ -134,14 +134,14 @@ func (e *Engine) joinConnected(rels []*sparql.Results) []*sparql.Results {
 
 // joinAll joins every relation into one, using connected joins first and
 // cross products last.
-func (e *Engine) joinAll(rels []*sparql.Results) *sparql.Results {
+func (e *Engine) joinAll(ctx context.Context, rels []*sparql.Results) *sparql.Results {
 	if len(rels) == 0 {
 		return qplan.EmptyRelation(nil)
 	}
-	rels = e.joinConnected(rels)
+	rels = e.joinConnected(ctx, rels)
 	out := rels[0]
 	for _, r := range rels[1:] {
-		out = e.join2(out, r) // cross product between disjoint components
+		out = e.join2(ctx, out, r) // cross product between disjoint components
 	}
 	return out
 }
@@ -149,16 +149,16 @@ func (e *Engine) joinAll(rels []*sparql.Results) *sparql.Results {
 // joinGroup joins a var-connected set of relations using the DP join-order
 // enumeration (Moerkotte/Neumann-style subset DP, as cited by the paper)
 // when the group is small, and a greedy smallest-pair order otherwise.
-func (e *Engine) joinGroup(rels []*sparql.Results) *sparql.Results {
+func (e *Engine) joinGroup(ctx context.Context, rels []*sparql.Results) *sparql.Results {
 	switch {
 	case len(rels) == 1:
 		return rels[0]
 	case len(rels) == 2:
-		return e.join2(rels[0], rels[1])
+		return e.join2(ctx, rels[0], rels[1])
 	case len(rels) <= 12:
-		return e.dpJoin(rels)
+		return e.dpJoin(ctx, rels)
 	default:
-		return e.greedyJoin(rels)
+		return e.greedyJoin(ctx, rels)
 	}
 }
 
@@ -175,7 +175,7 @@ type dpState struct {
 // input plus probing the larger, normalized by the worker count — and
 // subplan sizes are estimated with the standard distinct-value formula over
 // the materialized base relations.
-func (e *Engine) dpJoin(rels []*sparql.Results) *sparql.Results {
+func (e *Engine) dpJoin(ctx context.Context, rels []*sparql.Results) *sparql.Results {
 	n := len(rels)
 	threads := float64(e.pool.Limit())
 	full := (1 << n) - 1
@@ -246,7 +246,7 @@ func (e *Engine) dpJoin(rels []*sparql.Results) *sparql.Results {
 	}
 	if best[full] == nil {
 		// The group was not actually fully connected; fall back to greedy.
-		return e.greedyJoin(rels)
+		return e.greedyJoin(ctx, rels)
 	}
 	var build func(mask int) *sparql.Results
 	build = func(mask int) *sparql.Results {
@@ -258,7 +258,7 @@ func (e *Engine) dpJoin(rels []*sparql.Results) *sparql.Results {
 				}
 			}
 		}
-		return e.join2(build(st.left), build(st.right))
+		return e.join2(ctx, build(st.left), build(st.right))
 	}
 	return build(full)
 }
@@ -272,7 +272,7 @@ func estimateJoinSize(a, b float64) float64 {
 
 // greedyJoin repeatedly joins the connected pair with the smallest combined
 // size.
-func (e *Engine) greedyJoin(rels []*sparql.Results) *sparql.Results {
+func (e *Engine) greedyJoin(ctx context.Context, rels []*sparql.Results) *sparql.Results {
 	rels = append([]*sparql.Results(nil), rels...)
 	for len(rels) > 1 {
 		bi, bj := -1, -1
@@ -291,7 +291,7 @@ func (e *Engine) greedyJoin(rels []*sparql.Results) *sparql.Results {
 		if bi < 0 {
 			bi, bj = 0, 1 // no connected pair left: cross product
 		}
-		joined := e.join2(rels[bi], rels[bj])
+		joined := e.join2(ctx, rels[bi], rels[bj])
 		rels = append(rels[:bj], rels[bj+1:]...)
 		rels[bi] = joined
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -65,8 +66,8 @@ func TestJoinOrderIndependenceProperty(t *testing.T) {
 			rels[i] = mkRel(vars, rows...)
 			rels[i].Rows = qplan.DistinctRows(rels[i].Rows)
 		}
-		dp := e.dpJoin(append([]*sparql.Results(nil), rels...))
-		greedy := e.greedyJoin(append([]*sparql.Results(nil), rels...))
+		dp := e.dpJoin(context.Background(), append([]*sparql.Results(nil), rels...))
+		greedy := e.greedyJoin(context.Background(), append([]*sparql.Results(nil), rels...))
 		naive := rels[0]
 		for _, r := range rels[1:] {
 			naive = qplan.HashJoin(naive, r)
@@ -103,7 +104,7 @@ func TestJoinConnectedCollapsesComponents(t *testing.T) {
 		mkRel([]string{"b", "c"}, []string{"2", "3"}),
 		mkRel([]string{"x", "y"}, []string{"7", "8"}), // disconnected
 	}
-	out := e.joinConnected(rels)
+	out := e.joinConnected(context.Background(), rels)
 	if len(out) != 2 {
 		t.Fatalf("components = %d, want 2", len(out))
 	}
@@ -115,7 +116,7 @@ func TestJoinAllCrossProduct(t *testing.T) {
 		mkRel([]string{"a"}, []string{"1"}, []string{"2"}),
 		mkRel([]string{"b"}, []string{"3"}),
 	}
-	out := e.joinAll(rels)
+	out := e.joinAll(context.Background(), rels)
 	if len(out.Rows) != 2 {
 		t.Errorf("cross product rows = %d, want 2", len(out.Rows))
 	}
@@ -133,7 +134,7 @@ func TestParallelHashJoinMatchesSequential(t *testing.T) {
 	}
 	a := mkRel([]string{"x", "k"}, rowsA...)
 	b := mkRel([]string{"k", "y"}, rowsB...)
-	par := e.parallelHashJoin(a, b)
+	par := e.parallelHashJoin(context.Background(), a, b)
 	seq := qplan.HashJoin(a, b)
 	if len(par.Rows) != len(seq.Rows) {
 		t.Fatalf("parallel %d rows, sequential %d", len(par.Rows), len(seq.Rows))

@@ -73,7 +73,7 @@ func (e *Engine) execute(ctx context.Context, br *qplan.Branch, sqs []*Subquery,
 
 	// Join non-delayed results whenever possible: collapse each
 	// var-connected component into one relation.
-	components := e.joinConnected(relations)
+	components := e.joinConnected(ctx, relations)
 
 	// Phase 2 (lines 10-18): evaluate delayed subqueries, most selective
 	// first, bound to the found bindings.
@@ -89,18 +89,18 @@ func (e *Engine) execute(ctx context.Context, br *qplan.Branch, sqs []*Subquery,
 		if comp >= 0 {
 			// Join with the component that provided the bindings, updating
 			// the found bindings for subsequent delayed subqueries.
-			components[comp] = e.join2(components[comp], rel)
+			components[comp] = e.join2(ctx, components[comp], rel)
 		} else {
 			components = append(components, rel)
 		}
-		components = e.joinConnected(components)
+		components = e.joinConnected(ctx, components)
 	}
 
 	// Join the remaining components (cross product if truly disjoint —
 	// e.g. the C5/B5/B6 queries whose subgraphs meet only through FILTER).
 	_, jsp := obs.StartSpan(ctx, "join")
 	jsp.SetAttr("components", len(components))
-	global := e.joinAll(components)
+	global := e.joinAll(ctx, components)
 
 	// VALUES blocks from the query text join the global relation.
 	for _, vd := range br.Values {

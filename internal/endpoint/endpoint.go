@@ -7,6 +7,7 @@ package endpoint
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -171,6 +172,7 @@ func (s *summaryHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.once.Do(func() {
 		// Deliberately not r.Context(): a canceled first request must not
 		// memoize a spurious error for every later caller.
+		//lint:lusail-vet ctxflow -- sync.Once memoization must outlive the first request's context
 		s.sum, s.err = catalog.BuildSummary(context.Background(), client.NewInProcess(s.name, s.st))
 	})
 	if s.err != nil {
@@ -216,7 +218,7 @@ func Serve(name, addr string, st *store.Store) (*Server, error) {
 		ln:   ln,
 	}
 	go func() {
-		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("endpoint %s: serve: %v", name, err)
 		}
 	}()

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"lusail/internal/lint/leakcheck"
 )
 
 func TestForEachRunsAll(t *testing.T) {
@@ -61,6 +63,7 @@ func TestForEachCollectsErrors(t *testing.T) {
 }
 
 func TestForEachContextCancel(t *testing.T) {
+	leakcheck.Check(t)
 	p := New(1)
 	ctx, cancel := context.WithCancel(context.Background())
 	var ran atomic.Int64

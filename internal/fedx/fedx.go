@@ -121,13 +121,13 @@ func (u *unit) vars() []string {
 // the whole pattern set at once can apply join-aware pruning (HiBISCuS's
 // hypergraph step).
 type BatchSelector interface {
-	PruneSources(patterns []sparql.TriplePattern) [][]string
+	PruneSources(ctx context.Context, patterns []sparql.TriplePattern) [][]string
 }
 
 func (e *Engine) evalBranch(ctx context.Context, q *sparql.Query, br *qplan.Branch) (*sparql.Results, error) {
 	var sources [][]string
 	if bs, ok := e.sel.(BatchSelector); ok {
-		sources = bs.PruneSources(br.Patterns)
+		sources = bs.PruneSources(ctx, br.Patterns)
 	} else {
 		sources = make([][]string, len(br.Patterns))
 		err := e.pool.ForEach(ctx, len(br.Patterns), func(i int) error {

@@ -177,10 +177,10 @@ func (s *Selector) patternRelevant(epName string, tp sparql.TriplePattern) bool 
 // for every variable the pattern shares with another pattern, the authority
 // sets of the variable's positions can intersect. It runs to fixpoint and
 // returns per-pattern source lists.
-func (s *Selector) PruneSources(patterns []sparql.TriplePattern) [][]string {
+func (s *Selector) PruneSources(ctx context.Context, patterns []sparql.TriplePattern) [][]string {
 	sources := make([][]string, len(patterns))
 	for i, tp := range patterns {
-		srcs, _ := s.RelevantSources(context.Background(), tp)
+		srcs, _ := s.RelevantSources(ctx, tp)
 		sources[i] = srcs
 	}
 	changed := true

@@ -97,7 +97,7 @@ func TestJoinAwarePruning(t *testing.T) {
 		{S: sparql.Var("d"), P: sparql.IRI("http://drugbank.org/target"), O: sparql.Var("k")},
 		{S: sparql.Var("k"), P: sparql.IRI("http://kegg.org/pathway"), O: sparql.Var("p")},
 	}
-	sources := sel.PruneSources(patterns)
+	sources := sel.PruneSources(context.Background(), patterns)
 	if !reflect.DeepEqual(sources[0], []string{"drugbank"}) {
 		t.Errorf("pattern 0 sources = %v", sources[0])
 	}

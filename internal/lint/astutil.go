@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// calleeOf resolves a call expression to the object it invokes (a
+// *types.Func for functions and methods, a *types.Var for calls through
+// function-typed values), or nil for type conversions and unresolvable
+// callees.
+func calleeOf(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.Pkg.Info.Uses[fn]
+	case *ast.SelectorExpr:
+		return pass.Pkg.Info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// isFunc reports whether obj is the function or method pkgPath.name.
+func isFunc(obj types.Object, pkgPath, name string) bool {
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// recvTypeName returns the bare name of a method's receiver type ("Manager"
+// for func (m *Manager) ...), or "" for non-methods.
+func recvTypeName(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// isMethod reports whether obj is the method pkgPath.(recv).name, with the
+// receiver matched by bare type name.
+func isMethod(obj types.Object, pkgPath, recv, name string) bool {
+	return isFunc(obj, pkgPath, name) && recvTypeName(obj) == recv
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t (or *t) satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// isErrorExpr reports whether the expression's static type satisfies error
+// and the expression is not the nil literal.
+func isErrorExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.IsNil() {
+		return false
+	}
+	return implementsError(tv.Type)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// funcNode is one function body to analyze: a declaration or a literal.
+// Nested literals are separate funcNodes, so per-function analyses (return
+// paths, lock regions) never leak across closure boundaries.
+type funcNode struct {
+	name string // declared name, or "func literal"
+	decl *ast.FuncDecl
+	body *ast.BlockStmt
+}
+
+// functionsIn collects every function body in the file, outermost first.
+func functionsIn(f *ast.File) []funcNode {
+	var out []funcNode
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, funcNode{name: fn.Name.Name, decl: fn, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcNode{name: "func literal", body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// walkShallow visits the nodes of a function body without descending into
+// nested function literals.
+func walkShallow(body *ast.BlockStmt, fn func(n ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == nil {
+			return true
+		}
+		return fn(n)
+	})
+}
+
+// returnsOf lists the return statements belonging to this function body
+// (not to nested literals), in source order.
+func returnsOf(body *ast.BlockStmt) []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	walkShallow(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+// enclosingBlock returns the innermost *ast.BlockStmt of body that strictly
+// contains pos (body itself when no nested block does).
+func enclosingBlock(body *ast.BlockStmt, pos token.Pos) *ast.BlockStmt {
+	best := body
+	walkShallow(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BlockStmt); ok && b.Pos() <= pos && pos < b.End() {
+			if best == nil || (b.Pos() >= best.Pos() && b.End() <= best.End()) {
+				best = b
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// identObj resolves an identifier expression to its object, or nil.
+func identObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Pkg.Info.Defs[id]
+}
+
+// exprText renders a small expression (identifier / selector chain) for
+// diagnostics; other shapes collapse to "<expr>".
+func exprText(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprText(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprText(v.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprText(v.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprText(v.X)
+	case *ast.UnaryExpr:
+		return v.Op.String() + exprText(v.X)
+	}
+	return "<expr>"
+}
+
+// usesObject reports whether any identifier under n (descending into
+// nested literals too) resolves to obj.
+func usesObject(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// parentMap records each node's syntactic parent within root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+var analyzerErrwrap = &Analyzer{
+	Name: "errwrapdiscipline",
+	Doc: `enforce the typed-error discipline the resilience layer depends on:
+errors are wrapped with %w (never flattened through %v/%s), tested with
+errors.Is/As (never == or type assertion), and never matched by message
+text. Degrade-mode decisions dispatch on EndpointError/ErrBreakerOpen
+through wrapped chains; one fmt.Errorf("%v") in the middle severs the
+chain and silently turns partial-results handling into fail-fast.`,
+	Run: runErrwrap,
+}
+
+func runErrwrap(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrComparison(pass, v)
+			case *ast.TypeAssertExpr:
+				checkErrAssertion(pass, parents, v)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, v)
+				checkStringMatch(pass, v)
+			case *ast.SwitchStmt:
+				checkErrSwitch(pass, v)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrComparison flags ==/!= where either side is an error value
+// (nil comparisons stay idiomatic).
+func checkErrComparison(pass *Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if isErrorExpr(pass, b.X) && isErrorExpr(pass, b.Y) {
+		pass.Reportf(b.OpPos, "errors compared with %s: use errors.Is so wrapped chains (EndpointError, retries, %%w) still match", b.Op)
+	}
+	// x.Error() == "..." — message-text matching.
+	if (errTextCall(pass, b.X) && isStringy(pass, b.Y)) || (errTextCall(pass, b.Y) && isStringy(pass, b.X)) {
+		pass.Reportf(b.OpPos, "error matched by message text: compare with errors.Is/As against typed errors instead")
+	}
+}
+
+// errTextCall reports whether e is a call to the Error() method of an
+// error value.
+func errTextCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return isErrorExpr(pass, sel.X)
+}
+
+func isStringy(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// checkErrAssertion flags err.(*T) and "switch err.(type)" outside
+// Is/As/Unwrap method implementations, where the raw assertion is the
+// documented support pattern.
+func checkErrAssertion(pass *Pass, parents map[ast.Node]ast.Node, ta *ast.TypeAssertExpr) {
+	if !isErrorExpr(pass, ta.X) {
+		return
+	}
+	if inErrorSupportMethod(parents, ta) {
+		return
+	}
+	if ta.Type == nil {
+		pass.Reportf(ta.Pos(), "type switch on an error: use errors.As so wrapped chains still match")
+		return
+	}
+	pass.Reportf(ta.Pos(), "type assertion on an error: use errors.As so wrapped chains still match")
+}
+
+// inErrorSupportMethod reports whether the node sits inside a method named
+// Is, As, or Unwrap — the errors-package support methods whose contracts
+// require raw assertions on their argument.
+func inErrorSupportMethod(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		if fd, ok := p.(*ast.FuncDecl); ok {
+			name := fd.Name.Name
+			return fd.Recv != nil && (name == "Is" || name == "As" || name == "Unwrap")
+		}
+	}
+	return false
+}
+
+// checkErrSwitch flags "switch err { case ErrFoo: }" sentinel dispatch.
+func checkErrSwitch(pass *Pass, s *ast.SwitchStmt) {
+	if s.Tag == nil || !isErrorExpr(pass, s.Tag) {
+		return
+	}
+	for _, clause := range s.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if isErrorExpr(pass, e) {
+				pass.Reportf(e.Pos(), "switch compares errors with ==: use if/else with errors.Is so wrapped chains still match")
+			}
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error argument
+// with a verb other than %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !isFunc(calleeOf(pass, call), "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%[") {
+		return // indexed verbs: out of scope
+	}
+	verbs := formatVerbs(format)
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if verb != 'w' && isErrorExpr(pass, call.Args[argIdx]) {
+			pass.Reportf(call.Args[argIdx].Pos(),
+				"error wrapped with %%%c: use %%w so errors.Is/As see the cause (Degrade-mode dispatch depends on the chain)", verb)
+		}
+	}
+}
+
+// formatVerbs extracts the verb letters of a format string in argument
+// order, counting * width/precision markers as consuming an argument.
+func formatVerbs(format string) []rune {
+	var out []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				out = append(out, '*')
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# .0123456789", rune(c)) {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		out = append(out, rune(format[i]))
+	}
+	return out
+}
+
+// checkStringMatch flags strings.Contains/HasPrefix/... applied to
+// err.Error() text.
+func checkStringMatch(pass *Pass, call *ast.CallExpr) {
+	obj := calleeOf(pass, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "strings" {
+		return
+	}
+	switch obj.Name() {
+	case "Contains", "HasPrefix", "HasSuffix", "Index", "EqualFold":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if errTextCall(pass, arg) {
+			pass.Reportf(call.Pos(), "error matched by message text (strings.%s on err.Error()): use errors.Is/As against typed errors instead", obj.Name())
+			return
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package lint is lusail's project-specific static-analysis suite: a set
+// of analyzers over go/ast + go/types that machine-check the concurrency
+// and resilience invariants the engine's correctness rests on. The
+// invariants are ones the compiler cannot see and review has already
+// missed once (PR 3 shipped circuit breakers that wedged in half-open
+// because an admission was claimed twice); each analyzer encodes one such
+// rule so it is re-checked on every push instead of re-discovered in
+// production. See DESIGN.md "Machine-checked invariants".
+//
+// The suite is built only on the standard library (go/parser, go/types,
+// go/importer) to preserve the repo's zero-third-party-dependency
+// property. Run it with:
+//
+//	go run ./cmd/lusail-vet ./...
+//
+// A diagnostic on deliberate code is suppressed with a justified inline
+// directive on, or on the line above, the flagged line:
+//
+//	//lint:lusail-vet ctxflow -- detached background loop with own stop channel
+//
+// The justification after " -- " is mandatory; malformed or unused
+// directives are themselves diagnostics, so suppressions cannot rot.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the go-vet-style "file:line:col: analyzer: message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the identifier used in output and suppression directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run reports the analyzer's findings on one package through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Fset     *token.FileSet
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in output order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		analyzerCtxflow,
+		analyzerSpanend,
+		analyzerPairedAdmission,
+		analyzerNoLockIO,
+		analyzerErrwrap,
+	}
+}
+
+// ByName returns the named analyzers from All, preserving suite order, or
+// an error naming the first unknown entry.
+func ByName(names []string) ([]*Analyzer, error) {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[strings.TrimSpace(n)] = true
+	}
+	var out []*Analyzer
+	for _, a := range All() {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	for n := range want {
+		return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+	}
+	return out, nil
+}
+
+// directivePrefix introduces a suppression comment.
+const directivePrefix = "//lint:lusail-vet"
+
+// DirectiveAnalyzer is the pseudo-analyzer name under which malformed and
+// unused suppression directives are reported. It cannot be suppressed.
+const DirectiveAnalyzer = "directive"
+
+// directive is one parsed suppression comment.
+type directive struct {
+	pos       token.Position
+	analyzers []string
+	bad       string // non-empty: malformed, with reason
+	used      bool
+}
+
+// parseDirectives extracts suppression directives from a package's
+// comments, validating analyzer names against the analyzers being run.
+func parseDirectives(pkg *Package, fset *token.FileSet, running map[string]bool) []*directive {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				d := &directive{pos: fset.Position(c.Pos())}
+				out = append(out, d)
+				if rest != "" && !strings.HasPrefix(rest, " ") {
+					d.bad = "malformed directive: expected \"" + directivePrefix + " <analyzer>[,<analyzer>] -- <justification>\""
+					continue
+				}
+				names, justification, found := strings.Cut(rest, " -- ")
+				if !found || strings.TrimSpace(justification) == "" {
+					d.bad = "suppression without justification: append \" -- <why this is safe>\""
+					continue
+				}
+				for _, n := range strings.Split(names, ",") {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						continue
+					}
+					if !known[n] {
+						d.bad = fmt.Sprintf("unknown analyzer %q in suppression", n)
+						break
+					}
+					if running[n] {
+						d.analyzers = append(d.analyzers, n)
+					} else {
+						// The analyzer is not part of this run; the
+						// directive cannot be marked used, so don't hold
+						// it to the unused check.
+						d.used = true
+					}
+				}
+				if d.bad == "" && len(d.analyzers) == 0 && !d.used {
+					d.bad = "suppression names no analyzer"
+				}
+			}
+		}
+	}
+	return out
+}
+
+// covers reports whether the directive suppresses the given diagnostic: the
+// analyzer matches and the diagnostic is on the directive's line or the
+// line immediately below (directive-above-statement style).
+func (d *directive) covers(diag Diagnostic) bool {
+	if d.bad != "" || diag.Pos.Filename != d.pos.Filename {
+		return false
+	}
+	if diag.Pos.Line != d.pos.Line && diag.Pos.Line != d.pos.Line+1 {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == diag.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// diagnostics sorted by position: suppressed findings are dropped, and
+// malformed or unused suppression directives are reported under the
+// "directive" pseudo-analyzer.
+func Run(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) []Diagnostic {
+	running := map[string]bool{}
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: fset, diags: &raw}
+			a.Run(pass)
+		}
+		dirs := parseDirectives(pkg, fset, running)
+		for _, diag := range raw {
+			suppressed := false
+			for _, d := range dirs {
+				if d.covers(diag) {
+					d.used = true
+					suppressed = true
+				}
+			}
+			if !suppressed {
+				out = append(out, diag)
+			}
+		}
+		for _, d := range dirs {
+			switch {
+			case d.bad != "":
+				out = append(out, Diagnostic{Analyzer: DirectiveAnalyzer, Pos: d.pos, Message: d.bad})
+			case !d.used:
+				out = append(out, Diagnostic{Analyzer: DirectiveAnalyzer, Pos: d.pos,
+					Message: "unused suppression directive: nothing to suppress here; delete it"})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// isTestFile reports whether the file's name ends in _test.go.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,314 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked unit of Go code: the parsed files of a single
+// directory plus full go/types information. In-package _test.go files are
+// folded into the unit when the loader's IncludeTests is set; external
+// (package foo_test) files form a separate unit with path "<path>_test".
+type Package struct {
+	// Path is the unit's import path ("lusail/internal/erh").
+	Path string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Files are the parsed files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's expression/object tables.
+	Info *types.Info
+	// TypeErrors collects type-check errors. Analyzers still run on a
+	// partially checked package, but lusail-vet reports these and fails.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of the lusail module using only
+// the standard library: module-internal imports are resolved against the
+// module tree, everything else is delegated to the go/importer source
+// importer (which type-checks the standard library from GOROOT source).
+// This deliberately avoids golang.org/x/tools to preserve the repo's
+// zero-third-party-dependency property.
+//
+// The loader is not safe for concurrent use.
+type Loader struct {
+	Fset *token.FileSet
+	// ModulePath and ModuleDir locate the module ("lusail" at the repo
+	// root).
+	ModulePath string
+	ModuleDir  string
+	// IncludeTests folds _test.go files into loaded target units. Imports
+	// of a package from another package always resolve to its test-free
+	// unit, so test-only import cycles cannot deadlock the loader.
+	IncludeTests bool
+	// Extra maps additional import-path prefixes to directories; the lint
+	// tests use it to address testdata trees ("vetdata" ->
+	// internal/lint/testdata/src/vetdata).
+	Extra map[string]string
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // test-free units, by import path
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at moduleDir, reading the module path
+// from its go.mod.
+func NewLoader(moduleDir string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", moduleDir)
+	}
+	// The source importer consults go/build; with cgo enabled it would try
+	// to run the cgo tool on packages like net. The pure-Go fallbacks are
+	// all we need for type checking.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	std, _ := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if std == nil {
+		return nil, fmt.Errorf("lint: source importer unavailable")
+	}
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modPath,
+		ModuleDir:  abs,
+		std:        std,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// dirFor resolves an import path to a directory, or "" when the path is not
+// module-local (i.e. standard library).
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModulePath {
+		return l.ModuleDir
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest))
+	}
+	for prefix, dir := range l.Extra {
+		if path == prefix {
+			return dir
+		}
+		if rest, ok := strings.CutPrefix(path, prefix+"/"); ok {
+			return filepath.Join(dir, filepath.FromSlash(rest))
+		}
+	}
+	return ""
+}
+
+// Import implements types.Importer for the type-checker: module-local
+// paths load recursively (without test files), everything else goes to the
+// source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := l.dirFor(path); dir != "" {
+		pkg, err := l.load(path, dir, false)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return pkg.Types, fmt.Errorf("lint: %s has type errors: %w", path, pkg.TypeErrors[0])
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	return l.Import(path)
+}
+
+// goFiles lists the unit's file names in dir: (base, inTest, extTest).
+func goFiles(dir string) (base, inTest, extTest []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			// Split in-package from external tests by package clause.
+			src, err := parser.ParseFile(token.NewFileSet(), filepath.Join(dir, name), nil, parser.PackageClauseOnly)
+			if err != nil || strings.HasSuffix(src.Name.Name, "_test") {
+				extTest = append(extTest, name)
+			} else {
+				inTest = append(inTest, name)
+			}
+			continue
+		}
+		base = append(base, name)
+	}
+	sort.Strings(base)
+	sort.Strings(inTest)
+	sort.Strings(extTest)
+	return base, inTest, extTest, nil
+}
+
+// load parses and type-checks the package in dir under the given import
+// path. Test-free units are memoized; units with tests are rebuilt per
+// call (they are only built for analysis targets, once each).
+func (l *Loader) load(path, dir string, withTests bool) (*Package, error) {
+	if !withTests {
+		if pkg, ok := l.pkgs[path]; ok {
+			return pkg, nil
+		}
+		if l.loading[path] {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		l.loading[path] = true
+		defer delete(l.loading, path)
+	}
+	base, inTest, _, err := goFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := base
+	if withTests {
+		names = append(append([]string{}, base...), inTest...)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg, err := l.check(path, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	if !withTests {
+		l.pkgs[path] = pkg
+	}
+	return pkg, nil
+}
+
+// check parses the named files and runs the type checker.
+func (l *Loader) check(path, dir string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(path, l.Fset, files, pkg.Info)
+	return pkg, nil
+}
+
+// LoadDir loads the package in dir (which must map to importPath) as an
+// analysis target, including test files when IncludeTests is set. When the
+// directory also holds an external test package and IncludeTests is set,
+// it is returned as a second unit.
+func (l *Loader) LoadDir(dir, importPath string) ([]*Package, error) {
+	pkg, err := l.load(importPath, dir, l.IncludeTests)
+	if err != nil {
+		return nil, err
+	}
+	out := []*Package{pkg}
+	if l.IncludeTests {
+		_, _, extTest, err := goFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(extTest) > 0 {
+			ext, err := l.check(importPath+"_test", dir, extTest)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ext)
+		}
+	}
+	return out, nil
+}
+
+// LoadAll walks root (a directory inside the module) and loads every
+// package under it, skipping testdata, vendor, and hidden directories.
+func (l *Loader) LoadAll(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		base, inTest, extTest, err := goFiles(p)
+		if err != nil {
+			return err
+		}
+		if len(base) == 0 && (!l.IncludeTests || len(inTest)+len(extTest) == 0) {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModuleDir, p)
+		if err != nil {
+			return err
+		}
+		importPath := l.ModulePath
+		if rel != "." {
+			importPath = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkgs, err := l.LoadDir(p, importPath)
+		if err != nil {
+			return err
+		}
+		out = append(out, pkgs...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}

@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+var analyzerNoLockIO = &Analyzer{
+	Name: "nolockio",
+	Doc: `forbid blocking calls while holding a sync.Mutex/RWMutex: endpoint
+requests, resilience Do/DoHedged, ERH pool waits, WaitGroup/Cond waits,
+time.Sleep, and unbuffered channel operations outside a select. The
+engine's hot structures (breakers, span trees, caches, the metrics
+registry) are mutex-guarded and touched by every in-flight request; one
+network call under such a lock serializes the whole federation behind the
+slowest endpoint.`,
+	Run: runNoLockIO,
+}
+
+func runNoLockIO(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, fn := range functionsIn(f) {
+			scanLockRegions(pass, fn.body.List, map[string]token.Pos{})
+		}
+	}
+}
+
+// lockCallKey classifies a call as sync lock/unlock and returns the lock
+// expression's text key ("s.mu").
+func lockCallKey(pass *Pass, call *ast.CallExpr) (key string, lock, unlock bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	obj := calleeOf(pass, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	recv := recvTypeName(obj)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return "", false, false
+	}
+	switch obj.Name() {
+	case "Lock", "RLock":
+		return exprText(sel.X), true, false
+	case "Unlock", "RUnlock":
+		return exprText(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// blockingCallName classifies calls that can block on the network, on
+// other goroutines, or on time, returning a display name.
+func blockingCallName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	obj := calleeOf(pass, call)
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	name := obj.Name()
+	switch obj.Pkg().Path() {
+	case "lusail/internal/client":
+		// Every context-taking entry point of the endpoint layer performs
+		// a (possibly remote) request: Endpoint.Query, Ask, Count, ...
+		if fnTakesContext(obj) {
+			return exprText(call.Fun), true
+		}
+	case resiliencePath:
+		if name == "Do" || name == "DoHedged" {
+			return exprText(call.Fun), true
+		}
+	case "lusail/internal/erh":
+		if name == "ForEach" || name == "ForEachGated" || name == "Map" {
+			return exprText(call.Fun), true
+		}
+	case "net/http":
+		switch name {
+		case "Do", "Get", "Post", "PostForm", "Head", "ListenAndServe", "Serve":
+			return exprText(call.Fun), true
+		}
+	case "sync":
+		if name == "Wait" { // WaitGroup.Wait, Cond.Wait
+			return exprText(call.Fun), true
+		}
+	case "time":
+		if name == "Sleep" {
+			return exprText(call.Fun), true
+		}
+	}
+	return "", false
+}
+
+// fnTakesContext reports whether the function's first parameter (after any
+// receiver) is a context.Context.
+func fnTakesContext(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	return sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type())
+}
+
+// scanLockRegions walks a statement list in source order tracking which
+// mutexes are held, recursing into nested control flow with a copy of the
+// held set. Function literals are skipped: they run on their own stack
+// (often their own goroutine) where the caller's locks are not held — or
+// are, in which case the literal's body is scanned when it is visited as
+// its own funcNode with an empty held set, an accepted approximation.
+func scanLockRegions(pass *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if key, lock, unlock := lockCallKey(pass, call); lock || unlock {
+					if lock {
+						held[key] = call.Pos()
+					} else {
+						delete(held, key)
+					}
+					continue
+				}
+			}
+			checkBlocking(pass, s.X, held)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held for the rest of the
+			// function; defer of anything else runs after returns, where
+			// lock order is out of scope for this lexical check.
+			continue
+		case *ast.SendStmt:
+			reportHeld(pass, s.Pos(), "channel send", held)
+			checkBlocking(pass, s.Value, held)
+		case *ast.GoStmt:
+			// The goroutine body runs without the caller's locks; spawning
+			// itself does not block.
+			continue
+		case *ast.SelectStmt:
+			// Channel operations inside select clauses are non-blocking by
+			// construction (some case, or default, proceeds).
+			for _, clause := range s.Body.List {
+				if comm, ok := clause.(*ast.CommClause); ok {
+					scanLockRegions(pass, comm.Body, copyHeld(held))
+				}
+			}
+		case *ast.BlockStmt:
+			scanLockRegions(pass, s.List, copyHeld(held))
+		case *ast.IfStmt:
+			if s.Init != nil {
+				checkBlocking(pass, s.Init, held)
+			}
+			checkBlocking(pass, s.Cond, held)
+			scanLockRegions(pass, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				scanLockRegions(pass, []ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			if s.Cond != nil {
+				checkBlocking(pass, s.Cond, held)
+			}
+			scanLockRegions(pass, s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			checkBlocking(pass, s.X, held)
+			scanLockRegions(pass, s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			if s.Tag != nil {
+				checkBlocking(pass, s.Tag, held)
+			}
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					scanLockRegions(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					scanLockRegions(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.LabeledStmt:
+			scanLockRegions(pass, []ast.Stmt{s.Stmt}, held)
+		default:
+			// Assignments, declarations, returns: scan contained
+			// expressions for blocking calls and receives.
+			checkBlocking(pass, stmt, held)
+		}
+	}
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// checkBlocking reports blocking calls and bare channel receives under n
+// (skipping nested function literals) while any lock is held.
+func checkBlocking(pass *Pass, n ast.Node, held map[string]token.Pos) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch v := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if name, ok := blockingCallName(pass, v); ok {
+				reportHeld(pass, v.Pos(), "blocking call "+name, held)
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				reportHeld(pass, v.Pos(), "channel receive", held)
+			}
+		}
+		return true
+	})
+}
+
+func reportHeld(pass *Pass, pos token.Pos, what string, held map[string]token.Pos) {
+	keys := make([]string, 0, len(held))
+	for key := range held {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		pass.Reportf(pos, "%s while holding %s (locked at line %d): the lock serializes every request touching this structure",
+			what, key, pass.Fset.Position(held[key]).Line)
+	}
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+const resiliencePath = "lusail/internal/resilience"
+
+var analyzerPairedAdmission = &Analyzer{
+	Name: "pairedadmission",
+	Doc: `enforce the circuit breaker's single-shot admission pairing: every
+claiming admission — resilience.(*Manager).Allow or (*breaker).allow —
+must reach exactly one Record/record on every path that follows a
+successful claim, including error and cancellation returns. A successful
+Allow may hold the endpoint's half-open trial slot; a path that returns
+without Record leaks the slot and wedges the breaker in half-open forever
+(the PR 3 incident). The rejection return inside the "if err :=
+m.Allow(...); err != nil" check is the one exempt path. Pool gates must
+use the non-claiming Manager.Gate() view, never Allow.`,
+	Run: runPairedAdmission,
+}
+
+func runPairedAdmission(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, fn := range functionsIn(f) {
+			checkAdmissionsIn(pass, fn)
+		}
+	}
+}
+
+// isClaimingAllow matches resilience.(*Manager).Allow and the internal
+// (*breaker).allow — the two operations that can take a half-open trial
+// slot. Gate.Allow only peeks and is exempt by design.
+func isClaimingAllow(pass *Pass, call *ast.CallExpr) bool {
+	obj := calleeOf(pass, call)
+	return isMethod(obj, resiliencePath, "Manager", "Allow") ||
+		isMethod(obj, resiliencePath, "breaker", "allow")
+}
+
+// isRecord matches resilience.(*Manager).Record and (*breaker).record.
+func isRecord(pass *Pass, call *ast.CallExpr) bool {
+	obj := calleeOf(pass, call)
+	return isMethod(obj, resiliencePath, "Manager", "Record") ||
+		isMethod(obj, resiliencePath, "breaker", "record")
+}
+
+func checkAdmissionsIn(pass *Pass, fn funcNode) {
+	type allowSite struct {
+		call *ast.CallExpr
+		// exempt is the source range of the rejection branch: the body of
+		// the if statement that checks Allow's error. Returns inside it
+		// happen when nothing was claimed.
+		exemptLo, exemptHi token.Pos
+	}
+	var allows []allowSite
+	var records []token.Pos
+	deferRecord := false
+
+	parents := parentMap(fn.body)
+	walkShallow(fn.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isRecord(pass, call) {
+			records = append(records, call.Pos())
+			if _, isDefer := parents[ast.Node(call)].(*ast.DeferStmt); isDefer {
+				deferRecord = true
+			}
+			return true
+		}
+		if !isClaimingAllow(pass, call) {
+			return true
+		}
+		// A pass-through wrapper ("return br.allow()") forwards the claim
+		// to its caller, which then owns the pairing — the shape of
+		// Manager.Allow itself.
+		for p := parents[ast.Node(call)]; p != nil; p = parents[p] {
+			if _, ok := p.(*ast.ReturnStmt); ok {
+				return true
+			}
+			if _, ok := p.(ast.Stmt); ok {
+				break
+			}
+		}
+		site := allowSite{call: call}
+		// Recognize the canonical rejection check in either form:
+		//	if err := m.Allow(x); err != nil { return ... }
+		// or
+		//	err := m.Allow(x)
+		//	if err != nil { return ... }
+		if ifStmt := enclosingIfWithInit(parents, call); ifStmt != nil {
+			site.exemptLo, site.exemptHi = ifStmt.Body.Pos(), ifStmt.Body.End()
+		} else if ifStmt := followingErrCheck(pass, parents, call); ifStmt != nil {
+			site.exemptLo, site.exemptHi = ifStmt.Body.Pos(), ifStmt.Body.End()
+		}
+		allows = append(allows, site)
+		return true
+	})
+	// A deferred closure containing Record (defer func() { ...Record... }())
+	// also discharges the pairing on every path.
+	if !deferRecord {
+		ast.Inspect(fn.body, func(n ast.Node) bool {
+			d, ok := n.(*ast.DeferStmt)
+			if !ok {
+				return true
+			}
+			ast.Inspect(d.Call, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && isRecord(pass, call) {
+					deferRecord = true
+				}
+				return !deferRecord
+			})
+			return !deferRecord
+		})
+	}
+
+	returns := returnsOf(fn.body)
+	for _, site := range allows {
+		if deferRecord {
+			continue
+		}
+		if len(records) == 0 {
+			pass.Reportf(site.call.Pos(),
+				"claiming breaker admission has no matching Record in this function: a successful Allow may hold the half-open trial slot, and only Record releases it")
+			continue
+		}
+		block := enclosingBlock(fn.body, site.call.Pos())
+		for _, ret := range returns {
+			if ret.Pos() <= site.call.End() || ret.Pos() < block.Pos() || ret.End() > block.End() {
+				continue
+			}
+			if site.exemptLo.IsValid() && ret.Pos() >= site.exemptLo && ret.End() <= site.exemptHi {
+				continue
+			}
+			paired := false
+			for _, r := range records {
+				if r > site.call.End() && r < ret.Pos() {
+					paired = true
+					break
+				}
+			}
+			if !paired {
+				pass.Reportf(site.call.Pos(),
+					"breaker admission is not paired with Record on the return at line %d: the half-open trial slot leaks and wedges the breaker (use defer, or Record before every return)",
+					pass.Fset.Position(ret.Pos()).Line)
+			}
+		}
+	}
+}
+
+// enclosingIfWithInit returns the if statement whose Init assignment
+// contains the call ("if err := m.Allow(x); err != nil { ... }"), or nil.
+func enclosingIfWithInit(parents map[ast.Node]ast.Node, call *ast.CallExpr) *ast.IfStmt {
+	for p := parents[ast.Node(call)]; p != nil; p = parents[p] {
+		if ifStmt, ok := p.(*ast.IfStmt); ok {
+			if ifStmt.Init != nil && ifStmt.Init.Pos() <= call.Pos() && call.End() <= ifStmt.Init.End() {
+				return ifStmt
+			}
+			return nil
+		}
+		// The walk passes through the init assignment itself; any other
+		// enclosing statement or block means the call is not in an if-init.
+		if _, ok := p.(*ast.BlockStmt); ok {
+			return nil
+		}
+	}
+	return nil
+}
+
+// followingErrCheck matches "err := m.Allow(x)" immediately followed by an
+// "if err != nil { ... }" sibling, returning that if statement.
+func followingErrCheck(pass *Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr) *ast.IfStmt {
+	asg, ok := parents[ast.Node(call)].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 {
+		return nil
+	}
+	errIdent, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	errObj := pass.Pkg.Info.Defs[errIdent]
+	if errObj == nil {
+		errObj = pass.Pkg.Info.Uses[errIdent]
+	}
+	if errObj == nil {
+		return nil
+	}
+	block, ok := parents[ast.Node(asg)].(*ast.BlockStmt)
+	if !ok {
+		return nil
+	}
+	for i, stmt := range block.List {
+		if stmt == ast.Stmt(asg) && i+1 < len(block.List) {
+			ifStmt, ok := block.List[i+1].(*ast.IfStmt)
+			if ok && ifStmt.Init == nil && usesObject(pass, ifStmt.Cond, errObj) {
+				return ifStmt
+			}
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+// Package ctxflow is a lusail-vet testdata package: every marked line must
+// produce exactly one ctxflow diagnostic.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// background manufactures a root context in library code.
+func background() error {
+	ctx := context.Background() // want: outside main/tests
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// todo does the same with the TODO spelling.
+func todo() time.Time {
+	deadline, _ := context.TODO().Deadline() // want: outside main/tests
+	return deadline
+}
+
+// ignored accepts a context and drops it on the floor.
+func ignored(ctx context.Context, n int) int { // want: unused parameter
+	return n * 2
+}
+
+// threaded is the clean shape: the caller's context reaches the callee.
+func threaded(ctx context.Context) error {
+	sub, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return background2(sub)
+}
+
+func background2(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// anonymous is exempt by name: an interface fixes the signature.
+func anonymous(_ context.Context, n int) int {
+	return n + 1
+}

@@ -1,0 +1,93 @@
+// Package errwrap is a lusail-vet testdata package: every marked line must
+// produce exactly one errwrap diagnostic.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrOverloaded is a sentinel error for the tests below.
+var ErrOverloaded = errors.New("endpoint overloaded")
+
+// QueryError is a typed error carrying the failing endpoint.
+type QueryError struct {
+	Endpoint string
+	Err      error
+}
+
+func (e *QueryError) Error() string { return e.Endpoint + ": " + e.Err.Error() }
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// eqSentinel compares a possibly wrapped error with ==.
+func eqSentinel(err error) bool {
+	return err == ErrOverloaded // want: use errors.Is
+}
+
+// neqSentinel compares with != in a guard.
+func neqSentinel(err error) error {
+	if err != ErrOverloaded { // want: use errors.Is
+		return err
+	}
+	return nil
+}
+
+// typeAssert peels a typed error with a type assertion.
+func typeAssert(err error) string {
+	if qe, ok := err.(*QueryError); ok { // want: use errors.As
+		return qe.Endpoint
+	}
+	return ""
+}
+
+// typeSwitch dispatches on the dynamic error type.
+func typeSwitch(err error) string {
+	switch e := err.(type) { // want: use errors.As
+	case *QueryError:
+		return e.Endpoint
+	default:
+		return "unknown"
+	}
+}
+
+// verbV wraps the cause with %v, severing the chain.
+func verbV(err error) error {
+	return fmt.Errorf("executing subquery: %v", err) // want: use %w
+}
+
+// textMatch greps the error text instead of the chain.
+func textMatch(err error) bool {
+	return strings.Contains(err.Error(), "overloaded") // want: match typed errors
+}
+
+// wrapped is the clean shape end to end.
+func wrapped(err error) error {
+	if err == nil {
+		return nil
+	}
+	we := fmt.Errorf("executing subquery: %w", err)
+	if errors.Is(we, ErrOverloaded) {
+		return we
+	}
+	var qe *QueryError
+	if errors.As(we, &qe) {
+		return fmt.Errorf("endpoint %s: %w", qe.Endpoint, we)
+	}
+	return we
+}
+
+// switchSentinel dispatches on sentinel identity with a switch.
+func switchSentinel(err error) string {
+	switch err { // want: use errors.Is
+	case ErrOverloaded:
+		return "overloaded"
+	default:
+		return "other"
+	}
+}
+
+// textEq compares rendered error text for equality.
+func textEq(err error) bool {
+	return err.Error() == "endpoint overloaded" // want: match typed errors
+}

@@ -1,0 +1,41 @@
+// Package a misuses errors defined in the sibling package b: the errwrap
+// diagnostics here require the loader to type-check b and resolve its
+// exported objects across the package boundary.
+package a
+
+import (
+	"errors"
+	"fmt"
+
+	"vetdata/multipkg/b"
+)
+
+// eqForeignSentinel compares a wrapped chain against b's sentinel with ==.
+func eqForeignSentinel(err error) bool {
+	return err == b.ErrUnreachable // want: use errors.Is
+}
+
+// assertForeignType asserts on b's typed error directly.
+func assertForeignType(err error) int {
+	if re, ok := err.(*b.RetryError); ok { // want: use errors.As
+		return re.Attempts
+	}
+	return 0
+}
+
+// wrapForeign severs the chain to b's error with %v.
+func wrapForeign(err error) error {
+	return fmt.Errorf("contacting endpoint: %v", err) // want: use %w
+}
+
+// clean threads b's errors through the chain correctly.
+func clean(err error) (int, bool) {
+	if errors.Is(err, b.ErrUnreachable) {
+		return 0, true
+	}
+	var re *b.RetryError
+	if errors.As(err, &re) {
+		return re.Attempts, true
+	}
+	return 0, false
+}

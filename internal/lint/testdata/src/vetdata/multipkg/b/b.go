@@ -1,0 +1,15 @@
+// Package b exports the sentinel and typed errors that package a misuses:
+// the pair exercises cross-package type resolution in the lint loader.
+package b
+
+import "errors"
+
+// ErrUnreachable is the sentinel package a compares against.
+var ErrUnreachable = errors.New("endpoint unreachable")
+
+// RetryError is the typed error package a type-asserts on.
+type RetryError struct {
+	Attempts int
+}
+
+func (e *RetryError) Error() string { return "retries exhausted" }

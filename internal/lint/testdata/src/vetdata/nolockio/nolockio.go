@@ -1,0 +1,77 @@
+// Package nolockio is a lusail-vet testdata package: every marked line must
+// produce exactly one nolockio diagnostic.
+package nolockio
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"lusail/internal/client"
+)
+
+type cache struct {
+	mu      sync.Mutex
+	entries map[string]int
+	wake    chan struct{}
+}
+
+// sleepUnderLock holds the mutex across a timed wait.
+func (c *cache) sleepUnderLock() {
+	c.mu.Lock()
+	time.Sleep(10 * time.Millisecond) // want: blocking under c.mu
+	c.mu.Unlock()
+}
+
+// queryUnderDeferredLock holds the mutex (via defer) across a network call.
+func (c *cache) queryUnderDeferredLock(ctx context.Context, ep client.Endpoint) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ok, err := client.Ask(ctx, ep, "ASK { ?s ?p ?o }") // want: blocking under c.mu
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		c.entries["count"] = 1
+	}
+	return c.entries["count"], nil
+}
+
+// sendUnderLock performs an unbuffered channel send while locked.
+func (c *cache) sendUnderLock() {
+	c.mu.Lock()
+	c.wake <- struct{}{} // want: channel send under c.mu
+	c.mu.Unlock()
+}
+
+// unlockFirst is the clean shape: drop the lock, then do the slow thing.
+func (c *cache) unlockFirst(ctx context.Context, ep client.Endpoint) (int, error) {
+	c.mu.Lock()
+	cached, ok := c.entries["count"]
+	c.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	found, err := client.Ask(ctx, ep, "ASK { ?s ?p ?o }")
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	if found {
+		n = 1
+	}
+	c.mu.Lock()
+	c.entries["count"] = n
+	c.mu.Unlock()
+	return n, nil
+}
+
+// selectWake is exempt: channel ops inside a select cannot wedge.
+func (c *cache) selectWake() {
+	c.mu.Lock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	c.mu.Unlock()
+}

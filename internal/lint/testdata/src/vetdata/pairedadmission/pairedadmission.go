@@ -1,0 +1,75 @@
+// Package pairedadmission is a lusail-vet testdata package: every marked
+// line must produce exactly one pairedadmission diagnostic. The shapes
+// mirror the PR 3 incident, where a claimed half-open trial slot was never
+// recorded and the breaker wedged.
+package pairedadmission
+
+import (
+	"errors"
+	"time"
+
+	"lusail/internal/resilience"
+)
+
+var errDown = errors.New("endpoint down")
+
+// unpaired claims an admission and never records the outcome.
+func unpaired(m *resilience.Manager, ep string) error {
+	if err := m.Allow(ep); err != nil { // want: no matching Record
+		return err
+	}
+	return query(ep)
+}
+
+// leakyReturn records on the happy path but leaks the slot on the error
+// return — the exact wedge shape.
+func leakyReturn(m *resilience.Manager, ep string) error {
+	if err := m.Allow(ep); err != nil { // want: unpaired on early return
+		return err
+	}
+	start := time.Now()
+	if err := query(ep); err != nil {
+		return err
+	}
+	m.Record(ep, time.Since(start), nil)
+	return nil
+}
+
+// deferred is the clean shape: Record runs on every path.
+func deferred(m *resilience.Manager, ep string) error {
+	if err := m.Allow(ep); err != nil {
+		return err
+	}
+	start := time.Now()
+	var qerr error
+	defer func() { m.Record(ep, time.Since(start), qerr) }()
+	qerr = query(ep)
+	return qerr
+}
+
+// recordedBeforeEveryReturn pairs the claim explicitly on both paths.
+func recordedBeforeEveryReturn(m *resilience.Manager, ep string) error {
+	err := m.Allow(ep)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if qerr := query(ep); qerr != nil {
+		m.Record(ep, time.Since(start), qerr)
+		return qerr
+	}
+	m.Record(ep, time.Since(start), nil)
+	return nil
+}
+
+// passThrough forwards the claim to its caller, which owns the pairing.
+func passThrough(m *resilience.Manager, ep string) error {
+	return m.Allow(ep)
+}
+
+func query(ep string) error {
+	if ep == "" {
+		return errDown
+	}
+	return nil
+}

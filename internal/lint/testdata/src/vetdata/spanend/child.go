@@ -1,0 +1,22 @@
+package spanend
+
+import "lusail/internal/obs"
+
+// childLeak forgets a StartChild span in the second file of the package.
+func childLeak(parent *obs.Span) {
+	child := parent.StartChild("analysis") // want: never ended
+	child.SetAttr("phase", "lade")
+}
+
+// rootLeak forgets an obs.NewSpan root.
+func rootLeak() {
+	root := obs.NewSpan("session") // want: never ended
+	root.SetAttr("kind", "root")
+}
+
+// childOK ends the child before every return.
+func childOK(parent *obs.Span) {
+	child := parent.StartChild("execution")
+	child.SetAttr("phase", "sape")
+	child.End()
+}

@@ -1,0 +1,51 @@
+// Package spanend is a lusail-vet testdata package: every marked line must
+// produce exactly one spanend diagnostic. The package spans two files to
+// exercise multi-file analysis.
+package spanend
+
+import (
+	"context"
+	"errors"
+
+	"lusail/internal/obs"
+)
+
+var errBoom = errors.New("boom")
+
+// neverEnded creates a span and forgets about it entirely.
+func neverEnded(ctx context.Context) error {
+	_, sp := obs.StartSpan(ctx, "query") // want: never ended
+	sp.SetAttr("q", "SELECT")
+	return nil
+}
+
+// discarded throws the span away at the assignment.
+func discarded(ctx context.Context) {
+	_, _ = obs.StartSpan(ctx, "probe") // want: discarded
+}
+
+// earlyReturn ends the span on the happy path only.
+func earlyReturn(ctx context.Context, fail bool) error {
+	_, sp := obs.StartSpan(ctx, "exec") // want: may leak on early return
+	if fail {
+		return errBoom
+	}
+	sp.End()
+	return nil
+}
+
+// deferred is the clean shape.
+func deferred(ctx context.Context, fail bool) error {
+	_, sp := obs.StartSpan(ctx, "exec")
+	defer sp.End()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// handedOff gives the span to another holder: their problem, no report.
+func handedOff(ctx context.Context) *obs.Span {
+	_, sp := obs.StartSpan(ctx, "outer")
+	return sp
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lusail/internal/client"
+	"lusail/internal/lint/leakcheck"
 	"lusail/internal/obs"
 	"lusail/internal/sparql"
 )
@@ -96,6 +97,7 @@ func TestNilManagerIsDisabled(t *testing.T) {
 }
 
 func TestBreakerLifecycle(t *testing.T) {
+	leakcheck.Check(t)
 	clock := time.Unix(0, 0)
 	cfg := Config{
 		FailureThreshold: 0.5,
@@ -370,6 +372,7 @@ func warmHedging(m *Manager, ep string, lat time.Duration) {
 }
 
 func TestDoHedgedRescuesHungProbe(t *testing.T) {
+	leakcheck.Check(t)
 	cfg := Config{HedgeQuantile: 0.9, HedgeWarmup: 5, HedgeMinDelay: time.Millisecond}
 	m := NewManager(cfg, obs.NewRegistry())
 	warmHedging(m, "u0", 2*time.Millisecond)
@@ -424,6 +427,7 @@ func TestDoHedgedFastResponseNeverHedges(t *testing.T) {
 }
 
 func TestDoHedgedPropagatesQueryCancellation(t *testing.T) {
+	leakcheck.Check(t)
 	cfg := Config{HedgeQuantile: 0.9, HedgeWarmup: 5, HedgeMinDelay: time.Millisecond}
 	m := NewManager(cfg, obs.NewRegistry())
 	warmHedging(m, "u0", time.Millisecond)

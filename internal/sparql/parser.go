@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -13,7 +14,8 @@ import (
 func Parse(input string) (*Query, error) {
 	toks, err := lex(input)
 	if err != nil {
-		if pe, ok := err.(*ParseError); ok {
+		var pe *ParseError
+		if errors.As(err, &pe) {
 			return nil, pe
 		}
 		return nil, &ParseError{Pos: -1, Msg: err.Error()}
@@ -21,7 +23,8 @@ func Parse(input string) (*Query, error) {
 	p := &parser{toks: toks, prefixes: map[string]string{}}
 	q, err := p.query()
 	if err != nil {
-		if pe, ok := err.(*ParseError); ok {
+		var pe *ParseError
+		if errors.As(err, &pe) {
 			return nil, pe
 		}
 		return nil, &ParseError{Pos: p.peek().pos, Msg: err.Error()}
