@@ -12,7 +12,10 @@
 //
 // Experiments: table1, fig8, fig9, fig10, fig11, fig12a, fig12bc, fig13,
 // fig14, table2, qerror, preprocessing, blocksize, poolsize, catalog,
-// faults, all.
+// faults, service, all.
+//
+// -metrics-addr also exposes /debug/pprof/ for live CPU and heap profiles
+// of a running experiment.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -60,6 +64,11 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Default().MetricsHandler())
 		mux.Handle("/debug/federation", obs.Default().DebugHandler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				log.Printf("lusail-bench: metrics listener: %v", err)
@@ -168,6 +177,9 @@ func main() {
 	if want("faults") {
 		ts, err := bench.FaultsExperiment(ctx, opts)
 		emit("faults", ts, err)
+	}
+	if want("service") {
+		show("service")(bench.ServiceExperiment(ctx, opts))
 	}
 	fmt.Printf("total experiment time: %v\n", time.Since(start).Round(time.Millisecond))
 }

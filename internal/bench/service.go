@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"lusail/internal/core"
+	"lusail/internal/obs"
+	"lusail/internal/server"
+	"lusail/internal/sparql"
+)
+
+// ServiceExperiment measures lusaild under concurrent load: N clients
+// hammer a running server over real HTTP with the LUBM query mix, once with
+// the plan cache enabled and once without. Repeated query shapes make the
+// cached arm skip source selection, statistics, and GJV analysis after each
+// shape's first request; the table reports the throughput and latency
+// effect plus the cache counters that prove plans were reused. The result
+// cache is disabled in both arms so the comparison isolates planning reuse.
+func ServiceExperiment(ctx context.Context, opts ExpOptions) (*Table, error) {
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	rounds := opts.Repeats
+	if rounds <= 0 {
+		rounds = 3
+	}
+	const clients = 8
+
+	fed, err := NewFed(GenerateLUBM(DefaultLUBM(2*opts.Scale)), InProcess())
+	if err != nil {
+		return nil, err
+	}
+	queries := LUBMQueries()
+
+	t := &Table{
+		Title:  fmt.Sprintf("lusaild service throughput (LUBM, %d clients x %d rounds x %d queries)", clients, rounds, len(queries)),
+		Header: []string{"plan cache", "queries", "errors", "qps", "mean", "p50", "p95", "cache hits", "cache misses"},
+		Notes: []string{
+			"each client cycles the LUBM query mix; with the cache on, every shape is planned once and reused",
+			"result cache disabled in both arms: the speedup isolates planning (source selection + analysis) reuse",
+		},
+	}
+
+	for _, arm := range []struct {
+		label   string
+		disable bool
+	}{
+		{"off", true},
+		{"on", false},
+	} {
+		row, err := runServiceArm(ctx, fed, queries, arm.label, arm.disable, clients, rounds, opts.Timeout)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// runServiceArm boots one server configuration and drives the client load.
+func runServiceArm(ctx context.Context, fed *Fed, queries []Query, label string, disableCache bool, clients, rounds int, timeout time.Duration) ([]string, error) {
+	eng := fed.NewLusail(core.DefaultOptions())
+	srv, err := server.Start("127.0.0.1:0", server.Config{
+		Engine:             eng,
+		DisablePlanCache:   disableCache,
+		DisableResultCache: true,
+		DefaultTenant:      server.TenantConfig{MaxConcurrent: clients, MaxQueue: 2 * clients},
+		QueryTimeout:       timeout,
+		Logf:               func(string, ...any) {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	reg := obs.Default()
+	hitsBefore := reg.Counter(obs.MetricPlanCacheHits, "").Value()
+	missesBefore := reg.Counter(obs.MetricPlanCacheMisses, "").Value()
+
+	httpc := &http.Client{Timeout: timeout}
+	var mu sync.Mutex
+	var latencies []time.Duration
+	errs := 0
+	total := 0
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for qi := range queries {
+					// Stagger starting points so clients collide on shapes.
+					q := queries[(qi+c)%len(queries)]
+					d, err := serviceRequest(ctx, httpc, srv.URL, q.Text)
+					mu.Lock()
+					total++
+					if err != nil {
+						errs++
+					} else {
+						latencies = append(latencies, d)
+					}
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	hits := reg.Counter(obs.MetricPlanCacheHits, "").Value() - hitsBefore
+	misses := reg.Counter(obs.MetricPlanCacheMisses, "").Value() - missesBefore
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	qps := float64(len(latencies)) / elapsed.Seconds()
+	return []string{
+		label,
+		fmt.Sprintf("%d", total),
+		fmt.Sprintf("%d", errs),
+		fmt.Sprintf("%.1f", qps),
+		FormatDuration(meanDuration(latencies)),
+		FormatDuration(percentileDuration(latencies, 0.50)),
+		FormatDuration(percentileDuration(latencies, 0.95)),
+		fmt.Sprintf("%d", hits),
+		fmt.Sprintf("%d", misses),
+	}, nil
+}
+
+// serviceRequest issues one SPARQL protocol GET and validates the streamed
+// JSON body parses as a result document.
+func serviceRequest(ctx context.Context, httpc *http.Client, base, query string) (time.Duration, error) {
+	u := base + "?query=" + url.QueryEscape(query)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	d := time.Since(start)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	if _, err := sparql.ParseResultsJSON(body); err != nil {
+		return 0, fmt.Errorf("invalid results document: %w", err)
+	}
+	return d, nil
+}
+
+func meanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+func percentileDuration(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(ds)-1))
+	return ds[i]
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lusail/internal/federation"
@@ -35,8 +36,18 @@ type Store struct {
 	ttl        time.Duration // <=0 = summaries never go stale
 	now        func() time.Time
 
+	// epoch counts summary mutations (Put, Drop, including background
+	// refreshes). Plans and caches keyed on it are invalidated the moment
+	// the catalog's answers could change.
+	epoch atomic.Uint64
+
 	staleLookups *obs.Counter
 }
+
+// Epoch returns the catalog's mutation epoch: it increases on every Put or
+// Drop, so equal epochs imply identical tier decisions and cardinality
+// answers (modulo TTL expiry, which callers bound separately).
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
 
 // NewStore returns an empty catalog. path may be empty for an in-memory
 // catalog; ttl <= 0 disables staleness (summaries stay fresh forever).
@@ -157,6 +168,7 @@ func (s *Store) Put(sum *Summary) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.byEndpoint[sum.Endpoint] = sum
+	s.epoch.Add(1)
 }
 
 // Drop removes the endpoint's summary, if any.
@@ -164,6 +176,7 @@ func (s *Store) Drop(endpoint string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.byEndpoint, endpoint)
+	s.epoch.Add(1)
 }
 
 // Decide implements federation.CatalogTier: a fresh summary answers from

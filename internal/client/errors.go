@@ -21,6 +21,7 @@ const (
 	PhaseOptional        Phase = "optional"          // OPTIONAL block evaluation
 	PhaseRefinement      Phase = "source-refinement" // bound ASK source refinement
 	PhaseCatalog         Phase = "catalog"           // catalog build/refresh scans
+	PhaseAdmission       Phase = "admission"         // lusaild tenant admission control
 )
 
 // EndpointError is the typed error for any request that failed against a

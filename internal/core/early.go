@@ -2,12 +2,7 @@ package core
 
 import (
 	"context"
-	"fmt"
-	"lusail/internal/client"
-	"sync"
-	"sync/atomic"
 
-	"lusail/internal/qplan"
 	"lusail/internal/rdf"
 	"lusail/internal/sparql"
 )
@@ -28,111 +23,21 @@ import (
 // (bag semantics). Any other query falls back to full evaluation and emits
 // the final rows in order.
 //
-// The returned bool reports whether streaming mode was used.
+// The returned bool reports whether streaming mode was used. QueryEarly is
+// the parse-plan-stream convenience over Engine.Plan and
+// Engine.ExecutePlanStream; callers that repeat query shapes should cache
+// the Plan and call ExecutePlanStream directly.
 func (e *Engine) QueryEarly(ctx context.Context, query string, emit func(map[string]rdf.Term) bool) (bool, error) {
 	q, err := sparql.Parse(query)
 	if err != nil {
 		return false, err
 	}
-	if !earlyEligible(q) {
-		return false, e.emitAll(ctx, q, emit)
-	}
-	branches, err := qplan.Normalize(q)
+	p, err := e.Plan(ctx, q)
 	if err != nil {
 		return false, err
 	}
-	if len(branches) != 1 {
-		return false, e.emitAll(ctx, q, emit)
-	}
-	br := branches[0]
-	if len(br.Optionals) > 0 || len(br.Values) > 0 {
-		return false, e.emitAll(ctx, q, emit)
-	}
-
-	// Plan as usual: sources, stats, GJVs, decomposition.
-	sources := make([][]string, len(br.Patterns))
-	err = e.pool.ForEach(ctx, len(br.Patterns), func(i int) error {
-		s, err := e.sel.RelevantSources(ctx, br.Patterns[i])
-		if err != nil {
-			return err
-		}
-		sources[i] = s
-		return nil
-	})
-	if err != nil {
-		return false, err
-	}
-	for _, s := range sources {
-		if len(s) == 0 {
-			return true, nil // provably empty: nothing to emit
-		}
-	}
-	stats, err := e.collectStats(ctx, br, sources)
-	if err != nil {
-		return false, err
-	}
-	gjv, err := e.detectGJVs(ctx, br.Patterns, sources)
-	if err != nil {
-		return false, err
-	}
-	sqs := e.decompose(br, sources, gjv, stats)
-	if len(sqs) != 1 {
-		// A global join is needed; results are only complete after it.
-		return false, e.emitAll(ctx, q, emit)
-	}
-
-	// Streaming mode: one request per endpoint, rows forwarded as each
-	// response lands.
-	sq := sqs[0]
-	vars := q.ProjectedVars()
-	var stopped atomic.Bool
-	var emitMu sync.Mutex
-	emitted := 0
-	limit := q.Limit
-
-	queryText := sq.Query(nil).String()
-	runErr := e.pool.ForEachGated(ctx, sq.Sources, e.gate(),
-		e.onRejectDegrade(ctx, client.PhaseSubquery, sq.Sources), func(i int) error {
-			if stopped.Load() {
-				return nil
-			}
-			res, err := e.queryEndpoint(ctx, client.PhaseSubquery, sq.Sources[i], queryText)
-			if err != nil {
-				if e.degrade(ctx, client.PhaseSubquery, sq.Sources[i], err) {
-					return nil
-				}
-				return err
-			}
-			rel := qplan.ApplyFilters(res, br.Filters)
-			emitMu.Lock()
-			defer emitMu.Unlock()
-			for r := range rel.Rows {
-				if stopped.Load() {
-					return nil
-				}
-				if limit >= 0 && emitted >= limit {
-					stopped.Store(true)
-					return nil
-				}
-				b := rel.Binding(r)
-				out := make(map[string]rdf.Term, len(vars))
-				for _, v := range vars {
-					if t, ok := b[v]; ok {
-						out[v] = t
-					}
-				}
-				emitted++
-				if !emit(out) {
-					stopped.Store(true)
-					return nil
-				}
-			}
-			return nil
-		})
-	if runErr != nil && !stopped.Load() {
-		return true, runErr
-	}
-	return true, nil
+	streamed, _, err := e.ExecutePlanStream(ctx, p, emit)
+	return streamed, err
 }
 
 // earlyEligible reports whether the query's modifiers allow incremental
@@ -141,21 +46,4 @@ func earlyEligible(q *sparql.Query) bool {
 	return q.Form == sparql.SelectForm &&
 		!q.Distinct && !q.HasAggregates() &&
 		len(q.GroupBy) == 0 && len(q.OrderBy) == 0 && q.Offset == 0
-}
-
-// emitAll runs the full pipeline and emits the final rows.
-func (e *Engine) emitAll(ctx context.Context, q *sparql.Query, emit func(map[string]rdf.Term) bool) error {
-	res, _, err := e.Query(ctx, q)
-	if err != nil {
-		return err
-	}
-	if res.IsBoolean {
-		return fmt.Errorf("lusail: QueryEarly does not support ASK queries")
-	}
-	for i := range res.Rows {
-		if !emit(res.Binding(i)) {
-			return nil
-		}
-	}
-	return nil
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"strings"
 	"time"
 
 	"lusail/internal/catalog"
@@ -11,7 +10,6 @@ import (
 	"lusail/internal/eval"
 	"lusail/internal/federation"
 	"lusail/internal/obs"
-	"lusail/internal/qplan"
 	"lusail/internal/rdf"
 	"lusail/internal/resilience"
 	"lusail/internal/sparql"
@@ -299,7 +297,10 @@ func (e *Engine) QueryString(ctx context.Context, query string) (*sparql.Results
 
 // Query executes a parsed federated query: source selection, LADE
 // decomposition, and SAPE evaluation, returning the final results and a
-// per-phase profile.
+// per-phase profile. It is the plan-then-execute convenience over
+// Engine.Plan and Engine.ExecutePlan; a serving layer that sees the same
+// query shape repeatedly should cache the Plan and call ExecutePlan
+// directly.
 func (e *Engine) Query(ctx context.Context, q *sparql.Query) (*sparql.Results, *Profile, error) {
 	start := time.Now()
 	prof := &Profile{}
@@ -316,109 +317,17 @@ func (e *Engine) Query(ctx context.Context, q *sparql.Query) (*sparql.Results, *
 		}
 	}()
 
-	branches, err := qplan.Normalize(q)
+	p, err := e.plan(ctx, q, prof)
 	if err != nil {
 		return nil, nil, err
 	}
-
-	var all *sparql.Results
-	for _, br := range branches {
-		rows, err := e.evalBranch(ctx, br, prof)
-		if err != nil {
-			return nil, nil, err
-		}
-		if all == nil {
-			all = rows
-		} else {
-			all = qplan.UnionRelations(all, rows)
-		}
-	}
-	res, err := qplan.Finalize(q, all)
+	res, err := e.finishPlan(ctx, p, prof)
 	if err != nil {
 		return nil, nil, err
 	}
 	prof.Total = time.Since(start)
 	prof.Trace.SetAttr("results", res.Len())
 	return res, prof, nil
-}
-
-// evalBranch plans and executes one conjunctive branch of the query.
-func (e *Engine) evalBranch(ctx context.Context, br *qplan.Branch, prof *Profile) (*sparql.Results, error) {
-	bctx, bsp := obs.StartSpan(ctx, "branch")
-	defer bsp.End()
-	bsp.SetAttr("patterns", len(br.Patterns))
-	ctx = bctx
-
-	// Phase 1: source selection (per triple pattern, cached ASK probes).
-	t0 := time.Now()
-	ssCtx, ssSpan := obs.StartSpan(ctx, "source-selection")
-	if !e.opts.CacheSources {
-		e.sel.ClearCache()
-	}
-	sources := make([][]string, len(br.Patterns))
-	err := e.pool.ForEach(ssCtx, len(br.Patterns), func(i int) error {
-		s, err := e.sel.RelevantSources(ssCtx, br.Patterns[i])
-		if err != nil {
-			return err
-		}
-		sources[i] = s
-		return nil
-	})
-	ssSpan.End()
-	if err != nil {
-		return nil, fmt.Errorf("lusail: source selection: %w", err)
-	}
-	prof.SourceSelection += time.Since(t0)
-
-	for i, s := range sources {
-		if len(s) == 0 {
-			// A mandatory pattern with no relevant source: the branch is
-			// empty.
-			_ = i
-			return qplan.EmptyRelation(br.Vars()), nil
-		}
-	}
-
-	// Phase 2: LADE analysis — statistics, GJV detection, decomposition.
-	t1 := time.Now()
-	anCtx, anSpan := obs.StartSpan(ctx, "analysis")
-	stats, err := e.collectStats(anCtx, br, sources)
-	if err != nil {
-		anSpan.End()
-		return nil, fmt.Errorf("lusail: statistics: %w", err)
-	}
-	prof.CountProbes += stats.probes
-	prof.CatalogHits += stats.catalogHits
-
-	gjv, err := e.detectGJVs(anCtx, br.Patterns, sources)
-	if err != nil {
-		anSpan.End()
-		return nil, fmt.Errorf("lusail: GJV detection: %w", err)
-	}
-	prof.ChecksIssued += gjv.ChecksIssued
-	prof.CheckCacheHit += gjv.CacheHits
-	prof.GJVs = append(prof.GJVs, gjv.GlobalVars()...)
-
-	subqueries := e.decompose(br, sources, gjv, stats)
-	prof.Subqueries += len(subqueries)
-	for _, sq := range subqueries {
-		prof.Decomposition = append(prof.Decomposition, sq.String())
-	}
-	anSpan.SetAttr("gjvs", strings.Join(gjv.GlobalVars(), ","))
-	anSpan.SetAttr("subqueries", len(subqueries))
-	anSpan.End()
-	prof.Analysis += time.Since(t1)
-
-	// Phase 3: SAPE execution.
-	t2 := time.Now()
-	exCtx, exSpan := obs.StartSpan(ctx, "execution")
-	rel, err := e.execute(exCtx, br, subqueries, stats, prof)
-	exSpan.End()
-	prof.Execution += time.Since(t2)
-	if err != nil {
-		return nil, err
-	}
-	return rel, nil
 }
 
 // Construct executes a federated CONSTRUCT query: the WHERE clause is

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lusail/internal/client"
+	"lusail/internal/obs"
+	"lusail/internal/qplan"
+	"lusail/internal/rdf"
+	"lusail/internal/resilience"
+	"lusail/internal/sparql"
+)
+
+// Epoch identifies the planning inputs of an engine at a point in time: the
+// federation it runs over and the catalog generation it plans from. Two
+// equal epochs guarantee that a Plan built under one is still valid under
+// the other — decomposition and GJV analysis are deterministic per query,
+// federation, and catalog state — so epochs are the invalidation key for
+// plan and result caches layered above the engine.
+type Epoch struct {
+	Federation uint64 `json:"federation"`
+	Catalog    uint64 `json:"catalog"`
+}
+
+// String renders the epoch for admin inspection routes.
+func (ep Epoch) String() string { return fmt.Sprintf("fed%d/cat%d", ep.Federation, ep.Catalog) }
+
+// Epoch returns the engine's current planning epoch. It changes when the
+// catalog is updated (a background refresh, a Put, a Drop); the federation
+// component is fixed for the engine's lifetime.
+func (e *Engine) Epoch() Epoch {
+	ep := Epoch{Federation: e.fed.Epoch()}
+	if e.cat != nil {
+		ep.Catalog = e.cat.Epoch()
+	}
+	return ep
+}
+
+// Plan is a reusable execution plan for one parsed query: the output of
+// source selection, statistics collection, GJV detection, and LADE
+// decomposition — everything that precedes SAPE execution. A Plan is
+// immutable after Engine.Plan returns and safe to execute concurrently from
+// many goroutines: ExecutePlan clones the per-execution state (delay
+// decisions) instead of mutating the plan. Caching Plans across requests
+// is how a long-running service pays the planning phases once per distinct
+// query shape instead of once per call.
+type Plan struct {
+	query    *sparql.Query
+	epoch    Epoch
+	branches []*plannedBranch
+
+	// Planning summary, copied into every executing Profile.
+	gjvs          []string
+	subqueries    int
+	decomposition []string
+}
+
+// plannedBranch is the planned form of one conjunctive branch.
+type plannedBranch struct {
+	br  *qplan.Branch
+	sqs []*Subquery
+	// empty marks a branch where a mandatory pattern has no relevant
+	// source: the branch is provably empty and execution is skipped.
+	empty bool
+}
+
+// Epoch returns the epoch the plan was built under. A plan whose epoch no
+// longer matches Engine.Epoch() may rest on stale catalog decisions and
+// should be replanned.
+func (p *Plan) Epoch() Epoch { return p.epoch }
+
+// Stale reports whether the engine's planning inputs have changed since the
+// plan was built.
+func (p *Plan) Stale(e *Engine) bool { return p.epoch != e.Epoch() }
+
+// GJVs returns the detected global join variables.
+func (p *Plan) GJVs() []string { return p.gjvs }
+
+// Subqueries returns the number of subqueries after decomposition.
+func (p *Plan) Subqueries() int { return p.subqueries }
+
+// Decomposition returns the human-readable subquery forms.
+func (p *Plan) Decomposition() []string { return p.decomposition }
+
+// summarize copies the plan's planning summary into a Profile, so
+// executions of a cached plan still report what was planned (but not the
+// probe counters of the planning run — a cached execution issued none).
+func (p *Plan) summarize(prof *Profile) {
+	prof.GJVs = append(prof.GJVs, p.gjvs...)
+	prof.Subqueries += p.subqueries
+	prof.Decomposition = append(prof.Decomposition, p.decomposition...)
+}
+
+// streamable reports whether the plan qualifies for incremental row
+// delivery: a single branch decomposed into a single subquery (no global
+// join), no OPTIONAL/VALUES blocks, and no solution modifier that needs the
+// complete result (see earlyEligible).
+func (p *Plan) streamable() bool {
+	if !earlyEligible(p.query) || len(p.branches) != 1 {
+		return false
+	}
+	pb := p.branches[0]
+	if len(pb.br.Optionals) > 0 || len(pb.br.Values) > 0 {
+		return false
+	}
+	return pb.empty || len(pb.sqs) == 1
+}
+
+// Plan runs the planning phases for a parsed query — source selection,
+// COUNT statistics, GJV detection, LADE decomposition — and returns the
+// reusable plan. The companion entry points ExecutePlan and
+// ExecutePlanStream run a plan; Query is the plan-then-execute convenience.
+func (e *Engine) Plan(ctx context.Context, q *sparql.Query) (*Plan, error) {
+	return e.plan(ctx, q, &Profile{})
+}
+
+// PlanString parses and plans a query.
+func (e *Engine) PlanString(ctx context.Context, query string) (*Plan, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.Plan(ctx, q)
+}
+
+// plan is the internal planning entry point: it fills prof with the
+// planning-phase timings and counters while building the plan.
+func (e *Engine) plan(ctx context.Context, q *sparql.Query, prof *Profile) (*Plan, error) {
+	branches, err := qplan.Normalize(q)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{query: q, epoch: e.Epoch()}
+	for _, br := range branches {
+		pb, err := e.planBranch(ctx, br, prof)
+		if err != nil {
+			return nil, err
+		}
+		p.branches = append(p.branches, pb)
+	}
+	p.gjvs = append([]string(nil), prof.GJVs...)
+	p.subqueries = prof.Subqueries
+	p.decomposition = append([]string(nil), prof.Decomposition...)
+	return p, nil
+}
+
+// planBranch runs phases 1 (source selection) and 2 (LADE analysis) for one
+// conjunctive branch.
+func (e *Engine) planBranch(ctx context.Context, br *qplan.Branch, prof *Profile) (*plannedBranch, error) {
+	bctx, bsp := obs.StartSpan(ctx, "branch")
+	defer bsp.End()
+	bsp.SetAttr("patterns", len(br.Patterns))
+	ctx = bctx
+
+	// Phase 1: source selection (per triple pattern, cached ASK probes).
+	t0 := time.Now()
+	ssCtx, ssSpan := obs.StartSpan(ctx, "source-selection")
+	if !e.opts.CacheSources {
+		e.sel.ClearCache()
+	}
+	sources := make([][]string, len(br.Patterns))
+	err := e.pool.ForEach(ssCtx, len(br.Patterns), func(i int) error {
+		s, err := e.sel.RelevantSources(ssCtx, br.Patterns[i])
+		if err != nil {
+			return err
+		}
+		sources[i] = s
+		return nil
+	})
+	ssSpan.End()
+	if err != nil {
+		return nil, fmt.Errorf("lusail: source selection: %w", err)
+	}
+	prof.SourceSelection += time.Since(t0)
+
+	for _, s := range sources {
+		if len(s) == 0 {
+			// A mandatory pattern with no relevant source: the branch is
+			// provably empty; skip analysis and execution.
+			return &plannedBranch{br: br, empty: true}, nil
+		}
+	}
+
+	// Phase 2: LADE analysis — statistics, GJV detection, decomposition.
+	t1 := time.Now()
+	anCtx, anSpan := obs.StartSpan(ctx, "analysis")
+	stats, err := e.collectStats(anCtx, br, sources)
+	if err != nil {
+		anSpan.End()
+		return nil, fmt.Errorf("lusail: statistics: %w", err)
+	}
+	prof.CountProbes += stats.probes
+	prof.CatalogHits += stats.catalogHits
+
+	gjv, err := e.detectGJVs(anCtx, br.Patterns, sources)
+	if err != nil {
+		anSpan.End()
+		return nil, fmt.Errorf("lusail: GJV detection: %w", err)
+	}
+	prof.ChecksIssued += gjv.ChecksIssued
+	prof.CheckCacheHit += gjv.CacheHits
+	prof.GJVs = append(prof.GJVs, gjv.GlobalVars()...)
+
+	subqueries := e.decompose(br, sources, gjv, stats)
+	prof.Subqueries += len(subqueries)
+	for _, sq := range subqueries {
+		prof.Decomposition = append(prof.Decomposition, sq.String())
+	}
+	anSpan.SetAttr("gjvs", strings.Join(gjv.GlobalVars(), ","))
+	anSpan.SetAttr("subqueries", len(subqueries))
+	anSpan.End()
+	prof.Analysis += time.Since(t1)
+
+	return &plannedBranch{br: br, sqs: subqueries}, nil
+}
+
+// cloneSubqueries copies the per-execution subquery state so that one plan
+// can execute concurrently: execute mutates delay decisions (Delayed), so
+// each execution gets its own Subquery structs. The pattern/source/filter
+// slices are shared — execution only reads them.
+func cloneSubqueries(sqs []*Subquery) []*Subquery {
+	out := make([]*Subquery, len(sqs))
+	for i, sq := range sqs {
+		c := *sq
+		out[i] = &c
+	}
+	return out
+}
+
+// ExecutePlan runs a plan built by Plan and returns the final results and a
+// per-execution profile. The plan is not mutated; concurrent ExecutePlan
+// calls on one plan are safe. The profile's planning counters reflect the
+// plan (GJVs, decomposition); its planning timings are zero because nothing
+// was planned in this call.
+func (e *Engine) ExecutePlan(ctx context.Context, p *Plan) (*sparql.Results, *Profile, error) {
+	start := time.Now()
+	prof := &Profile{}
+	if e.opts.Trace {
+		prof.Trace = obs.NewSpan("query")
+		ctx = obs.ContextWithSpan(ctx, prof.Trace)
+		defer prof.Trace.End()
+	}
+	ctx = resilience.WithWarnings(ctx)
+	defer func() {
+		prof.Warnings = append(prof.Warnings, resilience.TakeWarnings(ctx)...)
+		if len(prof.Warnings) > 0 {
+			prof.Trace.SetAttr("degraded", len(prof.Warnings))
+		}
+	}()
+	p.summarize(prof)
+	res, err := e.finishPlan(ctx, p, prof)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof.Total = time.Since(start)
+	prof.Trace.SetAttr("results", res.Len())
+	return res, prof, nil
+}
+
+// finishPlan executes every branch of the plan (phase 3, SAPE) and
+// finalizes the result — projection, modifiers, aggregates. Callers own the
+// trace and warning-sink setup.
+func (e *Engine) finishPlan(ctx context.Context, p *Plan, prof *Profile) (*sparql.Results, error) {
+	var all *sparql.Results
+	for _, pb := range p.branches {
+		var rows *sparql.Results
+		if pb.empty {
+			rows = qplan.EmptyRelation(pb.br.Vars())
+		} else {
+			t2 := time.Now()
+			exCtx, exSpan := obs.StartSpan(ctx, "execution")
+			var err error
+			rows, err = e.execute(exCtx, pb.br, cloneSubqueries(pb.sqs), prof)
+			exSpan.End()
+			prof.Execution += time.Since(t2)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if all == nil {
+			all = rows
+		} else {
+			all = qplan.UnionRelations(all, rows)
+		}
+	}
+	return qplan.Finalize(p.query, all)
+}
+
+// ExecutePlanStream executes a plan and delivers solution rows to emit as
+// they become available — the row-callback entry point a serving layer uses
+// to flush results to the wire incrementally. emit receives one solution at
+// a time and returns false to stop the query.
+//
+// When the plan is streamable (single subquery, no global join, no modifier
+// needing the complete result — the QueryEarly rules), each endpoint's
+// answers are forwarded the moment that endpoint responds and the returned
+// bool is true; a solution present at several endpoints may then be
+// delivered more than once (bag semantics). Any other plan executes fully
+// and emits the final rows in order, returning false. Cancelling ctx (e.g.
+// on client disconnect) stops endpoint work through the usual context
+// discipline. ASK plans are rejected — a boolean has no rows to stream.
+func (e *Engine) ExecutePlanStream(ctx context.Context, p *Plan, emit func(map[string]rdf.Term) bool) (bool, *Profile, error) {
+	start := time.Now()
+	prof := &Profile{}
+	ctx = resilience.WithWarnings(ctx)
+	defer func() {
+		prof.Warnings = append(prof.Warnings, resilience.TakeWarnings(ctx)...)
+	}()
+	p.summarize(prof)
+
+	if !p.streamable() {
+		res, err := e.finishPlan(ctx, p, prof)
+		if err != nil {
+			return false, prof, err
+		}
+		if res.IsBoolean {
+			return false, prof, fmt.Errorf("lusail: streaming does not support ASK queries")
+		}
+		prof.Total = time.Since(start)
+		for i := range res.Rows {
+			if !emit(res.Binding(i)) {
+				break
+			}
+		}
+		return false, prof, nil
+	}
+
+	pb := p.branches[0]
+	if pb.empty {
+		prof.Total = time.Since(start)
+		return true, prof, nil // provably empty: nothing to emit
+	}
+	err := e.streamSubquery(ctx, p.query, pb, emit)
+	prof.Total = time.Since(start)
+	return true, prof, err
+}
+
+// streamSubquery evaluates the plan's single subquery with one request per
+// endpoint, forwarding rows as each response lands.
+func (e *Engine) streamSubquery(ctx context.Context, q *sparql.Query, pb *plannedBranch, emit func(map[string]rdf.Term) bool) error {
+	sq := pb.sqs[0]
+	br := pb.br
+	vars := q.ProjectedVars()
+	var stopped atomic.Bool
+	var emitMu sync.Mutex
+	emitted := 0
+	limit := q.Limit
+
+	queryText := sq.Query(nil).String()
+	runErr := e.pool.ForEachGated(ctx, sq.Sources, e.gate(),
+		e.onRejectDegrade(ctx, client.PhaseSubquery, sq.Sources), func(i int) error {
+			if stopped.Load() {
+				return nil
+			}
+			res, err := e.queryEndpoint(ctx, client.PhaseSubquery, sq.Sources[i], queryText)
+			if err != nil {
+				if e.degrade(ctx, client.PhaseSubquery, sq.Sources[i], err) {
+					return nil
+				}
+				return err
+			}
+			rel := qplan.ApplyFilters(res, br.Filters)
+			emitMu.Lock()
+			defer emitMu.Unlock()
+			for r := range rel.Rows {
+				if stopped.Load() {
+					return nil
+				}
+				if limit >= 0 && emitted >= limit {
+					stopped.Store(true)
+					return nil
+				}
+				b := rel.Binding(r)
+				out := make(map[string]rdf.Term, len(vars))
+				for _, v := range vars {
+					if t, ok := b[v]; ok {
+						out[v] = t
+					}
+				}
+				emitted++
+				if !emit(out) {
+					stopped.Store(true)
+					return nil
+				}
+			}
+			return nil
+		})
+	if runErr != nil && !stopped.Load() {
+		return runErr
+	}
+	return nil
+}

@@ -19,7 +19,7 @@ import (
 // Section 4.2): non-delayed subqueries run concurrently across endpoints,
 // delayed subqueries run afterwards as bound joins over the bindings found
 // so far, and the subquery relations are joined with a cost-based order.
-func (e *Engine) execute(ctx context.Context, br *qplan.Branch, sqs []*Subquery, stats *queryStats, prof *Profile) (*sparql.Results, error) {
+func (e *Engine) execute(ctx context.Context, br *qplan.Branch, sqs []*Subquery, prof *Profile) (*sparql.Results, error) {
 	optionals, err := e.planOptionals(ctx, br)
 	if err != nil {
 		return nil, err

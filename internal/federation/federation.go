@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"lusail/internal/client"
 	"lusail/internal/erh"
@@ -23,12 +24,21 @@ import (
 type Federation struct {
 	eps    []client.Endpoint
 	byName map[string]client.Endpoint
+	epoch  uint64
 }
+
+// fedEpochs hands each federation a process-unique epoch at construction.
+// A federation is immutable after New, so its identity doubles as its
+// planning epoch: two equal epochs imply the same endpoint set.
+var fedEpochs atomic.Uint64
 
 // New returns a federation over the given endpoints. Endpoint names must be
 // unique.
 func New(eps ...client.Endpoint) (*Federation, error) {
-	f := &Federation{byName: make(map[string]client.Endpoint, len(eps))}
+	f := &Federation{
+		byName: make(map[string]client.Endpoint, len(eps)),
+		epoch:  fedEpochs.Add(1),
+	}
 	for _, ep := range eps {
 		if _, dup := f.byName[ep.Name()]; dup {
 			return nil, fmt.Errorf("federation: duplicate endpoint name %q", ep.Name())
@@ -38,6 +48,10 @@ func New(eps ...client.Endpoint) (*Federation, error) {
 	}
 	return f, nil
 }
+
+// Epoch returns the federation's process-unique construction epoch. Plans
+// and caches keyed on it are invalidated by swapping in a new federation.
+func (f *Federation) Epoch() uint64 { return f.epoch }
 
 // MustNew is New but panics on error; for tests and generators that
 // construct names programmatically.

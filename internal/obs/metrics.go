@@ -64,6 +64,29 @@ const (
 	MetricHTTPRequests       = "lusail_http_requests_total"
 	MetricHTTPErrors         = "lusail_http_errors_total"
 	MetricHTTPRequestSeconds = "lusail_http_request_seconds"
+
+	// lusaild federation service (package server): plan cache, result
+	// cache, per-tenant admission, and streaming delivery.
+	MetricPlanCacheHits        = "lusail_plan_cache_hits_total"
+	MetricPlanCacheMisses      = "lusail_plan_cache_misses_total"
+	MetricPlanCacheEvictions   = "lusail_plan_cache_evictions_total"
+	MetricPlanCacheStale       = "lusail_plan_cache_stale_total"
+	MetricPlanCacheSize        = "lusail_plan_cache_size"
+	MetricResultCacheHits      = "lusail_result_cache_hits_total"
+	MetricResultCacheMisses    = "lusail_result_cache_misses_total"
+	MetricResultCacheEvictions = "lusail_result_cache_evictions_total"
+	MetricResultCacheSize      = "lusail_result_cache_size"
+	MetricServerQueries        = "lusail_server_queries_total"
+	MetricServerErrors         = "lusail_server_errors_total"
+	MetricServerQuerySeconds   = "lusail_server_query_seconds"
+	MetricServerPlanSeconds    = "lusail_server_plan_seconds"
+	MetricServerRowsStreamed   = "lusail_server_rows_streamed_total"
+	MetricServerDisconnects    = "lusail_server_client_disconnects_total"
+	MetricAdmissionThrottled   = "lusail_admission_throttled_total"
+	MetricAdmissionShed        = "lusail_admission_shed_total"
+	MetricAdmissionInFlight    = "lusail_admission_in_flight"
+	MetricAdmissionQueued      = "lusail_admission_queued"
+	MetricAdmissionWaitSeconds = "lusail_admission_wait_seconds"
 )
 
 // Fixed bucket layouts for the engine's histograms. Request latencies span

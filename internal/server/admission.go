@@ -1,0 +1,301 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"lusail/internal/client"
+	"lusail/internal/obs"
+	"lusail/internal/resilience"
+)
+
+// TenantConfig is one tenant's admission quota.
+type TenantConfig struct {
+	// RatePerSec refills the tenant's token bucket (queries per second);
+	// <=0 disables rate limiting for the tenant.
+	RatePerSec float64 `json:"rate_per_sec"`
+	// Burst caps the bucket (max queries admitted back-to-back); <=0
+	// defaults to max(1, RatePerSec).
+	Burst int `json:"burst"`
+	// MaxConcurrent bounds the tenant's in-flight queries above the shared
+	// ERH pool; <=0 defaults to 4.
+	MaxConcurrent int `json:"max_concurrent"`
+	// MaxQueue bounds how many over-concurrency queries may wait for a
+	// slot; beyond it requests are shed immediately with 503. <0 disables
+	// queueing (shed as soon as concurrency is exhausted); 0 defaults to
+	// 2×MaxConcurrent.
+	MaxQueue int `json:"max_queue"`
+}
+
+// withDefaults resolves the zero-value conventions.
+func (c TenantConfig) withDefaults() TenantConfig {
+	if c.Burst <= 0 {
+		c.Burst = 1
+		if c.RatePerSec > 1 {
+			c.Burst = int(c.RatePerSec)
+		}
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	return c
+}
+
+// Rejection is a structured admission refusal: the HTTP status to return
+// and a resilience.Warning describing the decision, so over-quota clients
+// get the same machine-readable shape as degraded results instead of a
+// bare error string.
+type Rejection struct {
+	// Status is 429 (over rate quota) or 503 (shed under load).
+	Status int `json:"status"`
+	// Tenant is the refused tenant.
+	Tenant string `json:"tenant"`
+	// RetryAfter suggests when to retry (0 = unknown).
+	RetryAfter time.Duration `json:"retry_after_ns"`
+	// Warning is the structured record of the refusal.
+	Warning resilience.Warning `json:"warning"`
+}
+
+// Error implements error.
+func (r *Rejection) Error() string {
+	return fmt.Sprintf("admission: tenant %s: %s", r.Tenant, r.Warning.Message)
+}
+
+// Admission is the per-tenant admission controller: a token bucket for
+// request rate and a bounded concurrency gate with a FIFO wait queue,
+// layered above the engine's shared ERH pool. Over-rate requests are
+// refused with 429; requests arriving when both the tenant's concurrency
+// slots and its wait queue are full are shed with 503.
+type Admission struct {
+	def TenantConfig
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	now     func() time.Time
+
+	throttled *obs.Counter
+	shed      *obs.Counter
+	inFlight  *obs.Gauge
+	queued    *obs.Gauge
+	waitSecs  *obs.Histogram
+}
+
+// tenant is the runtime state of one tenant, guarded by Admission.mu.
+type tenant struct {
+	name     string
+	cfg      TenantConfig
+	tokens   float64
+	last     time.Time
+	inFlight int
+	queue    []*waiter
+}
+
+// waiter is one request waiting for a concurrency slot. grant is buffered
+// so the releaser can hand a slot over without blocking under the lock.
+type waiter struct {
+	grant chan struct{}
+}
+
+// NewAdmission returns an admission controller. def is applied to tenants
+// without an explicit configuration; overrides maps tenant names to their
+// quotas.
+func NewAdmission(def TenantConfig, overrides map[string]TenantConfig) *Admission {
+	reg := obs.Default()
+	a := &Admission{
+		def:       def.withDefaults(),
+		tenants:   map[string]*tenant{},
+		now:       time.Now,
+		throttled: reg.Counter(obs.MetricAdmissionThrottled, "queries refused over the tenant rate quota (429)"),
+		shed:      reg.Counter(obs.MetricAdmissionShed, "queries shed because the tenant queue was full (503)"),
+		inFlight:  reg.Gauge(obs.MetricAdmissionInFlight, "admitted queries currently executing"),
+		queued:    reg.Gauge(obs.MetricAdmissionQueued, "queries waiting for a tenant concurrency slot"),
+		waitSecs:  reg.Histogram(obs.MetricAdmissionWaitSeconds, "time spent waiting for a tenant concurrency slot", obs.LatencyBuckets),
+	}
+	for name, cfg := range overrides {
+		resolved := cfg.withDefaults()
+		a.tenants[name] = &tenant{name: name, cfg: resolved, tokens: float64(resolved.Burst), last: a.now()}
+	}
+	return a
+}
+
+// setClock overrides the controller's clock (tests).
+func (a *Admission) setClock(now func() time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.now = now
+}
+
+// getLocked returns (creating if needed) the tenant's state.
+func (a *Admission) getLocked(name string) *tenant {
+	t, ok := a.tenants[name]
+	if !ok {
+		t = &tenant{name: name, cfg: a.def, tokens: float64(a.def.Burst), last: a.now()}
+		a.tenants[name] = t
+	}
+	return t
+}
+
+// refillLocked advances the tenant's token bucket to now.
+func (t *tenant) refillLocked(now time.Time) {
+	if t.cfg.RatePerSec <= 0 {
+		return
+	}
+	elapsed := now.Sub(t.last).Seconds()
+	if elapsed > 0 {
+		t.tokens += elapsed * t.cfg.RatePerSec
+		if max := float64(t.cfg.Burst); t.tokens > max {
+			t.tokens = max
+		}
+		t.last = now
+	}
+}
+
+// Admit charges one query against the tenant's quota and acquires a
+// concurrency slot, waiting (bounded by the tenant's queue depth and ctx)
+// when the tenant is at its concurrency limit. On success it returns a
+// release function the caller must invoke exactly once when the query
+// finishes. On refusal it returns a *Rejection carrying the HTTP status and
+// the structured warning body.
+func (a *Admission) Admit(ctx context.Context, tenantName string) (func(), error) {
+	start := time.Now()
+	a.mu.Lock()
+	t := a.getLocked(tenantName)
+	now := a.now()
+	t.refillLocked(now)
+
+	// Rate quota first: a request over the rate never occupies queue space.
+	if t.cfg.RatePerSec > 0 {
+		if t.tokens < 1 {
+			deficit := 1 - t.tokens
+			retry := time.Duration(deficit / t.cfg.RatePerSec * float64(time.Second))
+			a.mu.Unlock()
+			a.throttled.Inc()
+			return nil, &Rejection{
+				Status:     http.StatusTooManyRequests,
+				Tenant:     tenantName,
+				RetryAfter: retry,
+				Warning: resilience.Warning{
+					Phase:   client.PhaseAdmission,
+					Message: fmt.Sprintf("tenant %q over rate quota (%.3g queries/s, burst %d)", tenantName, t.cfg.RatePerSec, t.cfg.Burst),
+				},
+			}
+		}
+		t.tokens--
+	}
+
+	// Concurrency gate: take a free slot, or wait in the bounded queue.
+	if t.inFlight < t.cfg.MaxConcurrent {
+		t.inFlight++
+		a.mu.Unlock()
+		a.inFlight.Add(1)
+		return a.releaseFunc(t), nil
+	}
+	if len(t.queue) >= t.cfg.MaxQueue {
+		depth := len(t.queue)
+		a.mu.Unlock()
+		a.shed.Inc()
+		return nil, &Rejection{
+			Status: http.StatusServiceUnavailable,
+			Tenant: tenantName,
+			Warning: resilience.Warning{
+				Phase: client.PhaseAdmission,
+				Message: fmt.Sprintf("tenant %q shed under load (%d in flight, queue %d/%d full)",
+					tenantName, t.cfg.MaxConcurrent, depth, t.cfg.MaxQueue),
+			},
+		}
+	}
+	w := &waiter{grant: make(chan struct{}, 1)}
+	t.queue = append(t.queue, w)
+	a.mu.Unlock()
+	a.queued.Add(1)
+
+	select {
+	case <-w.grant:
+		// A finishing query handed its slot to us: inFlight was never
+		// decremented, so no re-check is needed.
+		a.queued.Add(-1)
+		a.inFlight.Add(1)
+		a.waitSecs.Observe(time.Since(start).Seconds())
+		return a.releaseFunc(t), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		removed := false
+		for i, q := range t.queue {
+			if q == w {
+				t.queue = append(t.queue[:i], t.queue[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		a.mu.Unlock()
+		a.queued.Add(-1)
+		if !removed {
+			// A grant raced with the cancellation: the slot is (or is about
+			// to be) in our buffered channel. Take it and pass it on.
+			<-w.grant
+			a.release(t)
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc wraps release for one admitted query, tolerating double calls.
+func (a *Admission) releaseFunc(t *tenant) func() {
+	var once sync.Once
+	return func() { once.Do(func() { a.inFlight.Add(-1); a.release(t) }) }
+}
+
+// release frees one concurrency slot: the first queued waiter inherits it,
+// otherwise the tenant's in-flight count drops. The grant send happens
+// outside the lock (the channel is buffered, and each waiter is granted at
+// most once because it is popped first).
+func (a *Admission) release(t *tenant) {
+	a.mu.Lock()
+	if len(t.queue) > 0 {
+		w := t.queue[0]
+		t.queue = t.queue[1:]
+		a.mu.Unlock()
+		w.grant <- struct{}{}
+		return
+	}
+	t.inFlight--
+	a.mu.Unlock()
+}
+
+// TenantSnapshot is one tenant's state for the admin inspection route.
+type TenantSnapshot struct {
+	Name     string       `json:"name"`
+	Config   TenantConfig `json:"config"`
+	Tokens   float64      `json:"tokens"`
+	InFlight int          `json:"in_flight"`
+	Queued   int          `json:"queued"`
+}
+
+// Snapshot returns per-tenant state sorted by name.
+func (a *Admission) Snapshot() []TenantSnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]TenantSnapshot, 0, len(a.tenants))
+	for _, t := range a.tenants {
+		t.refillLocked(a.now())
+		out = append(out, TenantSnapshot{
+			Name:     t.name,
+			Config:   t.cfg,
+			Tokens:   t.tokens,
+			InFlight: t.inFlight,
+			Queued:   len(t.queue),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

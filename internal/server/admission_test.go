@@ -1,0 +1,186 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"lusail/internal/client"
+)
+
+// pollUntil retries cond for up to 5s.
+func pollUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func snapshotOf(a *Admission, tenant string) (TenantSnapshot, bool) {
+	for _, s := range a.Snapshot() {
+		if s.Name == tenant {
+			return s, true
+		}
+	}
+	return TenantSnapshot{}, false
+}
+
+func TestAdmissionRateQuota(t *testing.T) {
+	a := NewAdmission(TenantConfig{RatePerSec: 1, Burst: 2, MaxConcurrent: 8}, nil)
+	now := time.Now()
+	a.setClock(func() time.Time { return now })
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		release, err := a.Admit(ctx, "alice")
+		if err != nil {
+			t.Fatalf("admit %d within burst: %v", i, err)
+		}
+		release()
+	}
+
+	_, err := a.Admit(ctx, "alice")
+	var rej *Rejection
+	if !errors.As(err, &rej) {
+		t.Fatalf("over-burst admit: want *Rejection, got %v", err)
+	}
+	if rej.Status != http.StatusTooManyRequests {
+		t.Errorf("status = %d, want 429", rej.Status)
+	}
+	if rej.Warning.Phase != client.PhaseAdmission {
+		t.Errorf("warning phase = %q, want %q", rej.Warning.Phase, client.PhaseAdmission)
+	}
+	if rej.RetryAfter <= 0 {
+		t.Errorf("retry-after = %v, want > 0", rej.RetryAfter)
+	}
+
+	// One second refills one token at 1 query/s.
+	now = now.Add(1100 * time.Millisecond)
+	release, err := a.Admit(ctx, "alice")
+	if err != nil {
+		t.Fatalf("admit after refill: %v", err)
+	}
+	release()
+
+	// Other tenants have their own bucket.
+	release, err = a.Admit(ctx, "bob")
+	if err != nil {
+		t.Fatalf("admit for fresh tenant: %v", err)
+	}
+	release()
+}
+
+func TestAdmissionQueueHandoffAndShed(t *testing.T) {
+	a := NewAdmission(TenantConfig{MaxConcurrent: 1, MaxQueue: 1}, nil)
+	ctx := context.Background()
+
+	release1, err := a.Admit(ctx, "t")
+	if err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+
+	got := make(chan func(), 1)
+	go func() {
+		r, err := a.Admit(ctx, "t")
+		if err != nil {
+			t.Errorf("queued admit: %v", err)
+			got <- func() {}
+			return
+		}
+		got <- r
+	}()
+	pollUntil(t, "waiter to queue", func() bool {
+		s, ok := snapshotOf(a, "t")
+		return ok && s.Queued == 1
+	})
+
+	// Queue full: the third request is shed with 503.
+	_, err = a.Admit(ctx, "t")
+	var rej *Rejection
+	if !errors.As(err, &rej) {
+		t.Fatalf("over-queue admit: want *Rejection, got %v", err)
+	}
+	if rej.Status != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", rej.Status)
+	}
+	if rej.Warning.Phase != client.PhaseAdmission {
+		t.Errorf("warning phase = %q, want %q", rej.Warning.Phase, client.PhaseAdmission)
+	}
+
+	// Releasing the slot hands it to the queued waiter.
+	release1()
+	release2 := <-got
+	if s, _ := snapshotOf(a, "t"); s.InFlight != 1 || s.Queued != 0 {
+		t.Errorf("after handoff: in_flight=%d queued=%d, want 1/0", s.InFlight, s.Queued)
+	}
+	release2()
+
+	if s, _ := snapshotOf(a, "t"); s.InFlight != 0 {
+		t.Errorf("after final release: in_flight=%d, want 0", s.InFlight)
+	}
+	if release3, err := a.Admit(ctx, "t"); err != nil {
+		t.Fatalf("admit after drain: %v", err)
+	} else {
+		release3()
+	}
+}
+
+func TestAdmissionQueuedCancellation(t *testing.T) {
+	a := NewAdmission(TenantConfig{MaxConcurrent: 1, MaxQueue: 2}, nil)
+	ctx := context.Background()
+
+	release1, err := a.Admit(ctx, "t")
+	if err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Admit(cctx, "t")
+		errc <- err
+	}()
+	pollUntil(t, "waiter to queue", func() bool {
+		s, ok := snapshotOf(a, "t")
+		return ok && s.Queued == 1
+	})
+
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: got %v, want context.Canceled", err)
+	}
+	if s, _ := snapshotOf(a, "t"); s.Queued != 0 {
+		t.Errorf("after cancel: queued=%d, want 0", s.Queued)
+	}
+
+	// The held slot is unaffected and still releasable.
+	release1()
+	if s, _ := snapshotOf(a, "t"); s.InFlight != 0 {
+		t.Errorf("after release: in_flight=%d, want 0", s.InFlight)
+	}
+	if release2, err := a.Admit(ctx, "t"); err != nil {
+		t.Fatalf("admit after cancellation drained: %v", err)
+	} else {
+		release2()
+	}
+}
+
+func TestAdmissionReleaseIdempotent(t *testing.T) {
+	a := NewAdmission(TenantConfig{MaxConcurrent: 2}, nil)
+	release, err := a.Admit(context.Background(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release() // must not free a second slot
+	if s, _ := snapshotOf(a, "t"); s.InFlight != 0 {
+		t.Errorf("in_flight=%d after double release, want 0", s.InFlight)
+	}
+}

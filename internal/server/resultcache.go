@@ -1,0 +1,129 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"lusail/internal/core"
+	"lusail/internal/obs"
+	"lusail/internal/resilience"
+	"lusail/internal/sparql"
+)
+
+// ResultCache memoizes complete query results keyed on the query text,
+// invalidated by planning epoch and a TTL. Only complete, non-degraded
+// results within the row bound are stored: a degraded answer reflects a
+// transient endpoint failure, not the federation's data.
+type ResultCache struct {
+	max     int
+	maxRows int
+	ttl     time.Duration
+	now     func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*resultEntry
+	lru     *list.List
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	size      *obs.Gauge
+}
+
+type resultEntry struct {
+	query    string
+	res      *sparql.Results
+	epoch    core.Epoch
+	storedAt time.Time
+	elem     *list.Element
+}
+
+// NewResultCache returns a result cache holding at most max results
+// (<=0: 128), each of at most maxRows rows (<=0: 10000), valid for ttl
+// (<=0: 30s).
+func NewResultCache(max, maxRows int, ttl time.Duration) *ResultCache {
+	if max <= 0 {
+		max = 128
+	}
+	if maxRows <= 0 {
+		maxRows = 10000
+	}
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	reg := obs.Default()
+	return &ResultCache{
+		max:       max,
+		maxRows:   maxRows,
+		ttl:       ttl,
+		now:       time.Now,
+		entries:   map[string]*resultEntry{},
+		lru:       list.New(),
+		hits:      reg.Counter(obs.MetricResultCacheHits, "queries answered from the result cache"),
+		misses:    reg.Counter(obs.MetricResultCacheMisses, "queries not answered from the result cache"),
+		evictions: reg.Counter(obs.MetricResultCacheEvictions, "results evicted (LRU, TTL, or epoch change)"),
+		size:      reg.Gauge(obs.MetricResultCacheSize, "results currently cached"),
+	}
+}
+
+// Get returns the cached result for the query if it was stored under the
+// same epoch and is within TTL.
+func (c *ResultCache) Get(query string, epoch core.Epoch) (*sparql.Results, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[query]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	if e.epoch != epoch || c.now().Sub(e.storedAt) > c.ttl {
+		c.evictions.Inc()
+		c.removeLocked(e)
+		c.misses.Inc()
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	c.hits.Inc()
+	return e.res, true
+}
+
+// Put stores a completed result under the epoch it was computed in.
+// Degraded or oversized results are ignored.
+func (c *ResultCache) Put(query string, epoch core.Epoch, res *sparql.Results, warnings []resilience.Warning) {
+	if res == nil || len(warnings) > 0 || res.Len() > c.maxRows {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[query]; ok {
+		c.removeLocked(e)
+	}
+	e := &resultEntry{query: query, res: res, epoch: epoch, storedAt: c.now()}
+	e.elem = c.lru.PushFront(e)
+	c.entries[query] = e
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		if oldest == nil || oldest == e.elem {
+			break
+		}
+		c.evictions.Inc()
+		c.removeLocked(oldest.Value.(*resultEntry))
+	}
+	c.size.Set(int64(c.lru.Len()))
+}
+
+func (c *ResultCache) removeLocked(e *resultEntry) {
+	if cur, ok := c.entries[e.query]; ok && cur == e {
+		delete(c.entries, e.query)
+		c.lru.Remove(e.elem)
+		c.size.Set(int64(c.lru.Len()))
+	}
+}
+
+// Len returns the number of cached results.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

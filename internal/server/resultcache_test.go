@@ -1,0 +1,82 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lusail/internal/core"
+	"lusail/internal/rdf"
+	"lusail/internal/resilience"
+	"lusail/internal/sparql"
+)
+
+func testResults(rows int) *sparql.Results {
+	res := sparql.NewResults([]string{"s"})
+	for i := 0; i < rows; i++ {
+		res.Rows = append(res.Rows, []rdf.Term{rdf.NewIRI(fmt.Sprintf("http://x/%d", i))})
+	}
+	return res
+}
+
+func TestResultCacheEpochAndTTL(t *testing.T) {
+	c := NewResultCache(4, 100, time.Minute)
+	now := time.Now()
+	c.now = func() time.Time { return now }
+	ep := core.Epoch{Federation: 1}
+	res := testResults(3)
+
+	c.Put("q", ep, res, nil)
+	if got, ok := c.Get("q", ep); !ok || got.Len() != 3 {
+		t.Fatalf("fresh get: ok=%v len=%v, want hit with 3 rows", ok, got)
+	}
+
+	// A different epoch means the plan inputs changed: miss and evict.
+	if _, ok := c.Get("q", core.Epoch{Federation: 1, Catalog: 1}); ok {
+		t.Fatal("epoch-mismatched get: want miss")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("after epoch eviction: len=%d, want 0", c.Len())
+	}
+
+	c.Put("q", ep, res, nil)
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("q", ep); ok {
+		t.Fatal("expired get: want miss")
+	}
+}
+
+func TestResultCacheRefusals(t *testing.T) {
+	c := NewResultCache(4, 10, time.Minute)
+	ep := core.Epoch{}
+
+	c.Put("degraded", ep, testResults(1), []resilience.Warning{{Message: "endpoint down"}})
+	if _, ok := c.Get("degraded", ep); ok {
+		t.Error("degraded result must not be cached")
+	}
+	c.Put("huge", ep, testResults(11), nil)
+	if _, ok := c.Get("huge", ep); ok {
+		t.Error("oversized result must not be cached")
+	}
+	c.Put("nil", ep, nil, nil)
+	if _, ok := c.Get("nil", ep); ok {
+		t.Error("nil result must not be cached")
+	}
+}
+
+func TestResultCacheLRUBound(t *testing.T) {
+	c := NewResultCache(2, 100, time.Minute)
+	ep := core.Epoch{}
+	c.Put("a", ep, testResults(1), nil)
+	c.Put("b", ep, testResults(1), nil)
+	c.Put("c", ep, testResults(1), nil)
+	if c.Len() != 2 {
+		t.Fatalf("len=%d, want 2", c.Len())
+	}
+	if _, ok := c.Get("a", ep); ok {
+		t.Error("oldest entry should have been evicted")
+	}
+	if _, ok := c.Get("c", ep); !ok {
+		t.Error("newest entry should be cached")
+	}
+}

@@ -1,0 +1,527 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"lusail/internal/core"
+	"lusail/internal/obs"
+	"lusail/internal/rdf"
+	"lusail/internal/resilience"
+	"lusail/internal/sparql"
+)
+
+// Config configures a lusaild server around an existing engine.
+type Config struct {
+	// Engine is the federated engine to expose (required).
+	Engine *core.Engine
+
+	// PlanCacheSize bounds the plan cache (<=0: 256). DisablePlanCache
+	// plans every request from scratch (the bench's cache-off arm).
+	PlanCacheSize    int
+	DisablePlanCache bool
+
+	// ResultCacheSize / ResultCacheMaxRows / ResultCacheTTL bound the
+	// result cache (defaults 128 entries × 10000 rows × 30s).
+	// DisableResultCache turns it off.
+	ResultCacheSize    int
+	ResultCacheMaxRows int
+	ResultCacheTTL     time.Duration
+	DisableResultCache bool
+
+	// DefaultTenant is the admission quota applied to tenants without an
+	// entry in Tenants. The zero value resolves to 4 concurrent queries, a
+	// queue of 8, and no rate limit.
+	DefaultTenant TenantConfig
+	// Tenants maps tenant names to explicit quotas.
+	Tenants map[string]TenantConfig
+	// APIKeys maps API keys (X-API-Key header or Authorization: Bearer) to
+	// tenant names, so keys can rotate without renaming tenants.
+	APIKeys map[string]string
+
+	// QueryTimeout bounds one query's execution (<=0: 5 minutes). The
+	// client disconnecting cancels earlier.
+	QueryTimeout time.Duration
+
+	// Logf receives request-level log lines (default: log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Server is a running lusaild instance: the SPARQL protocol on /sparql,
+// health on /healthz, Prometheus text on /metrics, cache/tenant inspection
+// under /admin/, and pprof under /debug/pprof/.
+type Server struct {
+	URL string // http://host:port/sparql
+
+	eng     *core.Engine
+	plans   *PlanCache // nil when disabled
+	results *ResultCache
+	adm     *Admission
+	cfg     Config
+	mux     *http.ServeMux
+	srv     *http.Server
+	ln      net.Listener
+
+	queries     *obs.Counter
+	errs        *obs.Counter
+	querySecs   *obs.Histogram
+	rows        *obs.Counter
+	disconnects *obs.Counter
+}
+
+// New assembles a server (without listening); Handler exposes its mux for
+// tests and embedding. Start is the listen-and-serve convenience.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: Config.Engine is required")
+	}
+	if cfg.QueryTimeout <= 0 {
+		cfg.QueryTimeout = 5 * time.Minute
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	reg := obs.Default()
+	s := &Server{
+		eng:         cfg.Engine,
+		adm:         NewAdmission(cfg.DefaultTenant, cfg.Tenants),
+		cfg:         cfg,
+		queries:     reg.Counter(obs.MetricServerQueries, "queries received by lusaild"),
+		errs:        reg.Counter(obs.MetricServerErrors, "queries rejected or failed in lusaild"),
+		querySecs:   reg.Histogram(obs.MetricServerQuerySeconds, "end-to-end lusaild query latency", obs.LatencyBuckets),
+		rows:        reg.Counter(obs.MetricServerRowsStreamed, "result rows streamed to clients"),
+		disconnects: reg.Counter(obs.MetricServerDisconnects, "queries cancelled by client disconnect"),
+	}
+	if !cfg.DisablePlanCache {
+		s.plans = NewPlanCache(cfg.Engine, cfg.PlanCacheSize)
+	}
+	if !cfg.DisableResultCache {
+		s.results = NewResultCache(cfg.ResultCacheSize, cfg.ResultCacheMaxRows, cfg.ResultCacheTTL)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sparql", s.handleSPARQL)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", obs.Default().MetricsHandler())
+	mux.Handle("/debug/federation", obs.Default().DebugHandler())
+	mux.HandleFunc("/admin/plancache", s.handleAdminPlanCache)
+	mux.HandleFunc("/admin/tenants", s.handleAdminTenants)
+	// pprof registers on DefaultServeMux only via its init; a custom mux
+	// needs the handlers wired explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		s.handleSPARQL(w, r)
+	})
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// PlanCache returns the server's plan cache (nil when disabled).
+func (s *Server) PlanCache() *PlanCache { return s.plans }
+
+// Admission returns the server's admission controller.
+func (s *Server) Admission() *Admission { return s.adm }
+
+// Start listens on addr (e.g. ":8094" or "127.0.0.1:0") and serves until
+// Shutdown or Close. It returns once the listener is ready.
+func Start(addr string, cfg Config) (*Server, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	s.URL = fmt.Sprintf("http://%s/sparql", ln.Addr().String())
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.cfg.Logf("lusaild: serve: %v", err)
+		}
+	}()
+	return s, nil
+}
+
+// Shutdown drains the server gracefully: the listener closes immediately,
+// in-flight queries run to completion (bounded by ctx), then the server
+// exits. This is the SIGTERM path of cmd/lusaild.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+// Close shuts the server down immediately, abandoning in-flight requests.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// tenantOf resolves the request's tenant: an API key (X-API-Key or
+// Authorization: Bearer) mapped through Config.APIKeys wins, then the
+// X-Lusail-Tenant header, then "anonymous".
+func (s *Server) tenantOf(r *http.Request) string {
+	key := r.Header.Get("X-API-Key")
+	if key == "" {
+		if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+			key = strings.TrimPrefix(auth, "Bearer ")
+		}
+	}
+	if key != "" {
+		if tenant, ok := s.cfg.APIKeys[key]; ok {
+			return tenant
+		}
+	}
+	if t := r.Header.Get("X-Lusail-Tenant"); t != "" {
+		return t
+	}
+	return "anonymous"
+}
+
+// rejectionBody is the structured 429/503 response payload.
+type rejectionBody struct {
+	Error      string               `json:"error"`
+	Tenant     string               `json:"tenant"`
+	RetryAfter float64              `json:"retry_after_seconds,omitempty"`
+	Warnings   []resilience.Warning `json:"warnings"`
+}
+
+// writeRejection renders an admission refusal as structured JSON with the
+// appropriate status and Retry-After header.
+func (s *Server) writeRejection(w http.ResponseWriter, rej *Rejection) {
+	s.errs.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	retry := rej.RetryAfter
+	if retry <= 0 {
+		retry = time.Second
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds()+1)))
+	w.WriteHeader(rej.Status)
+	body := rejectionBody{
+		Error:      rej.Warning.Message,
+		Tenant:     rej.Tenant,
+		RetryAfter: retry.Seconds(),
+		Warnings:   []resilience.Warning{rej.Warning},
+	}
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		s.cfg.Logf("lusaild: writing rejection: %v", err)
+	}
+}
+
+// fail rejects a request with a plain error, counting it.
+func (s *Server) fail(w http.ResponseWriter, msg string, code int) {
+	s.errs.Inc()
+	http.Error(w, msg, code)
+}
+
+// extractQuery implements the SPARQL protocol's three request forms.
+func extractQuery(r *http.Request) (string, error) {
+	switch r.Method {
+	case http.MethodGet:
+		return r.URL.Query().Get("query"), nil
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		if strings.HasPrefix(ct, "application/sparql-query") {
+			body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+			if err != nil {
+				return "", fmt.Errorf("reading query body: %w", err)
+			}
+			return string(body), nil
+		}
+		if err := r.ParseForm(); err != nil {
+			return "", fmt.Errorf("parsing form: %w", err)
+		}
+		return r.PostForm.Get("query"), nil
+	}
+	return "", fmt.Errorf("method %s not allowed", r.Method)
+}
+
+// wantsJSON reports whether content negotiation selects the (streamable)
+// JSON results format.
+func wantsJSON(accept string) bool {
+	switch {
+	case strings.Contains(accept, "text/csv"),
+		strings.Contains(accept, "application/sparql-results+xml"),
+		strings.Contains(accept, "application/xml"),
+		strings.Contains(accept, "text/tab-separated-values"):
+		return false
+	}
+	return true
+}
+
+// handleSPARQL is the SPARQL protocol endpoint.
+func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	s.queries.Inc()
+	start := time.Now()
+	defer func() { s.querySecs.Observe(time.Since(start).Seconds()) }()
+
+	query, err := extractQuery(r)
+	if err != nil {
+		s.fail(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if strings.TrimSpace(query) == "" {
+		s.fail(w, "missing query parameter", http.StatusBadRequest)
+		return
+	}
+	parsed, err := sparql.Parse(query)
+	if err != nil {
+		s.fail(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Admission: quota and concurrency are charged before any engine work.
+	tenant := s.tenantOf(r)
+	release, err := s.adm.Admit(r.Context(), tenant)
+	if err != nil {
+		var rej *Rejection
+		if errors.As(err, &rej) {
+			s.writeRejection(w, rej)
+			return
+		}
+		// The client went away while queued.
+		s.disconnects.Inc()
+		s.errs.Inc()
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+
+	if parsed.Form == sparql.ConstructForm {
+		s.handleConstruct(ctx, w, parsed)
+		return
+	}
+
+	// The canonical serialization is the cache key: it normalizes
+	// whitespace and formatting, so differently-formatted but identical
+	// queries share one plan and one cached result.
+	canonical := parsed.String()
+	epoch := s.eng.Epoch()
+
+	if s.results != nil {
+		if res, ok := s.results.Get(canonical, epoch); ok {
+			w.Header().Set("X-Lusail-Cache", "result-hit")
+			s.writeResults(w, r, res)
+			return
+		}
+	}
+
+	var plan *core.Plan
+	var hit bool
+	if s.plans != nil {
+		plan, hit, err = s.plans.Get(ctx, canonical)
+	} else {
+		plan, err = s.eng.Plan(ctx, parsed)
+	}
+	if err != nil {
+		s.queryError(w, ctx, fmt.Errorf("planning: %w", err))
+		return
+	}
+	if hit {
+		w.Header().Set("X-Lusail-Plan-Cache", "hit")
+	} else {
+		w.Header().Set("X-Lusail-Plan-Cache", "miss")
+	}
+
+	// ASK and non-JSON formats need the complete result; everything else
+	// streams.
+	if parsed.Form == sparql.AskForm || !wantsJSON(r.Header.Get("Accept")) {
+		res, prof, err := s.eng.ExecutePlan(ctx, plan)
+		if err != nil {
+			s.queryError(w, ctx, err)
+			return
+		}
+		if len(prof.Warnings) > 0 {
+			w.Header().Set("X-Lusail-Degraded", strconv.Itoa(len(prof.Warnings)))
+		}
+		if s.results != nil {
+			s.results.Put(canonical, epoch, res, prof.Warnings)
+		}
+		s.writeResults(w, r, res)
+		return
+	}
+
+	s.streamJSON(ctx, w, parsed, plan, canonical, epoch)
+}
+
+// streamJSON executes the plan and flushes rows to the wire as they are
+// produced, accumulating them for the result cache on the side.
+func (s *Server) streamJSON(ctx context.Context, w http.ResponseWriter, q *sparql.Query, plan *core.Plan, canonical string, epoch core.Epoch) {
+	vars := q.ProjectedVars()
+	w.Header().Set("Content-Type", "application/sparql-results+json")
+	stream, err := sparql.NewJSONStream(w, vars)
+	if err != nil {
+		s.queryError(w, ctx, err)
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+
+	// Accumulate rows for the result cache while streaming, up to its row
+	// bound; past it the copy is abandoned but streaming continues.
+	var cached *sparql.Results
+	if s.results != nil {
+		cached = sparql.NewResults(vars)
+	}
+	emitted := 0
+	emit := func(b map[string]rdf.Term) bool {
+		if stream.WriteRow(b) != nil {
+			return false // client gone; stop the engine via returned false + ctx
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		emitted++
+		if cached != nil {
+			row := make([]rdf.Term, len(vars))
+			for i, v := range vars {
+				row[i] = b[v]
+			}
+			cached.Rows = append(cached.Rows, row)
+			if len(cached.Rows) > s.results.maxRows {
+				cached = nil
+			}
+		}
+		return true
+	}
+
+	_, prof, err := s.eng.ExecutePlanStream(ctx, plan, emit)
+	s.rows.Add(int64(emitted))
+	if err != nil {
+		if emitted == 0 && stream.Err() == nil {
+			// Nothing on the wire yet: a clean error response is possible.
+			s.queryError(w, ctx, err)
+			return
+		}
+		// Mid-stream failure: the JSON document stays unterminated so the
+		// client sees a broken response rather than a silently truncated
+		// result set.
+		s.errs.Inc()
+		if ctx.Err() != nil || stream.Err() != nil {
+			s.disconnects.Inc()
+			s.cfg.Logf("lusaild: client disconnected after %d rows", emitted)
+		} else {
+			s.cfg.Logf("lusaild: stream failed after %d rows: %v", emitted, err)
+		}
+		return
+	}
+	if err := stream.Close(); err != nil {
+		s.disconnects.Inc()
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	if cached != nil && s.results != nil {
+		s.results.Put(canonical, epoch, cached, prof.Warnings)
+	}
+}
+
+// handleConstruct evaluates a CONSTRUCT query and writes N-Triples.
+func (s *Server) handleConstruct(ctx context.Context, w http.ResponseWriter, q *sparql.Query) {
+	triples, _, err := s.eng.Construct(ctx, q)
+	if err != nil {
+		s.queryError(w, ctx, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/n-triples; charset=utf-8")
+	if err := rdf.WriteNTriples(w, triples); err != nil {
+		s.cfg.Logf("lusaild: writing construct result: %v", err)
+	}
+}
+
+// queryError maps an execution failure to a response: client disconnects
+// are counted but unanswerable, everything else is a 500 (bad SPARQL was
+// already rejected with 400 at parse).
+func (s *Server) queryError(w http.ResponseWriter, ctx context.Context, err error) {
+	if ctx.Err() != nil {
+		s.disconnects.Inc()
+		s.errs.Inc()
+		return
+	}
+	s.fail(w, err.Error(), http.StatusInternalServerError)
+}
+
+// writeResults renders a complete result set with content negotiation,
+// mirroring package endpoint.
+func (s *Server) writeResults(w http.ResponseWriter, r *http.Request, res *sparql.Results) {
+	accept := r.Header.Get("Accept")
+	var err error
+	switch {
+	case strings.Contains(accept, "text/csv"):
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		err = res.WriteCSV(w)
+	case strings.Contains(accept, "application/sparql-results+xml") || strings.Contains(accept, "application/xml"):
+		w.Header().Set("Content-Type", "application/sparql-results+xml; charset=utf-8")
+		err = res.WriteXML(w)
+	case strings.Contains(accept, "text/tab-separated-values"):
+		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+		err = res.WriteTSV(w)
+	default:
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		err = res.WriteJSON(w)
+	}
+	if err != nil {
+		s.cfg.Logf("lusaild: writing results: %v", err)
+	}
+}
+
+// handleHealthz reports liveness and basic shape.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":    "ok",
+		"endpoints": s.eng.Federation().Size(),
+		"epoch":     s.eng.Epoch(),
+	})
+}
+
+// handleAdminPlanCache serves the plan cache contents.
+func (s *Server) handleAdminPlanCache(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	body := map[string]any{"epoch": s.eng.Epoch()}
+	if s.plans != nil {
+		body["enabled"] = true
+		body["plans"] = s.plans.Snapshot()
+	} else {
+		body["enabled"] = false
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+// handleAdminTenants serves per-tenant admission state.
+func (s *Server) handleAdminTenants(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{"tenants": s.adm.Snapshot()})
+}

@@ -1,0 +1,91 @@
+package sparql
+
+import (
+	"encoding/json"
+	"io"
+
+	"lusail/internal/rdf"
+)
+
+// JSONStream writes a SPARQL 1.1 JSON results document incrementally: the
+// head is emitted on creation and each solution is appended as its own
+// bindings object, so a serving layer can flush rows to the wire as the
+// engine produces them instead of materializing the whole result set.
+//
+// The stream is not safe for concurrent use; callers serialize WriteRow.
+// After any write error the stream is poisoned and further calls return the
+// first error.
+type JSONStream struct {
+	w    io.Writer
+	vars []string
+	rows int
+	err  error
+}
+
+// NewJSONStream writes the document head for the given variables and
+// returns the stream. Close terminates the document.
+func NewJSONStream(w io.Writer, vars []string) (*JSONStream, error) {
+	s := &JSONStream{w: w, vars: vars}
+	head, err := json.Marshal(jsonHead{Vars: vars})
+	if err != nil {
+		return nil, err
+	}
+	s.write(`{"head":`)
+	s.writeBytes(head)
+	s.write(`,"results":{"bindings":[`)
+	return s, s.err
+}
+
+// WriteRow appends one solution. Unbound and unknown variables are omitted,
+// matching Results.MarshalJSON.
+func (s *JSONStream) WriteRow(binding map[string]rdf.Term) error {
+	if s.err != nil {
+		return s.err
+	}
+	m := make(map[string]jsonTerm, len(binding))
+	for _, v := range s.vars {
+		if t, ok := binding[v]; ok && !t.IsZero() {
+			m[v] = termToJSON(t)
+		}
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		s.err = err
+		return err
+	}
+	if s.rows > 0 {
+		s.write(",")
+	}
+	s.writeBytes(data)
+	s.rows++
+	return s.err
+}
+
+// Rows returns the number of solutions written so far.
+func (s *JSONStream) Rows() int { return s.rows }
+
+// Close terminates the document. The stream is unusable afterwards.
+func (s *JSONStream) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	s.write("]}}")
+	return s.err
+}
+
+// Err returns the first write error, if any.
+func (s *JSONStream) Err() error { return s.err }
+
+func (s *JSONStream) write(str string) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = io.WriteString(s.w, str)
+}
+
+func (s *JSONStream) writeBytes(b []byte) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = s.w.Write(b)
+}

@@ -97,6 +97,15 @@ type (
 	Options = core.Options
 	// Profile reports per-phase timings and planning counters of a query.
 	Profile = core.Profile
+	// Plan is a reusable execution plan: the output of source selection and
+	// LADE analysis for one query, executable many times with
+	// Engine.ExecutePlan / Engine.ExecutePlanStream. Services cache Plans
+	// keyed on query shape and Epoch.
+	Plan = core.Plan
+	// Epoch identifies an engine's planning inputs (federation identity +
+	// catalog generation); plans and caches keyed on it are invalidated
+	// when it changes.
+	Epoch = core.Epoch
 	// ThresholdMode selects SAPE's delay rule.
 	ThresholdMode = core.ThresholdMode
 	// Metrics counts requests/rows/bytes flowing through endpoints.
