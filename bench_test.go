@@ -103,6 +103,18 @@ func BenchmarkFig12bc_Scaling(b *testing.B) {
 	}
 }
 
+func BenchmarkDiskScale(b *testing.B) {
+	// The 100k tier keeps each iteration in seconds; the cmd tool runs the
+	// full magnitude grid (10⁵–10⁶+ triples) for BENCH_diskstore.json.
+	for i := 0; i < b.N; i++ {
+		ts, err := bench.DiskScale(context.Background(), benchExp(), "lubm-100k")
+		if err != nil {
+			b.Fatal(err)
+		}
+		logTables(b, i, ts...)
+	}
+}
+
 func BenchmarkFig13_Thresholds(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t, err := bench.Fig13Thresholds(context.Background(), benchExp())

@@ -12,7 +12,7 @@
 //
 // Experiments: table1, fig8, fig9, fig10, fig11, fig12a, fig12bc, fig13,
 // fig14, table2, qerror, preprocessing, blocksize, poolsize, catalog,
-// faults, service, all.
+// faults, service, diskscale, all.
 //
 // -metrics-addr also exposes /debug/pprof/ for live CPU and heap profiles
 // of a running experiment.
@@ -180,6 +180,11 @@ func main() {
 	}
 	if want("service") {
 		show("service")(bench.ServiceExperiment(ctx, opts))
+	}
+	if want("diskscale") {
+		// The JSON id is the subsystem name: BENCH_diskstore.json.
+		ts, err := bench.DiskScale(ctx, opts)
+		emit("diskstore", ts, err)
 	}
 	fmt.Printf("total experiment time: %v\n", time.Since(start).Round(time.Millisecond))
 }

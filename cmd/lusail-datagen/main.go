@@ -1,14 +1,19 @@
 // Command lusail-datagen generates the synthetic benchmark federations
 // (LUBM, QFed, LargeRDFBench-like, Bio2RDF-like) as N-Triples files, one
-// per endpoint, ready to be served with lusail-endpoint.
+// per endpoint, ready to be served with lusail-endpoint or bulk-loaded
+// into a disk store with lusail-load.
 //
-// Usage:
+// LUBM datasets stream to disk triple by triple, so generation memory is
+// constant regardless of scale; the -preset flag jumps straight to the
+// paper's data magnitudes:
 //
 //	lusail-datagen -benchmark lubm -universities 4 -out ./data
+//	lusail-datagen -benchmark lubm -preset 1m -out ./data
 //	lusail-datagen -benchmark lrb -scale 2 -out ./data
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -18,23 +23,52 @@ import (
 
 	"lusail"
 	"lusail/internal/bench"
+	"lusail/internal/rdf"
 )
+
+// presets size the LUBM federation to round triple counts. Triples per
+// department ≈ 2 + 7·profs + 8·students, plus 3 per university.
+var presets = map[string]bench.LUBMConfig{
+	// ~100K triples across 4 endpoints.
+	"100k": {Universities: 4, DeptsPerUniv: 10, ProfsPerDept: 20, StudentsPerDept: 295, Seed: 1, RemoteDegreeRatio: 0.3},
+	// ~1M triples across 4 endpoints: the smallest of the paper's magnitudes.
+	"1m": {Universities: 4, DeptsPerUniv: 25, ProfsPerDept: 40, StudentsPerDept: 1200, Seed: 1, RemoteDegreeRatio: 0.3},
+	// ~10M triples across 8 endpoints.
+	"10m": {Universities: 8, DeptsPerUniv: 50, ProfsPerDept: 50, StudentsPerDept: 3050, Seed: 1, RemoteDegreeRatio: 0.3},
+}
 
 func main() {
 	benchmark := flag.String("benchmark", "lubm", "benchmark: lubm, qfed, lrb, bio2rdf")
 	out := flag.String("out", ".", "output directory")
 	scale := flag.Int("scale", 1, "scale factor")
 	universities := flag.Int("universities", 4, "universities (lubm only)")
+	preset := flag.String("preset", "", "lubm size preset: 100k, 1m, 10m (overrides -scale/-universities)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	var datasets []bench.Dataset
-	switch *benchmark {
-	case "lubm":
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("lusail-datagen: %v", err)
+	}
+
+	if *benchmark == "lubm" {
 		cfg := bench.DefaultLUBM(*universities)
 		cfg.StudentsPerDept *= *scale
+		if *preset != "" {
+			p, ok := presets[strings.ToLower(*preset)]
+			if !ok {
+				log.Fatalf("lusail-datagen: unknown preset %q (have 100k, 1m, 10m)", *preset)
+			}
+			cfg = p
+		}
 		cfg.Seed = *seed
-		datasets = bench.GenerateLUBM(cfg)
+		if err := streamLUBM(cfg, *out); err != nil {
+			log.Fatalf("lusail-datagen: %v", err)
+		}
+		return
+	}
+
+	var datasets []bench.Dataset
+	switch *benchmark {
 	case "qfed":
 		cfg := bench.DefaultQFed()
 		cfg.Drugs *= *scale
@@ -49,13 +83,9 @@ func main() {
 		log.Fatalf("lusail-datagen: unknown benchmark %q", *benchmark)
 	}
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatalf("lusail-datagen: %v", err)
-	}
 	total := 0
 	for _, ds := range datasets {
-		name := strings.ToLower(strings.ReplaceAll(ds.Name, " ", "-")) + ".nt"
-		path := filepath.Join(*out, name)
+		path := filepath.Join(*out, fileName(ds.Name))
 		f, err := os.Create(path)
 		if err != nil {
 			log.Fatalf("lusail-datagen: %v", err)
@@ -70,4 +100,59 @@ func main() {
 		total += len(ds.Triples)
 	}
 	fmt.Printf("%-30s %8d triples total\n", "", total)
+}
+
+func fileName(dataset string) string {
+	return strings.ToLower(strings.ReplaceAll(dataset, " ", "-")) + ".nt"
+}
+
+// streamLUBM writes each university's dataset as it is generated, never
+// holding more than one triple in memory.
+func streamLUBM(cfg bench.LUBMConfig, out string) error {
+	type sink struct {
+		f *os.File
+		w *bufio.Writer
+		n int64
+	}
+	sinks := map[string]*sink{}
+	var order []string
+	err := bench.EmitLUBM(cfg, func(dataset string, t rdf.Triple) error {
+		s, ok := sinks[dataset]
+		if !ok {
+			f, err := os.Create(filepath.Join(out, fileName(dataset)))
+			if err != nil {
+				return err
+			}
+			s = &sink{f: f, w: bufio.NewWriterSize(f, 1<<20)}
+			sinks[dataset] = s
+			order = append(order, dataset)
+		}
+		if _, err := s.w.WriteString(t.String()); err != nil {
+			return err
+		}
+		if err := s.w.WriteByte('\n'); err != nil {
+			return err
+		}
+		s.n++
+		return nil
+	})
+	var total int64
+	for _, name := range order {
+		s := sinks[name]
+		if ferr := s.w.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+		if cerr := s.f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err == nil {
+			fmt.Printf("%-30s %8d triples -> %s\n", name, s.n, filepath.Join(out, fileName(name)))
+			total += s.n
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-30s %8d triples total\n", "", total)
+	return nil
 }

@@ -1,0 +1,138 @@
+// Command lusail-load bulk-loads N-Triples data into a disk-backed lusail
+// store. Input streams straight through an external merge sort, so the
+// dataset being loaded can be far larger than RAM: memory use is bounded
+// by -mem regardless of input size.
+//
+// Usage:
+//
+//	lusail-load -out university0.lds university0.nt
+//	cat *.nt | lusail-load -out all.lds -
+//	lusail-load -out u0.lds -mem 256 -verify university0.nt
+//
+// The store is written to <out>.tmp and renamed into place only when the
+// build completes, so an interrupted load never leaves a partial store.
+// Serve the result with: lusail-endpoint -store disk:<out>
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"lusail/internal/diskstore"
+	"lusail/internal/rdf"
+)
+
+func main() {
+	out := flag.String("out", "", "output store file (required)")
+	mem := flag.Int64("mem", 64, "sort-buffer memory budget in MiB")
+	dictBlock := flag.Int("dict-block", 0, "terms per dictionary block (default 16)")
+	tripleBlock := flag.Int("block", 0, "triples per index block (default 4096)")
+	verify := flag.Bool("verify", false, "re-open the store after loading and check counts")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	if *out == "" {
+		log.Fatal("lusail-load: -out is required")
+	}
+	inputs := flag.Args()
+	if len(inputs) == 0 {
+		inputs = []string{"-"}
+	}
+
+	loader, err := diskstore.NewLoader(*out, diskstore.BuildOptions{
+		DictBlockSize:   *dictBlock,
+		TripleBlockSize: *tripleBlock,
+		MemoryBudget:    *mem << 20,
+	})
+	if err != nil {
+		log.Fatalf("lusail-load: %v", err)
+	}
+	defer loader.Abort()
+
+	start := time.Now()
+	var lines int64
+	for _, input := range inputs {
+		r := os.Stdin
+		if input != "-" {
+			f, err := os.Open(input)
+			if err != nil {
+				log.Fatalf("lusail-load: %v", err)
+			}
+			r = f
+		}
+		n, err := addFile(loader, r, &lines, *quiet)
+		if input != "-" {
+			r.Close()
+		}
+		if err != nil {
+			log.Fatalf("lusail-load: %s: %v", input, err)
+		}
+		if !*quiet {
+			fmt.Printf("read %-40s %10d triples\n", input, n)
+		}
+	}
+	stats, err := loader.Finish()
+	if err != nil {
+		log.Fatalf("lusail-load: %v", err)
+	}
+	elapsed := time.Since(start)
+	if !*quiet {
+		rate := float64(stats.TriplesAdded) / elapsed.Seconds()
+		fmt.Printf("loaded %d triples (%d distinct, %d terms) into %s: %s (%.0f triples/s, %.1f MiB)\n",
+			stats.TriplesAdded, stats.Triples, stats.Terms, *out,
+			elapsed.Round(time.Millisecond), rate, float64(stats.FileBytes)/(1<<20))
+	}
+
+	if *verify {
+		ds, err := diskstore.Open(*out, diskstore.Options{})
+		if err != nil {
+			log.Fatalf("lusail-load: verify: %v", err)
+		}
+		defer ds.Close()
+		if int64(ds.Len()) != stats.Triples {
+			log.Fatalf("lusail-load: verify: store reports %d triples, loader wrote %d", ds.Len(), stats.Triples)
+		}
+		total := 0
+		for _, p := range ds.Predicates() {
+			total += ds.PredicateCount(p)
+		}
+		if int64(total) != stats.Triples {
+			log.Fatalf("lusail-load: verify: predicate counts sum to %d, want %d", total, stats.Triples)
+		}
+		if !*quiet {
+			fmt.Printf("verify ok: %d triples, %d predicates\n", ds.Len(), len(ds.Predicates()))
+		}
+	}
+}
+
+// addFile streams one N-Triples input into the loader line by line.
+func addFile(loader *diskstore.Loader, r io.Reader, lines *int64, quiet bool) (int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var n int64
+	for sc.Scan() {
+		*lines++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := rdf.ParseTripleLine(line)
+		if err != nil {
+			return n, fmt.Errorf("line %d: %w", *lines, err)
+		}
+		if err := loader.Add(t); err != nil {
+			return n, err
+		}
+		n++
+		if !quiet && n%5_000_000 == 0 {
+			fmt.Printf("  ... %d triples\n", n)
+		}
+	}
+	return n, sc.Err()
+}

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lusail/internal/client"
+	"lusail/internal/diskstore"
+	"lusail/internal/federation"
+	"lusail/internal/rdf"
+	"lusail/internal/store"
+)
+
+// diskScaleTier is one cell row of the DiskScale grid: a LUBM federation
+// sized to a target triple count.
+type diskScaleTier struct {
+	name string
+	cfg  LUBMConfig
+}
+
+// diskScaleTiers returns the grid, scaled by opts.Scale. Triples per
+// department ≈ 2 + 7·profs + 8·students; the base tiers land near 10⁵ and
+// 10⁶ triples — the smallest of the paper's data magnitudes, reachable in
+// a CI run — and -scale multiplies student counts toward the larger ones.
+func diskScaleTiers(opts ExpOptions) []diskScaleTier {
+	tiers := []diskScaleTier{
+		{"lubm-100k", LUBMConfig{Universities: 4, DeptsPerUniv: 10, ProfsPerDept: 20, StudentsPerDept: 295, Seed: 1, RemoteDegreeRatio: 0.3}},
+		{"lubm-1m", LUBMConfig{Universities: 4, DeptsPerUniv: 25, ProfsPerDept: 40, StudentsPerDept: 1200, Seed: 1, RemoteDegreeRatio: 0.3}},
+	}
+	if opts.Scale > 1 {
+		for i := range tiers {
+			tiers[i].cfg.StudentsPerDept *= opts.Scale
+			tiers[i].name = fmt.Sprintf("%s-x%d", tiers[i].name, opts.Scale)
+		}
+	}
+	return tiers
+}
+
+// diskScaleCacheBytes is the per-endpoint block-cache budget used for the
+// query comparison: deliberately small so the 10⁶-triple tier cannot fit
+// its decoded blocks in memory and must evict — the bounded-memory
+// operating point the disk tier exists for.
+const diskScaleCacheBytes = 4 << 20
+
+// DiskScale measures the disk-backed store tier end to end, per tier of
+// the grid:
+//
+//   - bulk-load throughput and on-disk compression of the external-sort
+//     loader, streaming straight from the generator (constant memory);
+//   - LUBM query runtimes on the same federation served from the in-memory
+//     backend vs the disk backend with a small block cache, asserting
+//     row-identical result counts;
+//   - block-cache behavior (hit rate, peak residency vs budget).
+//
+// It is the fig9/fig12-style experiment for data magnitude rather than
+// endpoint count: the x-axis is triples per federation. A non-empty
+// onlyTiers filter restricts the grid by tier name prefix (the testing.B
+// wrapper runs just the smallest cell; the cmd tool runs everything).
+func DiskScale(ctx context.Context, opts ExpOptions, onlyTiers ...string) ([]*Table, error) {
+	loadT := &Table{
+		Title:  "diskscale: bulk load (streaming external merge sort)",
+		Header: []string{"tier", "endpoints", "triples", "terms", "file_MiB", "B/triple", "load_time", "triples/s"},
+	}
+	queryT := &Table{
+		Title:  "diskscale: LUBM query runtime, memory vs disk backend",
+		Header: []string{"tier", "query", "results", "memory", "disk", "disk/mem"},
+		Notes: []string{
+			fmt.Sprintf("disk endpoints run with a %d MiB block cache each; results are asserted row-identical across backends", diskScaleCacheBytes>>20),
+		},
+	}
+	cacheT := &Table{
+		Title:  "diskscale: block cache after query workload",
+		Header: []string{"tier", "cache_MiB", "peak_resident_MiB", "hit_rate"},
+	}
+
+	for _, tier := range diskScaleTiers(opts) {
+		if len(onlyTiers) > 0 {
+			keep := false
+			for _, want := range onlyTiers {
+				if strings.HasPrefix(tier.name, want) {
+					keep = true
+					break
+				}
+			}
+			if !keep {
+				continue
+			}
+		}
+		dir, err := os.MkdirTemp("", "lusail-diskscale-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+
+		// Load phase: stream the generator into one bulk loader per
+		// endpoint; nothing is materialized in memory.
+		loaders := map[string]*diskstore.Loader{}
+		var names []string
+		start := time.Now()
+		err = EmitLUBM(tier.cfg, func(dataset string, t rdf.Triple) error {
+			l, ok := loaders[dataset]
+			if !ok {
+				var lerr error
+				l, lerr = diskstore.NewLoader(filepath.Join(dir, dataset+".lds"), diskstore.BuildOptions{})
+				if lerr != nil {
+					return lerr
+				}
+				loaders[dataset] = l
+				names = append(names, dataset)
+			}
+			return l.Add(t)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("diskscale %s: %w", tier.name, err)
+		}
+		var added, distinct, terms, fileBytes int64
+		for _, name := range names {
+			stats, err := loaders[name].Finish()
+			if err != nil {
+				return nil, fmt.Errorf("diskscale %s: loading %s: %w", tier.name, name, err)
+			}
+			added += stats.TriplesAdded
+			distinct += stats.Triples
+			terms += stats.Terms
+			fileBytes += stats.FileBytes
+		}
+		loadTime := time.Since(start)
+		loadT.Rows = append(loadT.Rows, []string{
+			tier.name,
+			fmt.Sprintf("%d", len(names)),
+			fmt.Sprintf("%d", distinct),
+			fmt.Sprintf("%d", terms),
+			fmt.Sprintf("%.1f", float64(fileBytes)/(1<<20)),
+			fmt.Sprintf("%.1f", float64(fileBytes)/float64(distinct)),
+			FormatDuration(loadTime),
+			fmt.Sprintf("%.0f", float64(added)/loadTime.Seconds()),
+		})
+
+		// Query phase: same federation, both backends.
+		var disks []*diskstore.Store
+		var graphs []store.Graph
+		for _, name := range names {
+			ds, err := diskstore.Open(filepath.Join(dir, name+".lds"), diskstore.Options{CacheBytes: diskScaleCacheBytes})
+			if err != nil {
+				return nil, fmt.Errorf("diskscale %s: %w", tier.name, err)
+			}
+			defer ds.Close()
+			disks = append(disks, ds)
+			graphs = append(graphs, ds)
+		}
+		diskFed, err := newGraphFed(names, graphs, InProcess())
+		if err != nil {
+			return nil, err
+		}
+		memGraphs := make([]store.Graph, 0, len(names))
+		for _, ds := range GenerateLUBM(tier.cfg) {
+			memGraphs = append(memGraphs, store.NewFromTriples(ds.Triples))
+		}
+		memFed, err := newGraphFed(names, memGraphs, InProcess())
+		if err != nil {
+			return nil, err
+		}
+
+		for _, q := range LUBMQueries() {
+			mr := memFed.Run(ctx, Lusail, q.Text, opts.run())
+			dr := diskFed.Run(ctx, Lusail, q.Text, opts.run())
+			if mr.Err == nil && dr.Err == nil && mr.Results != dr.Results {
+				return nil, fmt.Errorf("diskscale %s %s: memory backend returned %d results, disk backend %d",
+					tier.name, q.Name, mr.Results, dr.Results)
+			}
+			ratio := "-"
+			if mr.Err == nil && dr.Err == nil && mr.Time > 0 {
+				ratio = fmt.Sprintf("%.2fx", float64(dr.Time)/float64(mr.Time))
+			}
+			queryT.Rows = append(queryT.Rows, []string{
+				tier.name, q.Name, fmt.Sprintf("%d", mr.Results),
+				FormatResult(mr), FormatResult(dr), ratio,
+			})
+		}
+
+		var hits, misses, resident int64
+		for _, ds := range disks {
+			h, m, u := ds.CacheStats()
+			hits += h
+			misses += m
+			resident += u
+			if err := ds.Err(); err != nil {
+				return nil, fmt.Errorf("diskscale %s: %w", tier.name, err)
+			}
+		}
+		hitRate := 0.0
+		if hits+misses > 0 {
+			hitRate = float64(hits) / float64(hits+misses)
+		}
+		cacheT.Rows = append(cacheT.Rows, []string{
+			tier.name,
+			fmt.Sprintf("%d", int64(len(disks))*diskScaleCacheBytes>>20),
+			fmt.Sprintf("%.1f", float64(resident)/(1<<20)),
+			fmt.Sprintf("%.1f%%", 100*hitRate),
+		})
+	}
+	return []*Table{loadT, queryT, cacheT}, nil
+}
+
+// newGraphFed builds a benchmark federation over existing graph backends
+// (memory or disk), mirroring newFed's instrumentation.
+func newGraphFed(names []string, graphs []store.Graph, net NetworkProfile) (*Fed, error) {
+	m := &client.Metrics{}
+	var wrapped []client.Endpoint
+	var raw []client.Endpoint
+	for i, name := range names {
+		ep := client.NewInProcess(name, graphs[i])
+		raw = append(raw, ep)
+		var e client.Endpoint = ep
+		if net.RTT > 0 || net.BytesPerSecond > 0 {
+			e = client.NewLatency(e, net.RTT, net.BytesPerSecond)
+		}
+		wrapped = append(wrapped, client.NewInstrumented(e, m))
+	}
+	fed, err := federation.New(wrapped...)
+	if err != nil {
+		return nil, err
+	}
+	rawFed, err := federation.New(raw...)
+	if err != nil {
+		return nil, err
+	}
+	return &Fed{Federation: fed, Metrics: m, rawFed: rawFed}, nil
+}

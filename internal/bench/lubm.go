@@ -44,6 +44,28 @@ func DefaultLUBM(universities int) LUBMConfig {
 
 // GenerateLUBM produces one dataset per university.
 func GenerateLUBM(cfg LUBMConfig) []Dataset {
+	var datasets []Dataset
+	byName := map[string]int{}
+	EmitLUBM(cfg, func(dataset string, t rdf.Triple) error {
+		i, ok := byName[dataset]
+		if !ok {
+			i = len(datasets)
+			byName[dataset] = i
+			datasets = append(datasets, Dataset{Name: dataset})
+		}
+		datasets[i].Triples = append(datasets[i].Triples, t)
+		return nil
+	})
+	return datasets
+}
+
+// EmitLUBM streams the LUBM federation triple by triple instead of
+// materializing it: the path to the paper's data magnitudes, where a
+// generated dataset can exceed RAM and flows straight into an N-Triples
+// file or a disk-store bulk loader. GenerateLUBM is a wrapper; for a given
+// config the two produce exactly the same triples in the same order. A
+// non-nil error from emit aborts generation and is returned.
+func EmitLUBM(cfg LUBMConfig, emit func(dataset string, t rdf.Triple) error) error {
 	if cfg.Universities <= 0 {
 		cfg.Universities = 2
 	}
@@ -52,10 +74,14 @@ func GenerateLUBM(cfg LUBMConfig) []Dataset {
 
 	univ := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://www.University%d.edu", i)) }
 
-	datasets := make([]Dataset, cfg.Universities)
 	for ui := 0; ui < cfg.Universities; ui++ {
-		var ts []rdf.Triple
-		add := func(s, p, o rdf.Term) { ts = append(ts, rdf.Triple{S: s, P: p, O: o}) }
+		dsName := fmt.Sprintf("University%d", ui)
+		var emitErr error
+		add := func(s, p, o rdf.Term) {
+			if emitErr == nil {
+				emitErr = emit(dsName, rdf.Triple{S: s, P: p, O: o})
+			}
+		}
 		u := univ(ui)
 		add(u, typ, ubIRI("University"))
 		add(u, ubIRI("name"), rdf.NewLiteral(fmt.Sprintf("University%d", ui)))
@@ -123,9 +149,11 @@ func GenerateLUBM(cfg LUBMConfig) []Dataset {
 				add(stu, ubIRI("takesCourse"), courses[(si+1)%len(courses)])
 			}
 		}
-		datasets[ui] = Dataset{Name: fmt.Sprintf("University%d", ui), Triples: ts}
+		if emitErr != nil {
+			return emitErr
+		}
 	}
-	return datasets
+	return nil
 }
 
 // LUBMQueries returns the paper's four LUBM queries: Q1, Q2, Q3 correspond

@@ -87,16 +87,18 @@ type InProcess struct {
 	ev   *eval.Evaluator
 }
 
-// NewInProcess returns an in-process endpoint over the given store.
-func NewInProcess(name string, st *store.Store) *InProcess {
+// NewInProcess returns an in-process endpoint over the given graph backend
+// (an in-memory *store.Store or a disk-backed *diskstore.Store).
+func NewInProcess(name string, st store.Graph) *InProcess {
 	return &InProcess{name: name, ev: eval.New(st)}
 }
 
 // Name implements Endpoint.
 func (e *InProcess) Name() string { return e.name }
 
-// Store returns the underlying store (used by data generators and tests).
-func (e *InProcess) Store() *store.Store { return e.ev.Store() }
+// Store returns the underlying graph backend (used by data generators and
+// tests).
+func (e *InProcess) Store() store.Graph { return e.ev.Store() }
 
 // Query implements Endpoint.
 func (e *InProcess) Query(ctx context.Context, query string) (*sparql.Results, error) {

@@ -1,0 +1,541 @@
+package diskstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"lusail/internal/rdf"
+	"lusail/internal/store"
+)
+
+// BuildOptions tunes the bulk loader.
+type BuildOptions struct {
+	// DictBlockSize is the number of terms per front-coded dictionary
+	// block (default 16).
+	DictBlockSize int
+	// TripleBlockSize is the number of id-triples per compressed block
+	// (default 4096).
+	TripleBlockSize int
+	// MemoryBudget bounds the loader's sort buffers in bytes (default
+	// 64 MiB). The loader's total memory use is this budget plus small
+	// fixed overheads, independent of dataset size.
+	MemoryBudget int64
+	// TempDir holds spill files during the build (default: the output
+	// file's directory).
+	TempDir string
+}
+
+func (o *BuildOptions) fill(path string) {
+	if o.DictBlockSize <= 0 {
+		o.DictBlockSize = defaultDictBlockSize
+	}
+	if o.TripleBlockSize <= 0 {
+		o.TripleBlockSize = defaultTripleBlockSize
+	}
+	if o.MemoryBudget <= 0 {
+		o.MemoryBudget = 64 << 20
+	}
+	if o.TempDir == "" {
+		o.TempDir = filepath.Dir(path)
+	}
+}
+
+// BuildStats summarizes a completed build.
+type BuildStats struct {
+	TriplesAdded int64 // triples passed to Add, duplicates included
+	Triples      int64 // distinct triples stored
+	Terms        int64 // distinct terms in the dictionary
+	FileBytes    int64 // size of the finished store file
+}
+
+// Loader streams triples into a new disk store in bounded memory. Usage:
+//
+//	l, _ := NewLoader(path, opts)
+//	for each triple { l.Add(t) }
+//	stats, err := l.Finish()
+//
+// Triples spill to temp files as they arrive; Finish runs the external
+// merge sorts and writes the store to path+".tmp", renaming to path only
+// on success, so a crash at any point leaves no partial store behind.
+type Loader struct {
+	path string
+	opts BuildOptions
+
+	raw   *os.File // spill of raw encoded triples, replayed during resolve
+	raww  *bufio.Writer
+	terms *extSorter
+	added int64
+	enc   []byte
+	err   error
+}
+
+// NewLoader starts a build targeting path.
+func NewLoader(path string, opts BuildOptions) (*Loader, error) {
+	opts.fill(path)
+	raw, err := os.CreateTemp(opts.TempDir, "lusail-load-raw-*")
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: creating spill file: %w", err)
+	}
+	// Unlinked immediately: the handle keeps it alive and a crash leaves
+	// nothing behind.
+	os.Remove(raw.Name())
+	return &Loader{
+		path:  path,
+		opts:  opts,
+		raw:   raw,
+		raww:  bufio.NewWriterSize(raw, 1<<20),
+		terms: newExtSorter(opts.TempDir, "lusail-load-terms", opts.MemoryBudget/2),
+	}, nil
+}
+
+// Add appends one triple. Duplicates are deduplicated by the build.
+func (l *Loader) Add(t rdf.Triple) error {
+	if l.err != nil {
+		return l.err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, term := range []rdf.Term{t.S, t.P, t.O} {
+		l.enc = encodeTerm(l.enc[:0], term)
+		if err := l.terms.add(l.enc); err != nil {
+			return l.fail(err)
+		}
+		n := binary.PutUvarint(lenBuf[:], uint64(len(l.enc)))
+		if _, err := l.raww.Write(lenBuf[:n]); err != nil {
+			return l.fail(err)
+		}
+		if _, err := l.raww.Write(l.enc); err != nil {
+			return l.fail(err)
+		}
+	}
+	l.added++
+	return nil
+}
+
+func (l *Loader) fail(err error) error {
+	if l.err == nil {
+		l.err = err
+	}
+	return l.err
+}
+
+// Abort discards the build. Safe to call after Finish (then a no-op).
+func (l *Loader) Abort() {
+	if l.raw != nil {
+		l.raw.Close()
+		l.raw = nil
+	}
+	if l.terms != nil {
+		l.terms.close()
+		l.terms = nil
+	}
+}
+
+// countingWriter tracks the absolute file offset of sequential writes.
+type countingWriter struct {
+	w *bufio.Writer
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+// Finish runs the merge phases and writes the store file.
+func (l *Loader) Finish() (BuildStats, error) {
+	defer l.Abort()
+	if l.err != nil {
+		return BuildStats{}, l.err
+	}
+	if err := l.raww.Flush(); err != nil {
+		return BuildStats{}, l.fail(err)
+	}
+
+	tmpPath := l.path + ".tmp"
+	out, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return BuildStats{}, l.fail(fmt.Errorf("diskstore: %w", err))
+	}
+	defer func() {
+		if out != nil {
+			out.Close()
+			os.Remove(tmpPath)
+		}
+	}()
+	cw := &countingWriter{w: bufio.NewWriterSize(out, 1<<20)}
+	var ft footer
+	ft.version = 1
+	ft.dictBlockSize = uint64(l.opts.DictBlockSize)
+	ft.tripleBlockSize = uint64(l.opts.TripleBlockSize)
+
+	if _, err := cw.Write([]byte(headerMagic)); err != nil {
+		return BuildStats{}, l.fail(err)
+	}
+
+	// Phase 1: merge the distinct terms in sorted order into front-coded
+	// dictionary blocks; ids are positions in that order. Hash-index
+	// entries spill through their own sorter (records are fixed-width
+	// big-endian, so byte order is (hash, id) order).
+	ft.dictOff = cw.n
+	hashes := newExtSorter(l.opts.TempDir, "lusail-load-hash", l.opts.MemoryBudget/2)
+	var (
+		dictOffsets []uint64
+		batch       [][]byte
+		blockBuf    []byte
+		nextID      uint32
+		hashRec     [hashEntrySize]byte
+	)
+	flushDict := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		dictOffsets = append(dictOffsets, cw.n)
+		blockBuf = encodeDictBlock(blockBuf[:0], batch)
+		if _, err := cw.Write(blockBuf); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
+	err = l.terms.merge(func(rec []byte) error {
+		binary.BigEndian.PutUint64(hashRec[:8], hashTerm(rec))
+		binary.BigEndian.PutUint32(hashRec[8:], nextID)
+		nextID++
+		if err := hashes.add(hashRec[:]); err != nil {
+			return err
+		}
+		batch = append(batch, append([]byte(nil), rec...))
+		if len(batch) == l.opts.DictBlockSize {
+			return flushDict()
+		}
+		return nil
+	})
+	if err == nil {
+		err = flushDict()
+	}
+	if err != nil {
+		hashes.close()
+		return BuildStats{}, l.fail(err)
+	}
+	ft.termCount = uint64(nextID)
+	ft.dictLen = cw.n - ft.dictOff
+	ft.dictBlocks = uint64(len(dictOffsets))
+
+	ft.dictIdxOff = cw.n
+	for _, off := range dictOffsets {
+		if err := binary.Write(cw, binary.LittleEndian, off); err != nil {
+			hashes.close()
+			return BuildStats{}, l.fail(err)
+		}
+	}
+
+	ft.hashOff = cw.n
+	err = hashes.merge(func(rec []byte) error {
+		_, werr := cw.Write(rec)
+		return werr
+	})
+	if err != nil {
+		return BuildStats{}, l.fail(err)
+	}
+	ft.hashCount = ft.termCount
+
+	// Phase 2: replay the raw triple spill, resolving terms to ids
+	// against the dictionary just written (read back through a dedicated
+	// small cache), and sort the id-triples.
+	if err := cw.w.Flush(); err != nil {
+		return BuildStats{}, l.fail(err)
+	}
+	dict := &dictReader{
+		r: out, offsets: dictOffsets,
+		dictEnd:   ft.dictOff + ft.dictLen,
+		blockSize: l.opts.DictBlockSize,
+		termCount: ft.termCount,
+		hashOff:   ft.hashOff, hashCount: ft.hashCount,
+		cache: newBlockCache(8 << 20),
+	}
+	memo := make(map[string]uint32, 1<<15)
+	resolve := func(enc []byte) (uint32, error) {
+		if id, ok := memo[string(enc)]; ok {
+			return id, nil
+		}
+		id, ok, err := dict.lookup(enc)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return 0, fmt.Errorf("diskstore: internal error: term missing from freshly built dictionary")
+		}
+		if len(memo) >= 1<<16 {
+			memo = make(map[string]uint32, 1<<15)
+		}
+		memo[string(enc)] = id
+		return id, nil
+	}
+	if _, err := l.raw.Seek(0, io.SeekStart); err != nil {
+		return BuildStats{}, l.fail(err)
+	}
+	spo := newExtSorter(l.opts.TempDir, "lusail-load-spo", l.opts.MemoryBudget)
+	rr := bufio.NewReaderSize(l.raw, 1<<20)
+	var termBuf []byte
+	var idRec [12]byte
+	for i := int64(0); i < l.added; i++ {
+		for j := 0; j < 3; j++ {
+			n, err := binary.ReadUvarint(rr)
+			if err != nil {
+				spo.close()
+				return BuildStats{}, l.fail(fmt.Errorf("diskstore: reading triple spill: %w", err))
+			}
+			if uint64(cap(termBuf)) < n {
+				termBuf = make([]byte, n)
+			}
+			termBuf = termBuf[:n]
+			if _, err := io.ReadFull(rr, termBuf); err != nil {
+				spo.close()
+				return BuildStats{}, l.fail(fmt.Errorf("diskstore: reading triple spill: %w", err))
+			}
+			id, err := resolve(termBuf)
+			if err != nil {
+				spo.close()
+				return BuildStats{}, l.fail(err)
+			}
+			binary.BigEndian.PutUint32(idRec[j*4:], id)
+		}
+		if err := spo.add(idRec[:]); err != nil {
+			return BuildStats{}, l.fail(err)
+		}
+	}
+
+	// Phase 3: merged SPO order becomes the SPO permutation's blocks; the
+	// deduplicated stream also spills to a replay file feeding the POS
+	// and OSP sorts.
+	dedup, err := os.CreateTemp(l.opts.TempDir, "lusail-load-dedup-*")
+	if err != nil {
+		spo.close()
+		return BuildStats{}, l.fail(fmt.Errorf("diskstore: %w", err))
+	}
+	os.Remove(dedup.Name())
+	defer dedup.Close()
+	dedupw := bufio.NewWriterSize(dedup, 1<<20)
+
+	var dirs [permCount][]blockMeta
+	var tripleBatch []tripleID
+	writeBlocks := func(perm int, t tripleID) error {
+		tripleBatch = append(tripleBatch, t)
+		if len(tripleBatch) < l.opts.TripleBlockSize {
+			return nil
+		}
+		return flushTripleBatch(cw, &dirs[perm], &tripleBatch, &blockBuf)
+	}
+	finishBlocks := func(perm int) error {
+		if len(tripleBatch) == 0 {
+			return nil
+		}
+		return flushTripleBatch(cw, &dirs[perm], &tripleBatch, &blockBuf)
+	}
+
+	ft.perms[permSPO].blocksOff = cw.n
+	err = spo.merge(func(rec []byte) error {
+		ft.tripleCount++
+		if _, werr := dedupw.Write(rec); werr != nil {
+			return werr
+		}
+		return writeBlocks(permSPO, decodeIDRec(rec))
+	})
+	if err == nil {
+		err = finishBlocks(permSPO)
+	}
+	if err == nil {
+		err = dedupw.Flush()
+	}
+	if err != nil {
+		return BuildStats{}, l.fail(err)
+	}
+	ft.perms[permSPO].blocksLen = cw.n - ft.perms[permSPO].blocksOff
+	if err := writeDir(cw, &ft.perms[permSPO], dirs[permSPO]); err != nil {
+		return BuildStats{}, l.fail(err)
+	}
+
+	// Phases 4 and 5: re-sort the deduplicated triples in POS and OSP
+	// order. The POS stream's leading component is the predicate, so the
+	// per-predicate statistics fall out of it with a running counter.
+	var stats []byte
+	var statCount uint64
+	var curPred uint32
+	var curCount uint64
+	haveCur := false
+	flushStat := func() {
+		if !haveCur {
+			return
+		}
+		stats = binary.LittleEndian.AppendUint32(stats, curPred)
+		stats = binary.LittleEndian.AppendUint64(stats, curCount)
+		statCount++
+	}
+	permute := func(perm int, onTriple func(t tripleID) error) error {
+		srt := newExtSorter(l.opts.TempDir, "lusail-load-perm", l.opts.MemoryBudget)
+		if _, err := dedup.Seek(0, io.SeekStart); err != nil {
+			srt.close()
+			return err
+		}
+		dr := bufio.NewReaderSize(dedup, 1<<20)
+		var rec [12]byte
+		for i := uint64(0); i < ft.tripleCount; i++ {
+			if _, err := io.ReadFull(dr, rec[:]); err != nil {
+				srt.close()
+				return fmt.Errorf("diskstore: reading dedup spill: %w", err)
+			}
+			t := decodeIDRec(rec[:])
+			var p tripleID
+			if perm == permPOS {
+				p = tripleID{t[1], t[2], t[0]} // x=p y=o z=s
+			} else {
+				p = tripleID{t[2], t[0], t[1]} // x=o y=s z=p
+			}
+			binary.BigEndian.PutUint32(rec[0:], p[0])
+			binary.BigEndian.PutUint32(rec[4:], p[1])
+			binary.BigEndian.PutUint32(rec[8:], p[2])
+			if err := srt.add(rec[:]); err != nil {
+				return err
+			}
+		}
+		ft.perms[perm].blocksOff = cw.n
+		err := srt.merge(func(rec []byte) error {
+			t := decodeIDRec(rec)
+			if onTriple != nil {
+				if err := onTriple(t); err != nil {
+					return err
+				}
+			}
+			return writeBlocks(perm, t)
+		})
+		if err == nil {
+			err = finishBlocks(perm)
+		}
+		if err != nil {
+			return err
+		}
+		ft.perms[perm].blocksLen = cw.n - ft.perms[perm].blocksOff
+		return writeDir(cw, &ft.perms[perm], dirs[perm])
+	}
+	err = permute(permPOS, func(t tripleID) error {
+		if haveCur && t[0] == curPred {
+			curCount++
+			return nil
+		}
+		flushStat()
+		curPred, curCount, haveCur = t[0], 1, true
+		return nil
+	})
+	if err != nil {
+		return BuildStats{}, l.fail(err)
+	}
+	flushStat()
+	if err := permute(permOSP, nil); err != nil {
+		return BuildStats{}, l.fail(err)
+	}
+
+	ft.statsOff = cw.n
+	ft.statsCount = statCount
+	if _, err := cw.Write(stats); err != nil {
+		return BuildStats{}, l.fail(err)
+	}
+
+	if _, err := cw.Write(ft.marshal()); err != nil {
+		return BuildStats{}, l.fail(err)
+	}
+	if err := cw.w.Flush(); err != nil {
+		return BuildStats{}, l.fail(err)
+	}
+	if err := out.Sync(); err != nil {
+		return BuildStats{}, l.fail(err)
+	}
+	if err := out.Close(); err != nil {
+		out = nil
+		os.Remove(tmpPath)
+		return BuildStats{}, l.fail(err)
+	}
+	out = nil
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		os.Remove(tmpPath)
+		return BuildStats{}, l.fail(fmt.Errorf("diskstore: %w", err))
+	}
+	return BuildStats{
+		TriplesAdded: l.added,
+		Triples:      int64(ft.tripleCount),
+		Terms:        int64(ft.termCount),
+		FileBytes:    int64(cw.n),
+	}, nil
+}
+
+func decodeIDRec(rec []byte) tripleID {
+	return tripleID{
+		binary.BigEndian.Uint32(rec[0:]),
+		binary.BigEndian.Uint32(rec[4:]),
+		binary.BigEndian.Uint32(rec[8:]),
+	}
+}
+
+func flushTripleBatch(cw *countingWriter, dir *[]blockMeta, batch *[]tripleID, buf *[]byte) error {
+	b := *batch
+	*buf = encodeTripleBlock((*buf)[:0], b)
+	*dir = append(*dir, blockMeta{first: b[0], offset: cw.n, length: uint32(len(*buf))})
+	if _, err := cw.Write(*buf); err != nil {
+		return err
+	}
+	*batch = b[:0]
+	return nil
+}
+
+func writeDir(cw *countingWriter, reg *permRegion, dir []blockMeta) error {
+	reg.dirOff = cw.n
+	reg.dirCount = uint64(len(dir))
+	var buf []byte
+	for _, m := range dir {
+		buf = marshalDirEntry(buf[:0], m)
+		if _, err := cw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Build writes a disk store containing the given triples: the in-memory
+// convenience path over Loader for tests and small datasets.
+func Build(path string, triples []rdf.Triple, opts BuildOptions) error {
+	l, err := NewLoader(path, opts)
+	if err != nil {
+		return err
+	}
+	for _, t := range triples {
+		if err := l.Add(t); err != nil {
+			l.Abort()
+			return err
+		}
+	}
+	_, err = l.Finish()
+	return err
+}
+
+// BuildFromGraph snapshots any store.Graph into a disk store.
+func BuildFromGraph(path string, g store.Graph, opts BuildOptions) error {
+	l, err := NewLoader(path, opts)
+	if err != nil {
+		return err
+	}
+	var addErr error
+	g.Match(nil, nil, nil, func(t rdf.Triple) bool {
+		addErr = l.Add(t)
+		return addErr == nil
+	})
+	if addErr != nil {
+		l.Abort()
+		return addErr
+	}
+	_, err = l.Finish()
+	return err
+}

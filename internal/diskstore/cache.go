@@ -1,0 +1,88 @@
+package diskstore
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKind namespaces cache keys per section.
+type cacheKind uint8
+
+const (
+	cacheDict cacheKind = iota // decoded dictionary block -> []rdf.Term
+	cacheSPO                   // decoded triple block -> []tripleID
+	cachePOS
+	cacheOSP
+)
+
+type cacheKey struct {
+	kind cacheKind
+	idx  uint64
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	size int64
+	val  any
+}
+
+// blockCache is a byte-budgeted LRU over decoded blocks. It bounds the
+// store's read-time memory: however large the file, at most maxBytes of
+// decoded blocks are resident (plus the small always-resident directories).
+type blockCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	used     int64
+	ll       *list.List // front = most recently used; values are *cacheEntry
+	items    map[cacheKey]*list.Element
+
+	hits, misses int64
+}
+
+func newBlockCache(maxBytes int64) *blockCache {
+	return &blockCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[cacheKey]*list.Element),
+	}
+}
+
+func (c *blockCache) get(k cacheKey) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *blockCache) put(k cacheKey, val any, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		// Another reader decoded the same block concurrently; keep the
+		// resident copy.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, size: size, val: val})
+	c.used += size
+	for c.used > c.maxBytes && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.used -= ent.size
+	}
+}
+
+// Stats reports cache hit/miss counters and current residency.
+func (c *blockCache) stats() (hits, misses, usedBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.used
+}

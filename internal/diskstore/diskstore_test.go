@@ -1,0 +1,286 @@
+package diskstore_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"lusail/internal/diskstore"
+	"lusail/internal/rdf"
+	"lusail/internal/store"
+	"lusail/internal/store/storetest"
+)
+
+// tinyCache is small enough that every suite exercises eviction and
+// re-decoding, not just the warm-cache path.
+const tinyCache = 1 << 20
+
+func buildStore(t *testing.T, triples []rdf.Triple) *diskstore.Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "graph.lds")
+	// Tiny block sizes + a tiny sort budget force multi-block files and
+	// external merge runs even for test-sized data.
+	err := diskstore.Build(path, triples, diskstore.BuildOptions{
+		DictBlockSize:   4,
+		TripleBlockSize: 8,
+	})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ds, err := diskstore.Open(path, diskstore.Options{CacheBytes: tinyCache})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := ds.Err(); err != nil {
+			t.Errorf("store reported corruption: %v", err)
+		}
+		ds.Close()
+	})
+	return ds
+}
+
+// TestConformance runs the shared store.Graph suite against the
+// disk-backed store.
+func TestConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T, triples []rdf.Triple) store.Graph {
+		return buildStore(t, triples)
+	})
+}
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://ex/" + s) }
+
+func randomTriples(rng *rand.Rand, n int) []rdf.Triple {
+	out := make([]rdf.Triple, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rdf.NewTriple(
+			iri(fmt.Sprintf("s%d", rng.Intn(300))),
+			iri(fmt.Sprintf("p%d", rng.Intn(12))),
+			iri(fmt.Sprintf("o%d", rng.Intn(400))),
+		))
+	}
+	return out
+}
+
+// TestDiskMatchesMemory checks row-identical results between the two
+// backends across every bind pattern of many probes — the acceptance bar
+// for serving either backend behind the same endpoint.
+func TestDiskMatchesMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := randomTriples(rng, 4000)
+	mem := store.NewFromTriples(data)
+	disk := buildStore(t, data)
+
+	if mem.Len() != disk.Len() {
+		t.Fatalf("Len: memory %d, disk %d", mem.Len(), disk.Len())
+	}
+	if !reflect.DeepEqual(collect(mem, nil, nil, nil), collect(disk, nil, nil, nil)) {
+		t.Fatal("full scans differ")
+	}
+	for _, p := range mem.Predicates() {
+		if mem.PredicateCount(p) != disk.PredicateCount(p) {
+			t.Fatalf("PredicateCount(%v): memory %d, disk %d", p, mem.PredicateCount(p), disk.PredicateCount(p))
+		}
+	}
+	if !reflect.DeepEqual(mem.Predicates(), disk.Predicates()) {
+		t.Fatal("Predicates() differ")
+	}
+	all := mem.Triples()
+	for i := 0; i < 300; i++ {
+		probe := all[rng.Intn(len(all))]
+		s, p, o := probe.S, probe.P, probe.O
+		for mask := 0; mask < 8; mask++ {
+			var ps, pp, po *rdf.Term
+			if mask&4 != 0 {
+				ps = &s
+			}
+			if mask&2 != 0 {
+				pp = &p
+			}
+			if mask&1 != 0 {
+				po = &o
+			}
+			mg, dg := collect(mem, ps, pp, po), collect(disk, ps, pp, po)
+			if !reflect.DeepEqual(mg, dg) {
+				t.Fatalf("pattern mask %03b on %v: memory %d rows, disk %d rows", mask, probe, len(mg), len(dg))
+			}
+		}
+	}
+}
+
+func collect(g store.Graph, s, p, o *rdf.Term) []rdf.Triple {
+	var out []rdf.Triple
+	g.Match(s, p, o, func(t rdf.Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if c := a.S.Compare(b.S); c != 0 {
+			return c < 0
+		}
+		if c := a.P.Compare(b.P); c != 0 {
+			return c < 0
+		}
+		return a.O.Compare(b.O) < 0
+	})
+	return out
+}
+
+// TestLoaderBoundedMemory loads through the streaming Loader with a
+// deliberately minimal sort budget, forcing spills and multi-run merges,
+// then verifies the result byte-exactly against the in-memory store.
+func TestLoaderBoundedMemory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "big.lds")
+	l, err := diskstore.NewLoader(path, diskstore.BuildOptions{
+		DictBlockSize:   8,
+		TripleBlockSize: 64,
+		MemoryBudget:    1, // clamped up internally; still forces spilling
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	data := randomTriples(rng, 30000)
+	for _, tr := range data {
+		if err := l.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := l.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	mem := store.NewFromTriples(data)
+	if stats.Triples != int64(mem.Len()) {
+		t.Fatalf("loader stored %d triples, memory store has %d", stats.Triples, mem.Len())
+	}
+	if stats.Terms != int64(mem.TermCount()) {
+		t.Fatalf("loader stored %d terms, memory store has %d", stats.Terms, mem.TermCount())
+	}
+	ds, err := diskstore.Open(path, diskstore.Options{CacheBytes: tinyCache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if !reflect.DeepEqual(collect(mem, nil, nil, nil), collect(ds, nil, nil, nil)) {
+		t.Fatal("loader output differs from memory store")
+	}
+	if err := ds.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncatedFileFailsOpen simulates a crash mid-write: any truncation
+// of a valid store must be rejected at Open, never served silently.
+func TestTruncatedFileFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph.lds")
+	data := randomTriples(rand.New(rand.NewSource(3)), 500)
+	if err := diskstore.Build(path, data, diskstore.BuildOptions{DictBlockSize: 4, TripleBlockSize: 8}); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate at several points: inside the header, the dictionary, the
+	// middle, and just shy of the footer's end.
+	cuts := []int{0, 4, len(whole) / 4, len(whole) / 2, len(whole) - 1}
+	for _, cut := range cuts {
+		p := filepath.Join(dir, fmt.Sprintf("trunc-%d.lds", cut))
+		if err := os.WriteFile(p, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if ds, err := diskstore.Open(p, diskstore.Options{}); err == nil {
+			ds.Close()
+			t.Fatalf("Open accepted a file truncated to %d of %d bytes", cut, len(whole))
+		}
+	}
+}
+
+// TestCrashLeavesNoPartialStore aborts a build mid-stream and checks that
+// neither the target path nor a .tmp file survives as an openable store.
+func TestCrashLeavesNoPartialStore(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph.lds")
+	l, err := diskstore.NewLoader(path, diskstore.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range randomTriples(rand.New(rand.NewSource(5)), 100) {
+		if err := l.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Abort() // simulated crash before Finish
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("aborted build left %s behind (err=%v)", path, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("aborted build left temp files: %v", entries)
+	}
+	// A fresh build over the same path must succeed.
+	if err := diskstore.Build(path, randomTriples(rand.New(rand.NewSource(6)), 100), diskstore.BuildOptions{}); err != nil {
+		t.Fatalf("rebuild after abort: %v", err)
+	}
+	ds, err := diskstore.Open(path, diskstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Close()
+}
+
+// TestOpenRejectsGarbage covers non-store files.
+func TestOpenRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string][]byte{
+		"empty.lds": nil,
+		"short.lds": []byte("LUSDSK01"),
+		"junk.lds":  []byte("this is definitely not a lusail disk store, but it is long enough to contain a header and a footer if it were one"),
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if ds, err := diskstore.Open(p, diskstore.Options{}); err == nil {
+			ds.Close()
+			t.Fatalf("Open accepted %s", name)
+		}
+	}
+}
+
+// TestCacheBound checks that a store scanned end to end keeps its decoded
+// blocks within the configured budget.
+func TestCacheBound(t *testing.T) {
+	data := randomTriples(rand.New(rand.NewSource(8)), 20000)
+	path := filepath.Join(t.TempDir(), "graph.lds")
+	if err := diskstore.Build(path, data, diskstore.BuildOptions{TripleBlockSize: 256}); err != nil {
+		t.Fatal(err)
+	}
+	budget := int64(1 << 20)
+	ds, err := diskstore.Open(path, diskstore.Options{CacheBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	n := 0
+	ds.Match(nil, nil, nil, func(rdf.Triple) bool { n++; return true })
+	if n != ds.Len() {
+		t.Fatalf("full scan returned %d of %d triples", n, ds.Len())
+	}
+	if _, _, used := ds.CacheStats(); used > budget {
+		t.Fatalf("cache residency %d exceeds budget %d", used, budget)
+	}
+	if err := ds.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

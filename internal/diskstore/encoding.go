@@ -1,0 +1,250 @@
+package diskstore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lusail/internal/rdf"
+)
+
+// tripleID is one triple as three dictionary ids, already in the order of
+// the permutation it belongs to (x, y, z).
+type tripleID [3]uint32
+
+// encodeTerm renders a term as a canonical byte string:
+//
+//	kind byte | uvarint len(Value) Value | uvarint len(Lang) Lang |
+//	uvarint len(Datatype) Datatype
+//
+// The dictionary sorts terms by these bytes; the order is internal to the
+// file format and deliberately independent of rdf.Term.Compare (which
+// compares some literals numerically and is not a prefix-respecting byte
+// order).
+func encodeTerm(dst []byte, t rdf.Term) []byte {
+	dst = append(dst, byte(t.Kind))
+	dst = binary.AppendUvarint(dst, uint64(len(t.Value)))
+	dst = append(dst, t.Value...)
+	dst = binary.AppendUvarint(dst, uint64(len(t.Lang)))
+	dst = append(dst, t.Lang...)
+	dst = binary.AppendUvarint(dst, uint64(len(t.Datatype)))
+	dst = append(dst, t.Datatype...)
+	return dst
+}
+
+// decodeTerm parses the encoding produced by encodeTerm.
+func decodeTerm(b []byte) (rdf.Term, error) {
+	if len(b) < 1 {
+		return rdf.Term{}, fmt.Errorf("diskstore: empty term encoding")
+	}
+	t := rdf.Term{Kind: rdf.Kind(b[0])}
+	rest := b[1:]
+	next := func() (string, error) {
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 || uint64(len(rest)-sz) < n {
+			return "", fmt.Errorf("diskstore: malformed term encoding")
+		}
+		s := string(rest[sz : sz+int(n)])
+		rest = rest[sz+int(n):]
+		return s, nil
+	}
+	var err error
+	if t.Value, err = next(); err != nil {
+		return rdf.Term{}, err
+	}
+	if t.Lang, err = next(); err != nil {
+		return rdf.Term{}, err
+	}
+	if t.Datatype, err = next(); err != nil {
+		return rdf.Term{}, err
+	}
+	return t, nil
+}
+
+// lcp returns the length of the longest common prefix of a and b.
+func lcp(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// encodeDictBlock front-codes a run of dictionary terms (their canonical
+// encodings, in sorted order): the first term is stored whole, every later
+// term as (shared-prefix length with its predecessor, suffix).
+func encodeDictBlock(dst []byte, terms [][]byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(terms)))
+	var prev []byte
+	for i, enc := range terms {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(len(enc)))
+			dst = append(dst, enc...)
+		} else {
+			p := lcp(prev, enc)
+			dst = binary.AppendUvarint(dst, uint64(p))
+			dst = binary.AppendUvarint(dst, uint64(len(enc)-p))
+			dst = append(dst, enc[p:]...)
+		}
+		prev = enc
+	}
+	return dst
+}
+
+// decodeDictBlock reverses encodeDictBlock, returning the canonical term
+// encodings stored in the block.
+func decodeDictBlock(b []byte) ([][]byte, error) {
+	count, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("diskstore: malformed dictionary block header")
+	}
+	b = b[sz:]
+	malformed := fmt.Errorf("diskstore: malformed dictionary block")
+	out := make([][]byte, 0, count)
+	var prev []byte
+	for i := uint64(0); i < count; i++ {
+		var enc []byte
+		if i == 0 {
+			n, sz := binary.Uvarint(b)
+			if sz <= 0 || uint64(len(b)-sz) < n {
+				return nil, malformed
+			}
+			enc = append([]byte(nil), b[sz:sz+int(n)]...)
+			b = b[sz+int(n):]
+		} else {
+			p, sz := binary.Uvarint(b)
+			if sz <= 0 {
+				return nil, malformed
+			}
+			b = b[sz:]
+			n, sz := binary.Uvarint(b)
+			if sz <= 0 || uint64(len(b)-sz) < n || p > uint64(len(prev)) {
+				return nil, malformed
+			}
+			enc = make([]byte, 0, p+n)
+			enc = append(enc, prev[:p]...)
+			enc = append(enc, b[sz:sz+int(n)]...)
+			b = b[sz+int(n):]
+		}
+		out = append(out, enc)
+		prev = enc
+	}
+	return out, nil
+}
+
+// encodeTripleBlock delta-compresses a sorted run of permuted id-triples:
+// the first triple is stored whole; each later triple encodes only the
+// components that changed, as deltas on the first changed position.
+func encodeTripleBlock(dst []byte, triples []tripleID) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(triples)))
+	var prev tripleID
+	for i, t := range triples {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(t[0]))
+			dst = binary.AppendUvarint(dst, uint64(t[1]))
+			dst = binary.AppendUvarint(dst, uint64(t[2]))
+		} else {
+			dx := t[0] - prev[0]
+			dst = binary.AppendUvarint(dst, uint64(dx))
+			if dx != 0 {
+				dst = binary.AppendUvarint(dst, uint64(t[1]))
+				dst = binary.AppendUvarint(dst, uint64(t[2]))
+			} else {
+				dy := t[1] - prev[1]
+				dst = binary.AppendUvarint(dst, uint64(dy))
+				if dy != 0 {
+					dst = binary.AppendUvarint(dst, uint64(t[2]))
+				} else {
+					dst = binary.AppendUvarint(dst, uint64(t[2]-prev[2]))
+				}
+			}
+		}
+		prev = t
+	}
+	return dst
+}
+
+// decodeTripleBlock reverses encodeTripleBlock.
+func decodeTripleBlock(b []byte) ([]tripleID, error) {
+	count, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("diskstore: malformed triple block header")
+	}
+	b = b[sz:]
+	malformed := fmt.Errorf("diskstore: malformed triple block")
+	read := func() (uint32, bool) {
+		v, sz := binary.Uvarint(b)
+		if sz <= 0 || v > 0xFFFFFFFF {
+			return 0, false
+		}
+		b = b[sz:]
+		return uint32(v), true
+	}
+	out := make([]tripleID, 0, count)
+	var prev tripleID
+	for i := uint64(0); i < count; i++ {
+		var t tripleID
+		if i == 0 {
+			var ok0, ok1, ok2 bool
+			t[0], ok0 = read()
+			t[1], ok1 = read()
+			t[2], ok2 = read()
+			if !ok0 || !ok1 || !ok2 {
+				return nil, malformed
+			}
+		} else {
+			dx, ok := read()
+			if !ok {
+				return nil, malformed
+			}
+			t[0] = prev[0] + dx
+			switch {
+			case dx != 0:
+				var ok1, ok2 bool
+				t[1], ok1 = read()
+				t[2], ok2 = read()
+				if !ok1 || !ok2 {
+					return nil, malformed
+				}
+			default:
+				dy, ok := read()
+				if !ok {
+					return nil, malformed
+				}
+				t[1] = prev[1] + dy
+				if dy != 0 {
+					if t[2], ok = read(); !ok {
+						return nil, malformed
+					}
+				} else {
+					dz, ok := read()
+					if !ok {
+						return nil, malformed
+					}
+					t[2] = prev[2] + dz
+				}
+			}
+		}
+		out = append(out, t)
+		prev = t
+	}
+	return out, nil
+}
+
+// hashTerm is FNV-64a over the canonical term encoding; the dictionary's
+// hash index stores (hashTerm, id) pairs sorted by hash.
+func hashTerm(enc []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range enc {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

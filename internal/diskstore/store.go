@@ -1,0 +1,546 @@
+package diskstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"lusail/internal/rdf"
+	"lusail/internal/store"
+)
+
+// Options tunes a store at open time.
+type Options struct {
+	// CacheBytes bounds the memory spent on decoded dictionary and triple
+	// blocks. Defaults to 64 MiB; values below 1 MiB are raised to 1 MiB
+	// so a store always has room for a working set of blocks.
+	CacheBytes int64
+}
+
+const (
+	defaultCacheBytes = 64 << 20
+	minCacheBytes     = 1 << 20
+	// resolveCacheMax bounds the term -> id memo; when full it is reset
+	// (hot terms re-warm within a few lookups).
+	resolveCacheMax = 8192
+)
+
+// Store is a read-only, disk-backed triple store implementing store.Graph.
+// It is safe for concurrent readers.
+type Store struct {
+	f    *os.File
+	path string
+	ft   footer
+
+	dict  dictReader
+	dirs  [permCount][]blockMeta
+	cache *blockCache
+
+	predCount map[uint32]int64
+	predIDs   []uint32 // ascending
+
+	resolveMu sync.Mutex
+	resolve   map[rdf.Term]resolveEntry
+
+	corruptMu sync.Mutex
+	corrupt   error
+}
+
+var _ store.Graph = (*Store)(nil)
+
+type resolveEntry struct {
+	id uint32
+	ok bool
+}
+
+// Open maps a store file built by the bulk loader. The file is validated
+// structurally (footer checksum, section bounds); a truncated or
+// corrupted file fails here rather than at query time.
+func Open(path string, opts Options) (*Store, error) {
+	if opts.CacheBytes <= 0 {
+		opts.CacheBytes = defaultCacheBytes
+	}
+	if opts.CacheBytes < minCacheBytes {
+		opts.CacheBytes = minCacheBytes
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	s, err := open(f, path, opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func open(f *os.File, path string, opts Options) (*Store, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	size := info.Size()
+	if size < int64(len(headerMagic)+footerSize) {
+		return nil, fmt.Errorf("diskstore: %s: file too small to be a store (%d bytes)", path, size)
+	}
+	hdr := make([]byte, len(headerMagic))
+	if err := readFullAt(f, hdr, 0); err != nil {
+		return nil, err
+	}
+	if string(hdr) != headerMagic {
+		return nil, fmt.Errorf("diskstore: %s: bad header magic (not a lusail disk store)", path)
+	}
+	s := &Store{f: f, path: path, cache: newBlockCache(opts.CacheBytes),
+		resolve: make(map[rdf.Term]resolveEntry)}
+	fbuf := make([]byte, footerSize)
+	if err := readFullAt(f, fbuf, size-int64(footerSize)); err != nil {
+		return nil, err
+	}
+	if err := s.ft.unmarshal(fbuf); err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	if err := s.ft.validate(size); err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+
+	// Resident metadata: dictionary block offsets, the three block
+	// directories, and the predicate statistics.
+	idx := make([]byte, s.ft.dictBlocks*8)
+	if err := readFullAt(f, idx, int64(s.ft.dictIdxOff)); err != nil {
+		return nil, err
+	}
+	offsets := make([]uint64, s.ft.dictBlocks)
+	for i := range offsets {
+		offsets[i] = binary.LittleEndian.Uint64(idx[i*8:])
+	}
+	s.dict = dictReader{
+		r: f, offsets: offsets,
+		dictEnd:   s.ft.dictOff + s.ft.dictLen,
+		blockSize: int(s.ft.dictBlockSize),
+		termCount: s.ft.termCount,
+		hashOff:   s.ft.hashOff, hashCount: s.ft.hashCount,
+		cache: s.cache,
+	}
+	for p := 0; p < permCount; p++ {
+		reg := s.ft.perms[p]
+		raw := make([]byte, reg.dirCount*dirEntrySize)
+		if err := readFullAt(f, raw, int64(reg.dirOff)); err != nil {
+			return nil, err
+		}
+		dir := make([]blockMeta, reg.dirCount)
+		for i := range dir {
+			dir[i] = unmarshalDirEntry(raw[i*dirEntrySize:])
+		}
+		s.dirs[p] = dir
+	}
+	raw := make([]byte, s.ft.statsCount*statEntrySize)
+	if err := readFullAt(f, raw, int64(s.ft.statsOff)); err != nil {
+		return nil, err
+	}
+	s.predCount = make(map[uint32]int64, s.ft.statsCount)
+	s.predIDs = make([]uint32, s.ft.statsCount)
+	for i := uint64(0); i < s.ft.statsCount; i++ {
+		pid := binary.LittleEndian.Uint32(raw[i*statEntrySize:])
+		n := binary.LittleEndian.Uint64(raw[i*statEntrySize+4:])
+		s.predCount[pid] = int64(n)
+		s.predIDs[i] = pid
+	}
+	return s, nil
+}
+
+// Close releases the underlying file. Queries must not be in flight.
+func (s *Store) Close() error { return s.f.Close() }
+
+// Path returns the store file's path.
+func (s *Store) Path() string { return s.path }
+
+// Len returns the number of triples in the store.
+func (s *Store) Len() int { return int(s.ft.tripleCount) }
+
+// TermCount returns the number of distinct terms in the dictionary.
+func (s *Store) TermCount() int { return int(s.ft.termCount) }
+
+// Version implements store.Graph. The store is immutable, so the version
+// is the constant recorded at build time.
+func (s *Store) Version() int64 { return int64(s.ft.version) }
+
+// CacheStats reports block-cache hits, misses, and resident bytes.
+func (s *Store) CacheStats() (hits, misses, usedBytes int64) { return s.cache.stats() }
+
+// Err returns the first corruption detected while decoding blocks, if any.
+// Structural damage is caught at Open; Err covers mid-file bit corruption
+// discovered during scans (after which the affected scans stop early).
+func (s *Store) Err() error {
+	s.corruptMu.Lock()
+	defer s.corruptMu.Unlock()
+	return s.corrupt
+}
+
+func (s *Store) setCorrupt(err error) {
+	s.corruptMu.Lock()
+	if s.corrupt == nil {
+		s.corrupt = err
+	}
+	s.corruptMu.Unlock()
+}
+
+// resolveTerm returns the dictionary id of t, memoized.
+func (s *Store) resolveTerm(t rdf.Term) (uint32, bool) {
+	s.resolveMu.Lock()
+	if e, ok := s.resolve[t]; ok {
+		s.resolveMu.Unlock()
+		return e.id, e.ok
+	}
+	s.resolveMu.Unlock()
+	id, ok, err := s.dict.lookup(encodeTerm(nil, t))
+	if err != nil {
+		s.setCorrupt(err)
+		return 0, false
+	}
+	s.resolveMu.Lock()
+	if len(s.resolve) >= resolveCacheMax {
+		s.resolve = make(map[rdf.Term]resolveEntry, resolveCacheMax)
+	}
+	s.resolve[t] = resolveEntry{id: id, ok: ok}
+	s.resolveMu.Unlock()
+	return id, ok
+}
+
+// PredicateCount implements store.Graph.
+func (s *Store) PredicateCount(p rdf.Term) int {
+	id, ok := s.resolveTerm(p)
+	if !ok {
+		return 0
+	}
+	return int(s.predCount[id])
+}
+
+// Predicates implements store.Graph.
+func (s *Store) Predicates() []rdf.Term {
+	out := make([]rdf.Term, 0, len(s.predIDs))
+	for _, id := range s.predIDs {
+		t, err := s.dict.term(id)
+		if err != nil {
+			s.setCorrupt(err)
+			return out
+		}
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// permToSPO maps a permuted triple back to (s, p, o) ids.
+func permToSPO(perm int, t tripleID) (sub, pred, obj uint32) {
+	switch perm {
+	case permSPO:
+		return t[0], t[1], t[2]
+	case permPOS: // x=p y=o z=s
+		return t[2], t[0], t[1]
+	default: // permOSP: x=o y=s z=p
+		return t[1], t[2], t[0]
+	}
+}
+
+// emit materializes the permuted id-triple and delivers it to fn.
+func (s *Store) emit(perm int, t tripleID, fn func(rdf.Triple) bool) bool {
+	sid, pid, oid := permToSPO(perm, t)
+	sub, err := s.dict.term(sid)
+	if err != nil {
+		s.setCorrupt(err)
+		return false
+	}
+	pred, err := s.dict.term(pid)
+	if err != nil {
+		s.setCorrupt(err)
+		return false
+	}
+	obj, err := s.dict.term(oid)
+	if err != nil {
+		s.setCorrupt(err)
+		return false
+	}
+	return fn(rdf.Triple{S: sub, P: pred, O: obj})
+}
+
+// Match implements store.Graph with the same index-selection rule as the
+// in-memory store: the permutation whose sort prefix covers the bound
+// positions, scanned over a binary-searched block range.
+func (s *Store) Match(sub, pred, obj *rdf.Term, fn func(rdf.Triple) bool) {
+	var sid, pid, oid uint32
+	var sOK, pOK, oOK bool
+	resolve := func(t *rdf.Term) (uint32, bool, bool) {
+		if t == nil {
+			return 0, false, true
+		}
+		id, ok := s.resolveTerm(*t)
+		return id, true, ok
+	}
+	var present bool
+	if sid, sOK, present = resolve(sub); !present {
+		return
+	}
+	if pid, pOK, present = resolve(pred); !present {
+		return
+	}
+	if oid, oOK, present = resolve(obj); !present {
+		return
+	}
+	switch {
+	case sOK: // SPO: x=s, y=p, z=o
+		s.scan(permSPO, sid, pid, pOK, oid, oOK, fn)
+	case pOK: // POS: x=p, y=o, z=s (s unbound here)
+		s.scan(permPOS, pid, oid, oOK, 0, false, fn)
+	case oOK: // OSP: x=o, y=s, z=p (s and p unbound here)
+		s.scan(permOSP, oid, 0, false, 0, false, fn)
+	default:
+		s.scanAll(fn)
+	}
+}
+
+func tripleLess(a, b tripleID) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	return a[2] < b[2]
+}
+
+// scan walks the permutation's blocks over the range where the bound
+// prefix (vx; optionally vy; optionally vz) matches, mirroring the
+// in-memory store's scan semantics exactly.
+func (s *Store) scan(perm int, vx uint32, vy uint32, yOK bool, vz uint32, zOK bool, fn func(rdf.Triple) bool) {
+	dir := s.dirs[perm]
+	seek := tripleID{vx, 0, 0}
+	if yOK {
+		seek[1] = vy
+		if zOK {
+			seek[2] = vz
+		}
+	}
+	// First block whose first triple is >= the seek point may be preceded
+	// by a block that still contains the start of the range.
+	i := sort.Search(len(dir), func(i int) bool { return !tripleLess(dir[i].first, seek) })
+	if i > 0 {
+		i--
+	}
+	upper := tripleID{vx, ^uint32(0), ^uint32(0)}
+	if yOK {
+		upper[1] = vy
+		if zOK {
+			upper[2] = vz
+		}
+	}
+	for ; i < len(dir); i++ {
+		if tripleLess(upper, dir[i].first) {
+			return // block starts past the bound range
+		}
+		blk, ok := s.tripleBlock(perm, i)
+		if !ok {
+			return
+		}
+		for _, t := range blk {
+			if t[0] != vx {
+				if t[0] > vx {
+					return
+				}
+				continue
+			}
+			if yOK && t[1] != vy {
+				if t[1] > vy {
+					return // sorted: past the (x,y) range
+				}
+				continue
+			}
+			if zOK && t[2] != vz {
+				if yOK && t[2] > vz {
+					return // sorted by z within the (x,y) prefix
+				}
+				continue
+			}
+			if !s.emit(perm, t, fn) {
+				return
+			}
+		}
+	}
+}
+
+// scanAll streams every triple in SPO order.
+func (s *Store) scanAll(fn func(rdf.Triple) bool) {
+	for i := range s.dirs[permSPO] {
+		blk, ok := s.tripleBlock(permSPO, i)
+		if !ok {
+			return
+		}
+		for _, t := range blk {
+			if !s.emit(permSPO, t, fn) {
+				return
+			}
+		}
+	}
+}
+
+// tripleBlock loads and decodes one block through the cache.
+func (s *Store) tripleBlock(perm, i int) ([]tripleID, bool) {
+	key := cacheKey{kind: cacheSPO + cacheKind(perm), idx: uint64(i)}
+	if v, ok := s.cache.get(key); ok {
+		return v.([]tripleID), true
+	}
+	m := s.dirs[perm][i]
+	raw := make([]byte, m.length)
+	if err := readFullAt(s.f, raw, int64(m.offset)); err != nil {
+		s.setCorrupt(err)
+		return nil, false
+	}
+	blk, err := decodeTripleBlock(raw)
+	if err != nil {
+		s.setCorrupt(fmt.Errorf("%w (permutation %d block %d)", err, perm, i))
+		return nil, false
+	}
+	s.cache.put(key, blk, int64(len(blk))*12)
+	return blk, true
+}
+
+// Count returns the number of triples matching the pattern.
+func (s *Store) Count(sub, pred, obj *rdf.Term) int {
+	n := 0
+	s.Match(sub, pred, obj, func(rdf.Triple) bool { n++; return true })
+	return n
+}
+
+// Contains reports whether at least one triple matches the pattern.
+func (s *Store) Contains(sub, pred, obj *rdf.Term) bool {
+	found := false
+	s.Match(sub, pred, obj, func(rdf.Triple) bool { found = true; return false })
+	return found
+}
+
+// Triples returns all triples in SPO order (intended for tests and small
+// stores; it materializes the whole dataset).
+func (s *Store) Triples() []rdf.Triple {
+	var out []rdf.Triple
+	s.Match(nil, nil, nil, func(t rdf.Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// dictReader resolves ids to terms and terms to ids against the on-disk
+// dictionary. It is shared by the open store and the bulk loader (which
+// resolves triples against the dictionary it just wrote).
+type dictReader struct {
+	r         interface{ ReadAt([]byte, int64) (int, error) }
+	offsets   []uint64 // absolute file offset per block
+	dictEnd   uint64
+	blockSize int
+	termCount uint64
+	hashOff   uint64
+	hashCount uint64
+	cache     *blockCache
+}
+
+// dictBlock holds one decoded dictionary block in both representations:
+// canonical encodings (for lookups) and decoded terms (for emission).
+type dictBlock struct {
+	encs  [][]byte
+	terms []rdf.Term
+}
+
+func (d *dictReader) block(i int) (*dictBlock, error) {
+	key := cacheKey{kind: cacheDict, idx: uint64(i)}
+	if v, ok := d.cache.get(key); ok {
+		return v.(*dictBlock), nil
+	}
+	end := d.dictEnd
+	if i+1 < len(d.offsets) {
+		end = d.offsets[i+1]
+	}
+	raw := make([]byte, end-d.offsets[i])
+	if err := readFullAt(d.r, raw, int64(d.offsets[i])); err != nil {
+		return nil, err
+	}
+	encs, err := decodeDictBlock(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w (dictionary block %d)", err, i)
+	}
+	blk := &dictBlock{encs: encs, terms: make([]rdf.Term, len(encs))}
+	size := int64(0)
+	for j, enc := range encs {
+		t, err := decodeTerm(enc)
+		if err != nil {
+			return nil, fmt.Errorf("%w (dictionary block %d)", err, i)
+		}
+		blk.terms[j] = t
+		size += int64(2*len(enc)) + 64
+	}
+	d.cache.put(key, blk, size)
+	return blk, nil
+}
+
+// term returns the term with the given dictionary id.
+func (d *dictReader) term(id uint32) (rdf.Term, error) {
+	if uint64(id) >= d.termCount {
+		return rdf.Term{}, fmt.Errorf("diskstore: term id %d out of range (%d terms)", id, d.termCount)
+	}
+	blk, err := d.block(int(id) / d.blockSize)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	j := int(id) % d.blockSize
+	if j >= len(blk.terms) {
+		return rdf.Term{}, fmt.Errorf("diskstore: term id %d beyond its dictionary block", id)
+	}
+	return blk.terms[j], nil
+}
+
+// lookup finds the id of a canonically encoded term via the sorted hash
+// index: binary search to the first entry with the term's hash, then
+// verify each same-hash candidate against the dictionary.
+func (d *dictReader) lookup(enc []byte) (uint32, bool, error) {
+	h := hashTerm(enc)
+	lo, hi := uint64(0), d.hashCount
+	var buf [hashEntrySize]byte
+	probe := func(i uint64) (uint64, uint32, error) {
+		if err := readFullAt(d.r, buf[:], int64(d.hashOff+i*hashEntrySize)); err != nil {
+			return 0, 0, err
+		}
+		return binary.BigEndian.Uint64(buf[:8]), binary.BigEndian.Uint32(buf[8:]), nil
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		eh, _, err := probe(mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if eh < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo; i < d.hashCount; i++ {
+		eh, id, err := probe(i)
+		if err != nil {
+			return 0, false, err
+		}
+		if eh != h {
+			break
+		}
+		blk, err := d.block(int(id) / d.blockSize)
+		if err != nil {
+			return 0, false, err
+		}
+		j := int(id) % d.blockSize
+		if j < len(blk.encs) && bytes.Equal(blk.encs[j], enc) {
+			return id, true, nil
+		}
+	}
+	return 0, false, nil
+}

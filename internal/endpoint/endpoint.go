@@ -41,11 +41,12 @@ type Handler struct {
 	latency  *obs.Histogram
 }
 
-// NewHandler returns a SPARQL protocol handler over the given store. The
+// NewHandler returns a SPARQL protocol handler over the given graph
+// backend (in-memory or disk-backed). The
 // handler reports request counts, error counts, and request latency into
 // the default obs registry under the endpoint's name, so /metrics shows the
 // series (including empty latency histograms) as soon as the server starts.
-func NewHandler(name string, st *store.Store) *Handler {
+func NewHandler(name string, st store.Graph) *Handler {
 	reg := obs.Default()
 	label := obs.L("endpoint", name)
 	return &Handler{
@@ -161,7 +162,7 @@ func extractQuery(r *http.Request) (string, error) {
 // served stores are immutable once a server is up.
 type summaryHandler struct {
 	name string
-	st   *store.Store
+	st   store.Graph
 
 	once sync.Once
 	sum  *catalog.Summary
@@ -198,7 +199,7 @@ type Server struct {
 // protocol on /sparql (and /), the server exposes the process-wide obs
 // registry as Prometheus text on /metrics, a JSON snapshot on
 // /debug/federation, and its own catalog data summary on /summary.
-func Serve(name, addr string, st *store.Store) (*Server, error) {
+func Serve(name, addr string, st store.Graph) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("endpoint %s: %w", name, err)

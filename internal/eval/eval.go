@@ -18,9 +18,10 @@ import (
 // absent from the map are unbound.
 type Binding map[string]rdf.Term
 
-// Evaluator executes queries against a single store.
+// Evaluator executes queries against a single graph backend (the in-memory
+// store or the disk-backed store).
 type Evaluator struct {
-	st *store.Store
+	st store.Graph
 
 	// memo caches sub-select results within the current store version, so
 	// FILTER (NOT) EXISTS { SELECT ... } blocks — the shape of Lusail's
@@ -36,8 +37,8 @@ type memoEntry struct {
 	res     *sparql.Results
 }
 
-// New returns an evaluator over the given store.
-func New(st *store.Store) *Evaluator {
+// New returns an evaluator over the given graph backend.
+func New(st store.Graph) *Evaluator {
 	return &Evaluator{
 		st:       st,
 		memo:     map[*sparql.Query]memoEntry{},
@@ -114,8 +115,8 @@ func (e *Evaluator) subSelect(q *sparql.Query) (*sparql.Results, error) {
 	return res, nil
 }
 
-// Store returns the underlying store.
-func (e *Evaluator) Store() *store.Store { return e.st }
+// Store returns the underlying graph backend.
+func (e *Evaluator) Store() store.Graph { return e.st }
 
 // QueryString parses and evaluates a query.
 func (e *Evaluator) QueryString(q string) (*sparql.Results, error) {
@@ -623,8 +624,10 @@ func (e *Evaluator) evalBGP(patterns []sparql.TriplePattern, rows []Binding) []B
 }
 
 // patternScore ranks a pattern for greedy join ordering: more bound
-// positions first, then rarer predicates.
-func patternScore(tp sparql.TriplePattern, bound map[string]bool, st *store.Store) int {
+// positions first, then rarer predicates. The predicate statistic comes
+// through the Graph interface, so both the in-memory and the disk backend
+// order joins identically on identical data.
+func patternScore(tp sparql.TriplePattern, bound map[string]bool, st store.Graph) int {
 	score := 0
 	for _, pt := range []sparql.PatternTerm{tp.S, tp.P, tp.O} {
 		if !pt.IsVar() || bound[pt.Var] {

@@ -1,0 +1,18 @@
+package store_test
+
+import (
+	"testing"
+
+	"lusail/internal/rdf"
+	"lusail/internal/store"
+	"lusail/internal/store/storetest"
+)
+
+// TestConformance runs the shared store.Graph suite against the in-memory
+// backend; the disk-backed backend runs the same suite, which is what
+// keeps the two interchangeable behind an endpoint.
+func TestConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T, triples []rdf.Triple) store.Graph {
+		return store.NewFromTriples(triples)
+	})
+}

@@ -1,0 +1,41 @@
+package store
+
+import "lusail/internal/rdf"
+
+// Graph is the read surface an RDF backend exposes to the SPARQL evaluator,
+// the in-process endpoint client, and the HTTP endpoint server. Two
+// implementations exist: the in-memory *Store in this package and the
+// disk-backed, compressed *diskstore.Store. Everything above the evaluator
+// (federation, resilience, lusaild) talks SPARQL and never sees this
+// interface, so an endpoint can serve either backend without any change to
+// the federated code paths.
+//
+// Implementations must be safe for concurrent readers. Mutability is not
+// part of the contract: the disk backend is immutable after open, and its
+// Version never changes.
+type Graph interface {
+	// Match streams all triples matching the pattern to fn. A nil term is
+	// a wildcard. Iteration stops early if fn returns false. No ordering
+	// is guaranteed.
+	Match(sub, pred, obj *rdf.Term, fn func(rdf.Triple) bool)
+	// Count returns the number of triples matching the pattern.
+	Count(sub, pred, obj *rdf.Term) int
+	// Contains reports whether at least one triple matches the pattern.
+	Contains(sub, pred, obj *rdf.Term) bool
+	// Len returns the total number of triples.
+	Len() int
+	// Version returns a counter that changes with every mutation; readers
+	// use it to invalidate caches derived from the graph's contents. An
+	// immutable backend returns a constant.
+	Version() int64
+	// PredicateCount returns the number of triples whose predicate is p —
+	// the per-predicate statistic the evaluator's greedy join ordering and
+	// the catalog's summaries rely on. Both backends must report identical
+	// numbers for identical data.
+	PredicateCount(p rdf.Term) int
+	// Predicates returns all distinct predicates, sorted by Term.Compare.
+	Predicates() []rdf.Term
+}
+
+// Store implements Graph.
+var _ Graph = (*Store)(nil)

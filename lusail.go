@@ -69,6 +69,7 @@ import (
 	"lusail/internal/catalog"
 	"lusail/internal/client"
 	"lusail/internal/core"
+	"lusail/internal/diskstore"
 	"lusail/internal/endpoint"
 	"lusail/internal/erh"
 	"lusail/internal/federation"
@@ -112,6 +113,18 @@ type (
 	Metrics = client.Metrics
 	// Store is an in-memory indexed triple store.
 	Store = store.Store
+	// Graph is the read interface both triple-store backends implement:
+	// the in-memory Store and the disk-backed DiskStore. Endpoints serve
+	// either through the same evaluator and HTTP handler.
+	Graph = store.Graph
+	// DiskStore is a read-only, disk-backed compressed triple store
+	// (front-coded term dictionary + varint-delta triple blocks in three
+	// permutations) accessed through a bounded LRU block cache. Build one
+	// with BuildDiskStore or cmd/lusail-load, open it with OpenDiskStore.
+	DiskStore = diskstore.Store
+	// DiskStoreOptions tunes how a DiskStore is opened (block-cache
+	// memory budget).
+	DiskStoreOptions = diskstore.Options
 	// Server is a running HTTP SPARQL endpoint.
 	Server = endpoint.Server
 	// Catalog is a persistent endpoint catalog: one data summary per
@@ -204,9 +217,35 @@ func NewMemoryEndpoint(name string, triples []Triple) Endpoint {
 	return client.NewInProcess(name, store.NewFromTriples(triples))
 }
 
+// NewMemoryStore returns an in-memory store holding the given triples.
+func NewMemoryStore(triples []Triple) *Store {
+	return store.NewFromTriples(triples)
+}
+
 // NewStoreEndpoint returns an in-process endpoint over an existing store.
 func NewStoreEndpoint(name string, st *Store) Endpoint {
 	return client.NewInProcess(name, st)
+}
+
+// NewGraphEndpoint returns an in-process endpoint over any graph backend —
+// in-memory or disk-backed.
+func NewGraphEndpoint(name string, g Graph) Endpoint {
+	return client.NewInProcess(name, g)
+}
+
+// OpenDiskStore opens a disk-backed triple store previously built with
+// BuildDiskStore or cmd/lusail-load. The zero Options applies the default
+// block-cache budget; the store is read-only and safe for concurrent use.
+// Close it when done.
+func OpenDiskStore(path string, opts DiskStoreOptions) (*DiskStore, error) {
+	return diskstore.Open(path, opts)
+}
+
+// BuildDiskStore streams triples into a new disk-store file at path using
+// bounded memory (external merge sort). For datasets larger than RAM, use
+// cmd/lusail-load, which streams straight from N-Triples files.
+func BuildDiskStore(path string, triples []Triple) error {
+	return diskstore.Build(path, triples, diskstore.BuildOptions{})
 }
 
 // Instrument wraps an endpoint so every request is counted in m. Several
@@ -228,6 +267,12 @@ func WithLatency(ep Endpoint, rtt time.Duration, bytesPerSecond int64) Endpoint 
 // server reports its URL and is shut down with Close.
 func Serve(name, addr string, triples []Triple) (*Server, error) {
 	return endpoint.Serve(name, addr, store.NewFromTriples(triples))
+}
+
+// ServeGraph starts an HTTP SPARQL endpoint over an existing graph backend
+// (in-memory or disk-backed). See Serve for the address semantics.
+func ServeGraph(name, addr string, g Graph) (*Server, error) {
+	return endpoint.Serve(name, addr, g)
 }
 
 // NewCatalog returns an empty catalog that saves to path (empty for

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# diskstore-smoke.sh: end-to-end check of the disk-backed store pipeline.
+#
+# Generates LUBM data, bulk-loads one university into a .lds store with
+# lusail-load, serves the same dataset twice — once from memory, once from
+# the disk store with a small block cache — and asserts:
+#
+#   1. lusail-load builds and self-verifies the store,
+#   2. both endpoints answer the same SPARQL query with row-identical
+#      bindings (the acceptance bar for backend interchangeability),
+#   3. a truncated store file is rejected at startup rather than served,
+#   4. predicate statistics agree between the two backends (the /summary
+#      endpoint both serve to the federation's catalog).
+#
+# Requires: go, curl, jq. Used by CI and runnable locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+cleanup() {
+    kill $(jobs -p) 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== building =="
+go build -o "$WORK/bin/" ./cmd/lusail-datagen ./cmd/lusail-load ./cmd/lusail-endpoint
+
+echo "== generating LUBM data =="
+"$WORK/bin/lusail-datagen" -benchmark lubm -universities 2 -scale 20 -out "$WORK/data" >/dev/null
+
+echo "== bulk load =="
+"$WORK/bin/lusail-load" -out "$WORK/u0.lds" -verify "$WORK/data/university0.nt"
+
+echo "== booting memory and disk endpoints over the same dataset =="
+"$WORK/bin/lusail-endpoint" -addr 127.0.0.1:18181 -name u0mem -data "$WORK/data/university0.nt" -quiet &
+"$WORK/bin/lusail-endpoint" -addr 127.0.0.1:18182 -name u0disk -store "disk:$WORK/u0.lds" -cache 4 -quiet &
+
+wait_http() {
+    for _ in $(seq 1 100); do
+        if curl -fsS -o /dev/null "$@"; then return 0; fi
+        sleep 0.1
+    done
+    echo "FAIL: timeout waiting for $*" >&2
+    return 1
+}
+wait_http -G --data-urlencode 'query=ASK { ?s ?p ?o }' http://127.0.0.1:18181/sparql
+wait_http -G --data-urlencode 'query=ASK { ?s ?p ?o }' http://127.0.0.1:18182/sparql
+
+QUERY='PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?X ?Y ?Z WHERE {
+  ?X rdf:type ub:GraduateStudent .
+  ?Y rdf:type ub:FullProfessor .
+  ?Z rdf:type ub:GraduateCourse .
+  ?X ub:advisor ?Y .
+  ?Y ub:teacherOf ?Z .
+  ?X ub:takesCourse ?Z .
+}'
+
+echo "== row-identical results across backends =="
+curl -fsS -G --data-urlencode "query=$QUERY" http://127.0.0.1:18181/sparql >"$WORK/mem.json"
+curl -fsS -G --data-urlencode "query=$QUERY" http://127.0.0.1:18182/sparql >"$WORK/disk.json"
+jq -e '.results.bindings | length > 0' "$WORK/mem.json" >/dev/null \
+    || { echo "FAIL: memory endpoint returned no bindings"; cat "$WORK/mem.json"; exit 1; }
+jq -S '.results.bindings | sort_by(tostring)' "$WORK/mem.json" >"$WORK/mem.sorted"
+jq -S '.results.bindings | sort_by(tostring)' "$WORK/disk.json" >"$WORK/disk.sorted"
+diff -u "$WORK/mem.sorted" "$WORK/disk.sorted" \
+    || { echo "FAIL: backends returned different rows"; exit 1; }
+rows=$(jq '.results.bindings | length' "$WORK/mem.json")
+echo "backends agree on $rows rows"
+
+echo "== predicate statistics agree =="
+curl -fsS http://127.0.0.1:18181/summary >"$WORK/mem-summary.json"
+curl -fsS http://127.0.0.1:18182/summary >"$WORK/disk-summary.json"
+jq -S 'del(.endpoint, .built_at, .build_duration_ns)' "$WORK/mem-summary.json" >"$WORK/mem-summary.sorted"
+jq -S 'del(.endpoint, .built_at, .build_duration_ns)' "$WORK/disk-summary.json" >"$WORK/disk-summary.sorted"
+diff -u "$WORK/mem-summary.sorted" "$WORK/disk-summary.sorted" \
+    || { echo "FAIL: backends report different summaries"; exit 1; }
+
+echo "== truncated store rejected at startup =="
+size=$(wc -c <"$WORK/u0.lds")
+head -c "$((size - 16))" "$WORK/u0.lds" >"$WORK/truncated.lds"
+if "$WORK/bin/lusail-endpoint" -addr 127.0.0.1:18183 -name broken \
+    -store "disk:$WORK/truncated.lds" -quiet 2>"$WORK/trunc.err"; then
+    echo "FAIL: endpoint served a truncated store"
+    exit 1
+fi
+grep -qi 'truncated\|checksum\|outside file' "$WORK/trunc.err" \
+    || { echo "FAIL: truncation error not diagnosed"; cat "$WORK/trunc.err"; exit 1; }
+
+echo "PASS: diskstore smoke"
