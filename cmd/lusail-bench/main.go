@@ -12,7 +12,7 @@
 //
 // Experiments: table1, fig8, fig9, fig10, fig11, fig12a, fig12bc, fig13,
 // fig14, table2, qerror, preprocessing, blocksize, poolsize, catalog,
-// faults, service, diskscale, all.
+// faults, service, diskscale, pipeline, all.
 //
 // -metrics-addr also exposes /debug/pprof/ for live CPU and heap profiles
 // of a running experiment.
@@ -180,6 +180,9 @@ func main() {
 	}
 	if want("service") {
 		show("service")(bench.ServiceExperiment(ctx, opts))
+	}
+	if want("pipeline") {
+		show("pipeline")(bench.PipelineExperiment(ctx, opts))
 	}
 	if want("diskscale") {
 		// The JSON id is the subsystem name: BENCH_diskstore.json.

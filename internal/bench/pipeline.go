@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"time"
+
+	"lusail/internal/core"
+	"lusail/internal/rdf"
+)
+
+// pipelineLUBM is the federation the pipeline experiment runs on: sized so
+// the wide query below materializes tens of megabytes of rows, the regime
+// where streamed and materialized execution separate.
+func pipelineLUBM(opts ExpOptions) LUBMConfig {
+	cfg := LUBMConfig{Universities: 4, DeptsPerUniv: 10, ProfsPerDept: 20,
+		StudentsPerDept: 600, Seed: 1, RemoteDegreeRatio: 0.3}
+	if opts.Scale > 1 {
+		cfg.StudentsPerDept *= opts.Scale
+	}
+	return cfg
+}
+
+// pipelineQueries returns the workload: the paper's LUBM queries cover the
+// pipeline shapes (hash joins, delayed bound joins), and "wide" is a
+// low-selectivity join whose result is large enough that holding it in
+// memory dominates the materialized arm's footprint.
+func pipelineQueries() []Query {
+	prefix := "PREFIX ub: <" + ubNS + ">\nPREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+	qs := LUBMQueries()
+	qs = append(qs, Query{
+		Name: "wide",
+		Text: prefix + `SELECT ?X ?N ?A ?Z WHERE {
+			?X rdf:type ub:GraduateStudent .
+			?X ub:name ?N .
+			?X ub:address ?A .
+			?X ub:takesCourse ?Z .
+		}`,
+	})
+	return qs
+}
+
+// heapWatch samples runtime.ReadMemStats in the background and tracks the
+// peak HeapAlloc seen while an arm runs.
+type heapWatch struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func watchHeap() *heapWatch {
+	w := &heapWatch{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		var ms runtime.MemStats
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > w.peak {
+				w.peak = ms.HeapAlloc
+			}
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return w
+}
+
+// Peak stops sampling and returns the high-water HeapAlloc in bytes.
+func (w *heapWatch) Peak() uint64 {
+	close(w.stop)
+	<-w.done
+	return w.peak
+}
+
+// resultDigest is an order-insensitive multiset fingerprint: per-row
+// canonical encodings hashed and folded with addition, so two arms agree
+// exactly when they produced the same rows the same number of times.
+type resultDigest struct {
+	rows uint64
+	sum  uint64
+}
+
+func (d *resultDigest) add(vars []string, row []rdf.Term) {
+	parts := make([]string, 0, len(vars))
+	for i, v := range vars {
+		if i < len(row) && !row[i].IsZero() {
+			parts = append(parts, v+"="+row[i].String())
+		}
+	}
+	sort.Strings(parts)
+	h := fnv.New64a()
+	h.Write([]byte(strings.Join(parts, "\x1f")))
+	d.rows++
+	d.sum += h.Sum64()
+}
+
+// PipelineExperiment compares materialized execution (QueryString: the full
+// result set is built in memory, rows available only at the end) against
+// the streaming cursor (Select: rows consumed as the pipeline produces
+// them, nothing retained) on one in-process LUBM federation. Per query and
+// arm it reports time-to-first-row, total runtime, throughput, and the
+// peak HeapAlloc sampled while the arm ran; the two arms' result multisets
+// are asserted identical in-harness, so every number in the table describes
+// executions that provably returned the same rows.
+func PipelineExperiment(ctx context.Context, opts ExpOptions) (*Table, error) {
+	fed, err := NewFed(GenerateLUBM(pipelineLUBM(opts)), InProcess())
+	if err != nil {
+		return nil, err
+	}
+	eng := fed.NewLusail(core.DefaultOptions())
+	// Collect aggressively while measuring: with the default GOGC the peak
+	// is dominated by transient garbage the collector hasn't reclaimed yet,
+	// which both arms produce alike. A low target keeps the peak close to
+	// live retained memory — the quantity the two arms actually differ in.
+	prevGC := debug.SetGCPercent(20)
+	defer debug.SetGCPercent(prevGC)
+	t := &Table{
+		Title:  "pipeline: streamed (cursor) vs materialized execution",
+		Header: []string{"query", "rows", "first_row_mat", "first_row_stream", "total_mat", "total_stream", "stream_rows/s", "heap_mat_MiB", "heap_stream_MiB"},
+		Notes: []string{
+			"first_row_mat equals total_mat: a materialized result has no rows until it is complete",
+			"heap is the arm's working set: high-water HeapAlloc sampled while the arm ran, minus the post-GC baseline (the resident federation data) measured just before it started",
+			"row parity is asserted in-harness: both arms must return the same result multiset",
+			"in-process endpoints share the process heap, so both columns include server-side evaluation churn (dominant for Q4); the streamed arm's saving is the client-side result set and join intermediates",
+		},
+	}
+
+	// baseline returns HeapAlloc after a forced GC: the resident federation
+	// data plus whatever the runtime retains, subtracted from each arm's
+	// peak so the columns show the execution's own working set.
+	baseline := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+	delta := func(peak, base uint64) float64 {
+		if peak < base {
+			return 0
+		}
+		return float64(peak-base) / (1 << 20)
+	}
+
+	for _, q := range pipelineQueries() {
+		// Materialized arm.
+		matBase := baseline()
+		matWatch := watchHeap()
+		matStart := time.Now()
+		res, _, err := eng.QueryString(ctx, q.Text)
+		matTotal := time.Since(matStart)
+		matPeak := matWatch.Peak()
+		if err != nil {
+			return nil, fmt.Errorf("pipeline %s: materialized: %w", q.Name, err)
+		}
+		var matDig resultDigest
+		for _, row := range res.Rows {
+			matDig.add(res.Vars, row)
+		}
+		res = nil
+
+		// Streamed arm: consume and fold, retain nothing.
+		strBase := baseline()
+		var streamDig resultDigest
+		var firstRow time.Duration
+		strWatch := watchHeap()
+		strStart := time.Now()
+		rows, err := eng.Select(ctx, q.Text)
+		if err != nil {
+			strWatch.Peak()
+			return nil, fmt.Errorf("pipeline %s: select: %w", q.Name, err)
+		}
+		for rows.Next() {
+			if streamDig.rows == 0 {
+				firstRow = time.Since(strStart)
+			}
+			streamDig.add(rows.Vars(), rows.Row())
+		}
+		err = rows.Err()
+		if cerr := rows.Close(); err == nil {
+			err = cerr
+		}
+		strTotal := time.Since(strStart)
+		strPeak := strWatch.Peak()
+		if err != nil {
+			return nil, fmt.Errorf("pipeline %s: cursor: %w", q.Name, err)
+		}
+
+		if matDig != streamDig {
+			return nil, fmt.Errorf("pipeline %s: result mismatch: materialized %d rows (digest %x), streamed %d rows (digest %x)",
+				q.Name, matDig.rows, matDig.sum, streamDig.rows, streamDig.sum)
+		}
+		rowsPerSec := "-"
+		if strTotal > 0 {
+			rowsPerSec = fmt.Sprintf("%.0f", float64(streamDig.rows)/strTotal.Seconds())
+		}
+		t.Rows = append(t.Rows, []string{
+			q.Name,
+			fmt.Sprintf("%d", matDig.rows),
+			FormatDuration(matTotal),
+			FormatDuration(firstRow),
+			FormatDuration(matTotal),
+			FormatDuration(strTotal),
+			rowsPerSec,
+			fmt.Sprintf("%.1f", delta(matPeak, matBase)),
+			fmt.Sprintf("%.1f", delta(strPeak, strBase)),
+		})
+	}
+	return t, nil
+}

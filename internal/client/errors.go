@@ -24,6 +24,15 @@ const (
 	PhaseAdmission       Phase = "admission"         // lusaild tenant admission control
 )
 
+// ErrResponseTooLarge is the sentinel wrapped into the EndpointError a
+// client surfaces when an endpoint's response exceeds the configured
+// response-size cap mid-stream. It replaces the historical silent
+// truncation (an io.LimitReader quietly clipping the body at 256 MiB and
+// parsing the prefix as if it were complete): an oversized response is now
+// an explicit, typed failure the engine can degrade on or abort with.
+// Detect it with errors.Is(err, client.ErrResponseTooLarge).
+var ErrResponseTooLarge = errors.New("response exceeds configured size limit")
+
 // EndpointError is the typed error for any request that failed against a
 // federation endpoint. It replaces the fmt.Errorf strings the engine
 // historically returned, so callers can dispatch on the failing endpoint

@@ -12,26 +12,67 @@ import (
 	"lusail/internal/sparql"
 )
 
+// DefaultMaxResponseBytes caps how much of an endpoint response the client
+// will consume when HTTPOptions does not set a limit: 256 MiB, the
+// historical materialization cap.
+const DefaultMaxResponseBytes = 256 << 20
+
+// HTTPOptions configures an HTTP endpoint client.
+type HTTPOptions struct {
+	// Client supplies the http.Client (timeouts, transports, test
+	// doubles); nil uses a client with a 5-minute timeout.
+	Client *http.Client
+	// MaxResponseBytes caps the size of a single response body. A response
+	// that exceeds it fails with a typed EndpointError wrapping
+	// ErrResponseTooLarge — never a silently truncated result. Zero means
+	// DefaultMaxResponseBytes; negative is invalid.
+	MaxResponseBytes int64
+}
+
+// Validate rejects option values that cannot mean anything.
+func (o HTTPOptions) Validate() error {
+	if o.MaxResponseBytes < 0 {
+		return fmt.Errorf("client: negative MaxResponseBytes %d", o.MaxResponseBytes)
+	}
+	return nil
+}
+
 // HTTP is a SPARQL 1.1 protocol client for a remote endpoint.
 type HTTP struct {
-	name string
-	url  string
-	hc   *http.Client
+	name     string
+	url      string
+	hc       *http.Client
+	maxBytes int64
 }
 
 // NewHTTP returns an endpoint client for the SPARQL endpoint at rawURL.
 func NewHTTP(name, rawURL string) *HTTP {
-	return &HTTP{
-		name: name,
-		url:  rawURL,
-		hc:   &http.Client{Timeout: 5 * time.Minute},
-	}
+	e, _ := NewHTTPWithOptions(name, rawURL, HTTPOptions{})
+	return e
 }
 
 // NewHTTPWithClient returns an endpoint client using a caller-supplied
 // http.Client (for timeouts, transports, or test doubles).
 func NewHTTPWithClient(name, rawURL string, hc *http.Client) *HTTP {
-	return &HTTP{name: name, url: rawURL, hc: hc}
+	e, _ := NewHTTPWithOptions(name, rawURL, HTTPOptions{Client: hc})
+	return e
+}
+
+// NewHTTPWithOptions returns an endpoint client configured by opts, or an
+// error when opts fails Validate.
+func NewHTTPWithOptions(name, rawURL string, opts HTTPOptions) (*HTTP, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	hc := opts.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Minute}
+	}
+	maxBytes := opts.MaxResponseBytes
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxResponseBytes
+	}
+	return &HTTP{name: name, url: rawURL, hc: hc, maxBytes: maxBytes}, nil
 }
 
 // Name implements Endpoint.
@@ -40,9 +81,23 @@ func (e *HTTP) Name() string { return e.name }
 // URL returns the endpoint URL.
 func (e *HTTP) URL() string { return e.url }
 
-// Query implements Endpoint using a POST with form-encoded query, the most
-// widely supported SPARQL protocol binding.
+// Query implements Endpoint by draining QueryStream: the materialized
+// convenience is now layered on the streaming path, so both share one
+// protocol implementation and one response-size policy.
 func (e *HTTP) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	rd, err := e.QueryStream(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return sparql.ReadAllRows(rd)
+}
+
+// QueryStream implements Streamer using a POST with form-encoded query,
+// the most widely supported SPARQL protocol binding. It returns once the
+// response head has been decoded; rows decode incrementally on Read. A
+// body larger than the configured MaxResponseBytes fails the stream with
+// an EndpointError wrapping ErrResponseTooLarge.
+func (e *HTTP) QueryStream(ctx context.Context, query string) (sparql.RowReader, error) {
 	form := url.Values{"query": {query}}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.url, strings.NewReader(form.Encode()))
 	if err != nil {
@@ -54,21 +109,52 @@ func (e *HTTP) Query(ctx context.Context, query string) (*sparql.Results, error)
 	if err != nil {
 		return nil, fmt.Errorf("endpoint %s: %w", e.name, err)
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
-	if err != nil {
-		return nil, fmt.Errorf("endpoint %s: reading response: %w", e.name, err)
-	}
 	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		msg := strings.TrimSpace(string(body))
 		if len(msg) > 300 {
 			msg = msg[:300]
 		}
 		return nil, fmt.Errorf("endpoint %s: HTTP %d: %s", e.name, resp.StatusCode, msg)
 	}
-	res, err := sparql.ParseResultsJSON(body)
+	body := &boundedBody{
+		rc:        resp.Body,
+		remaining: e.maxBytes + 1, // the +1 distinguishes "exactly at cap" from "over"
+		endpoint:  e.name,
+		max:       e.maxBytes,
+	}
+	dec, err := sparql.NewJSONDecoder(body)
 	if err != nil {
 		return nil, fmt.Errorf("endpoint %s: %w", e.name, err)
 	}
-	return res, nil
+	return dec, nil
 }
+
+// boundedBody is a response-body reader that fails — with a typed error —
+// once more than max bytes have been consumed. Unlike io.LimitReader it
+// never fakes a clean EOF at the cap, so an oversized response can never
+// be mistaken for a complete one.
+type boundedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+	endpoint  string
+	max       int64
+}
+
+func (b *boundedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, &EndpointError{
+			Endpoint: b.endpoint,
+			Err:      fmt.Errorf("response body exceeds %d bytes: %w", b.max, ErrResponseTooLarge),
+		}
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	return n, err
+}
+
+func (b *boundedBody) Close() error { return b.rc.Close() }

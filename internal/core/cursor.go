@@ -1,0 +1,336 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lusail/internal/obs"
+	"lusail/internal/rdf"
+	"lusail/internal/resilience"
+	"lusail/internal/sparql"
+)
+
+// Rows is the streaming cursor over one executing query — the primary way
+// results leave the engine. Iteration follows the database/sql idiom:
+//
+//	rows, err := eng.Select(ctx, query)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    row := rows.Row() // aligned to rows.Vars(), valid until next Next
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// Rows are delivered as the pipeline produces them: memory stays bounded
+// by operator state (hash-table build sides up to the spill budget, one
+// VALUES block per bound join), not by the result size. Close is required
+// on every path — it cancels in-flight endpoint work, releases spill
+// files, and finalizes the profile; abandoning a cursor without Close
+// leaks goroutines until the surrounding context ends. A cursor is not
+// safe for concurrent use.
+type Rows struct {
+	src   RowStream
+	vars  []string
+	query *sparql.Query
+	prof  *Profile
+	ctx   context.Context
+	start time.Time
+
+	execStart time.Time
+	exSpan    *obs.Span
+
+	n      int64
+	err    error
+	closed bool
+}
+
+// startQuery sets up the per-query profile, trace, and warning sink. The
+// caller owns their teardown: materialized paths finish inline, cursors
+// finish in Close.
+func (e *Engine) startQuery(ctx context.Context) (context.Context, *Profile, time.Time) {
+	prof := &Profile{}
+	if e.opts.Trace {
+		prof.Trace = obs.NewSpan("query")
+		ctx = obs.ContextWithSpan(ctx, prof.Trace)
+	}
+	ctx = resilience.WithWarnings(ctx)
+	return ctx, prof, time.Now()
+}
+
+// newRows builds the full result pipeline for a plan and wraps it in a
+// cursor. Branch pipelines are concatenated (UNION), then the solution
+// modifiers apply: queries whose modifiers are streamable (projection,
+// DISTINCT, OFFSET, LIMIT) keep the pipeline incremental end to end;
+// ORDER BY, GROUP BY, and aggregates need the complete result and drain
+// the stream at the tail — everything upstream still runs pipelined.
+func (e *Engine) newRows(ctx context.Context, p *Plan, prof *Profile, start time.Time) (*Rows, error) {
+	q := p.query
+	if q.Form == sparql.AskForm {
+		return nil, fmt.Errorf("lusail: a cursor streams rows; use Query for ASK")
+	}
+	execStart := time.Now()
+	exCtx, exSpan := obs.StartSpan(ctx, "execution")
+	var branches []RowStream
+	for _, pb := range p.branches {
+		bs, err := e.branchStream(exCtx, pb, prof)
+		if err != nil {
+			for _, b := range branches {
+				b.Close()
+			}
+			exSpan.End()
+			finishProfile(ctx, prof, start)
+			return nil, err
+		}
+		branches = append(branches, bs)
+	}
+
+	// Union header: every branch variable, in first-seen order, matching
+	// qplan.UnionRelations.
+	var unionVars []string
+	seen := map[string]bool{}
+	for _, bs := range branches {
+		for _, v := range bs.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				unionVars = append(unionVars, v)
+			}
+		}
+	}
+	aligned := make([]RowStream, len(branches))
+	for i, bs := range branches {
+		aligned[i] = newAlignStream(bs, unionVars)
+	}
+	src := newConcatStream(unionVars, aligned)
+
+	if len(q.GroupBy) > 0 || q.HasAggregates() || len(q.OrderBy) > 0 {
+		src = newDrainStream(q, src)
+	} else {
+		src = newAlignStream(src, q.ProjectedVars())
+		if q.Distinct {
+			src = newDedupStream(src)
+		}
+		src = newOffsetStream(src, q.Offset)
+		src = newLimitStream(src, q.Limit)
+	}
+	return &Rows{
+		src:       src,
+		vars:      append([]string(nil), src.Vars()...),
+		query:     q,
+		prof:      prof,
+		ctx:       ctx,
+		start:     start,
+		execStart: execStart,
+		exSpan:    exSpan,
+	}, nil
+}
+
+// finishProfile collects warnings and closes out the timings.
+func finishProfile(ctx context.Context, prof *Profile, start time.Time) {
+	prof.Warnings = append(prof.Warnings, resilience.TakeWarnings(ctx)...)
+	if len(prof.Warnings) > 0 {
+		prof.Trace.SetAttr("degraded", len(prof.Warnings))
+	}
+	prof.Total = time.Since(start)
+}
+
+// Vars returns the cursor's column header.
+func (r *Rows) Vars() []string { return r.vars }
+
+// Next advances to the next solution row, returning false at the end of
+// the result or on error; Err distinguishes the two.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	// A cancelled query must fail, not end cleanly on whatever rows the
+	// pipeline had already buffered.
+	if err := r.ctx.Err(); err != nil {
+		r.err = err
+		return false
+	}
+	if r.src.Next() {
+		r.n++
+		return true
+	}
+	r.err = r.src.Err()
+	return false
+}
+
+// Row returns the current row, aligned to Vars (unbound variables are
+// zero Terms). It is only valid until the next Next or Close; copy it to
+// retain it.
+func (r *Rows) Row() []rdf.Term { return r.src.Row() }
+
+// Scan copies the current row into dest, one pointer per variable.
+func (r *Rows) Scan(dest ...*rdf.Term) error {
+	row := r.src.Row()
+	if len(dest) != len(row) {
+		return fmt.Errorf("lusail: Scan expects %d destinations, got %d", len(row), len(dest))
+	}
+	for i, d := range dest {
+		*d = row[i]
+	}
+	return nil
+}
+
+// Binding returns the current row as a variable→term map, omitting
+// unbound variables. The map is freshly allocated and safe to retain.
+func (r *Rows) Binding() map[string]rdf.Term {
+	row := r.src.Row()
+	out := make(map[string]rdf.Term, len(r.vars))
+	for i, v := range r.vars {
+		if !row[i].IsZero() {
+			out[v] = row[i]
+		}
+	}
+	return out
+}
+
+// Err returns the error that terminated iteration, if any. Like
+// database/sql, it is meaningful after Next returns false.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the pipeline — cancelling in-flight endpoint work,
+// reaping goroutines, deleting spill files — and finalizes the profile.
+// It is idempotent and must be called on every path, including early
+// abandonment mid-iteration.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	err := r.src.Close()
+	r.prof.Execution += time.Since(r.execStart)
+	r.exSpan.SetAttr("rows", int(r.n))
+	r.exSpan.End()
+	finishProfile(r.ctx, r.prof, r.start)
+	if r.prof.Trace != nil {
+		r.prof.Trace.SetAttr("results", int(r.n))
+		r.prof.Trace.End()
+	}
+	return err
+}
+
+// Profile returns the query's execution profile. It is complete only
+// after Close; before that it returns nil.
+func (r *Rows) Profile() *Profile {
+	if !r.closed {
+		return nil
+	}
+	return r.prof
+}
+
+// Select plans and executes a SELECT query, returning a streaming cursor
+// over its solutions. The caller must Close the cursor on every path.
+// This is the primary execution entry point; Query is the materializing
+// convenience built on top of it.
+func (e *Engine) Select(ctx context.Context, query string) (*Rows, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if q.Form != sparql.SelectForm {
+		return nil, fmt.Errorf("lusail: Select requires a SELECT query")
+	}
+	ctx, prof, start := e.startQuery(ctx)
+	p, err := e.plan(ctx, q, prof)
+	if err != nil {
+		finishProfile(ctx, prof, start)
+		if prof.Trace != nil {
+			prof.Trace.End()
+		}
+		return nil, err
+	}
+	return e.newRows(ctx, p, prof, start)
+}
+
+// ExecutePlan runs a plan built by Plan and returns the materialized
+// results and a per-execution profile. The plan is not mutated; concurrent
+// ExecutePlan calls on one plan are safe. The profile's planning counters
+// reflect the plan (GJVs, decomposition); its planning timings are zero
+// because nothing was planned in this call.
+func (e *Engine) ExecutePlan(ctx context.Context, p *Plan) (*sparql.Results, *Profile, error) {
+	ctx, prof, start := e.startQuery(ctx)
+	p.summarize(prof)
+	res, err := e.runPlan(ctx, p, prof, start)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, prof, nil
+}
+
+// ExecutePlanStream executes a plan and returns a streaming cursor — the
+// entry point a serving layer uses to flush rows to the wire as the
+// pipeline produces them, for every plan shape. ASK plans are rejected (a
+// boolean has no rows to stream); run them through ExecutePlan.
+func (e *Engine) ExecutePlanStream(ctx context.Context, p *Plan) (*Rows, error) {
+	ctx, prof, start := e.startQuery(ctx)
+	p.summarize(prof)
+	return e.newRows(ctx, p, prof, start)
+}
+
+// runPlan drains the plan's pipeline into a materialized result: the
+// materializing execution path is the streaming path plus a full drain.
+func (e *Engine) runPlan(ctx context.Context, p *Plan, prof *Profile, start time.Time) (*sparql.Results, error) {
+	if p.query.Form == sparql.AskForm {
+		return e.runAsk(ctx, p, prof, start)
+	}
+	rows, err := e.newRows(ctx, p, prof, start)
+	if err != nil {
+		return nil, err
+	}
+	res := sparql.NewResults(append([]string(nil), rows.Vars()...))
+	for rows.Next() {
+		res.Rows = append(res.Rows, copyRow(rows.Row()))
+	}
+	err = rows.Err()
+	if cerr := rows.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runAsk answers an ASK plan through the pipeline with early exit: the
+// first row of any branch proves true, and closing the pipeline cancels
+// everything still in flight.
+func (e *Engine) runAsk(ctx context.Context, p *Plan, prof *Profile, start time.Time) (*sparql.Results, error) {
+	execStart := time.Now()
+	exCtx, exSpan := obs.StartSpan(ctx, "execution")
+	found := false
+	var err error
+	for _, pb := range p.branches {
+		var bs RowStream
+		bs, err = e.branchStream(exCtx, pb, prof)
+		if err != nil {
+			break
+		}
+		got := bs.Next()
+		if !got {
+			err = bs.Err()
+		}
+		if cerr := bs.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			break
+		}
+		if got {
+			found = true
+			break
+		}
+	}
+	prof.Execution += time.Since(execStart)
+	exSpan.End()
+	finishProfile(ctx, prof, start)
+	if prof.Trace != nil {
+		prof.Trace.End()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sparql.BoolResults(found), nil
+}

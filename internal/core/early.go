@@ -7,43 +7,46 @@ import (
 	"lusail/internal/sparql"
 )
 
-// QueryEarly executes a federated query and delivers solutions to emit as
-// soon as they are complete — the paper's future-work goal of "returning
-// fast and early results during federated query execution" for interactive
-// exploration. emit receives one solution at a time and returns false to
-// stop the query.
+// QueryEarly executes a federated SELECT query and delivers solutions to
+// emit as each one comes off the pipeline — the paper's future-work goal
+// of "returning fast and early results during federated query execution".
+// emit receives one solution at a time and returns false to stop the
+// query; returning false cancels all in-flight endpoint work.
 //
-// Early delivery applies when LADE decomposes the query into a *single*
-// subquery (no global join variables) and the query has no solution
-// modifiers that need the complete result (ORDER BY, DISTINCT, aggregates,
-// OFFSET, OPTIONAL, VALUES): each endpoint's answers stream to emit the
-// moment that endpoint responds, so the first results arrive at the speed
-// of the fastest endpoint rather than the slowest. In streaming mode a
-// solution present at several endpoints may be delivered more than once
-// (bag semantics). Any other query falls back to full evaluation and emits
-// the final rows in order.
+// Every plan shape streams: rows flow from the first responding endpoint
+// through scans, bound joins, and hash joins without waiting for the
+// complete result. The returned bool reports whether rows were delivered
+// incrementally — false only when a solution modifier forces a blocking
+// tail (ORDER BY, GROUP BY, aggregates), in which case emit still
+// receives every final row, just only after the result is complete.
 //
-// The returned bool reports whether streaming mode was used. QueryEarly is
-// the parse-plan-stream convenience over Engine.Plan and
-// Engine.ExecutePlanStream; callers that repeat query shapes should cache
-// the Plan and call ExecutePlanStream directly.
+// Deprecated: QueryEarly predates the cursor API and survives as a thin
+// wrapper over it. New code should call Engine.Select and iterate the
+// returned *Rows, which exposes the same incremental delivery with
+// per-row control, typed errors, and a Profile.
 func (e *Engine) QueryEarly(ctx context.Context, query string, emit func(map[string]rdf.Term) bool) (bool, error) {
-	q, err := sparql.Parse(query)
+	rows, err := e.Select(ctx, query)
 	if err != nil {
 		return false, err
 	}
-	p, err := e.Plan(ctx, q)
-	if err != nil {
-		return false, err
+	streamed := earlyEligible(rows.query)
+	for rows.Next() {
+		if !emit(rows.Binding()) {
+			break
+		}
 	}
-	streamed, _, err := e.ExecutePlanStream(ctx, p, emit)
+	err = rows.Err()
+	if cerr := rows.Close(); err == nil {
+		err = cerr
+	}
 	return streamed, err
 }
 
 // earlyEligible reports whether the query's modifiers allow incremental
-// delivery (no modifier needs the complete result; LIMIT is fine).
+// delivery (no modifier needs the complete result; DISTINCT, OFFSET, and
+// LIMIT all stream).
 func earlyEligible(q *sparql.Query) bool {
 	return q.Form == sparql.SelectForm &&
-		!q.Distinct && !q.HasAggregates() &&
-		len(q.GroupBy) == 0 && len(q.OrderBy) == 0 && q.Offset == 0
+		!q.HasAggregates() &&
+		len(q.GroupBy) == 0 && len(q.OrderBy) == 0
 }

@@ -113,6 +113,13 @@ type Options struct {
 	// delayed and results are joined in input order. Used for the LADE-only
 	// ablation (paper Figure 14).
 	DisableSAPE bool
+	// JoinSpillBytes bounds the in-memory build side of each streaming
+	// hash join: a build relation whose estimated footprint exceeds the
+	// budget spills both join sides to disk and the join finishes as an
+	// external sort-merge. <=0 uses the 64 MiB default; it cannot be
+	// disabled — unbounded build sides would defeat the pipeline's bounded
+	// memory guarantee.
+	JoinSpillBytes int64
 
 	// --- Resilience (fault tolerance against flaky endpoints) ---
 
@@ -142,6 +149,7 @@ func DefaultOptions() Options {
 	return Options{
 		Threshold:       ThresholdMuSigma,
 		ValuesBlockSize: 500,
+		JoinSpillBytes:  64 << 20,
 		CacheSources:    true,
 		CacheChecks:     true,
 	}
@@ -238,6 +246,9 @@ func New(fed *federation.Federation, opts Options) (*Engine, error) {
 	if opts.ValuesBlockSize <= 0 {
 		opts.ValuesBlockSize = 500
 	}
+	if opts.JoinSpillBytes <= 0 {
+		opts.JoinSpillBytes = 64 << 20
+	}
 	pool := erh.New(opts.PoolSize)
 	reg := obs.Default()
 	res := resilience.NewManager(opts.Resilience, reg)
@@ -302,31 +313,19 @@ func (e *Engine) QueryString(ctx context.Context, query string) (*sparql.Results
 // query shape repeatedly should cache the Plan and call ExecutePlan
 // directly.
 func (e *Engine) Query(ctx context.Context, q *sparql.Query) (*sparql.Results, *Profile, error) {
-	start := time.Now()
-	prof := &Profile{}
-	if e.opts.Trace {
-		prof.Trace = obs.NewSpan("query")
-		ctx = obs.ContextWithSpan(ctx, prof.Trace)
-		defer prof.Trace.End()
-	}
-	ctx = resilience.WithWarnings(ctx)
-	defer func() {
-		prof.Warnings = append(prof.Warnings, resilience.TakeWarnings(ctx)...)
-		if len(prof.Warnings) > 0 {
-			prof.Trace.SetAttr("degraded", len(prof.Warnings))
-		}
-	}()
-
+	ctx, prof, start := e.startQuery(ctx)
 	p, err := e.plan(ctx, q, prof)
 	if err != nil {
+		finishProfile(ctx, prof, start)
+		if prof.Trace != nil {
+			prof.Trace.End()
+		}
 		return nil, nil, err
 	}
-	res, err := e.finishPlan(ctx, p, prof)
+	res, err := e.runPlan(ctx, p, prof, start)
 	if err != nil {
 		return nil, nil, err
 	}
-	prof.Total = time.Since(start)
-	prof.Trace.SetAttr("results", res.Len())
 	return res, prof, nil
 }
 

@@ -4,15 +4,10 @@ import (
 	"context"
 	"fmt"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"lusail/internal/client"
 	"lusail/internal/obs"
 	"lusail/internal/qplan"
-	"lusail/internal/rdf"
-	"lusail/internal/resilience"
 	"lusail/internal/sparql"
 )
 
@@ -94,21 +89,6 @@ func (p *Plan) summarize(prof *Profile) {
 	prof.GJVs = append(prof.GJVs, p.gjvs...)
 	prof.Subqueries += p.subqueries
 	prof.Decomposition = append(prof.Decomposition, p.decomposition...)
-}
-
-// streamable reports whether the plan qualifies for incremental row
-// delivery: a single branch decomposed into a single subquery (no global
-// join), no OPTIONAL/VALUES blocks, and no solution modifier that needs the
-// complete result (see earlyEligible).
-func (p *Plan) streamable() bool {
-	if !earlyEligible(p.query) || len(p.branches) != 1 {
-		return false
-	}
-	pb := p.branches[0]
-	if len(pb.br.Optionals) > 0 || len(pb.br.Values) > 0 {
-		return false
-	}
-	return pb.empty || len(pb.sqs) == 1
 }
 
 // Plan runs the planning phases for a parsed query — source selection,
@@ -232,166 +212,6 @@ func cloneSubqueries(sqs []*Subquery) []*Subquery {
 	return out
 }
 
-// ExecutePlan runs a plan built by Plan and returns the final results and a
-// per-execution profile. The plan is not mutated; concurrent ExecutePlan
-// calls on one plan are safe. The profile's planning counters reflect the
-// plan (GJVs, decomposition); its planning timings are zero because nothing
-// was planned in this call.
-func (e *Engine) ExecutePlan(ctx context.Context, p *Plan) (*sparql.Results, *Profile, error) {
-	start := time.Now()
-	prof := &Profile{}
-	if e.opts.Trace {
-		prof.Trace = obs.NewSpan("query")
-		ctx = obs.ContextWithSpan(ctx, prof.Trace)
-		defer prof.Trace.End()
-	}
-	ctx = resilience.WithWarnings(ctx)
-	defer func() {
-		prof.Warnings = append(prof.Warnings, resilience.TakeWarnings(ctx)...)
-		if len(prof.Warnings) > 0 {
-			prof.Trace.SetAttr("degraded", len(prof.Warnings))
-		}
-	}()
-	p.summarize(prof)
-	res, err := e.finishPlan(ctx, p, prof)
-	if err != nil {
-		return nil, nil, err
-	}
-	prof.Total = time.Since(start)
-	prof.Trace.SetAttr("results", res.Len())
-	return res, prof, nil
-}
-
-// finishPlan executes every branch of the plan (phase 3, SAPE) and
-// finalizes the result — projection, modifiers, aggregates. Callers own the
-// trace and warning-sink setup.
-func (e *Engine) finishPlan(ctx context.Context, p *Plan, prof *Profile) (*sparql.Results, error) {
-	var all *sparql.Results
-	for _, pb := range p.branches {
-		var rows *sparql.Results
-		if pb.empty {
-			rows = qplan.EmptyRelation(pb.br.Vars())
-		} else {
-			t2 := time.Now()
-			exCtx, exSpan := obs.StartSpan(ctx, "execution")
-			var err error
-			rows, err = e.execute(exCtx, pb.br, cloneSubqueries(pb.sqs), prof)
-			exSpan.End()
-			prof.Execution += time.Since(t2)
-			if err != nil {
-				return nil, err
-			}
-		}
-		if all == nil {
-			all = rows
-		} else {
-			all = qplan.UnionRelations(all, rows)
-		}
-	}
-	return qplan.Finalize(p.query, all)
-}
-
-// ExecutePlanStream executes a plan and delivers solution rows to emit as
-// they become available — the row-callback entry point a serving layer uses
-// to flush results to the wire incrementally. emit receives one solution at
-// a time and returns false to stop the query.
-//
-// When the plan is streamable (single subquery, no global join, no modifier
-// needing the complete result — the QueryEarly rules), each endpoint's
-// answers are forwarded the moment that endpoint responds and the returned
-// bool is true; a solution present at several endpoints may then be
-// delivered more than once (bag semantics). Any other plan executes fully
-// and emits the final rows in order, returning false. Cancelling ctx (e.g.
-// on client disconnect) stops endpoint work through the usual context
-// discipline. ASK plans are rejected — a boolean has no rows to stream.
-func (e *Engine) ExecutePlanStream(ctx context.Context, p *Plan, emit func(map[string]rdf.Term) bool) (bool, *Profile, error) {
-	start := time.Now()
-	prof := &Profile{}
-	ctx = resilience.WithWarnings(ctx)
-	defer func() {
-		prof.Warnings = append(prof.Warnings, resilience.TakeWarnings(ctx)...)
-	}()
-	p.summarize(prof)
-
-	if !p.streamable() {
-		res, err := e.finishPlan(ctx, p, prof)
-		if err != nil {
-			return false, prof, err
-		}
-		if res.IsBoolean {
-			return false, prof, fmt.Errorf("lusail: streaming does not support ASK queries")
-		}
-		prof.Total = time.Since(start)
-		for i := range res.Rows {
-			if !emit(res.Binding(i)) {
-				break
-			}
-		}
-		return false, prof, nil
-	}
-
-	pb := p.branches[0]
-	if pb.empty {
-		prof.Total = time.Since(start)
-		return true, prof, nil // provably empty: nothing to emit
-	}
-	err := e.streamSubquery(ctx, p.query, pb, emit)
-	prof.Total = time.Since(start)
-	return true, prof, err
-}
-
-// streamSubquery evaluates the plan's single subquery with one request per
-// endpoint, forwarding rows as each response lands.
-func (e *Engine) streamSubquery(ctx context.Context, q *sparql.Query, pb *plannedBranch, emit func(map[string]rdf.Term) bool) error {
-	sq := pb.sqs[0]
-	br := pb.br
-	vars := q.ProjectedVars()
-	var stopped atomic.Bool
-	var emitMu sync.Mutex
-	emitted := 0
-	limit := q.Limit
-
-	queryText := sq.Query(nil).String()
-	runErr := e.pool.ForEachGated(ctx, sq.Sources, e.gate(),
-		e.onRejectDegrade(ctx, client.PhaseSubquery, sq.Sources), func(i int) error {
-			if stopped.Load() {
-				return nil
-			}
-			res, err := e.queryEndpoint(ctx, client.PhaseSubquery, sq.Sources[i], queryText)
-			if err != nil {
-				if e.degrade(ctx, client.PhaseSubquery, sq.Sources[i], err) {
-					return nil
-				}
-				return err
-			}
-			rel := qplan.ApplyFilters(res, br.Filters)
-			emitMu.Lock()
-			defer emitMu.Unlock()
-			for r := range rel.Rows {
-				if stopped.Load() {
-					return nil
-				}
-				if limit >= 0 && emitted >= limit {
-					stopped.Store(true)
-					return nil
-				}
-				b := rel.Binding(r)
-				out := make(map[string]rdf.Term, len(vars))
-				for _, v := range vars {
-					if t, ok := b[v]; ok {
-						out[v] = t
-					}
-				}
-				emitted++
-				if !emit(out) {
-					stopped.Store(true)
-					return nil
-				}
-			}
-			return nil
-		})
-	if runErr != nil && !stopped.Load() {
-		return runErr
-	}
-	return nil
-}
+// Execution entry points — ExecutePlan (materializing) and
+// ExecutePlanStream (cursor) — live in cursor.go; both run the same
+// streaming pipeline.

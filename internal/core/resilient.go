@@ -27,6 +27,23 @@ func (e *Engine) queryEndpoint(ctx context.Context, phase client.Phase, name, qu
 	return res, nil
 }
 
+// streamEndpoint issues one streaming request through the resilience
+// layer. Errors surfaced later by the returned reader are raw transport
+// errors; consumers wrap them as *client.EndpointError at the read site
+// (see scanStream.push).
+func (e *Engine) streamEndpoint(ctx context.Context, phase client.Phase, name, query string) (sparql.RowReader, error) {
+	ep := e.fed.Get(name)
+	if ep == nil {
+		return nil, &client.EndpointError{Endpoint: name, Phase: phase,
+			Err: fmt.Errorf("unknown endpoint")}
+	}
+	rd, err := e.res.DoStream(ctx, ep, query)
+	if err != nil {
+		return nil, &client.EndpointError{Endpoint: name, Phase: phase, Err: err}
+	}
+	return rd, nil
+}
+
 // probeEndpoint issues one idempotent probe (ASK, COUNT, LIMIT-1 check)
 // with tail hedging when the resilience layer is configured for it.
 func (e *Engine) probeEndpoint(ctx context.Context, phase client.Phase, name, query string) (*sparql.Results, error) {

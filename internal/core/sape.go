@@ -2,131 +2,14 @@ package core
 
 import (
 	"context"
-	"math"
-	"sort"
-	"strings"
 	"sync"
 
 	"lusail/internal/client"
 	"lusail/internal/federation"
-	"lusail/internal/obs"
 	"lusail/internal/qplan"
 	"lusail/internal/rdf"
 	"lusail/internal/sparql"
 )
-
-// execute implements SAPE (Algorithm 3 plus the join evaluation of
-// Section 4.2): non-delayed subqueries run concurrently across endpoints,
-// delayed subqueries run afterwards as bound joins over the bindings found
-// so far, and the subquery relations are joined with a cost-based order.
-func (e *Engine) execute(ctx context.Context, br *qplan.Branch, sqs []*Subquery, prof *Profile) (*sparql.Results, error) {
-	optionals, err := e.planOptionals(ctx, br)
-	if err != nil {
-		return nil, err
-	}
-
-	// Delay decisions over the mandatory subqueries (Figure 7).
-	if !e.opts.DisableSAPE && len(sqs) > 1 {
-		cards := make([]float64, len(sqs))
-		numEPs := make([]float64, len(sqs))
-		known := make([]bool, len(sqs))
-		for i, sq := range sqs {
-			cards[i] = sq.EstCard
-			numEPs[i] = float64(len(sq.Sources))
-			known[i] = sq.CardKnown
-		}
-		delayed := delayDecisions(cards, numEPs, known, e.opts.Threshold)
-		for i, d := range delayed {
-			sqs[i].Delayed = d
-		}
-		ensureNonDelayed(sqs)
-	}
-	for _, sq := range sqs {
-		if sq.Delayed {
-			prof.Delayed++
-		}
-	}
-
-	// Phase 1 (lines 6-9): evaluate non-delayed subqueries concurrently at
-	// all their relevant endpoints.
-	var nonDelayed, delayed []*Subquery
-	for _, sq := range sqs {
-		if sq.Delayed {
-			delayed = append(delayed, sq)
-		} else {
-			nonDelayed = append(nonDelayed, sq)
-		}
-	}
-	relations, err := e.evalSubqueriesConcurrently(ctx, nonDelayed)
-	if err != nil {
-		return nil, err
-	}
-	for i, sq := range nonDelayed {
-		if len(sq.Patterns) > 1 {
-			prof.SubqueryStats = append(prof.SubqueryStats, SubqueryStat{
-				Patterns:  len(sq.Patterns),
-				Estimated: sq.EstCard,
-				Actual:    len(relations[i].Rows),
-			})
-		}
-	}
-
-	// Join non-delayed results whenever possible: collapse each
-	// var-connected component into one relation.
-	components := e.joinConnected(ctx, relations)
-
-	// Phase 2 (lines 10-18): evaluate delayed subqueries, most selective
-	// first, bound to the found bindings.
-	for len(delayed) > 0 {
-		next := e.mostSelectiveDelayed(delayed, components)
-		sq := delayed[next]
-		delayed = append(delayed[:next], delayed[next+1:]...)
-
-		rel, comp, err := e.evalDelayed(ctx, sq, components, prof)
-		if err != nil {
-			return nil, err
-		}
-		if comp >= 0 {
-			// Join with the component that provided the bindings, updating
-			// the found bindings for subsequent delayed subqueries.
-			components[comp] = e.join2(ctx, components[comp], rel)
-		} else {
-			components = append(components, rel)
-		}
-		components = e.joinConnected(ctx, components)
-	}
-
-	// Join the remaining components (cross product if truly disjoint —
-	// e.g. the C5/B5/B6 queries whose subgraphs meet only through FILTER).
-	_, jsp := obs.StartSpan(ctx, "join")
-	jsp.SetAttr("components", len(components))
-	global := e.joinAll(ctx, components)
-
-	// VALUES blocks from the query text join the global relation.
-	for _, vd := range br.Values {
-		global = joinValuesRelation(global, vd)
-	}
-	jsp.SetAttr("rows", len(global.Rows))
-	jsp.End()
-
-	// OPTIONAL blocks left-join at the global level, selective first.
-	sort.SliceStable(optionals, func(i, j int) bool {
-		return optionals[i].sq.EstCard < optionals[j].sq.EstCard
-	})
-	for _, ob := range optionals {
-		rel, err := e.evalOptional(ctx, ob, global)
-		if err != nil {
-			return nil, err
-		}
-		global = qplan.LeftJoin(global, rel)
-	}
-
-	// Global filters (including those already pushed — reapplying is
-	// harmless and catches cross-subquery predicates).
-	global = qplan.ApplyFilters(global, br.Filters)
-	global.Rows = qplan.DistinctRows(global.Rows)
-	return global, nil
-}
 
 // ensureNonDelayed guarantees phase 1 has work: if every subquery got
 // delayed, the most selective one is promoted to non-delayed.
@@ -153,194 +36,6 @@ func ensureNonDelayed(sqs []*Subquery) {
 		}
 	}
 	sqs[best].Delayed = false
-}
-
-// evalSubqueriesConcurrently evaluates each subquery at each of its
-// relevant endpoints with the ERH pool (non-blocking, all tasks submitted
-// at once) and unions per-subquery results across endpoints.
-func (e *Engine) evalSubqueriesConcurrently(ctx context.Context, sqs []*Subquery) ([]*sparql.Results, error) {
-	type task struct {
-		sq int
-		ep string
-	}
-	var tasks []task
-	var names []string
-	for i, sq := range sqs {
-		for _, ep := range sq.Sources {
-			tasks = append(tasks, task{sq: i, ep: ep})
-			names = append(names, ep)
-		}
-	}
-	partial := make([]*sparql.Results, len(tasks))
-	err := e.pool.ForEachGated(ctx, names, e.gate(),
-		e.onRejectDegrade(ctx, client.PhaseSubquery, names), func(k int) error {
-			t := tasks[k]
-			sp := obs.FromContext(ctx).StartChild("subquery")
-			defer sp.End()
-			sp.SetAttr("endpoint", t.ep)
-			sp.SetAttr("patterns", len(sqs[t.sq].Patterns))
-			q := sqs[t.sq].Query(nil).String()
-			res, err := e.queryEndpoint(ctx, client.PhaseSubquery, t.ep, q)
-			if err != nil {
-				if e.degrade(ctx, client.PhaseSubquery, t.ep, err) {
-					sp.SetAttr("degraded", true)
-					return nil
-				}
-				return err
-			}
-			sp.SetAttr("rows", len(res.Rows))
-			partial[k] = res
-			return nil
-		})
-	if err != nil {
-		return nil, err
-	}
-	relations := make([]*sparql.Results, len(sqs))
-	for i, sq := range sqs {
-		rel := qplan.EmptyRelation(sq.Vars())
-		for k, t := range tasks {
-			if t.sq == i && partial[k] != nil {
-				rel = qplan.UnionRelations(rel, partial[k])
-			}
-		}
-		rel.Rows = qplan.DistinctRows(rel.Rows)
-		relations[i] = rel
-	}
-	return relations, nil
-}
-
-// mostSelectiveDelayed picks the delayed subquery with the smallest refined
-// cardinality: the estimate is capped by the number of found bindings of
-// any variable it can join with (line 11 of Algorithm 3).
-func (e *Engine) mostSelectiveDelayed(delayed []*Subquery, components []*sparql.Results) int {
-	best, bestCard := 0, math.Inf(1)
-	for i, sq := range delayed {
-		card := sq.EstCard
-		if !sq.CardKnown {
-			// An unmeasured subquery competes only on its binding bound
-			// below; its partial estimate must not make it look cheap.
-			card = math.Inf(1)
-		}
-		for _, comp := range components {
-			for _, v := range sq.Vars() {
-				if comp.VarIndex(v) >= 0 {
-					if n := float64(len(qplan.ProjectDistinct(comp, []string{v}))); n < card {
-						card = n
-					}
-				}
-			}
-		}
-		if card < bestCard {
-			bestCard = card
-			best = i
-		}
-	}
-	return best
-}
-
-// evalDelayed evaluates one delayed subquery with bound joins: the found
-// bindings of its shared variables are appended as VALUES blocks (line 12),
-// its sources refined when the subquery is generic (line 13), and the block
-// results merged (lines 15-16). It returns the subquery's relation and the
-// index of the component that supplied the bindings (-1 if unbound).
-func (e *Engine) evalDelayed(ctx context.Context, sq *Subquery, components []*sparql.Results, prof *Profile) (*sparql.Results, int, error) {
-	// Choose the component with the largest variable overlap.
-	comp, shared := -1, []string(nil)
-	for i, c := range components {
-		s := sharedRelVars(sq, c)
-		if len(s) > len(shared) {
-			comp, shared = i, s
-		}
-	}
-	if comp < 0 {
-		rel, err := e.evalUnbound(ctx, sq)
-		return rel, -1, err
-	}
-
-	rows := qplan.ProjectDistinct(components[comp], shared)
-	if len(rows) == 0 {
-		// The mandatory part already has no solutions; an inner-join
-		// subquery can only produce the empty relation.
-		return qplan.EmptyRelation(sq.Vars()), comp, nil
-	}
-	bjCtx, bjSpan := obs.StartSpan(ctx, "bound-join")
-	defer bjSpan.End()
-	ctx = bjCtx
-	bjSpan.SetAttr("bindings", len(rows))
-	bjSpan.SetAttr("vars", strings.Join(shared, ","))
-	sources, err := e.refineSources(ctx, sq, shared, rows)
-	if err != nil {
-		return nil, 0, err
-	}
-
-	blockSize := e.opts.ValuesBlockSize
-	var blocks []sparql.InlineData
-	for start := 0; start < len(rows); start += blockSize {
-		end := start + blockSize
-		if end > len(rows) {
-			end = len(rows)
-		}
-		blocks = append(blocks, sparql.InlineData{Vars: shared, Rows: rows[start:end]})
-	}
-
-	type task struct {
-		block int
-		ep    string
-	}
-	var tasks []task
-	for b := range blocks {
-		for _, ep := range sources {
-			tasks = append(tasks, task{block: b, ep: ep})
-		}
-	}
-	bjSpan.SetAttr("blocks", len(blocks))
-	names := make([]string, len(tasks))
-	for k, t := range tasks {
-		names[k] = t.ep
-	}
-	partial := make([]*sparql.Results, len(tasks))
-	err = e.pool.ForEachGated(ctx, names, e.gate(),
-		e.onRejectDegrade(ctx, client.PhaseBoundJoin, names), func(k int) error {
-			t := tasks[k]
-			sp := bjSpan.StartChild("batch")
-			defer sp.End()
-			sp.SetAttr("endpoint", t.ep)
-			sp.SetAttr("block", t.block)
-			sp.SetAttr("values", len(blocks[t.block].Rows))
-			q := sq.Query(&blocks[t.block]).String()
-			res, err := e.queryEndpoint(ctx, client.PhaseBoundJoin, t.ep, q)
-			if err != nil {
-				if e.degrade(ctx, client.PhaseBoundJoin, t.ep, err) {
-					sp.SetAttr("degraded", true)
-					return nil
-				}
-				return err
-			}
-			sp.SetAttr("rows", len(res.Rows))
-			partial[k] = res
-			return nil
-		})
-	if err != nil {
-		return nil, 0, err
-	}
-	rel := qplan.EmptyRelation(sq.Vars())
-	for _, p := range partial {
-		if p != nil {
-			rel = qplan.UnionRelations(rel, p)
-		}
-	}
-	rel.Rows = qplan.DistinctRows(rel.Rows)
-	bjSpan.SetAttr("rows", len(rel.Rows))
-	return rel, comp, nil
-}
-
-// evalUnbound evaluates a subquery without bindings at all its sources.
-func (e *Engine) evalUnbound(ctx context.Context, sq *Subquery) (*sparql.Results, error) {
-	rels, err := e.evalSubqueriesConcurrently(ctx, []*Subquery{sq})
-	if err != nil {
-		return nil, err
-	}
-	return rels[0], nil
 }
 
 // refineSources re-runs source selection for generic subqueries (those
@@ -408,17 +103,6 @@ func hasVarPredicate(sq *Subquery) bool {
 	return false
 }
 
-// sharedRelVars returns the subquery variables present in the relation.
-func sharedRelVars(sq *Subquery, rel *sparql.Results) []string {
-	var out []string
-	for _, v := range sq.Vars() {
-		if rel.VarIndex(v) >= 0 {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
 // planOptionals resolves sources for each OPTIONAL block and wraps it as an
 // optional subquery. An optional block with no relevant endpoint simply
 // never extends any row.
@@ -477,70 +161,4 @@ func (e *Engine) planOptionals(ctx context.Context, br *qplan.Branch) ([]*option
 type optionalPlan struct {
 	sq       *Subquery
 	residual []sparql.Expr // filters evaluated on the joined rows
-}
-
-// evalOptional evaluates an optional subquery bound to the current global
-// relation when they share variables (so only potentially-joining rows are
-// fetched), unbound otherwise.
-func (e *Engine) evalOptional(ctx context.Context, ob *optionalPlan, global *sparql.Results) (*sparql.Results, error) {
-	sq := ob.sq
-	if len(sq.Sources) == 0 {
-		return qplan.EmptyRelation(sq.Vars()), nil
-	}
-	octx, osp := obs.StartSpan(ctx, "optional")
-	defer osp.End()
-	ctx = octx
-	osp.SetAttr("sources", strings.Join(sq.Sources, ","))
-	shared := sharedRelVars(sq, global)
-	var rel *sparql.Results
-	if len(shared) == 0 || len(global.Rows) == 0 {
-		var err error
-		rel, err = e.evalUnbound(ctx, sq)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		rows := qplan.ProjectDistinct(global, shared)
-		blockSize := e.opts.ValuesBlockSize
-		rel = qplan.EmptyRelation(sq.Vars())
-		for start := 0; start < len(rows); start += blockSize {
-			end := start + blockSize
-			if end > len(rows) {
-				end = len(rows)
-			}
-			block := sparql.InlineData{Vars: shared, Rows: rows[start:end]}
-			partial := make([]*sparql.Results, len(sq.Sources))
-			err := e.pool.ForEachGated(ctx, sq.Sources, e.gate(),
-				e.onRejectDegrade(ctx, client.PhaseOptional, sq.Sources), func(i int) error {
-					res, err := e.queryEndpoint(ctx, client.PhaseOptional, sq.Sources[i], sq.Query(&block).String())
-					if err != nil {
-						if e.degrade(ctx, client.PhaseOptional, sq.Sources[i], err) {
-							return nil
-						}
-						return err
-					}
-					partial[i] = res
-					return nil
-				})
-			if err != nil {
-				return nil, err
-			}
-			for _, p := range partial {
-				if p != nil {
-					rel = qplan.UnionRelations(rel, p)
-				}
-			}
-		}
-		rel.Rows = qplan.DistinctRows(rel.Rows)
-	}
-	rel = qplan.ApplyFilters(rel, ob.residual)
-	return rel, nil
-}
-
-// joinValuesRelation joins a VALUES block from the query text into the
-// global relation.
-func joinValuesRelation(global *sparql.Results, d sparql.InlineData) *sparql.Results {
-	vrel := sparql.NewResults(d.Vars)
-	vrel.Rows = d.Rows
-	return qplan.HashJoin(global, vrel)
 }

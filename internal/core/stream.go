@@ -1,0 +1,406 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/maphash"
+
+	"lusail/internal/eval"
+	"lusail/internal/qplan"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+)
+
+// RowStream is the pull-based operator interface of the streaming
+// execution pipeline (Volcano-style iterators over solution rows). A
+// stream is lazy: no endpoint work starts until the first Next. The
+// contract:
+//
+//   - Next advances to the next row, returning false at end-of-stream or
+//     on error; after false, Err distinguishes the two.
+//   - Row returns the current row, aligned to Vars (unbound variables are
+//     zero Terms); it is only valid until the next Next or Close.
+//   - Close releases the operator and everything beneath it — endpoint
+//     requests, goroutines, spill files — on every path, including
+//     mid-stream abandonment. It is idempotent. A deliberately closed
+//     stream reports no error for the abandonment itself.
+//
+// Streams are not safe for concurrent use: one goroutine drives Next, Row,
+// Err, and Close. Operators respect the context they were built with, so
+// cancelling it unblocks any operator waiting on endpoint I/O.
+type RowStream interface {
+	Vars() []string
+	Next() bool
+	Row() []rdf.Term
+	Err() error
+	Close() error
+}
+
+// copyRow returns a retained copy of a borrowed row.
+func copyRow(row []rdf.Term) []rdf.Term {
+	return append([]rdf.Term(nil), row...)
+}
+
+// varIndexes maps each source column to its position in target (-1 when
+// the target does not carry that variable).
+func varIndexes(target, src []string) []int {
+	pos := make(map[string]int, len(target))
+	for i, v := range target {
+		pos[v] = i
+	}
+	idx := make([]int, len(src))
+	for j, v := range src {
+		if i, ok := pos[v]; ok {
+			idx[j] = i
+		} else {
+			idx[j] = -1
+		}
+	}
+	return idx
+}
+
+// sliceStream serves an in-memory row slice (VALUES blocks, empty
+// branches, drained relations).
+type sliceStream struct {
+	vars []string
+	rows [][]rdf.Term
+	i    int
+	row  []rdf.Term
+}
+
+func newSliceStream(vars []string, rows [][]rdf.Term) *sliceStream {
+	return &sliceStream{vars: vars, rows: rows}
+}
+
+func (s *sliceStream) Vars() []string  { return s.vars }
+func (s *sliceStream) Row() []rdf.Term { return s.row }
+func (s *sliceStream) Err() error      { return nil }
+func (s *sliceStream) Close() error    { s.i = len(s.rows); return nil }
+
+func (s *sliceStream) Next() bool {
+	if s.i >= len(s.rows) {
+		return false
+	}
+	s.row = s.rows[s.i]
+	s.i++
+	return true
+}
+
+// alignStream remaps (reorders, projects, or widens) rows to a target
+// variable list. Variables absent from the source stay unbound, matching
+// how projection zero-fills in qplan.Finalize.
+type alignStream struct {
+	src  RowStream
+	vars []string
+	idx  []int // source column j feeds target idx[j] (-1: dropped)
+	row  []rdf.Term
+}
+
+func newAlignStream(src RowStream, vars []string) RowStream {
+	if varsEqual(src.Vars(), vars) {
+		return src
+	}
+	return &alignStream{
+		src:  src,
+		vars: vars,
+		idx:  varIndexes(vars, src.Vars()),
+		row:  make([]rdf.Term, len(vars)),
+	}
+}
+
+func varsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *alignStream) Vars() []string  { return s.vars }
+func (s *alignStream) Row() []rdf.Term { return s.row }
+func (s *alignStream) Err() error      { return s.src.Err() }
+func (s *alignStream) Close() error    { return s.src.Close() }
+
+func (s *alignStream) Next() bool {
+	if !s.src.Next() {
+		return false
+	}
+	for i := range s.row {
+		s.row[i] = rdf.Term{}
+	}
+	src := s.src.Row()
+	for j, t := range src {
+		if i := s.idx[j]; i >= 0 {
+			s.row[i] = t
+		}
+	}
+	return true
+}
+
+// filterStream keeps the rows passing every filter expression.
+type filterStream struct {
+	src     RowStream
+	filters []sparql.Expr
+	binding map[string]rdf.Term
+}
+
+func newFilterStream(src RowStream, filters []sparql.Expr) RowStream {
+	if len(filters) == 0 {
+		return src
+	}
+	return &filterStream{src: src, filters: filters, binding: make(map[string]rdf.Term, len(src.Vars()))}
+}
+
+func (s *filterStream) Vars() []string  { return s.src.Vars() }
+func (s *filterStream) Row() []rdf.Term { return s.src.Row() }
+func (s *filterStream) Err() error      { return s.src.Err() }
+func (s *filterStream) Close() error    { return s.src.Close() }
+
+func (s *filterStream) Next() bool {
+	vars := s.src.Vars()
+next:
+	for s.src.Next() {
+		row := s.src.Row()
+		clear(s.binding)
+		for i, v := range vars {
+			if !row[i].IsZero() {
+				s.binding[v] = row[i]
+			}
+		}
+		for _, f := range s.filters {
+			if !eval.FilterBinding(f, s.binding) {
+				continue next
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// dedupStream drops rows already seen, using a 128-bit fingerprint (two
+// independent maphash seeds over the TermsKey byte encoding) instead of
+// retaining the full row: ~16 bytes per distinct row rather than the row
+// itself, the compromise that keeps set semantics inside a bounded-memory
+// pipeline. A 128-bit collision — which would silently drop one valid row
+// — has probability ~n²/2¹²⁹, negligible at any realistic result size.
+type dedupStream struct {
+	src    RowStream
+	seen   map[[16]byte]struct{}
+	s1, s2 maphash.Seed
+	buf    []byte
+}
+
+func newDedupStream(src RowStream) RowStream {
+	return &dedupStream{
+		src:  src,
+		seen: make(map[[16]byte]struct{}),
+		s1:   maphash.MakeSeed(),
+		s2:   maphash.MakeSeed(),
+	}
+}
+
+func (s *dedupStream) Vars() []string  { return s.src.Vars() }
+func (s *dedupStream) Row() []rdf.Term { return s.src.Row() }
+func (s *dedupStream) Err() error      { return s.src.Err() }
+func (s *dedupStream) Close() error    { s.seen = nil; return s.src.Close() }
+
+func (s *dedupStream) Next() bool {
+	for s.src.Next() {
+		fp := s.fingerprint(s.src.Row())
+		if _, dup := s.seen[fp]; dup {
+			continue
+		}
+		s.seen[fp] = struct{}{}
+		return true
+	}
+	return false
+}
+
+func (s *dedupStream) fingerprint(row []rdf.Term) [16]byte {
+	b := s.buf[:0]
+	for _, t := range row {
+		b = append(b, byte(t.Kind))
+		b = append(b, t.Value...)
+		b = append(b, 0x01)
+		b = append(b, t.Lang...)
+		b = append(b, 0x02)
+		b = append(b, t.Datatype...)
+		b = append(b, 0x00)
+	}
+	s.buf = b
+	var fp [16]byte
+	binary.LittleEndian.PutUint64(fp[:8], maphash.Bytes(s.s1, b))
+	binary.LittleEndian.PutUint64(fp[8:], maphash.Bytes(s.s2, b))
+	return fp
+}
+
+// offsetStream skips the first n rows.
+type offsetStream struct {
+	src     RowStream
+	skip    int
+	skipped bool
+}
+
+func newOffsetStream(src RowStream, n int) RowStream {
+	if n <= 0 {
+		return src
+	}
+	return &offsetStream{src: src, skip: n}
+}
+
+func (s *offsetStream) Vars() []string  { return s.src.Vars() }
+func (s *offsetStream) Row() []rdf.Term { return s.src.Row() }
+func (s *offsetStream) Err() error      { return s.src.Err() }
+func (s *offsetStream) Close() error    { return s.src.Close() }
+
+func (s *offsetStream) Next() bool {
+	if !s.skipped {
+		s.skipped = true
+		for i := 0; i < s.skip; i++ {
+			if !s.src.Next() {
+				return false
+			}
+		}
+	}
+	return s.src.Next()
+}
+
+// limitStream stops after n rows; closing the pipeline then cancels any
+// in-flight endpoint work upstream.
+type limitStream struct {
+	src  RowStream
+	left int
+}
+
+func newLimitStream(src RowStream, n int) RowStream {
+	if n < 0 {
+		return src
+	}
+	return &limitStream{src: src, left: n}
+}
+
+func (s *limitStream) Vars() []string  { return s.src.Vars() }
+func (s *limitStream) Row() []rdf.Term { return s.src.Row() }
+func (s *limitStream) Err() error      { return s.src.Err() }
+func (s *limitStream) Close() error    { return s.src.Close() }
+
+func (s *limitStream) Next() bool {
+	if s.left <= 0 {
+		return false
+	}
+	if !s.src.Next() {
+		return false
+	}
+	s.left--
+	return true
+}
+
+// concatStream streams its sources in order (UNION branches). Sources must
+// already be aligned to the same variable list.
+type concatStream struct {
+	vars []string
+	srcs []RowStream
+	i    int
+	err  error
+}
+
+func newConcatStream(vars []string, srcs []RowStream) RowStream {
+	if len(srcs) == 1 {
+		return srcs[0]
+	}
+	return &concatStream{vars: vars, srcs: srcs}
+}
+
+func (s *concatStream) Vars() []string { return s.vars }
+func (s *concatStream) Err() error     { return s.err }
+
+func (s *concatStream) Row() []rdf.Term {
+	return s.srcs[s.i].Row()
+}
+
+func (s *concatStream) Next() bool {
+	for s.i < len(s.srcs) {
+		if s.srcs[s.i].Next() {
+			return true
+		}
+		if err := s.srcs[s.i].Err(); err != nil {
+			s.err = err
+			return false
+		}
+		s.i++
+	}
+	s.i = len(s.srcs) - 1 // keep Row() in range after exhaustion
+	return false
+}
+
+func (s *concatStream) Close() error {
+	var errs []error
+	for _, src := range s.srcs {
+		if err := src.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// drainStream materializes its source and applies qplan.Finalize — the
+// blocking tail for solution modifiers that need the complete result
+// (ORDER BY, GROUP BY, aggregates). Queries without those modifiers never
+// pass through it.
+type drainStream struct {
+	q       *sparql.Query
+	src     RowStream
+	started bool
+	res     *sparql.Results
+	i       int
+	row     []rdf.Term
+	err     error
+}
+
+func newDrainStream(q *sparql.Query, src RowStream) *drainStream {
+	return &drainStream{q: q, src: src}
+}
+
+func (s *drainStream) Vars() []string {
+	if s.res != nil {
+		return s.res.Vars
+	}
+	return s.q.ProjectedVars()
+}
+
+func (s *drainStream) Row() []rdf.Term { return s.row }
+func (s *drainStream) Err() error      { return s.err }
+func (s *drainStream) Close() error    { return s.src.Close() }
+
+func (s *drainStream) Next() bool {
+	if s.err != nil {
+		return false
+	}
+	if !s.started {
+		s.started = true
+		rel := sparql.NewResults(append([]string(nil), s.src.Vars()...))
+		for s.src.Next() {
+			rel.Rows = append(rel.Rows, copyRow(s.src.Row()))
+		}
+		if err := s.src.Err(); err != nil {
+			s.err = err
+			return false
+		}
+		res, err := qplan.Finalize(s.q, rel)
+		if err != nil {
+			s.err = err
+			return false
+		}
+		s.res = res
+	}
+	if s.i >= len(s.res.Rows) {
+		return false
+	}
+	s.row = s.res.Rows[s.i]
+	s.i++
+	return true
+}

@@ -78,6 +78,7 @@ func All() []*Analyzer {
 		analyzerPairedAdmission,
 		analyzerNoLockIO,
 		analyzerErrwrap,
+		analyzerStreamclose,
 	}
 }
 

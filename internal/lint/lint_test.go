@@ -112,6 +112,7 @@ func TestAnalyzerGoldens(t *testing.T) {
 		{"pairedadmission", []string{"pairedadmission"}},
 		{"nolockio", []string{"nolockio"}},
 		{"errwrap", []string{"errwrapdiscipline"}},
+		{"streamclose", []string{"streamclose"}},
 	} {
 		t.Run(tc.pkg, func(t *testing.T) {
 			got := runOn(t, loader, tc.pkg, tc.names)

@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var analyzerStreamclose = &Analyzer{
+	Name: "streamclose",
+	Doc: `enforce that every row stream reaches Close on all paths. A pull
+stream obtained from a call — a core.RowStream operator, a *core.Rows
+cursor, a sparql.RowReader — owns goroutines, HTTP response bodies, pool
+admissions, and spill files until Close releases them; a path that
+returns without closing leaks all of that until the surrounding context
+dies. Detection is by shape, not by name: any call result with
+Next() bool / Err() error / Close() error (a cursor) or
+Vars() / Read() (T, error) / Close() error (a reader) is tracked.
+Prefer "defer s.Close()"; a stream handed to another function, struct,
+or closure is that holder's responsibility, and a return guarded by the
+creation's own error check is exempt (the stream is nil there).`,
+	Run: runStreamclose,
+}
+
+// streamCreation is one tracked stream-producing assignment.
+type streamCreation struct {
+	obj    types.Object // the local stream variable
+	errObj types.Object // error bound in the same assignment, if any
+	name   string
+	kind   string // "stream" or "reader", for diagnostics
+	pos    token.Pos
+	end    token.Pos // end of the creating statement
+}
+
+func runStreamclose(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, fn := range functionsIn(f) {
+			checkStreamsIn(pass, fn)
+		}
+	}
+}
+
+// methodSig looks name up in t's method set — including the pointer method
+// set, so addressable values of named types count — and returns its
+// signature, or nil.
+func methodSig(t types.Type, name string) *types.Signature {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				sig, _ := ms.At(i).Type().(*types.Signature)
+				return sig
+			}
+		}
+	}
+	return nil
+}
+
+func isNiladic(sig *types.Signature, results int) bool {
+	return sig != nil && sig.Params().Len() == 0 && !sig.Variadic() && sig.Results().Len() == results
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// streamKind classifies t by method shape: "stream" for pull cursors
+// (Next() bool, Err() error, Close() error — RowStream operators,
+// *core.Rows), "reader" for incremental result decoders (Vars(),
+// Read() (T, error), Close() error — sparql.RowReader implementations).
+// io.ReadCloser does not match: its Read takes a buffer argument.
+func streamKind(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	cl := methodSig(t, "Close")
+	if !isNiladic(cl, 1) || !implementsError(cl.Results().At(0).Type()) {
+		return "", false
+	}
+	next, errm := methodSig(t, "Next"), methodSig(t, "Err")
+	if isNiladic(next, 1) && isBoolType(next.Results().At(0).Type()) &&
+		isNiladic(errm, 1) && implementsError(errm.Results().At(0).Type()) {
+		return "stream", true
+	}
+	read, vars := methodSig(t, "Read"), methodSig(t, "Vars")
+	if isNiladic(read, 2) && implementsError(read.Results().At(1).Type()) && isNiladic(vars, 1) {
+		return "reader", true
+	}
+	return "", false
+}
+
+func checkStreamsIn(pass *Pass, fn funcNode) {
+	var creations []streamCreation
+	walkShallow(fn.body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Pkg.Info.Types[call]
+		if !ok {
+			return true
+		}
+		var results []types.Type
+		if tup, ok := tv.Type.(*types.Tuple); ok {
+			for i := 0; i < tup.Len(); i++ {
+				results = append(results, tup.At(i).Type())
+			}
+		} else {
+			results = []types.Type{tv.Type}
+		}
+		if len(results) != len(asg.Lhs) {
+			return true
+		}
+		var errObj types.Object
+		for i, rt := range results {
+			if implementsError(rt) && !isErrorProducer(rt) {
+				errObj = identObj(pass, asg.Lhs[i])
+			}
+		}
+		for i, rt := range results {
+			kind, ok := streamKind(rt)
+			if !ok {
+				continue
+			}
+			target, ok := ast.Unparen(asg.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue // assigned to a field/element: handed off
+			}
+			if target.Name == "_" {
+				pass.Reportf(call.Pos(), "%s discarded: the result of %s can never be closed; bind it and defer Close()", kind, exprText(call.Fun))
+				continue
+			}
+			obj := pass.Pkg.Info.Defs[target]
+			if obj == nil {
+				obj = pass.Pkg.Info.Uses[target] // plain = assignment
+			}
+			if obj != nil {
+				creations = append(creations, streamCreation{
+					obj: obj, errObj: errObj, name: target.Name, kind: kind,
+					pos: call.Pos(), end: asg.End(),
+				})
+			}
+		}
+		return true
+	})
+	if len(creations) == 0 {
+		return
+	}
+
+	parents := parentMap(fn.body)
+	returns := returnsOf(fn.body)
+	for _, c := range creations {
+		deferred, escaped, closes := classifyStreamUses(pass, fn.body, parents, c)
+		if deferred || escaped {
+			continue
+		}
+		if len(closes) == 0 {
+			pass.Reportf(c.pos, "%s %s is never closed: add defer %s.Close() after the error check", c.kind, c.name, c.name)
+			continue
+		}
+		block := enclosingBlock(fn.body, c.pos)
+		for _, ret := range returns {
+			if ret.Pos() <= c.end || ret.Pos() < block.Pos() || ret.End() > block.End() {
+				continue
+			}
+			if guardedByErr(pass, parents, ret, c.errObj) {
+				continue // the stream is nil on the creation-failed path
+			}
+			closed := false
+			for _, e := range closes {
+				if e > c.end && e < ret.Pos() {
+					closed = true
+					break
+				}
+			}
+			if !closed {
+				pass.Reportf(c.pos, "%s %s may leak on the return at line %d: Close() is not reached on that path; prefer defer %s.Close()",
+					c.kind, c.name, pass.Fset.Position(ret.Pos()).Line, c.name)
+			}
+		}
+	}
+}
+
+// isErrorProducer keeps a stream that itself satisfies error (none do
+// today) from being mistaken for the creation's error result.
+func isErrorProducer(t types.Type) bool {
+	_, ok := streamKind(t)
+	return ok
+}
+
+// guardedByErr reports whether ret sits inside an if statement whose
+// condition tests the creation's error variable — the canonical
+// "if err != nil { return ... }" path, where the stream was never created.
+func guardedByErr(pass *Pass, parents map[ast.Node]ast.Node, ret *ast.ReturnStmt, errObj types.Object) bool {
+	if errObj == nil {
+		return false
+	}
+	for p := parents[ast.Node(ret)]; p != nil; p = parents[p] {
+		if ifs, ok := p.(*ast.IfStmt); ok && usesObject(pass, ifs.Cond, errObj) {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyStreamUses inspects every reference to the stream variable and
+// sorts them into: a deferred Close, an escape (handed off to a call,
+// return, assignment, closure, or composite), or a plain Close position.
+// Other method calls on the receiver (Next, Err, Row, Read...) are
+// ordinary uses and constrain nothing.
+func classifyStreamUses(pass *Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node, c streamCreation) (deferred, escaped bool, closes []token.Pos) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Pkg.Info.Uses[id] != c.obj {
+			return true
+		}
+		// A reference inside a nested closure hands responsibility to the
+		// closure (deferred cleanup funcs, goroutines).
+		for p := parents[ast.Node(id)]; p != nil; p = parents[p] {
+			if _, ok := p.(*ast.FuncLit); ok {
+				escaped = true
+				return true
+			}
+		}
+		parent := parents[ast.Node(id)]
+		if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == ast.Expr(id) {
+			if call, ok := parents[ast.Node(sel)].(*ast.CallExpr); ok && call.Fun == ast.Expr(sel) {
+				if sel.Sel.Name == "Close" {
+					if _, isDefer := parents[ast.Node(call)].(*ast.DeferStmt); isDefer {
+						deferred = true
+					} else {
+						closes = append(closes, call.Pos())
+					}
+					return true
+				}
+				// Next/Err/Row/Read/Vars/...: a plain receiver use.
+				return true
+			}
+			// Method value or field access: conservative handoff.
+			escaped = true
+			return true
+		}
+		// Any other use (argument, return value, re-assignment, composite
+		// literal, channel send, comparison...) counts as a handoff, except
+		// the defining identifier itself.
+		if pass.Pkg.Info.Defs[id] == c.obj {
+			return true
+		}
+		escaped = true
+		return true
+	})
+	return deferred, escaped, closes
+}

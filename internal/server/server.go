@@ -369,13 +369,24 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.streamJSON(ctx, w, parsed, plan, canonical, epoch)
+	s.streamJSON(ctx, w, plan, canonical, epoch)
 }
 
-// streamJSON executes the plan and flushes rows to the wire as they are
-// produced, accumulating them for the result cache on the side.
-func (s *Server) streamJSON(ctx context.Context, w http.ResponseWriter, q *sparql.Query, plan *core.Plan, canonical string, epoch core.Epoch) {
-	vars := q.ProjectedVars()
+// streamJSON executes the plan through the engine's cursor and flushes
+// rows to the wire as the pipeline produces them — every plan shape
+// streams; only blocking modifiers (ORDER BY, aggregates) delay the first
+// row, and then only inside the engine, never by materializing here. Rows
+// are teed into the result cache on the side, up to its row bound.
+func (s *Server) streamJSON(ctx context.Context, w http.ResponseWriter, plan *core.Plan, canonical string, epoch core.Epoch) {
+	rows, err := s.eng.ExecutePlanStream(ctx, plan)
+	if err != nil {
+		// Nothing on the wire yet: a clean error response is possible.
+		s.queryError(w, ctx, err)
+		return
+	}
+	defer rows.Close()
+
+	vars := rows.Vars()
 	w.Header().Set("Content-Type", "application/sparql-results+json")
 	stream, err := sparql.NewJSONStream(w, vars)
 	if err != nil {
@@ -384,40 +395,35 @@ func (s *Server) streamJSON(ctx context.Context, w http.ResponseWriter, q *sparq
 	}
 	flusher, _ := w.(http.Flusher)
 
-	// Accumulate rows for the result cache while streaming, up to its row
-	// bound; past it the copy is abandoned but streaming continues.
+	// Tee rows into the result cache while streaming, up to its row bound;
+	// past it the copy is abandoned but streaming continues.
 	var cached *sparql.Results
 	if s.results != nil {
 		cached = sparql.NewResults(vars)
 	}
 	emitted := 0
-	emit := func(b map[string]rdf.Term) bool {
-		if stream.WriteRow(b) != nil {
-			return false // client gone; stop the engine via returned false + ctx
+	for rows.Next() {
+		if stream.WriteRow(rows.Binding()) != nil {
+			break // client gone; Close cancels the pipeline
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
 		emitted++
 		if cached != nil {
-			row := make([]rdf.Term, len(vars))
-			for i, v := range vars {
-				row[i] = b[v]
-			}
-			cached.Rows = append(cached.Rows, row)
+			cached.Rows = append(cached.Rows, append([]rdf.Term(nil), rows.Row()...))
 			if len(cached.Rows) > s.results.maxRows {
 				cached = nil
 			}
 		}
-		return true
 	}
-
-	_, prof, err := s.eng.ExecutePlanStream(ctx, plan, emit)
 	s.rows.Add(int64(emitted))
-	if err != nil {
+	if err := rows.Err(); err != nil {
 		if emitted == 0 && stream.Err() == nil {
-			// Nothing on the wire yet: a clean error response is possible.
-			s.queryError(w, ctx, err)
+			// The head was written but no row: report instead of an empty
+			// result the client would mistake for a complete answer.
+			s.errs.Inc()
+			s.cfg.Logf("lusaild: stream failed before first row: %v", err)
 			return
 		}
 		// Mid-stream failure: the JSON document stays unterminated so the
@@ -432,6 +438,12 @@ func (s *Server) streamJSON(ctx context.Context, w http.ResponseWriter, q *sparq
 		}
 		return
 	}
+	if stream.Err() != nil || ctx.Err() != nil {
+		// The client went away mid-stream; nothing more to write.
+		s.disconnects.Inc()
+		s.cfg.Logf("lusaild: client disconnected after %d rows", emitted)
+		return
+	}
 	if err := stream.Close(); err != nil {
 		s.disconnects.Inc()
 		return
@@ -440,7 +452,10 @@ func (s *Server) streamJSON(ctx context.Context, w http.ResponseWriter, q *sparq
 		flusher.Flush()
 	}
 	if cached != nil && s.results != nil {
-		s.results.Put(canonical, epoch, cached, prof.Warnings)
+		if err := rows.Close(); err != nil {
+			return
+		}
+		s.results.Put(canonical, epoch, cached, rows.Profile().Warnings)
 	}
 }
 

@@ -1,0 +1,174 @@
+package sparql
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"lusail/internal/rdf"
+)
+
+func decoderFor(t *testing.T, doc string) *JSONDecoder {
+	t.Helper()
+	d, err := NewJSONDecoder(io.NopCloser(strings.NewReader(doc)))
+	if err != nil {
+		t.Fatalf("NewJSONDecoder: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestJSONDecoderTermKinds(t *testing.T) {
+	doc := `{"head":{"vars":["s","o"]},"results":{"bindings":[
+		{"s":{"type":"uri","value":"http://ex.org/a"},
+		 "o":{"type":"literal","value":"plain"}},
+		{"s":{"type":"bnode","value":"b0"},
+		 "o":{"type":"literal","value":"bonjour","xml:lang":"fr"}},
+		{"o":{"type":"typed-literal","value":"42",
+		      "datatype":"http://www.w3.org/2001/XMLSchema#integer"}}
+	]}}`
+	d := decoderFor(t, doc)
+	if got := d.Vars(); len(got) != 2 || got[0] != "s" || got[1] != "o" {
+		t.Fatalf("Vars() = %v", got)
+	}
+
+	row, err := d.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != rdf.NewIRI("http://ex.org/a") || row[1] != rdf.NewLiteral("plain") {
+		t.Errorf("row 1 = %v", row)
+	}
+
+	row, err = d.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].Kind != rdf.Blank {
+		t.Errorf("row 2 subject kind = %v", row[0].Kind)
+	}
+	if row[1].Lang != "fr" {
+		t.Errorf("row 2 object lang = %q", row[1].Lang)
+	}
+
+	row, err = d.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row[0].IsZero() {
+		t.Errorf("row 3 subject should be unbound, got %v", row[0])
+	}
+	if row[1].Datatype != "http://www.w3.org/2001/XMLSchema#integer" {
+		t.Errorf("row 3 datatype = %q", row[1].Datatype)
+	}
+
+	if _, err := d.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after last row: %v, want io.EOF", err)
+	}
+	if d.Rows() != 3 {
+		t.Errorf("Rows() = %d", d.Rows())
+	}
+}
+
+func TestJSONDecoderBoolean(t *testing.T) {
+	d := decoderFor(t, `{"head":{},"boolean":true}`)
+	if _, err := d.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("boolean document Read: %v, want io.EOF", err)
+	}
+	val, ok := d.Boolean()
+	if !ok || !val {
+		t.Fatalf("Boolean() = %v, %v", val, ok)
+	}
+}
+
+func TestJSONDecoderEmptyAndTrailing(t *testing.T) {
+	// Unknown head members, members after bindings, and an empty bindings
+	// array are all legal per the W3C result format.
+	d := decoderFor(t, `{"head":{"vars":["x"],"link":["http://ex.org/meta"]},
+		"results":{"bindings":[],"ordered":true}}`)
+	if _, err := d.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty bindings Read: %v, want io.EOF", err)
+	}
+
+	// A results member with extra keys before bindings.
+	d2 := decoderFor(t, `{"head":{"vars":["x"]},
+		"results":{"distinct":false,"bindings":[{"x":{"type":"literal","value":"1"}}]}}`)
+	row, err := d2.Read()
+	if err != nil || row[0] != rdf.NewLiteral("1") {
+		t.Fatalf("Read = %v, %v", row, err)
+	}
+	if _, err := d2.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after row: %v, want io.EOF", err)
+	}
+}
+
+func TestJSONDecoderMalformed(t *testing.T) {
+	// Truncated mid-bindings: the error must be an error, never a clean EOF
+	// — a cut-off connection must not read as a complete result.
+	d := decoderFor(t, `{"head":{"vars":["x"]},"results":{"bindings":[
+		{"x":{"type":"literal","value":"1"}},`)
+	if _, err := d.Read(); err != nil {
+		t.Fatalf("first row: %v", err)
+	}
+	_, err := d.Read()
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("truncated document: %v, want a decode error", err)
+	}
+	// The error is sticky.
+	if _, err2 := d.Read(); err2 == nil || errors.Is(err2, io.EOF) {
+		t.Fatalf("sticky error: %v", err2)
+	}
+}
+
+// TestJSONDecoderIncremental proves rows come off the wire before the
+// document ends: the first row is decoded while the writer still holds the
+// rest of the body.
+func TestJSONDecoderIncremental(t *testing.T) {
+	pr, pw := io.Pipe()
+	release := make(chan struct{})
+	go func() {
+		io.WriteString(pw, `{"head":{"vars":["x"]},"results":{"bindings":[
+			{"x":{"type":"literal","value":"first"}},`)
+		<-release
+		io.WriteString(pw, `{"x":{"type":"literal","value":"second"}}]}}`)
+		pw.Close()
+	}()
+	d, err := NewJSONDecoder(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	row, err := d.Read()
+	if err != nil {
+		t.Fatalf("first row before body completed: %v", err)
+	}
+	if row[0] != rdf.NewLiteral("first") {
+		t.Fatalf("row = %v", row)
+	}
+	close(release)
+	if row, err = d.Read(); err != nil || row[0] != rdf.NewLiteral("second") {
+		t.Fatalf("second row: %v, %v", row, err)
+	}
+	if _, err := d.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("end: %v, want io.EOF", err)
+	}
+}
+
+func TestResultsReaderRoundTrip(t *testing.T) {
+	res := NewResults([]string{"a", "b"})
+	res.Rows = append(res.Rows,
+		[]rdf.Term{rdf.NewIRI("http://ex.org/1"), rdf.NewLiteral("x")},
+		[]rdf.Term{rdf.NewIRI("http://ex.org/2"), {}},
+	)
+	got, err := ReadAllRows(NewResultsReader(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 2 || got.Rows[1][0] != res.Rows[1][0] || !got.Rows[1][1].IsZero() {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Vars[0] != "a" || got.Vars[1] != "b" {
+		t.Fatalf("vars = %v", got.Vars)
+	}
+}

@@ -27,15 +27,30 @@
 //
 // # Canonical call pattern
 //
-// All query entry points are methods on Engine, sharing one shape — context
-// first, query text in, (result, *Profile, error) out:
+// Execution is streaming end to end: endpoint responses are decoded
+// incrementally and flow through a pull-based operator pipeline, so memory
+// is bounded by operator state, not result size. The primary entry point
+// is the cursor:
 //
-//	res, prof, err := eng.QueryString(ctx, query)     // SELECT / ASK
+//	rows, err := eng.Select(ctx, query) // SELECT only
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    row := rows.Row() // []Term aligned to rows.Vars()
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//	prof := rows.Profile() // available after Close
+//
+// Close is required on every path; it cancels in-flight endpoint work and
+// finalizes the Profile. The remaining entry points are conveniences over
+// the same pipeline — context first, query text in:
+//
+//	res, prof, err := eng.QueryString(ctx, query)         // SELECT / ASK, materialized
 //	triples, prof, err := eng.ConstructString(ctx, query) // CONSTRUCT
-//	streamed, err := eng.QueryEarly(ctx, query, emit) // incremental delivery
 //
-// The package-level Construct and QueryEarly functions are deprecated thin
-// wrappers kept for compatibility; new code should call the methods.
+// Engine.QueryEarly (emit-callback delivery) is deprecated in favor of
+// Select; the package-level Construct and QueryEarly functions are
+// deprecated thin wrappers kept for compatibility.
 //
 // # Resilience
 //
@@ -98,6 +113,10 @@ type (
 	Options = core.Options
 	// Profile reports per-phase timings and planning counters of a query.
 	Profile = core.Profile
+	// Rows is the streaming cursor returned by Engine.Select and
+	// Engine.ExecutePlanStream: iterate with Next/Row (or Scan/Binding),
+	// check Err after the loop, and Close on every path.
+	Rows = core.Rows
 	// Plan is a reusable execution plan: the output of source selection and
 	// LADE analysis for one query, executable many times with
 	// Engine.ExecutePlan / Engine.ExecutePlanStream. Services cache Plans
@@ -207,9 +226,25 @@ func NewEngine(endpoints []Endpoint, opts Options) (*Engine, error) {
 	return core.New(fed, opts)
 }
 
-// NewHTTPEndpoint returns a client for a remote SPARQL 1.1 endpoint.
+// NewHTTPEndpoint returns a client for a remote SPARQL 1.1 endpoint with
+// the default response-size cap (see HTTPOptions).
 func NewHTTPEndpoint(name, url string) Endpoint {
 	return client.NewHTTP(name, url)
+}
+
+// HTTPOptions tunes an HTTP endpoint client: the underlying *http.Client
+// and the response-size cap, whose breach surfaces as an EndpointError
+// wrapping ErrResponseTooLarge instead of a silent truncation.
+type HTTPOptions = client.HTTPOptions
+
+// ErrResponseTooLarge is the cause of requests aborted because an endpoint
+// response exceeded the configured size cap; test with errors.Is.
+var ErrResponseTooLarge = client.ErrResponseTooLarge
+
+// NewHTTPEndpointWithOptions returns a client for a remote SPARQL 1.1
+// endpoint with explicit options, or an error when they fail Validate.
+func NewHTTPEndpointWithOptions(name, url string, opts HTTPOptions) (Endpoint, error) {
+	return client.NewHTTPWithOptions(name, url, opts)
 }
 
 // NewMemoryEndpoint returns an in-process endpoint over the given triples.
