@@ -1,8 +1,11 @@
 // Command lusail-vet runs lusail's project-specific static-analysis suite
-// (internal/lint): five analyzers that machine-check the engine's
+// (internal/lint): nine analyzers that machine-check the engine's
 // concurrency and resilience invariants — context threading, span
-// lifecycle, breaker admission pairing, lock-region I/O, and typed-error
-// discipline. It exits non-zero when any diagnostic survives suppression.
+// lifecycle, breaker admission pairing, lock-region I/O, typed-error
+// discipline, stream closing, and the interprocedural trio (lock-order
+// deadlock detection, goroutine termination evidence, byte-budget
+// discipline on decoder loops). It exits non-zero when any diagnostic
+// survives suppression.
 //
 // Usage:
 //
@@ -10,6 +13,7 @@
 //	go run ./cmd/lusail-vet ./internal/core  # one package
 //	go run ./cmd/lusail-vet -run spanend,pairedadmission ./...
 //	go run ./cmd/lusail-vet -tests ./...     # include _test.go files
+//	go run ./cmd/lusail-vet -sarif ./...     # SARIF 2.1.0 for code scanning
 //	go run ./cmd/lusail-vet -list            # describe the analyzers
 //
 // Suppress a deliberate finding with a justified directive on (or directly
@@ -36,6 +40,7 @@ func main() {
 	runList := flag.String("run", "", "comma-separated analyzer subset (default: all)")
 	includeTests := flag.Bool("tests", false, "also analyze _test.go files")
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0 (for GitHub code scanning); always exits 0 unless loading fails")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Parse()
 
@@ -86,6 +91,22 @@ func main() {
 	}
 
 	diags := lint.Run(pkgs, analyzers, loader.Fset)
+	if *sarifOut {
+		data, err := lint.RenderSARIF(diags, analyzers, loader.ModuleDir)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lint.ValidateSARIF(data); err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		// SARIF mode reports; the findings gate via code scanning, not the
+		// exit status, so one finding does not abort the upload step.
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -397,6 +397,7 @@ func (s *leftJoinStream) optionalRel(blockRel *sparql.Results) (*sparql.Results,
 func (s *leftJoinStream) drainUnbound() (*sparql.Results, error) {
 	scan := s.e.newScanStream(s.ctx, s.ob.sq, client.PhaseOptional, nil)
 	rel := sparql.NewResults(append([]string(nil), scan.Vars()...))
+	//lint:lusail-vet budgetbound -- each upstream response is capped by client.MaxResponseBytes, so the union is bounded by sources x cap
 	for scan.Next() {
 		rel.Rows = append(rel.Rows, copyRow(scan.Row()))
 	}

@@ -281,6 +281,7 @@ func (e *Engine) runPlan(ctx context.Context, p *Plan, prof *Profile, start time
 		return nil, err
 	}
 	res := sparql.NewResults(append([]string(nil), rows.Vars()...))
+	//lint:lusail-vet budgetbound -- ExecutePlan is the materializing API by contract; upstream growth is bounded by per-response caps and join spill budgets
 	for rows.Next() {
 		res.Rows = append(res.Rows, copyRow(rows.Row()))
 	}

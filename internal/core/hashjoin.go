@@ -37,9 +37,12 @@ const (
 // bounded memory).
 //
 // With no shared variables the operator degenerates to a cross product and
-// keeps the build side in memory regardless of budget — such joins only
-// arise between genuinely disjoint query components, which are small in
-// practice, and a cross product cannot be keyed for a merge join.
+// keeps the build side in memory — a cross product cannot be keyed for a
+// merge join, so it cannot spill. The build side is still held to the
+// JoinSpillBytes budget: a remote endpoint must not be able to grow the
+// build side without bound, so exceeding the budget fails the join
+// instead. Such joins only arise between genuinely disjoint query
+// components, which are small in practice.
 //
 // The spill path rides the sorter's record deduplication: duplicate
 // (key,row) records collapse. That is sound here because every branch
@@ -150,8 +153,14 @@ func (s *hashJoinStream) start() error {
 	budget := s.e.opts.JoinSpillBytes
 	if len(s.shared) == 0 {
 		for s.build.Next() {
-			s.cross = append(s.cross, copyRow(s.build.Row()))
+			row := copyRow(s.build.Row())
+			s.cross = append(s.cross, row)
 			s.buildRows++
+			s.buildBytes += spillRowBytes(row)
+			if s.buildBytes > budget {
+				_ = s.closeBuild()
+				return fmt.Errorf("core: cross-join build side exceeds the %d-byte join budget after %d rows: a cross product cannot spill; restrict the disjoint components or raise JoinSpillBytes", budget, s.buildRows)
+			}
 		}
 		return s.closeBuild()
 	}

@@ -383,6 +383,7 @@ func (s *drainStream) Next() bool {
 	if !s.started {
 		s.started = true
 		rel := sparql.NewResults(append([]string(nil), s.src.Vars()...))
+		//lint:lusail-vet budgetbound -- Finalize (sort/distinct/limit) needs the full relation; inputs are bounded by per-response caps and join spill budgets
 		for s.src.Next() {
 			rel.Rows = append(rel.Rows, copyRow(s.src.Row()))
 		}

@@ -10,12 +10,12 @@ import (
 // *types.Func for functions and methods, a *types.Var for calls through
 // function-typed values), or nil for type conversions and unresolvable
 // callees.
-func calleeOf(pass *Pass, call *ast.CallExpr) types.Object {
+func calleeOf(pkg *Package, call *ast.CallExpr) types.Object {
 	switch fn := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
-		return pass.Pkg.Info.Uses[fn]
+		return pkg.Info.Uses[fn]
 	case *ast.SelectorExpr:
-		return pass.Pkg.Info.Uses[fn.Sel]
+		return pkg.Info.Uses[fn.Sel]
 	}
 	return nil
 }
@@ -65,8 +65,8 @@ func implementsError(t types.Type) bool {
 
 // isErrorExpr reports whether the expression's static type satisfies error
 // and the expression is not the nil literal.
-func isErrorExpr(pass *Pass, e ast.Expr) bool {
-	tv, ok := pass.Pkg.Info.Types[e]
+func isErrorExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
 	if !ok || tv.IsNil() {
 		return false
 	}
@@ -152,15 +152,15 @@ func enclosingBlock(body *ast.BlockStmt, pos token.Pos) *ast.BlockStmt {
 }
 
 // identObj resolves an identifier expression to its object, or nil.
-func identObj(pass *Pass, e ast.Expr) types.Object {
+func identObj(pkg *Package, e ast.Expr) types.Object {
 	id, ok := ast.Unparen(e).(*ast.Ident)
 	if !ok {
 		return nil
 	}
-	if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+	if obj := pkg.Info.Uses[id]; obj != nil {
 		return obj
 	}
-	return pass.Pkg.Info.Defs[id]
+	return pkg.Info.Defs[id]
 }
 
 // exprText renders a small expression (identifier / selector chain) for
@@ -185,10 +185,10 @@ func exprText(e ast.Expr) string {
 
 // usesObject reports whether any identifier under n (descending into
 // nested literals too) resolves to obj.
-func usesObject(pass *Pass, n ast.Node, obj types.Object) bool {
+func usesObject(pkg *Package, n ast.Node, obj types.Object) bool {
 	found := false
 	ast.Inspect(n, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == obj {
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
 			found = true
 		}
 		return !found

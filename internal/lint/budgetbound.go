@@ -1,0 +1,351 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var analyzerBudgetbound = &Analyzer{
+	Name:   "budgetbound",
+	Module: true,
+	Doc: `require a byte-budget check on loops that accumulate decoder or
+network output. A loop that appends rows, grows a bytes.Buffer, or
+concatenates strings from a result reader, json.Decoder, bufio reader, or
+raw io.Reader is sized by the remote endpoint, not by this process —
+exactly what MaxResponseBytes and JoinSpillBytes exist to bound. Such a
+loop must contain (or be conditioned on) an ordering comparison against
+the accumulated length or a loop-carried counter, or hand the size to a
+helper that performs the comparison (recognized interprocedurally via the
+budget-guard summary). Loops bounded by an index or a local-slice range
+need no budget: their trip count is not attacker-controlled.`,
+	Run: runBudgetbound,
+}
+
+// growthTarget is one loop-carried accumulator fed inside a loop.
+type growthTarget struct {
+	obj  types.Object
+	name string
+	what string // "append", "buffer write", "string concat"
+}
+
+func runBudgetbound(pass *Pass) {
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, fn := range functionsIn(f) {
+				checkBudgetLoops(pass, pkg, fn)
+			}
+		}
+	}
+}
+
+// checkBudgetLoops flags every reader-fed growth loop in fn that lacks a
+// budget guard. Only the outermost qualifying loop is reported: nested
+// loops share its guard obligation.
+func checkBudgetLoops(pass *Pass, pkg *Package, fn funcNode) {
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			// Literals are visited as their own funcNode.
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			if checkOneLoop(pass, pkg, n) {
+				return false // reported: don't re-flag inner loops
+			}
+		}
+		return true
+	})
+}
+
+// checkOneLoop reports (and returns true) when loop is fed by a decoder or
+// network reader, grows an accumulator that outlives it, and carries no
+// budget guard.
+func checkOneLoop(pass *Pass, pkg *Package, loop ast.Node) bool {
+	src := readerSource(pkg, loop)
+	if src == "" {
+		return false
+	}
+	grown := growthTargets(pkg, loop)
+	if len(grown) == 0 {
+		return false
+	}
+	if budgetGuarded(pass.Prog, pkg, loop, grown) {
+		return false
+	}
+	g := grown[0]
+	pass.Reportf(loop.Pos(),
+		"loop grows %s (%s) from %s with no byte-budget check: the remote side controls the size; compare len(%s) or a byte counter against a budget (MaxResponseBytes / JoinSpillBytes discipline), or route the growth through a budget-checking helper",
+		g.name, g.what, src, g.name)
+	return true
+}
+
+// readerSource reports what decoder/reader feeds the loop ("" if none):
+// a result stream or reader (by streamclose's shape classes), a
+// json.Decoder, a bufio Reader/Scanner, or anything with io.Reader's
+// Read([]byte) (int, error).
+func readerSource(pkg *Package, loop ast.Node) string {
+	src := ""
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if src != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		tv, ok := pkg.Info.Types[sel.X]
+		if !ok {
+			return true
+		}
+		if kind, ok := streamKind(tv.Type); ok {
+			if (kind == "stream" && name == "Next") || (kind == "reader" && name == "Read") {
+				src = exprText(sel.X)
+			}
+			return true
+		}
+		if named, ok := derefType(tv.Type).(*types.Named); ok && named.Obj().Pkg() != nil {
+			switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+			case "encoding/json.Decoder":
+				if name == "Decode" || name == "Token" {
+					src = exprText(sel.X)
+				}
+				return true
+			case "bufio.Reader":
+				src = exprText(sel.X)
+				return true
+			case "bufio.Scanner":
+				if name == "Scan" {
+					src = exprText(sel.X)
+				}
+				return true
+			}
+		}
+		if name == "Read" && hasIOReaderRead(calleeOf(pkg, call)) {
+			src = exprText(sel.X)
+		}
+		return true
+	})
+	return src
+}
+
+// hasIOReaderRead matches io.Reader's method shape:
+// Read(p []byte) (n int, err error).
+func hasIOReaderRead(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	sl, ok := sig.Params().At(0).Type().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte &&
+		isIntegerType(sig.Results().At(0).Type()) &&
+		implementsError(sig.Results().At(1).Type())
+}
+
+// growthTargets collects accumulators grown inside loop that are declared
+// outside it: x = append(x, ...) (x a variable or a field path rooted at
+// one), buf.Write*/WriteString on a bytes.Buffer/strings.Builder, and
+// s += on strings.
+func growthTargets(pkg *Package, loop ast.Node) []growthTarget {
+	var out []growthTarget
+	outlives := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < loop.Pos() || obj.Pos() >= loop.End())
+	}
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if len(v.Lhs) != 1 || len(v.Rhs) != 1 {
+				return true
+			}
+			// The accumulator's identity for budget matching is the root
+			// variable: "res" in "res.Rows = append(res.Rows, row)".
+			root := identObj(pkg, rootExpr(v.Lhs[0]))
+			if !outlives(root) {
+				return true
+			}
+			name := exprText(v.Lhs[0])
+			switch v.Tok {
+			case token.ASSIGN:
+				if call, ok := ast.Unparen(v.Rhs[0]).(*ast.CallExpr); ok {
+					if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fn.Name == "append" && pkg.Info.Uses[fn] != nil && pkg.Info.Uses[fn].Pkg() == nil {
+						if len(call.Args) > 0 && exprText(call.Args[0]) == name {
+							out = append(out, growthTarget{obj: root, name: name, what: "append"})
+						}
+					}
+				}
+			case token.ADD_ASSIGN:
+				obj := identObj(pkg, v.Lhs[0])
+				if obj == nil {
+					return true
+				}
+				switch u := obj.Type().Underlying().(type) {
+				case *types.Slice:
+					out = append(out, growthTarget{obj: root, name: name, what: "append"})
+				case *types.Basic:
+					if u.Info()&types.IsString != 0 {
+						out = append(out, growthTarget{obj: root, name: name, what: "string concat"})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Write", "WriteString", "WriteByte", "WriteRune":
+			default:
+				return true
+			}
+			tv, ok := pkg.Info.Types[sel.X]
+			if !ok {
+				return true
+			}
+			named, ok := derefType(tv.Type).(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return true
+			}
+			full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if full != "bytes.Buffer" && full != "strings.Builder" {
+				return true
+			}
+			if obj := identObj(pkg, rootExpr(sel.X)); outlives(obj) {
+				out = append(out, growthTarget{obj: obj, name: exprText(sel.X), what: "buffer write"})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rootExpr unwraps selectors to the base identifier expression: the obj of
+// "s.buf" for escape checks is "s".
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = v.X
+		default:
+			return e
+		}
+	}
+}
+
+// budgetGuarded reports whether the loop carries a budget check: an
+// ordering comparison over len(accumulator) or a loop-written integer
+// counter — anywhere in the loop, including its condition — or a call
+// handing one of those to a callee whose summary says it compares an
+// integer parameter against a bound.
+func budgetGuarded(prog *Program, pkg *Package, loop ast.Node, grown []growthTarget) bool {
+	grownObjs := map[types.Object]bool{}
+	for _, g := range grown {
+		grownObjs[g.obj] = true
+	}
+	counters := loopWrittenInts(pkg, loop)
+
+	// mentionsBudget: does expr reference len(grown) or a loop counter?
+	mentionsBudget := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				if fn, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && fn.Name == "len" {
+					for _, arg := range v.Args {
+						if grownObjs[identObj(pkg, arg)] || grownObjs[identObj(pkg, rootExpr(arg))] {
+							found = true
+						}
+					}
+				}
+			case *ast.Ident:
+				if obj := pkg.Info.Uses[v]; obj != nil && counters[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	guarded := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.BinaryExpr:
+			if isOrderingOp(v.Op) && (mentionsBudget(v.X) || mentionsBudget(v.Y)) {
+				guarded = true
+			}
+		case *ast.CallExpr:
+			fi := prog.FuncOf(pkg, v)
+			if fi == nil || !fi.Summary.BudgetGuard {
+				return true
+			}
+			for _, arg := range v.Args {
+				if mentionsBudget(arg) {
+					guarded = true
+				}
+			}
+		}
+		return !guarded
+	})
+	return guarded
+}
+
+// loopWrittenInts collects integer variables assigned or incremented
+// inside the loop (including a for-statement's init and post): the byte
+// counters a budget is compared against.
+func loopWrittenInts(pkg *Package, loop ast.Node) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	add := func(e ast.Expr) {
+		var obj types.Object
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj = identObj(pkg, e)
+		case *ast.SelectorExpr:
+			obj = pkg.Info.Uses[v.Sel] // counters held in fields ("s.buildBytes")
+		}
+		if obj != nil && isIntegerType(obj.Type()) {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				add(lhs)
+			}
+		case *ast.IncDecStmt:
+			add(v.X)
+		}
+		return true
+	})
+	return out
+}

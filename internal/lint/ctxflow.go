@@ -29,7 +29,7 @@ func runCtxflow(pass *Pass) {
 			if !ok {
 				return true
 			}
-			obj := calleeOf(pass, call)
+			obj := calleeOf(pass.Pkg, call)
 			for _, name := range []string{"Background", "TODO"} {
 				if isFunc(obj, "context", name) {
 					pass.Reportf(call.Pos(),
@@ -55,7 +55,7 @@ func runCtxflow(pass *Pass) {
 					if obj == nil || !isContextType(obj.Type()) {
 						continue
 					}
-					if !usesObject(pass, fd.Body, obj) {
+					if !usesObject(pass.Pkg, fd.Body, obj) {
 						pass.Reportf(name.Pos(),
 							"context.Context parameter %q is unused: thread it to callees, or rename it to _ if the signature is fixed by an interface",
 							name.Name)

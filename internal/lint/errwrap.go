@@ -45,7 +45,7 @@ func checkErrComparison(pass *Pass, b *ast.BinaryExpr) {
 	if b.Op != token.EQL && b.Op != token.NEQ {
 		return
 	}
-	if isErrorExpr(pass, b.X) && isErrorExpr(pass, b.Y) {
+	if isErrorExpr(pass.Pkg, b.X) && isErrorExpr(pass.Pkg, b.Y) {
 		pass.Reportf(b.OpPos, "errors compared with %s: use errors.Is so wrapped chains (EndpointError, retries, %%w) still match", b.Op)
 	}
 	// x.Error() == "..." — message-text matching.
@@ -65,7 +65,7 @@ func errTextCall(pass *Pass, e ast.Expr) bool {
 	if !ok || sel.Sel.Name != "Error" {
 		return false
 	}
-	return isErrorExpr(pass, sel.X)
+	return isErrorExpr(pass.Pkg, sel.X)
 }
 
 func isStringy(pass *Pass, e ast.Expr) bool {
@@ -81,7 +81,7 @@ func isStringy(pass *Pass, e ast.Expr) bool {
 // Is/As/Unwrap method implementations, where the raw assertion is the
 // documented support pattern.
 func checkErrAssertion(pass *Pass, parents map[ast.Node]ast.Node, ta *ast.TypeAssertExpr) {
-	if !isErrorExpr(pass, ta.X) {
+	if !isErrorExpr(pass.Pkg, ta.X) {
 		return
 	}
 	if inErrorSupportMethod(parents, ta) {
@@ -109,7 +109,7 @@ func inErrorSupportMethod(parents map[ast.Node]ast.Node, n ast.Node) bool {
 
 // checkErrSwitch flags "switch err { case ErrFoo: }" sentinel dispatch.
 func checkErrSwitch(pass *Pass, s *ast.SwitchStmt) {
-	if s.Tag == nil || !isErrorExpr(pass, s.Tag) {
+	if s.Tag == nil || !isErrorExpr(pass.Pkg, s.Tag) {
 		return
 	}
 	for _, clause := range s.Body.List {
@@ -118,7 +118,7 @@ func checkErrSwitch(pass *Pass, s *ast.SwitchStmt) {
 			continue
 		}
 		for _, e := range cc.List {
-			if isErrorExpr(pass, e) {
+			if isErrorExpr(pass.Pkg, e) {
 				pass.Reportf(e.Pos(), "switch compares errors with ==: use if/else with errors.Is so wrapped chains still match")
 			}
 		}
@@ -128,7 +128,7 @@ func checkErrSwitch(pass *Pass, s *ast.SwitchStmt) {
 // checkErrorfWrap flags fmt.Errorf calls that format an error argument
 // with a verb other than %w.
 func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
-	if !isFunc(calleeOf(pass, call), "fmt", "Errorf") || len(call.Args) < 2 {
+	if !isFunc(calleeOf(pass.Pkg, call), "fmt", "Errorf") || len(call.Args) < 2 {
 		return
 	}
 	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
@@ -145,7 +145,7 @@ func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
 		if argIdx >= len(call.Args) {
 			break
 		}
-		if verb != 'w' && isErrorExpr(pass, call.Args[argIdx]) {
+		if verb != 'w' && isErrorExpr(pass.Pkg, call.Args[argIdx]) {
 			pass.Reportf(call.Args[argIdx].Pos(),
 				"error wrapped with %%%c: use %%w so errors.Is/As see the cause (Degrade-mode dispatch depends on the chain)", verb)
 		}
@@ -188,7 +188,7 @@ func formatVerbs(format string) []rune {
 // checkStringMatch flags strings.Contains/HasPrefix/... applied to
 // err.Error() text.
 func checkStringMatch(pass *Pass, call *ast.CallExpr) {
-	obj := calleeOf(pass, call)
+	obj := calleeOf(pass.Pkg, call)
 	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "strings" {
 		return
 	}

@@ -48,15 +48,25 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of the enforced invariant.
 	Doc string
-	// Run reports the analyzer's findings on one package through the pass.
+	// Module marks whole-program analyzers: Run is invoked once with
+	// Pass.Prog set (and Pkg nil) instead of once per package. These are
+	// the interprocedural checks that need call-graph summaries.
+	Module bool
+	// Run reports the analyzer's findings through the pass: over one
+	// package (Pass.Pkg) for per-package analyzers, over the whole program
+	// (Pass.Prog) for Module analyzers.
 	Run func(*Pass)
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of the code under analysis.
 type Pass struct {
 	Analyzer *Analyzer
-	Pkg      *Package
-	Fset     *token.FileSet
+	// Pkg is the package under analysis; nil for Module analyzers.
+	Pkg *Package
+	// Prog is the module-wide call-graph view; set for Module analyzers
+	// (and for everyone else when any Module analyzer is in the run).
+	Prog *Program
+	Fset *token.FileSet
 
 	diags *[]Diagnostic
 }
@@ -79,6 +89,9 @@ func All() []*Analyzer {
 		analyzerNoLockIO,
 		analyzerErrwrap,
 		analyzerStreamclose,
+		analyzerLockorder,
+		analyzerSpawnjoin,
+		analyzerBudgetbound,
 	}
 }
 
@@ -192,39 +205,60 @@ func (d *directive) covers(diag Diagnostic) bool {
 // diagnostics sorted by position: suppressed findings are dropped, and
 // malformed or unused suppression directives are reported under the
 // "directive" pseudo-analyzer.
+//
+// Per-package analyzers run once per package; Module analyzers run once
+// over a Program built from all the packages. Suppression directives are
+// matched globally, because a Module analyzer's diagnostics land in any
+// package's files.
 func Run(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) []Diagnostic {
 	running := map[string]bool{}
+	needProg := false
 	for _, a := range analyzers {
 		running[a.Name] = true
+		if a.Module {
+			needProg = true
+		}
+	}
+	var prog *Program
+	if needProg {
+		prog = BuildProgram(pkgs, fset)
+	}
+
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		if a.Module {
+			a.Run(&Pass{Analyzer: a, Prog: prog, Fset: fset, diags: &raw})
+			continue
+		}
+		for _, pkg := range pkgs {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Prog: prog, Fset: fset, diags: &raw})
+		}
+	}
+
+	var dirs []*directive
+	for _, pkg := range pkgs {
+		dirs = append(dirs, parseDirectives(pkg, fset, running)...)
 	}
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		var raw []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: fset, diags: &raw}
-			a.Run(pass)
-		}
-		dirs := parseDirectives(pkg, fset, running)
-		for _, diag := range raw {
-			suppressed := false
-			for _, d := range dirs {
-				if d.covers(diag) {
-					d.used = true
-					suppressed = true
-				}
-			}
-			if !suppressed {
-				out = append(out, diag)
-			}
-		}
+	for _, diag := range raw {
+		suppressed := false
 		for _, d := range dirs {
-			switch {
-			case d.bad != "":
-				out = append(out, Diagnostic{Analyzer: DirectiveAnalyzer, Pos: d.pos, Message: d.bad})
-			case !d.used:
-				out = append(out, Diagnostic{Analyzer: DirectiveAnalyzer, Pos: d.pos,
-					Message: "unused suppression directive: nothing to suppress here; delete it"})
+			if d.covers(diag) {
+				d.used = true
+				suppressed = true
 			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	for _, d := range dirs {
+		switch {
+		case d.bad != "":
+			out = append(out, Diagnostic{Analyzer: DirectiveAnalyzer, Pos: d.pos, Message: d.bad})
+		case !d.used:
+			out = append(out, Diagnostic{Analyzer: DirectiveAnalyzer, Pos: d.pos,
+				Message: "unused suppression directive: nothing to suppress here; delete it"})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -42,18 +42,32 @@ func newTestLoader(t *testing.T) *lint.Loader {
 // relative to the testdata root so goldens are machine-independent.
 func runOn(t *testing.T, loader *lint.Loader, relPkg string, names []string) []string {
 	t.Helper()
-	importPath := "vetdata/" + relPkg
-	pkgs, err := loader.LoadDir(filepath.Join(vetdataDir, relPkg), importPath)
-	if err != nil {
-		t.Fatalf("loading %s: %v", importPath, err)
-	}
-	for _, pkg := range pkgs {
-		for _, terr := range pkg.TypeErrors {
-			t.Errorf("type error in %s: %v", importPath, terr)
+	return runOnTree(t, loader, []string{relPkg}, names)
+}
+
+// runOnTree loads several vetdata packages into a single lint.Run, so
+// Module analyzers build their call graph over the whole set — the shape
+// interprocedural goldens need (leaf helpers, wrapper packages, and the
+// roots that reach through them).
+func runOnTree(t *testing.T, loader *lint.Loader, relPkgs []string, names []string) []string {
+	t.Helper()
+	var pkgs []*lint.Package
+	for _, relPkg := range relPkgs {
+		importPath := "vetdata/" + relPkg
+		loaded, err := loader.LoadDir(filepath.Join(vetdataDir, relPkg), importPath)
+		if err != nil {
+			t.Fatalf("loading %s: %v", importPath, err)
 		}
+		for _, pkg := range loaded {
+			for _, terr := range pkg.TypeErrors {
+				t.Errorf("type error in %s: %v", importPath, terr)
+			}
+		}
+		pkgs = append(pkgs, loaded...)
 	}
 	analyzers := lint.All()
 	if names != nil {
+		var err error
 		analyzers, err = lint.ByName(names)
 		if err != nil {
 			t.Fatal(err)
@@ -124,6 +138,32 @@ func TestAnalyzerGoldens(t *testing.T) {
 	}
 }
 
+// TestInterproceduralGoldens runs each Module analyzer over its multi-
+// package violation tree and asserts the exact diagnostics: a lock-order
+// cycle closed through a helper two packages away, a goroutine whose
+// termination evidence lives in a callee's summary, and a budget check
+// performed by a wrapper in another package.
+func TestInterproceduralGoldens(t *testing.T) {
+	loader := newTestLoader(t)
+	for _, tc := range []struct {
+		name  string
+		pkgs  []string
+		names []string
+	}{
+		{"lockorder", []string{"lockorder/leaf", "lockorder/mid", "lockorder/root"}, []string{"lockorder"}},
+		{"spawnjoin", []string{"spawnjoin", "spawnjoin/workers"}, []string{"spawnjoin"}},
+		{"budgetbound", []string{"budgetbound", "budgetbound/guard"}, []string{"budgetbound"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runOnTree(t, loader, tc.pkgs, tc.names)
+			if len(got) == 0 {
+				t.Errorf("violation tree %s produced no diagnostics", tc.name)
+			}
+			checkGolden(t, tc.name, got)
+		})
+	}
+}
+
 // TestSuppression checks the directive machinery end to end: justified
 // directives silence findings, while malformed, unknown, and unused ones
 // surface as "directive" diagnostics alongside the unsuppressed originals.
@@ -169,6 +209,92 @@ func TestMultiPackage(t *testing.T) {
 		t.Error("multipkg/a produced no diagnostics: cross-package type resolution failed")
 	}
 	checkGolden(t, "multipkg", gotA)
+}
+
+// TestSARIF renders a real run as SARIF and holds it to the structural
+// validator: version/schema fields, a rule per analyzer, and a physical
+// location with repository-relative URI on every result. Tampered logs
+// must fail.
+func TestSARIF(t *testing.T) {
+	loader := newTestLoader(t)
+	pkgs, err := loader.LoadDir(filepath.Join(vetdataDir, "ctxflow"), "vetdata/ctxflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := lint.All()
+	diags := lint.Run(pkgs, analyzers, loader.Fset)
+	if len(diags) == 0 {
+		t.Fatal("ctxflow testdata produced no diagnostics to render")
+	}
+	abs, err := filepath.Abs(vetdataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := lint.RenderSARIF(diags, analyzers, abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lint.ValidateSARIF(data); err != nil {
+		t.Fatalf("rendered SARIF fails validation: %v\n%s", err, data)
+	}
+	text := string(data)
+	if !strings.Contains(text, `"version": "2.1.0"`) {
+		t.Error("missing SARIF 2.1.0 version")
+	}
+	// URIs must be vetdata-relative (no absolute paths leak into uploads).
+	if strings.Contains(text, filepath.ToSlash(abs)) {
+		t.Error("absolute paths leaked into SARIF artifact URIs")
+	}
+	for _, a := range analyzers {
+		if !strings.Contains(text, `"id": "`+a.Name+`"`) {
+			t.Errorf("no rule for analyzer %s in SARIF output", a.Name)
+		}
+	}
+	// Tampering must fail validation.
+	if err := lint.ValidateSARIF([]byte(strings.Replace(text, `"2.1.0"`, `"9.9"`, 1))); err == nil {
+		t.Error("wrong version passed validation")
+	}
+	if err := lint.ValidateSARIF([]byte(strings.Replace(text, `"ruleId": "ctxflow"`, `"ruleId": "bogus"`, 1))); err == nil {
+		t.Error("unknown ruleId passed validation")
+	}
+	if err := lint.ValidateSARIF([]byte(`{"version":"2.1.0","runs":[]}`)); err == nil {
+		t.Error("run-less log passed validation")
+	}
+}
+
+// TestRegistryMatchesDocs pins the analyzer registry: the nine documented
+// analyzers, in suite order, each carrying a Doc — and every name must
+// appear in README.md's static-analysis section, so the registry and the
+// docs cannot drift apart.
+func TestRegistryMatchesDocs(t *testing.T) {
+	want := []string{
+		"ctxflow", "spanend", "pairedadmission", "nolockio",
+		"errwrapdiscipline", "streamclose", "lockorder", "spawnjoin",
+		"budgetbound",
+	}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if strings.TrimSpace(a.Doc) == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+	}
+	for _, file := range []string{"../../README.md", "../../DESIGN.md"} {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range want {
+			if !strings.Contains(string(data), name) {
+				t.Errorf("%s does not mention analyzer %s", file, name)
+			}
+		}
+	}
 }
 
 // TestRealTreeClean is the dogfood gate: the analyzers must exit clean on

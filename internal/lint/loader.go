@@ -8,7 +8,9 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -36,10 +38,14 @@ type Package struct {
 
 // Loader parses and type-checks packages of the lusail module using only
 // the standard library: module-internal imports are resolved against the
-// module tree, everything else is delegated to the go/importer source
-// importer (which type-checks the standard library from GOROOT source).
-// This deliberately avoids golang.org/x/tools to preserve the repo's
-// zero-third-party-dependency property.
+// module tree, everything else is delegated to a standard-library
+// importer. The fast path reads compiled export data out of the Go build
+// cache (one "go list -export std" resolves the file per package), so warm
+// runs — and CI jobs sharing the build cache — skip re-type-checking the
+// standard library; when the go tool is unavailable the loader falls back
+// to the go/importer source importer, which type-checks the standard
+// library from GOROOT source. This deliberately avoids golang.org/x/tools
+// to preserve the repo's zero-third-party-dependency property.
 //
 // The loader is not safe for concurrent use.
 type Loader struct {
@@ -84,9 +90,12 @@ func NewLoader(moduleDir string) (*Loader, error) {
 	// all we need for type checking.
 	build.Default.CgoEnabled = false
 	fset := token.NewFileSet()
-	std, _ := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	std, err := stdExportImporter(fset)
+	if err != nil {
+		std, _ = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	}
 	if std == nil {
-		return nil, fmt.Errorf("lint: source importer unavailable")
+		return nil, fmt.Errorf("lint: no standard-library importer available")
 	}
 	abs, err := filepath.Abs(moduleDir)
 	if err != nil {
@@ -100,6 +109,40 @@ func NewLoader(moduleDir string) (*Loader, error) {
 		pkgs:       make(map[string]*Package),
 		loading:    make(map[string]bool),
 	}, nil
+}
+
+// stdExportImporter builds a gc-export-data importer over the standard
+// library: one "go list -export std" maps every std import path to its
+// compiled export file in the build cache (compiling on a cold cache), and
+// the gc importer reads those files through the lookup. Reading export
+// data is an order of magnitude cheaper than re-type-checking GOROOT
+// source, and the build cache persists across runs and CI jobs.
+func stdExportImporter(fset *token.FileSet) (types.ImporterFrom, error) {
+	out, err := exec.Command("go", "list", "-export", "-f", "{{.ImportPath}}={{.Export}}", "std").Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list -export std: %w", err)
+	}
+	exports := map[string]string{}
+	for _, line := range strings.Split(string(out), "\n") {
+		if path, file, ok := strings.Cut(strings.TrimSpace(line), "="); ok && file != "" {
+			exports[path] = file
+		}
+	}
+	if len(exports) == 0 {
+		return nil, fmt.Errorf("lint: go list -export std produced no export files")
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp, _ := importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	if imp == nil {
+		return nil, fmt.Errorf("lint: gc importer unavailable")
+	}
+	return imp, nil
 }
 
 // dirFor resolves an import path to a directory, or "" when the path is not

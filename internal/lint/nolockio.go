@@ -20,21 +20,30 @@ slowest endpoint.`,
 }
 
 func runNoLockIO(pass *Pass) {
+	hooks := lockHooks{
+		blocked: func(n ast.Node, held map[string]lockRef) {
+			checkBlocking(pass, n, held)
+		},
+	}
 	for _, f := range pass.Pkg.Files {
 		for _, fn := range functionsIn(f) {
-			scanLockRegions(pass, fn.body.List, map[string]token.Pos{})
+			var recv types.Object
+			if fn.decl != nil {
+				recv = recvObjOf(pass.Pkg, fn.decl)
+			}
+			scanLockFlow(pass.Pkg, recv, fn.body.List, map[string]lockRef{}, hooks)
 		}
 	}
 }
 
 // lockCallKey classifies a call as sync lock/unlock and returns the lock
 // expression's text key ("s.mu").
-func lockCallKey(pass *Pass, call *ast.CallExpr) (key string, lock, unlock bool) {
+func lockCallKey(pkg *Package, call *ast.CallExpr) (key string, lock, unlock bool) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return "", false, false
 	}
-	obj := calleeOf(pass, call)
+	obj := calleeOf(pkg, call)
 	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
 		return "", false, false
 	}
@@ -53,8 +62,8 @@ func lockCallKey(pass *Pass, call *ast.CallExpr) (key string, lock, unlock bool)
 
 // blockingCallName classifies calls that can block on the network, on
 // other goroutines, or on time, returning a display name.
-func blockingCallName(pass *Pass, call *ast.CallExpr) (string, bool) {
-	obj := calleeOf(pass, call)
+func blockingCallName(pkg *Package, call *ast.CallExpr) (string, bool) {
+	obj := calleeOf(pkg, call)
 	if obj == nil || obj.Pkg() == nil {
 		return "", false
 	}
@@ -105,111 +114,22 @@ func fnTakesContext(obj types.Object) bool {
 	return sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type())
 }
 
-// scanLockRegions walks a statement list in source order tracking which
-// mutexes are held, recursing into nested control flow with a copy of the
-// held set. Function literals are skipped: they run on their own stack
-// (often their own goroutine) where the caller's locks are not held — or
-// are, in which case the literal's body is scanned when it is visited as
-// its own funcNode with an empty held set, an accepted approximation.
-func scanLockRegions(pass *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
-	for _, stmt := range stmts {
-		switch s := stmt.(type) {
-		case *ast.ExprStmt:
-			if call, ok := s.X.(*ast.CallExpr); ok {
-				if key, lock, unlock := lockCallKey(pass, call); lock || unlock {
-					if lock {
-						held[key] = call.Pos()
-					} else {
-						delete(held, key)
-					}
-					continue
-				}
-			}
-			checkBlocking(pass, s.X, held)
-		case *ast.DeferStmt:
-			// defer mu.Unlock() keeps the lock held for the rest of the
-			// function; defer of anything else runs after returns, where
-			// lock order is out of scope for this lexical check.
-			continue
-		case *ast.SendStmt:
-			reportHeld(pass, s.Pos(), "channel send", held)
-			checkBlocking(pass, s.Value, held)
-		case *ast.GoStmt:
-			// The goroutine body runs without the caller's locks; spawning
-			// itself does not block.
-			continue
-		case *ast.SelectStmt:
-			// Channel operations inside select clauses are non-blocking by
-			// construction (some case, or default, proceeds).
-			for _, clause := range s.Body.List {
-				if comm, ok := clause.(*ast.CommClause); ok {
-					scanLockRegions(pass, comm.Body, copyHeld(held))
-				}
-			}
-		case *ast.BlockStmt:
-			scanLockRegions(pass, s.List, copyHeld(held))
-		case *ast.IfStmt:
-			if s.Init != nil {
-				checkBlocking(pass, s.Init, held)
-			}
-			checkBlocking(pass, s.Cond, held)
-			scanLockRegions(pass, s.Body.List, copyHeld(held))
-			if s.Else != nil {
-				scanLockRegions(pass, []ast.Stmt{s.Else}, copyHeld(held))
-			}
-		case *ast.ForStmt:
-			if s.Cond != nil {
-				checkBlocking(pass, s.Cond, held)
-			}
-			scanLockRegions(pass, s.Body.List, copyHeld(held))
-		case *ast.RangeStmt:
-			checkBlocking(pass, s.X, held)
-			scanLockRegions(pass, s.Body.List, copyHeld(held))
-		case *ast.SwitchStmt:
-			if s.Tag != nil {
-				checkBlocking(pass, s.Tag, held)
-			}
-			for _, clause := range s.Body.List {
-				if cc, ok := clause.(*ast.CaseClause); ok {
-					scanLockRegions(pass, cc.Body, copyHeld(held))
-				}
-			}
-		case *ast.TypeSwitchStmt:
-			for _, clause := range s.Body.List {
-				if cc, ok := clause.(*ast.CaseClause); ok {
-					scanLockRegions(pass, cc.Body, copyHeld(held))
-				}
-			}
-		case *ast.LabeledStmt:
-			scanLockRegions(pass, []ast.Stmt{s.Stmt}, held)
-		default:
-			// Assignments, declarations, returns: scan contained
-			// expressions for blocking calls and receives.
-			checkBlocking(pass, stmt, held)
-		}
-	}
-}
-
-func copyHeld(held map[string]token.Pos) map[string]token.Pos {
-	out := make(map[string]token.Pos, len(held))
-	for k, v := range held {
-		out[k] = v
-	}
-	return out
-}
-
-// checkBlocking reports blocking calls and bare channel receives under n
-// (skipping nested function literals) while any lock is held.
-func checkBlocking(pass *Pass, n ast.Node, held map[string]token.Pos) {
+// checkBlocking reports blocking calls, channel sends, and bare channel
+// receives under n (skipping nested function literals) while any lock is
+// held.
+func checkBlocking(pass *Pass, n ast.Node, held map[string]lockRef) {
 	if len(held) == 0 || n == nil {
 		return
+	}
+	if send, ok := n.(*ast.SendStmt); ok {
+		reportHeld(pass, send.Pos(), "channel send", held)
 	}
 	ast.Inspect(n, func(m ast.Node) bool {
 		switch v := m.(type) {
 		case *ast.FuncLit:
 			return false
 		case *ast.CallExpr:
-			if name, ok := blockingCallName(pass, v); ok {
+			if name, ok := blockingCallName(pass.Pkg, v); ok {
 				reportHeld(pass, v.Pos(), "blocking call "+name, held)
 			}
 		case *ast.UnaryExpr:
@@ -221,7 +141,7 @@ func checkBlocking(pass *Pass, n ast.Node, held map[string]token.Pos) {
 	})
 }
 
-func reportHeld(pass *Pass, pos token.Pos, what string, held map[string]token.Pos) {
+func reportHeld(pass *Pass, pos token.Pos, what string, held map[string]lockRef) {
 	keys := make([]string, 0, len(held))
 	for key := range held {
 		keys = append(keys, key)
@@ -229,6 +149,6 @@ func reportHeld(pass *Pass, pos token.Pos, what string, held map[string]token.Po
 	sort.Strings(keys)
 	for _, key := range keys {
 		pass.Reportf(pos, "%s while holding %s (locked at line %d): the lock serializes every request touching this structure",
-			what, key, pass.Fset.Position(held[key]).Line)
+			what, key, pass.Fset.Position(held[key].pos).Line)
 	}
 }

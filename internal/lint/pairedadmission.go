@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 )
@@ -17,7 +18,8 @@ Allow may hold the endpoint's half-open trial slot; a path that returns
 without Record leaks the slot and wedges the breaker in half-open forever
 (the PR 3 incident). The rejection return inside the "if err :=
 m.Allow(...); err != nil" check is the one exempt path. Pool gates must
-use the non-claiming Manager.Gate() view, never Allow.`,
+use the non-claiming Manager.Gate() view, never Allow. Built on the
+shared resource-lifecycle engine (lifecycle.go).`,
 	Run: runPairedAdmission,
 }
 
@@ -33,14 +35,14 @@ func runPairedAdmission(pass *Pass) {
 // (*breaker).allow — the two operations that can take a half-open trial
 // slot. Gate.Allow only peeks and is exempt by design.
 func isClaimingAllow(pass *Pass, call *ast.CallExpr) bool {
-	obj := calleeOf(pass, call)
+	obj := calleeOf(pass.Pkg, call)
 	return isMethod(obj, resiliencePath, "Manager", "Allow") ||
 		isMethod(obj, resiliencePath, "breaker", "allow")
 }
 
 // isRecord matches resilience.(*Manager).Record and (*breaker).record.
 func isRecord(pass *Pass, call *ast.CallExpr) bool {
-	obj := calleeOf(pass, call)
+	obj := calleeOf(pass.Pkg, call)
 	return isMethod(obj, resiliencePath, "Manager", "Record") ||
 		isMethod(obj, resiliencePath, "breaker", "record")
 }
@@ -116,37 +118,15 @@ func checkAdmissionsIn(pass *Pass, fn funcNode) {
 		})
 	}
 
-	returns := returnsOf(fn.body)
 	for _, site := range allows {
-		if deferRecord {
-			continue
-		}
-		if len(records) == 0 {
-			pass.Reportf(site.call.Pos(),
-				"claiming breaker admission has no matching Record in this function: a successful Allow may hold the half-open trial slot, and only Record releases it")
-			continue
-		}
-		block := enclosingBlock(fn.body, site.call.Pos())
-		for _, ret := range returns {
-			if ret.Pos() <= site.call.End() || ret.Pos() < block.Pos() || ret.End() > block.End() {
-				continue
-			}
-			if site.exemptLo.IsValid() && ret.Pos() >= site.exemptLo && ret.End() <= site.exemptHi {
-				continue
-			}
-			paired := false
-			for _, r := range records {
-				if r > site.call.End() && r < ret.Pos() {
-					paired = true
-					break
-				}
-			}
-			if !paired {
-				pass.Reportf(site.call.Pos(),
-					"breaker admission is not paired with Record on the return at line %d: the half-open trial slot leaks and wedges the breaker (use defer, or Record before every return)",
-					pass.Fset.Position(ret.Pos()).Line)
-			}
-		}
+		checkReleasePaths(pass, pass.Pkg, fn.body, parents,
+			resource{pos: site.call.Pos(), end: site.call.End(), exemptLo: site.exemptLo, exemptHi: site.exemptHi},
+			deferRecord, records,
+			"claiming breaker admission has no matching Record in this function: a successful Allow may hold the half-open trial slot, and only Record releases it",
+			func(retLine int) string {
+				return fmt.Sprintf("breaker admission is not paired with Record on the return at line %d: the half-open trial slot leaks and wedges the breaker (use defer, or Record before every return)",
+					retLine)
+			})
 	}
 }
 
@@ -180,10 +160,7 @@ func followingErrCheck(pass *Pass, parents map[ast.Node]ast.Node, call *ast.Call
 	if !ok {
 		return nil
 	}
-	errObj := pass.Pkg.Info.Defs[errIdent]
-	if errObj == nil {
-		errObj = pass.Pkg.Info.Uses[errIdent]
-	}
+	errObj := assignedObj(pass.Pkg, errIdent)
 	if errObj == nil {
 		return nil
 	}
@@ -194,7 +171,7 @@ func followingErrCheck(pass *Pass, parents map[ast.Node]ast.Node, call *ast.Call
 	for i, stmt := range block.List {
 		if stmt == ast.Stmt(asg) && i+1 < len(block.List) {
 			ifStmt, ok := block.List[i+1].(*ast.IfStmt)
-			if ok && ifStmt.Init == nil && usesObject(pass, ifStmt.Cond, errObj) {
+			if ok && ifStmt.Init == nil && usesObject(pass.Pkg, ifStmt.Cond, errObj) {
 				return ifStmt
 			}
 			return nil

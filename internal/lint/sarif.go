@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output for GitHub code scanning. Only the slice of the
+// format code scanning reads is emitted: one run, one rule per analyzer,
+// one result per diagnostic with a physical location. Kept stdlib-only
+// like the rest of the suite — the structures below are hand-written
+// against the SARIF 2.1.0 schema, and TestSARIFStructure holds them to it.
+
+const (
+	sarifVersion   = "2.1.0"
+	sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription"`
+	Help             sarifMessage `json:"help"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// RenderSARIF serializes diagnostics as a SARIF 2.1.0 log. moduleDir, when
+// non-empty, is stripped from file paths so URIs are repository-relative —
+// what code scanning needs to annotate files. Every analyzer in the run is
+// emitted as a rule even when it found nothing, so the rule set is stable
+// across pushes.
+func RenderSARIF(diags []Diagnostic, analyzers []*Analyzer, moduleDir string) ([]byte, error) {
+	ruleIndex := map[string]int{}
+	var rules []sarifRule
+	addRule := func(name, doc string) {
+		if _, ok := ruleIndex[name]; ok {
+			return
+		}
+		ruleIndex[name] = len(rules)
+		short := doc
+		if i := strings.IndexAny(short, ".\n"); i >= 0 {
+			short = short[:i]
+		}
+		rules = append(rules, sarifRule{
+			ID:               name,
+			ShortDescription: sarifMessage{Text: "lusail-vet: " + name},
+			FullDescription:  sarifMessage{Text: short},
+			Help:             sarifMessage{Text: doc},
+		})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	addRule(DirectiveAnalyzer, "malformed or unused //lint:lusail-vet suppression directive")
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		if _, ok := ruleIndex[d.Analyzer]; !ok {
+			addRule(d.Analyzer, "")
+		}
+		uri := d.Pos.Filename
+		if moduleDir != "" {
+			if rel, err := filepath.Rel(moduleDir, uri); err == nil && !strings.HasPrefix(rel, "..") {
+				uri = rel
+			}
+		}
+		uri = filepath.ToSlash(uri)
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ruleIndex[d.Analyzer],
+			Level:     "warning",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: uri, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "lusail-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// ValidateSARIF structurally checks rendered SARIF output against the
+// invariants code scanning relies on: required top-level fields, the exact
+// version, a driver name, well-formed rule references, and a physical
+// location with a positive start line on every result. It is the
+// stdlib-only stand-in for a JSON-schema validator and is exercised by CI
+// on the real tree's output.
+func ValidateSARIF(data []byte) error {
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex *int   `json:"ruleIndex"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.NewDecoder(bytes.NewReader(data)).Decode(&log); err != nil {
+		return sarifErrf("decode: %v", err)
+	}
+	if log.Version != sarifVersion {
+		return sarifErrf("version %q, want %q", log.Version, sarifVersion)
+	}
+	if log.Schema == "" {
+		return sarifErrf("missing $schema")
+	}
+	if len(log.Runs) != 1 {
+		return sarifErrf("%d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name == "" {
+		return sarifErrf("missing tool.driver.name")
+	}
+	ruleIDs := map[string]int{}
+	for i, r := range run.Tool.Driver.Rules {
+		if r.ID == "" {
+			return sarifErrf("rule %d has empty id", i)
+		}
+		ruleIDs[r.ID] = i
+	}
+	for i, res := range run.Results {
+		idx, ok := ruleIDs[res.RuleID]
+		if !ok {
+			return sarifErrf("result %d references unknown rule %q", i, res.RuleID)
+		}
+		if res.RuleIndex == nil || *res.RuleIndex != idx {
+			return sarifErrf("result %d ruleIndex does not match rule %q", i, res.RuleID)
+		}
+		if res.Message.Text == "" {
+			return sarifErrf("result %d has empty message", i)
+		}
+		if len(res.Locations) == 0 {
+			return sarifErrf("result %d has no location", i)
+		}
+		for _, loc := range res.Locations {
+			if loc.PhysicalLocation.ArtifactLocation.URI == "" {
+				return sarifErrf("result %d has empty artifact uri", i)
+			}
+			if loc.PhysicalLocation.Region.StartLine < 1 {
+				return sarifErrf("result %d has non-positive startLine", i)
+			}
+		}
+	}
+	return nil
+}
+
+type sarifError string
+
+func (e sarifError) Error() string { return "sarif: " + string(e) }
+
+func sarifErrf(format string, args ...any) error {
+	return sarifError(fmt.Sprintf(format, args...))
+}

@@ -1,9 +1,8 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
-	"go/token"
-	"go/types"
 )
 
 const obsPath = "lusail/internal/obs"
@@ -16,16 +15,9 @@ its End() on an early return stays open forever: EXPLAIN shows a
 zero-duration phase, SumByName undercounts it, and the trace tree lies
 about where the query spent its time. Prefer "defer sp.End()"; a span
 handed off to another function, struct, or closure is that holder's
-responsibility.`,
+responsibility. Built on the shared resource-lifecycle engine
+(lifecycle.go).`,
 	Run: runSpanend,
-}
-
-// spanCreation is one tracked span-producing assignment.
-type spanCreation struct {
-	obj  types.Object // the local span variable
-	name string
-	pos  token.Pos
-	end  token.Pos // end of the creating statement
 }
 
 func runSpanend(pass *Pass) {
@@ -39,7 +31,7 @@ func runSpanend(pass *Pass) {
 // spanResultIndex reports whether call creates a span, and which result is
 // the span (StartSpan returns (ctx, span); the others return the span).
 func spanResultIndex(pass *Pass, call *ast.CallExpr) (int, bool) {
-	obj := calleeOf(pass, call)
+	obj := calleeOf(pass.Pkg, call)
 	switch {
 	case isFunc(obj, obsPath, "StartSpan"):
 		return 1, true
@@ -52,7 +44,7 @@ func spanResultIndex(pass *Pass, call *ast.CallExpr) (int, bool) {
 }
 
 func checkSpansIn(pass *Pass, fn funcNode) {
-	var creations []spanCreation
+	parents := parentMap(fn.body)
 	walkShallow(fn.body, func(n ast.Node) bool {
 		asg, ok := n.(*ast.AssignStmt)
 		if !ok || len(asg.Rhs) != 1 {
@@ -74,93 +66,22 @@ func checkSpansIn(pass *Pass, fn funcNode) {
 			pass.Reportf(call.Pos(), "span discarded: the result of %s can never be ended; bind it and defer End()", exprText(call.Fun))
 			return true
 		}
-		obj := pass.Pkg.Info.Defs[target]
+		obj := assignedObj(pass.Pkg, target)
 		if obj == nil {
-			obj = pass.Pkg.Info.Uses[target] // plain = assignment
+			return true
 		}
-		if obj != nil {
-			creations = append(creations, spanCreation{obj: obj, name: target.Name, pos: call.Pos(), end: asg.End()})
-		}
-		return true
-	})
-	if len(creations) == 0 {
-		return
-	}
-
-	parents := parentMap(fn.body)
-	returns := returnsOf(fn.body)
-	for _, c := range creations {
-		deferred, escaped, ends := classifySpanUses(pass, fn.body, parents, c)
+		deferred, escaped, ends := classifyResourceUses(pass.Pkg, fn.body, parents, obj, "End")
 		if deferred || escaped {
-			continue
-		}
-		if len(ends) == 0 {
-			pass.Reportf(c.pos, "span %s is never ended: add defer %s.End() after creation", c.name, c.name)
-			continue
-		}
-		block := enclosingBlock(fn.body, c.pos)
-		for _, ret := range returns {
-			if ret.Pos() <= c.end || ret.Pos() < block.Pos() || ret.End() > block.End() {
-				continue
-			}
-			ended := false
-			for _, e := range ends {
-				if e > c.end && e < ret.Pos() {
-					ended = true
-					break
-				}
-			}
-			if !ended {
-				pass.Reportf(c.pos, "span %s may leak on the return at line %d: End() is not reached on that path; prefer defer %s.End()",
-					c.name, pass.Fset.Position(ret.Pos()).Line, c.name)
-			}
-		}
-	}
-}
-
-// classifySpanUses inspects every reference to the span variable and sorts
-// them into: a deferred End, an escape (handed off to a call, return,
-// assignment, closure, or composite), or a plain End call position.
-func classifySpanUses(pass *Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node, c spanCreation) (deferred, escaped bool, ends []token.Pos) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok || pass.Pkg.Info.Uses[id] != c.obj {
 			return true
 		}
-		// A reference inside a nested closure hands responsibility to the
-		// closure (deferred cleanup funcs, goroutines).
-		for p := parents[ast.Node(id)]; p != nil; p = parents[p] {
-			if _, ok := p.(*ast.FuncLit); ok {
-				escaped = true
-				return true
-			}
-		}
-		parent := parents[ast.Node(id)]
-		if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == ast.Expr(id) {
-			if call, ok := parents[ast.Node(sel)].(*ast.CallExpr); ok && call.Fun == ast.Expr(sel) {
-				if sel.Sel.Name == "End" {
-					if _, isDefer := parents[ast.Node(call)].(*ast.DeferStmt); isDefer {
-						deferred = true
-					} else {
-						ends = append(ends, call.Pos())
-					}
-					return true
-				}
-				// SetAttr/Attr/Children/...: a plain receiver use.
-				return true
-			}
-			// Method value or field access: conservative handoff.
-			escaped = true
-			return true
-		}
-		// Any other use (argument, return value, re-assignment, composite
-		// literal, channel send, comparison...) counts as a handoff, except
-		// the defining identifier itself.
-		if pass.Pkg.Info.Defs[id] == c.obj {
-			return true
-		}
-		escaped = true
+		name := target.Name
+		checkReleasePaths(pass, pass.Pkg, fn.body, parents,
+			resource{pos: call.Pos(), end: asg.End()}, false, ends,
+			fmt.Sprintf("span %s is never ended: add defer %s.End() after creation", name, name),
+			func(retLine int) string {
+				return fmt.Sprintf("span %s may leak on the return at line %d: End() is not reached on that path; prefer defer %s.End()",
+					name, retLine, name)
+			})
 		return true
 	})
-	return deferred, escaped, ends
 }

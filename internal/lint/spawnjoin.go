@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+var analyzerSpawnjoin = &Analyzer{
+	Name:   "spawnjoin",
+	Module: true,
+	Doc: `require every goroutine to have a statically evident termination
+path — the static twin of the runtime leakcheck. A spawned body that loops
+must be able to stop: a select or receive on a cancellation/stop channel,
+a ctx.Done()/ctx.Err() check, a WaitGroup join or close() completion
+signal, or a call that passes a context onward (cancellable work). The
+check is interprocedural: "go worker(ctx)" is fine when worker — or
+anything it calls — selects on that context. A goroutine with none of
+these outlives the query that spawned it: it is exactly the shape the
+runtime leak checker catches in tests, caught here before it runs.`,
+	Run: runSpawnjoin,
+}
+
+func runSpawnjoin(pass *Pass) {
+	prog := pass.Prog
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkSpawn(pass, pkg, g)
+				return true
+			})
+		}
+	}
+}
+
+// checkSpawn verifies one go statement. The spawned body is the literal's
+// body for "go func(){...}()", or the named callee's declaration for
+// "go worker(...)"; unresolvable callees (interface methods, function
+// values) are skipped — the analyzer under-approximates rather than guess.
+func checkSpawn(pass *Pass, pkg *Package, g *ast.GoStmt) {
+	var body *ast.BlockStmt
+	bodyPkg := pkg
+	what := "goroutine"
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if fi := pass.Prog.FuncOf(pkg, g.Call); fi != nil {
+		body = fi.Decl.Body
+		bodyPkg = fi.Pkg
+		what = "goroutine " + shortFuncID(fi.ID)
+	} else {
+		return
+	}
+
+	// Direct evidence in the spawned frame, or transitive evidence through
+	// any call it makes.
+	if directTermEvidence(bodyPkg, body) || calleeTermEvidence(pass.Prog, bodyPkg, body) {
+		return
+	}
+	// A body with no unbounded loop runs to completion on its own; only
+	// loop-forever bodies with no exit signal are leaks.
+	if !hasUnboundedLoop(body) {
+		return
+	}
+	pass.Reportf(g.Pos(),
+		"%s has no statically evident termination path: it loops without a ctx.Done/stop-channel select, WaitGroup join, or close signal, so it outlives the work that spawned it (join it, or select on cancellation in the loop)",
+		what)
+}
+
+// calleeTermEvidence reports whether any statically resolved call under
+// body (outside nested go statements) carries termination evidence in its
+// summary.
+func calleeTermEvidence(prog *Program, pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false // a further goroutine's evidence is not this frame's
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fi := prog.FuncOf(pkg, call); fi != nil && fi.Summary.TermEvidence {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasUnboundedLoop reports whether body contains a for-statement with no
+// condition (or a constant-true one) in its own frame. Conditioned and
+// range loops are treated as bounded: their exit is the condition itself.
+func hasUnboundedLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if v.Cond == nil || isTrueLiteral(v.Cond) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isTrueLiteral matches the literal "true" (possibly parenthesized).
+func isTrueLiteral(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "true" && id.Obj == nil
+}

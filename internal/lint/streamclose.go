@@ -1,8 +1,8 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
-	"go/token"
 	"go/types"
 )
 
@@ -18,18 +18,9 @@ Next() bool / Err() error / Close() error (a cursor) or
 Vars() / Read() (T, error) / Close() error (a reader) is tracked.
 Prefer "defer s.Close()"; a stream handed to another function, struct,
 or closure is that holder's responsibility, and a return guarded by the
-creation's own error check is exempt (the stream is nil there).`,
+creation's own error check is exempt (the stream is nil there). Built on
+the shared resource-lifecycle engine (lifecycle.go).`,
 	Run: runStreamclose,
-}
-
-// streamCreation is one tracked stream-producing assignment.
-type streamCreation struct {
-	obj    types.Object // the local stream variable
-	errObj types.Object // error bound in the same assignment, if any
-	name   string
-	kind   string // "stream" or "reader", for diagnostics
-	pos    token.Pos
-	end    token.Pos // end of the creating statement
 }
 
 func runStreamclose(pass *Pass) {
@@ -91,7 +82,7 @@ func streamKind(t types.Type) (string, bool) {
 }
 
 func checkStreamsIn(pass *Pass, fn funcNode) {
-	var creations []streamCreation
+	parents := parentMap(fn.body)
 	walkShallow(fn.body, func(n ast.Node) bool {
 		asg, ok := n.(*ast.AssignStmt)
 		if !ok || len(asg.Rhs) != 1 {
@@ -119,7 +110,7 @@ func checkStreamsIn(pass *Pass, fn funcNode) {
 		var errObj types.Object
 		for i, rt := range results {
 			if implementsError(rt) && !isErrorProducer(rt) {
-				errObj = identObj(pass, asg.Lhs[i])
+				errObj = identObj(pass.Pkg, asg.Lhs[i])
 			}
 		}
 		for i, rt := range results {
@@ -135,55 +126,25 @@ func checkStreamsIn(pass *Pass, fn funcNode) {
 				pass.Reportf(call.Pos(), "%s discarded: the result of %s can never be closed; bind it and defer Close()", kind, exprText(call.Fun))
 				continue
 			}
-			obj := pass.Pkg.Info.Defs[target]
+			obj := assignedObj(pass.Pkg, target)
 			if obj == nil {
-				obj = pass.Pkg.Info.Uses[target] // plain = assignment
+				continue
 			}
-			if obj != nil {
-				creations = append(creations, streamCreation{
-					obj: obj, errObj: errObj, name: target.Name, kind: kind,
-					pos: call.Pos(), end: asg.End(),
+			deferred, escaped, closes := classifyResourceUses(pass.Pkg, fn.body, parents, obj, "Close")
+			if deferred || escaped {
+				continue
+			}
+			name := target.Name
+			checkReleasePaths(pass, pass.Pkg, fn.body, parents,
+				resource{pos: call.Pos(), end: asg.End(), errObj: errObj}, false, closes,
+				fmt.Sprintf("%s %s is never closed: add defer %s.Close() after the error check", kind, name, name),
+				func(retLine int) string {
+					return fmt.Sprintf("%s %s may leak on the return at line %d: Close() is not reached on that path; prefer defer %s.Close()",
+						kind, name, retLine, name)
 				})
-			}
 		}
 		return true
 	})
-	if len(creations) == 0 {
-		return
-	}
-
-	parents := parentMap(fn.body)
-	returns := returnsOf(fn.body)
-	for _, c := range creations {
-		deferred, escaped, closes := classifyStreamUses(pass, fn.body, parents, c)
-		if deferred || escaped {
-			continue
-		}
-		if len(closes) == 0 {
-			pass.Reportf(c.pos, "%s %s is never closed: add defer %s.Close() after the error check", c.kind, c.name, c.name)
-			continue
-		}
-		block := enclosingBlock(fn.body, c.pos)
-		for _, ret := range returns {
-			if ret.Pos() <= c.end || ret.Pos() < block.Pos() || ret.End() > block.End() {
-				continue
-			}
-			if guardedByErr(pass, parents, ret, c.errObj) {
-				continue // the stream is nil on the creation-failed path
-			}
-			closed := false
-			for _, e := range closes {
-				if e > c.end && e < ret.Pos() {
-					closed = true
-					break
-				}
-			}
-			if !closed {
-				pass.Reportf(c.pos, "%s %s may leak on the return at line %d: Close() is not reached on that path; prefer defer %s.Close()",
-					c.kind, c.name, pass.Fset.Position(ret.Pos()).Line, c.name)
-			}
-		}
-	}
 }
 
 // isErrorProducer keeps a stream that itself satisfies error (none do
@@ -191,68 +152,4 @@ func checkStreamsIn(pass *Pass, fn funcNode) {
 func isErrorProducer(t types.Type) bool {
 	_, ok := streamKind(t)
 	return ok
-}
-
-// guardedByErr reports whether ret sits inside an if statement whose
-// condition tests the creation's error variable — the canonical
-// "if err != nil { return ... }" path, where the stream was never created.
-func guardedByErr(pass *Pass, parents map[ast.Node]ast.Node, ret *ast.ReturnStmt, errObj types.Object) bool {
-	if errObj == nil {
-		return false
-	}
-	for p := parents[ast.Node(ret)]; p != nil; p = parents[p] {
-		if ifs, ok := p.(*ast.IfStmt); ok && usesObject(pass, ifs.Cond, errObj) {
-			return true
-		}
-	}
-	return false
-}
-
-// classifyStreamUses inspects every reference to the stream variable and
-// sorts them into: a deferred Close, an escape (handed off to a call,
-// return, assignment, closure, or composite), or a plain Close position.
-// Other method calls on the receiver (Next, Err, Row, Read...) are
-// ordinary uses and constrain nothing.
-func classifyStreamUses(pass *Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node, c streamCreation) (deferred, escaped bool, closes []token.Pos) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok || pass.Pkg.Info.Uses[id] != c.obj {
-			return true
-		}
-		// A reference inside a nested closure hands responsibility to the
-		// closure (deferred cleanup funcs, goroutines).
-		for p := parents[ast.Node(id)]; p != nil; p = parents[p] {
-			if _, ok := p.(*ast.FuncLit); ok {
-				escaped = true
-				return true
-			}
-		}
-		parent := parents[ast.Node(id)]
-		if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == ast.Expr(id) {
-			if call, ok := parents[ast.Node(sel)].(*ast.CallExpr); ok && call.Fun == ast.Expr(sel) {
-				if sel.Sel.Name == "Close" {
-					if _, isDefer := parents[ast.Node(call)].(*ast.DeferStmt); isDefer {
-						deferred = true
-					} else {
-						closes = append(closes, call.Pos())
-					}
-					return true
-				}
-				// Next/Err/Row/Read/Vars/...: a plain receiver use.
-				return true
-			}
-			// Method value or field access: conservative handoff.
-			escaped = true
-			return true
-		}
-		// Any other use (argument, return value, re-assignment, composite
-		// literal, channel send, comparison...) counts as a handoff, except
-		// the defining identifier itself.
-		if pass.Pkg.Info.Defs[id] == c.obj {
-			return true
-		}
-		escaped = true
-		return true
-	})
-	return deferred, escaped, closes
 }

@@ -1,0 +1,113 @@
+// Package budgetbound plants decoder- and reader-fed accumulation loops.
+// The bad ones grow without any bound; the good ones compare the
+// accumulated size against a budget — inline, in the loop condition, or
+// inside a helper in another package whose comparison is only visible
+// through its budget-guard summary.
+package budgetbound
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+
+	"vetdata/budgetbound/guard"
+)
+
+// Rows is the cursor shape streamclose tracks (Next/Err/Close).
+type Rows struct{}
+
+func (r *Rows) Next() bool   { return false }
+func (r *Rows) Err() error   { return nil }
+func (r *Rows) Close() error { return nil }
+func (r *Rows) Row() []byte  { return nil }
+
+// DecodeAll grows out from a json.Decoder with no budget: the remote side
+// controls the size.
+func DecodeAll(dec *json.Decoder) ([]string, error) {
+	var out []string
+	for dec.More() { // unbudgeted decoder loop
+		var v string
+		if err := dec.Decode(&v); err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// DrainRows grows from a cursor with no budget.
+func DrainRows(r *Rows) [][]byte {
+	var rows [][]byte
+	for r.Next() { // unbudgeted cursor drain
+		rows = append(rows, r.Row())
+	}
+	return rows
+}
+
+// BufferAll grows a bytes.Buffer from a bufio.Reader with no budget.
+func BufferAll(br *bufio.Reader) (*bytes.Buffer, error) {
+	var buf bytes.Buffer
+	for { // unbudgeted buffered read
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			return &buf, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		buf.WriteByte(b)
+	}
+}
+
+// DecodeBudgeted is fine: the loop checks the accumulated length inline.
+func DecodeBudgeted(dec *json.Decoder, max int) ([]string, error) {
+	var out []string
+	for dec.More() {
+		if len(out) >= max {
+			return out, nil
+		}
+		var v string
+		if err := dec.Decode(&v); err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// DrainCounted is fine: a byte counter written in the loop is compared in
+// the loop condition.
+func DrainCounted(r *Rows, budget int) [][]byte {
+	var rows [][]byte
+	n := 0
+	for n < budget && r.Next() {
+		row := r.Row()
+		n += len(row)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// DrainChecked is fine interprocedurally: the comparison lives in
+// guard.Check, another package; only its budget-guard summary says the
+// forwarded size is bounded.
+func DrainChecked(r *Rows, budget int) ([][]byte, error) {
+	var rows [][]byte
+	for r.Next() {
+		rows = append(rows, r.Row())
+		if err := guard.Check(len(rows), budget); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// LocalSlice is fine: ranging over an in-memory slice is not reader-fed.
+func LocalSlice(vals []string) []string {
+	var out []string
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+// Package guard is the budget-check wrapper: callers forward a size and
+// a limit, and only this package's comparison enforces the bound — the
+// caller-side loop is clean only through the budget-guard summary.
+package guard
+
+import "errors"
+
+// ErrOverBudget reports a size past its limit.
+var ErrOverBudget = errors.New("guard: over budget")
+
+// Check fails when n exceeds limit.
+func Check(n, limit int) error {
+	if n > limit {
+		return ErrOverBudget
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+// Package leaf owns the lock-bearing types and the helpers that lock
+// them; mid and root reach these locks only through calls, so every
+// diagnostic in this tree depends on the interprocedural summaries.
+package leaf
+
+import "sync"
+
+// Store and Index each guard a counter with their own mutex; the
+// lock-order cycle closed in root is between these two lock classes.
+type Store struct {
+	Mu sync.Mutex
+	n  int
+}
+
+type Index struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Reg is a package-level mutex: a singleton, so class identity is
+// instance identity.
+var Reg sync.Mutex
+
+var regCount int
+
+// TouchIndex is the helper two packages away from root's hold-and-call
+// path: its Index.Mu acquisition flows up through mid.
+func TouchIndex(ix *Index) {
+	ix.Mu.Lock()
+	ix.n++
+	ix.Mu.Unlock()
+}
+
+// TouchStore gives the reverse path its Store.Mu acquisition.
+func TouchStore(s *Store) {
+	s.Mu.Lock()
+	s.n++
+	s.Mu.Unlock()
+}
+
+// AddReg locks the package-level mutex; callers already holding Reg
+// self-deadlock.
+func AddReg() {
+	Reg.Lock()
+	regCount++
+	Reg.Unlock()
+}
+
+// lockedHelper locks its receiver's mutex.
+func (s *Store) lockedHelper() {
+	s.Mu.Lock()
+	s.n++
+	s.Mu.Unlock()
+}
+
+// Bad re-locks the same instance through a same-receiver helper call: the
+// summary's receiver-rooted acquisition instantiates against s.
+func (s *Store) Bad() {
+	s.Mu.Lock()
+	s.lockedHelper() // the callee locks s.Mu again: self-deadlock
+	s.Mu.Unlock()
+}
+
+// DoubleLock is the direct self-relock.
+func DoubleLock(s *Store) {
+	s.Mu.Lock()
+	s.Mu.Lock() // guaranteed self-deadlock
+	s.n++
+	s.Mu.Unlock()
+	s.Mu.Unlock()
+}
+
+// StoreThenIndex takes the two classes in Store-then-Index order; on its
+// own this direction is fine — root's reverse path makes it a cycle.
+func StoreThenIndex(s *Store, ix *Index) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	TouchIndex(ix)
+}

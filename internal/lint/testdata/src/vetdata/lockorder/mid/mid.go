@@ -1,0 +1,21 @@
+// Package mid is the pass-through layer: it takes no locks of its own,
+// so any lock effect root sees through it comes from summary
+// propagation, not syntax.
+package mid
+
+import "vetdata/lockorder/leaf"
+
+// Refresh forwards to the leaf helper; its summary carries Index.mu.
+func Refresh(ix *leaf.Index) {
+	leaf.TouchIndex(ix)
+}
+
+// Restock forwards the Store side.
+func Restock(s *leaf.Store) {
+	leaf.TouchStore(s)
+}
+
+// Audit forwards the package-level mutex acquisition.
+func Audit() {
+	leaf.AddReg()
+}

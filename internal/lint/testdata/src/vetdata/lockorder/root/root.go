@@ -1,0 +1,37 @@
+// Package root closes the interprocedural loops: it holds one lock while
+// calling down through mid into leaf, where the second acquisition —
+// and in the bad cases, the deadlock — happens two packages away.
+package root
+
+import (
+	"vetdata/lockorder/leaf"
+	"vetdata/lockorder/mid"
+)
+
+// IndexThenStore holds Index.Mu while, two call layers down,
+// mid.Restock -> leaf.TouchStore acquires Store.Mu. Together with
+// leaf.StoreThenIndex's opposite order this is a lock-order cycle.
+func IndexThenStore(ix *leaf.Index, s *leaf.Store) {
+	ix.Mu.Lock()
+	defer ix.Mu.Unlock()
+	mid.Restock(s)
+}
+
+// BadReg holds the package-level leaf.Reg while calling a chain that
+// locks it again: package-level locks are singletons, so this is a
+// guaranteed self-deadlock regardless of instances.
+func BadReg() {
+	leaf.Reg.Lock()
+	mid.Audit() // leaf.AddReg locks Reg again
+	leaf.Reg.Unlock()
+}
+
+// FineDisjoint holds Index.Mu around a call chain that takes no locks at
+// all; no edge, no report.
+func FineDisjoint(ix *leaf.Index) {
+	ix.Mu.Lock()
+	ix.Mu.Unlock()
+	nop()
+}
+
+func nop() {}

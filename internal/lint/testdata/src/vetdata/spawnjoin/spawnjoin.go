@@ -1,0 +1,100 @@
+// Package spawnjoin plants goroutines with and without statically
+// evident termination paths. The bad ones loop forever with no
+// cancellation signal; the good ones select on a context, drain a closed
+// channel, join a WaitGroup, or inherit evidence from a callee — in one
+// case a callee in another package, exercising summary propagation.
+package spawnjoin
+
+import (
+	"context"
+	"sync"
+
+	"vetdata/spawnjoin/workers"
+)
+
+func work() {}
+
+// Spinner leaks: the goroutine loops forever with no exit signal.
+func Spinner() {
+	go func() { // no termination path
+		for {
+			work()
+		}
+	}()
+}
+
+// NamedSpinner leaks through a named callee: spin has the unbounded loop
+// and no evidence of its own.
+func NamedSpinner() {
+	go spin() // no termination path
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+// CtxLoop is fine: the loop selects on ctx.Done.
+func CtxLoop(ctx context.Context, in chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-in:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Joined is fine: the goroutine signals a WaitGroup the caller waits on.
+func Joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+	wg.Wait()
+}
+
+// ClosedChannel is fine: ranging over a channel ends when the caller
+// closes it.
+func ClosedChannel() chan int {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+	return ch
+}
+
+// RemoteEvidence is fine interprocedurally: workers.Pump has no loop
+// evidence of its own frame beyond a call to a step function (in the same
+// package) whose channel receive carries the termination evidence
+// through its summary.
+func RemoteEvidence(ch chan int) {
+	go workers.Pump(ch)
+}
+
+// Bounded is fine without any signal: the loop has a condition, so the
+// body runs to completion on its own.
+func Bounded() {
+	go func() {
+		for i := 0; i < 100; i++ {
+			work()
+		}
+	}()
+}
+
+// StraightLine is fine: no loop at all.
+func StraightLine() {
+	go func() {
+		work()
+	}()
+}

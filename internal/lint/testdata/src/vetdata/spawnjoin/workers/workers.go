@@ -1,0 +1,18 @@
+// Package workers holds goroutine bodies whose termination evidence is
+// only visible through call-graph summaries.
+package workers
+
+// Pump loops forever in its own frame; its termination path is inside
+// step, whose channel receive ends the loop when the caller closes ch.
+func Pump(ch chan int) {
+	for {
+		if !step(ch) {
+			return
+		}
+	}
+}
+
+func step(ch chan int) bool {
+	_, ok := <-ch
+	return ok
+}

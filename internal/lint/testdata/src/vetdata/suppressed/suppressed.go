@@ -45,3 +45,35 @@ func multiName() context.Context {
 	//lint:lusail-vet ctxflow,errwrapdiscipline -- shared root for a test harness stub
 	return context.Background()
 }
+
+// spinSuppressed silences the Module-analyzer diagnostic: spawnjoin is
+// interprocedural, so its directive must be honored through the global
+// suppression pass, not the per-package one.
+func spinSuppressed() {
+	//lint:lusail-vet spawnjoin -- burn-in harness goroutine, killed with the process
+	go func() {
+		for {
+		}
+	}()
+}
+
+// unusedNewName carries a directive for a new analyzer with nothing to
+// suppress: the unused-directive diagnostic must fire for the
+// interprocedural analyzer names too.
+func unusedNewName() {
+	//lint:lusail-vet lockorder -- stale note about a lock that was removed
+	spinHelper()
+}
+
+// malformedNewName is malformed (no justification) while naming a new
+// analyzer, so the directive diagnostic and the spawnjoin diagnostic both
+// appear.
+func malformedNewName() {
+	//lint:lusail-vet budgetbound,spawnjoin
+	go spinHelper() // want: spawnjoin (directive above is malformed)
+}
+
+func spinHelper() {
+	for {
+	}
+}

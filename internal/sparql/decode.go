@@ -300,6 +300,7 @@ func ReadAllRows(r RowReader) (*Results, error) {
 		}
 	}
 	res := NewResults(append([]string(nil), r.Vars()...))
+	//lint:lusail-vet budgetbound -- callers hand in readers over MaxResponseBytes-limited bodies; the cap bounds the decoded total
 	for {
 		row, err := r.Read()
 		if errors.Is(err, io.EOF) {

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# vet-smoke.sh: assert the lusail-vet analyzer registry matches the
+# documented set, in suite order. `lusail-vet -list` prints each analyzer
+# name at column zero followed by an indented doc paragraph; the README
+# and DESIGN.md tables are pinned to the same nine names by
+# TestRegistryMatchesDocs — this script is the CI-visible half of that
+# contract, so a registry drift fails fast with a readable diff.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+want="ctxflow
+spanend
+pairedadmission
+nolockio
+errwrapdiscipline
+streamclose
+lockorder
+spawnjoin
+budgetbound"
+
+got="$(go run ./cmd/lusail-vet -list | grep -E '^[a-z]' || true)"
+
+if [ "$got" != "$want" ]; then
+    echo "lusail-vet registry does not match the documented analyzer set" >&2
+    diff <(echo "$want") <(echo "$got") >&2 || true
+    exit 1
+fi
+
+echo "vet-smoke: registry matches the documented set ($(echo "$want" | wc -l) analyzers)"
