@@ -1,0 +1,265 @@
+// Command lusail-check runs lusail's static SPARQL query analysis
+// (internal/sparql/sema) over query files: the same checks the engine runs
+// before planning, as a standalone vet for query corpora, examples, and CI.
+//
+// Usage:
+//
+//	go run ./cmd/lusail-check queries/q1.rq          # one file
+//	go run ./cmd/lusail-check examples/ bench/       # directories, *.rq recursively
+//	go run ./cmd/lusail-check -                      # query text on stdin
+//	go run ./cmd/lusail-check -run cartesian,unboundvar queries/
+//	go run ./cmd/lusail-check -json queries/         # structured diagnostics
+//	go run ./cmd/lusail-check -sarif queries/        # SARIF 2.1.0 for code scanning
+//	go run ./cmd/lusail-check -canon queries/q1.rq   # print canonical form + plan-cache key
+//	go run ./cmd/lusail-check -list                  # describe the checks
+//	go run ./cmd/lusail-check -corpus                # vet the built-in benchmark corpora
+//
+// Suppress a deliberate warning with a justified directive comment in the
+// query text itself:
+//
+//	# lusail-check: cartesian -- bound-join bridging makes this cross product cheap
+//
+// Error-tier findings are never suppressible: the engine rejects those
+// queries before planning, so a suppression would only defer the failure.
+//
+// Exit codes mirror lusail-vet: 0 clean, 1 findings survived (or parse
+// failures in the corpus), 2 usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lusail/internal/bench"
+	"lusail/internal/lint"
+	"lusail/internal/sparql"
+	"lusail/internal/sparql/sema"
+)
+
+func main() {
+	runList := flag.String("run", "", "comma-separated check subset (default: all)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0 (for GitHub code scanning); always exits 0 unless reading fails")
+	canon := flag.Bool("canon", false, "print each query's canonical form and plan-cache key instead of analyzing")
+	corpus := flag.Bool("corpus", false, "also vet the built-in benchmark corpora (LUBM, QFed, LargeRDFBench, Bio2RDF)")
+	list := flag.Bool("list", false, "list checks and exit")
+	flag.Parse()
+
+	checks := sema.All()
+	if *runList != "" {
+		var err error
+		checks, err = sema.ByName(strings.Split(*runList, ","))
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *list {
+		for _, c := range checks {
+			fmt.Printf("%s (%s)\n\t%s\n\n", c.Name, c.Severity, strings.ReplaceAll(c.Doc, "\n", "\n\t"))
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 && !*corpus {
+		fmt.Fprintln(os.Stderr, "usage: lusail-check [flags] <query.rq|dir|-> ...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var files []queryFile
+	for _, arg := range args {
+		loaded, err := loadArg(arg)
+		if err != nil {
+			fatal(err)
+		}
+		files = append(files, loaded...)
+	}
+	if *corpus {
+		files = append(files, corpusFiles()...)
+	}
+
+	// Parse failures are findings too — a corpus file the engine cannot
+	// parse is at least as broken as one it rejects — but they render as
+	// diagnostics, not a tool abort, so one bad file doesn't hide the rest.
+	failed := false
+	var diags []fileDiagnostic
+	for _, f := range files {
+		q, err := sparql.Parse(f.src)
+		if err != nil {
+			failed = true
+			d := sparql.SemaDiagnostic{Check: "parse", Severity: sparql.SevError, Message: err.Error()}
+			var perr *sparql.ParseError
+			if errors.As(err, &perr) {
+				d.Pos, d.Line, d.Col = perr.Pos, perr.Line, perr.Col
+				d.Message = perr.Msg
+				if perr.Token != "" {
+					d.Message += fmt.Sprintf(" (at %q)", perr.Token)
+				}
+			}
+			diags = append(diags, fileDiagnostic{File: f.name, SemaDiagnostic: d})
+			continue
+		}
+		if *canon {
+			text := sema.CanonicalText(q)
+			fmt.Printf("# %s\n# key: %s\n%s\n", f.name, sema.KeyOf(text), text)
+			continue
+		}
+		for _, d := range sema.AnalyzeWith(q, f.src, checks) {
+			if d.Severity == sparql.SevError {
+				failed = true
+			}
+			diags = append(diags, fileDiagnostic{File: f.name, SemaDiagnostic: d})
+		}
+	}
+	if *canon {
+		return
+	}
+
+	switch {
+	case *sarifOut:
+		data, err := renderSARIF(diags, checks)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lint.ValidateSARIF(data); err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		// SARIF mode reports; findings gate via code scanning, not the exit
+		// status — except parse failures, which mean the corpus is broken.
+		if failed {
+			os.Exit(1)
+		}
+		return
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Printf("%s:%s\n", d.File, d.SemaDiagnostic.String())
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// queryFile is one query to analyze.
+type queryFile struct {
+	name string // display path ("<stdin>" for -)
+	src  string
+}
+
+// fileDiagnostic prefixes a sema diagnostic with the file it came from.
+type fileDiagnostic struct {
+	File string `json:"file"`
+	sparql.SemaDiagnostic
+}
+
+// loadArg resolves one command-line argument: "-" reads stdin, a directory
+// is walked for *.rq files, anything else is read as a query file.
+func loadArg(arg string) ([]queryFile, error) {
+	if arg == "-" {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, fmt.Errorf("reading stdin: %w", err)
+		}
+		return []queryFile{{name: "<stdin>", src: string(src)}}, nil
+	}
+	info, err := os.Stat(arg)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		src, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		return []queryFile{{name: arg, src: string(src)}}, nil
+	}
+	var out []queryFile
+	err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".rq") {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out = append(out, queryFile{name: path, src: string(src)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// corpusFiles returns every query in the built-in benchmark corpora as a
+// pseudo-file named bench:<suite>/<query>, so the corpora the experiments
+// run are held to the same semantic bar as on-disk query files.
+func corpusFiles() []queryFile {
+	var out []queryFile
+	for _, suite := range []struct {
+		name    string
+		queries []bench.Query
+	}{
+		{"lubm", bench.LUBMQueries()},
+		{"qfed", bench.QFedQueries()},
+		{"lrb-simple", bench.LRBSimpleQueries()},
+		{"lrb-complex", bench.LRBComplexQueries()},
+		{"lrb-large", bench.LRBLargeQueries()},
+		{"bio2rdf", bench.Bio2RDFQueries()},
+	} {
+		for _, q := range suite.queries {
+			out = append(out, queryFile{
+				name: fmt.Sprintf("bench:%s/%s", suite.name, q.Name),
+				src:  q.Text,
+			})
+		}
+	}
+	return out
+}
+
+// renderSARIF adapts sema diagnostics to the shared SARIF renderer: each
+// check becomes a rule, each finding a result located in its query file.
+func renderSARIF(diags []fileDiagnostic, checks []*sema.Check) ([]byte, error) {
+	rules := make([]*lint.Analyzer, 0, len(checks)+2)
+	for _, c := range checks {
+		rules = append(rules, &lint.Analyzer{Name: c.Name, Doc: c.Doc})
+	}
+	rules = append(rules,
+		&lint.Analyzer{Name: sema.DirectiveCheck, Doc: "malformed or unused # lusail-check suppression directive"},
+		&lint.Analyzer{Name: "parse", Doc: "query file does not parse"})
+	converted := make([]lint.Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		line, col := d.Line, d.Col
+		if line == 0 {
+			line = 1 // SARIF requires a positive startLine
+		}
+		converted = append(converted, lint.Diagnostic{
+			Analyzer: d.Check,
+			Pos:      token.Position{Filename: d.File, Line: line, Column: col},
+			Message:  fmt.Sprintf("%s: %s", d.Severity, d.Message),
+		})
+	}
+	moduleDir, _ := os.Getwd()
+	return lint.RenderSARIFTool(converted, rules, moduleDir, "lusail-check")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lusail-check: %v\n", err)
+	os.Exit(2)
+}

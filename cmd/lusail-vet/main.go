@@ -32,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"lusail/internal/lint"
 )
@@ -41,6 +42,7 @@ func main() {
 	includeTests := flag.Bool("tests", false, "also analyze _test.go files")
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
 	sarifOut := flag.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0 (for GitHub code scanning); always exits 0 unless loading fails")
+	timings := flag.Bool("timings", false, "report per-analyzer wall-clock time on stderr")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Parse()
 
@@ -90,7 +92,15 @@ func main() {
 		}
 	}
 
-	diags := lint.Run(pkgs, analyzers, loader.Fset)
+	diags, perAnalyzer := lint.RunTimed(pkgs, analyzers, loader.Fset)
+	if *timings {
+		var total time.Duration
+		for _, tm := range perAnalyzer {
+			fmt.Fprintf(os.Stderr, "timings: %-20s %12s\n", tm.Name, tm.Elapsed.Round(time.Microsecond))
+			total += tm.Elapsed
+		}
+		fmt.Fprintf(os.Stderr, "timings: %-20s %12s\n", "total", total.Round(time.Microsecond))
+	}
 	if *sarifOut {
 		data, err := lint.RenderSARIF(diags, analyzers, loader.ModuleDir)
 		if err != nil {

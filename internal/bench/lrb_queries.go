@@ -96,7 +96,7 @@ func LRBComplexQueries() []Query {
 			?kc owl:sameAs ?cc .
 			?cc rdfs:label ?cn .
 			?cc chebi:mass ?m . }`},
-		{"C2", `SELECT ?d ?n ?abs ?se WHERE {
+		{"C2", `SELECT ?d ?kc ?abs ?se WHERE {
 			?d drug:genericName "drug-0008" .
 			?d drug:keggCompoundId ?kc .
 			?d owl:sameAs ?dbp .
@@ -115,7 +115,8 @@ func LRBComplexQueries() []Query {
 			?f mdb:actor ?a .
 			?a mdb:actor_name ?an .
 		} LIMIT 50`},
-		{"C5", `SELECT ?d ?cn WHERE {
+		{"C5", `# lusail-check: cartesian -- components are value-joined by the STR() filter equality
+		SELECT ?d ?cn WHERE {
 			?d rdf:type drug:drugs .
 			?d drug:genericName ?dn .
 			?cc rdf:type chebi:Compound .
@@ -174,13 +175,15 @@ func LRBLargeQueries() []Query {
 			?d drug:keggCompoundId ?kc .
 			?kc owl:sameAs ?cc .
 			?cc chebi:mass ?m . }`},
-		{"B5", `SELECT ?probe ?g WHERE {
+		{"B5", `# lusail-check: cartesian -- components are value-joined by the STR() filter equality
+		SELECT ?probe ?g WHERE {
 			?probe rdf:type affy:Probe .
 			?probe affy:symbol ?ps .
 			?g rdf:type kegg:Gene .
 			?g kegg:symbol ?gs .
 			FILTER(STR(?ps) = STR(?gs)) }`},
-		{"B6", `SELECT ?p ?dbp WHERE {
+		{"B6", `# lusail-check: cartesian -- deliberate cross-endpoint product: the large-query suite stresses result volume
+		SELECT ?p ?dbp WHERE {
 			?p rdf:type gn:Feature .
 			?p gn:name ?pn .
 			?dbp rdf:type dbo:Place .

@@ -22,6 +22,7 @@ const (
 	PhaseRefinement      Phase = "source-refinement" // bound ASK source refinement
 	PhaseCatalog         Phase = "catalog"           // catalog build/refresh scans
 	PhaseAdmission       Phase = "admission"         // lusaild tenant admission control
+	PhaseSema            Phase = "sema"              // static query analysis findings
 )
 
 // ErrResponseTooLarge is the sentinel wrapped into the EndpointError a

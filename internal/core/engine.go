@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lusail/internal/catalog"
+	"lusail/internal/client"
 	"lusail/internal/erh"
 	"lusail/internal/eval"
 	"lusail/internal/federation"
@@ -121,6 +122,22 @@ type Options struct {
 	// memory guarantee.
 	JoinSpillBytes int64
 
+	// --- Static query analysis (package sema) ---
+
+	// DisableSemaChecks skips the static semantic vet that otherwise runs
+	// before planning. With checks on (the default), error-tier findings —
+	// queries that cannot mean what they say, like a FILTER over a variable
+	// the group never binds — reject the query with a *sparql.SemaError
+	// before any endpoint traffic; warning-tier findings thread into
+	// Profile.Warnings under client.PhaseSema.
+	DisableSemaChecks bool
+	// DisableQueryRewrite skips the sema rewrite pass (constant folding,
+	// dead FILTER/OPTIONAL elimination, duplicate-pattern removal, FILTER
+	// pushdown into UNION branches). Every rewrite is row-multiset
+	// preserving, so this is an ablation/debugging switch, not a
+	// correctness one. Applied rewrites are listed in Profile.RewriteNotes.
+	DisableQueryRewrite bool
+
 	// --- Resilience (fault tolerance against flaky endpoints) ---
 
 	// OnEndpointFailure selects FailFast (abort the query on the first
@@ -206,14 +223,29 @@ type Profile struct {
 	// obs.SumByName.
 	Trace *obs.Span
 
-	// Warnings lists the endpoint failures absorbed by Degrade mode, one
-	// structured entry per degraded decision. Empty for a complete answer;
-	// always empty under FailFast (a failure aborts the query instead).
+	// Warnings lists the endpoint failures absorbed by Degrade mode (one
+	// structured entry per degraded decision; always empty under FailFast,
+	// where a failure aborts the query instead) plus any warning-tier
+	// findings from the static query analysis, under client.PhaseSema.
 	Warnings []resilience.Warning
+
+	// RewriteNotes lists the sema rewrites applied to the query before
+	// planning (empty with DisableQueryRewrite, or when nothing applied).
+	// The rewritten query is what was decomposed and executed.
+	RewriteNotes []string
 }
 
 // Degraded reports whether the answer excludes any endpoint's contribution.
-func (p *Profile) Degraded() bool { return len(p.Warnings) > 0 }
+// Sema findings are advisory — they describe the query, not the answer —
+// so they do not count.
+func (p *Profile) Degraded() bool {
+	for _, w := range p.Warnings {
+		if w.Phase != client.PhaseSema {
+			return true
+		}
+	}
+	return false
+}
 
 // SubqueryStat is one (estimate, actual) cardinality observation.
 type SubqueryStat struct {
@@ -235,6 +267,9 @@ type Engine struct {
 	catCardHits      *obs.Counter
 	catCardFallbacks *obs.Counter
 	degraded         *obs.Counter
+	semaErrors       *obs.Counter
+	semaWarnings     *obs.Counter
+	semaRewrites     *obs.Counter
 }
 
 // New returns an engine over the federation, or an error when opts fails
@@ -269,6 +304,9 @@ func New(fed *federation.Federation, opts Options) (*Engine, error) {
 		catCardHits:      reg.Counter(obs.MetricCatalogCardHits, "cardinalities answered by the catalog instead of COUNT probes"),
 		catCardFallbacks: reg.Counter(obs.MetricCatalogCardFallbacks, "COUNT probes issued because the catalog could not answer"),
 		degraded:         reg.Counter(obs.MetricDegradedFailures, "endpoint failures absorbed by partial-results mode"),
+		semaErrors:       reg.Counter(obs.MetricSemaErrors, "queries rejected by static analysis before planning"),
+		semaWarnings:     reg.Counter(obs.MetricSemaWarnings, "warning-tier static-analysis findings"),
+		semaRewrites:     reg.Counter(obs.MetricSemaRewrites, "sema rewrites applied before planning"),
 	}, nil
 }
 
@@ -281,6 +319,11 @@ func MustNew(fed *federation.Federation, opts Options) *Engine {
 	}
 	return e
 }
+
+// SemaChecksEnabled reports whether the engine runs the static query vet
+// before planning. Serving layers consult it so an edge rejection (lusaild's
+// structured 400) happens exactly when the engine itself would reject.
+func (e *Engine) SemaChecksEnabled() bool { return !e.opts.DisableSemaChecks }
 
 // Resilience returns the engine's resilience manager (nil when the
 // configuration enables neither breakers nor hedging). Exposed for

@@ -6,9 +6,12 @@ import (
 	"strings"
 	"time"
 
+	"lusail/internal/client"
 	"lusail/internal/obs"
 	"lusail/internal/qplan"
+	"lusail/internal/resilience"
 	"lusail/internal/sparql"
+	"lusail/internal/sparql/sema"
 )
 
 // Epoch identifies the planning inputs of an engine at a point in time: the
@@ -53,6 +56,8 @@ type Plan struct {
 	gjvs          []string
 	subqueries    int
 	decomposition []string
+	semaWarnings  []resilience.Warning
+	rewriteNotes  []string
 }
 
 // plannedBranch is the planned form of one conjunctive branch.
@@ -89,6 +94,8 @@ func (p *Plan) summarize(prof *Profile) {
 	prof.GJVs = append(prof.GJVs, p.gjvs...)
 	prof.Subqueries += p.subqueries
 	prof.Decomposition = append(prof.Decomposition, p.decomposition...)
+	prof.Warnings = append(prof.Warnings, p.semaWarnings...)
+	prof.RewriteNotes = append(prof.RewriteNotes, p.rewriteNotes...)
 }
 
 // Plan runs the planning phases for a parsed query — source selection,
@@ -109,13 +116,44 @@ func (e *Engine) PlanString(ctx context.Context, query string) (*Plan, error) {
 }
 
 // plan is the internal planning entry point: it fills prof with the
-// planning-phase timings and counters while building the plan.
+// planning-phase timings and counters while building the plan. Before
+// decomposition it runs the static analysis: error-tier findings reject the
+// query with a *sparql.SemaError (no endpoint traffic was spent), warnings
+// thread into the profile under client.PhaseSema, and the sema rewrites
+// produce the query that is actually planned.
 func (e *Engine) plan(ctx context.Context, q *sparql.Query, prof *Profile) (*Plan, error) {
+	var semaWarns []resilience.Warning
+	if !e.opts.DisableSemaChecks {
+		semaErr, rest := sema.Vet(q, "")
+		if semaErr != nil {
+			e.semaErrors.Inc()
+			return nil, semaErr
+		}
+		for _, d := range rest {
+			e.semaWarnings.Inc()
+			semaWarns = append(semaWarns, resilience.Warning{
+				Phase:   client.PhaseSema,
+				Message: d.String(),
+			})
+		}
+		prof.Warnings = append(prof.Warnings, semaWarns...)
+	}
+	var notes []string
+	if !e.opts.DisableQueryRewrite {
+		var rewritten *sparql.Query
+		rewritten, notes = sema.Rewrite(q)
+		if len(notes) > 0 {
+			e.semaRewrites.Add(int64(len(notes)))
+			q = rewritten
+		}
+		prof.RewriteNotes = append(prof.RewriteNotes, notes...)
+	}
+
 	branches, err := qplan.Normalize(q)
 	if err != nil {
 		return nil, err
 	}
-	p := &Plan{query: q, epoch: e.Epoch()}
+	p := &Plan{query: q, epoch: e.Epoch(), semaWarnings: semaWarns, rewriteNotes: notes}
 	for _, br := range branches {
 		pb, err := e.planBranch(ctx, br, prof)
 		if err != nil {

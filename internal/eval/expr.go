@@ -418,3 +418,57 @@ func FilterBinding(x sparql.Expr, b map[string]rdf.Term) bool {
 	ok, err := evalEBV(emptyEvaluator, x, Binding(b))
 	return err == nil && ok
 }
+
+// ErrNonConst is returned by ConstEval and ConstEBV for expressions that
+// reference variables or EXISTS blocks: their value depends on the binding
+// or the graph, so they cannot be folded at plan time.
+var ErrNonConst = fmt.Errorf("eval: expression is not constant")
+
+// ConstEval evaluates a ground expression — one with no variable references
+// and no EXISTS blocks — to a constant term, using the same semantics the
+// engine applies at run time. Static analysis (internal/sparql/sema) uses
+// it for constant folding, so folded filters cannot diverge from what
+// execution would have computed. A non-ErrNonConst error is a SPARQL
+// expression error: in FILTER position it removes every row.
+func ConstEval(x sparql.Expr) (rdf.Term, error) {
+	if !exprIsConst(x) {
+		return rdf.Term{}, ErrNonConst
+	}
+	return evalExpr(emptyEvaluator, x, Binding{})
+}
+
+// ConstEBV is ConstEval followed by the effective-boolean-value conversion
+// a FILTER applies to its constraint.
+func ConstEBV(x sparql.Expr) (bool, error) {
+	if !exprIsConst(x) {
+		return false, ErrNonConst
+	}
+	return evalEBV(emptyEvaluator, x, Binding{})
+}
+
+// exprIsConst reports whether the expression is ground: no variables and no
+// EXISTS blocks (EXISTS depends on the graph even when it mentions no
+// outer variables). All supported builtins are deterministic, so ground
+// implies constant.
+func exprIsConst(x sparql.Expr) bool {
+	switch x := x.(type) {
+	case sparql.ExprTerm:
+		return true
+	case sparql.ExprVar:
+		return false
+	case sparql.ExprExists:
+		return false
+	case sparql.ExprUnary:
+		return exprIsConst(x.X)
+	case sparql.ExprBinary:
+		return exprIsConst(x.L) && exprIsConst(x.R)
+	case sparql.ExprCall:
+		for _, a := range x.Args {
+			if !exprIsConst(a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

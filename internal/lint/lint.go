@@ -28,6 +28,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one analyzer finding at a source position.
@@ -211,28 +212,44 @@ func (d *directive) covers(diag Diagnostic) bool {
 // matched globally, because a Module analyzer's diagnostics land in any
 // package's files.
 func Run(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) []Diagnostic {
+	diags, _ := RunTimed(pkgs, analyzers, fset)
+	return diags
+}
+
+// AnalyzerTiming is one analyzer's wall-clock cost over a whole run, for
+// the -timings report: the suite grows, and a regressing analyzer should be
+// visible before CI minutes are.
+type AnalyzerTiming struct {
+	Name    string        `json:"name"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// RunTimed is Run, also returning per-analyzer wall-clock timings in
+// analyzer order. Program construction for interprocedural analyzers is
+// charged to the first Module analyzer that needs it (it would not have
+// been built otherwise).
+func RunTimed(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) ([]Diagnostic, []AnalyzerTiming) {
 	running := map[string]bool{}
-	needProg := false
 	for _, a := range analyzers {
 		running[a.Name] = true
-		if a.Module {
-			needProg = true
-		}
-	}
-	var prog *Program
-	if needProg {
-		prog = BuildProgram(pkgs, fset)
 	}
 
+	var prog *Program
 	var raw []Diagnostic
+	timings := make([]AnalyzerTiming, 0, len(analyzers))
 	for _, a := range analyzers {
+		t0 := time.Now()
 		if a.Module {
+			if prog == nil {
+				prog = BuildProgram(pkgs, fset)
+			}
 			a.Run(&Pass{Analyzer: a, Prog: prog, Fset: fset, diags: &raw})
-			continue
+		} else {
+			for _, pkg := range pkgs {
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, Prog: prog, Fset: fset, diags: &raw})
+			}
 		}
-		for _, pkg := range pkgs {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, Prog: prog, Fset: fset, diags: &raw})
-		}
+		timings = append(timings, AnalyzerTiming{Name: a.Name, Elapsed: time.Since(t0)})
 	}
 
 	var dirs []*directive
@@ -274,7 +291,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) []Diagnost
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out
+	return out, timings
 }
 
 // isTestFile reports whether the file's name ends in _test.go.

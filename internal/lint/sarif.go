@@ -78,12 +78,21 @@ type sarifRegion struct {
 	StartColumn int `json:"startColumn,omitempty"`
 }
 
-// RenderSARIF serializes diagnostics as a SARIF 2.1.0 log. moduleDir, when
-// non-empty, is stripped from file paths so URIs are repository-relative —
-// what code scanning needs to annotate files. Every analyzer in the run is
-// emitted as a rule even when it found nothing, so the rule set is stable
-// across pushes.
+// RenderSARIF serializes diagnostics as a SARIF 2.1.0 log under the
+// lusail-vet driver name. moduleDir, when non-empty, is stripped from file
+// paths so URIs are repository-relative — what code scanning needs to
+// annotate files. Every analyzer in the run is emitted as a rule even when
+// it found nothing, so the rule set is stable across pushes.
 func RenderSARIF(diags []Diagnostic, analyzers []*Analyzer, moduleDir string) ([]byte, error) {
+	return RenderSARIFTool(diags, analyzers, moduleDir, "lusail-vet")
+}
+
+// RenderSARIFTool is RenderSARIF with an explicit driver name, so other
+// diagnostic producers (lusail-check's query analysis) share one renderer
+// and one validator. A caller whose directive semantics differ from the Go
+// suite's should pass its own "directive" rule in analyzers; the default
+// Go-suite wording is only added when absent.
+func RenderSARIFTool(diags []Diagnostic, analyzers []*Analyzer, moduleDir, tool string) ([]byte, error) {
 	ruleIndex := map[string]int{}
 	var rules []sarifRule
 	addRule := func(name, doc string) {
@@ -97,7 +106,7 @@ func RenderSARIF(diags []Diagnostic, analyzers []*Analyzer, moduleDir string) ([
 		}
 		rules = append(rules, sarifRule{
 			ID:               name,
-			ShortDescription: sarifMessage{Text: "lusail-vet: " + name},
+			ShortDescription: sarifMessage{Text: tool + ": " + name},
 			FullDescription:  sarifMessage{Text: short},
 			Help:             sarifMessage{Text: doc},
 		})
@@ -137,7 +146,7 @@ func RenderSARIF(diags []Diagnostic, analyzers []*Analyzer, moduleDir string) ([
 		Schema:  sarifSchemaURI,
 		Version: sarifVersion,
 		Runs: []sarifRun{{
-			Tool:    sarifTool{Driver: sarifDriver{Name: "lusail-vet", Rules: rules}},
+			Tool:    sarifTool{Driver: sarifDriver{Name: tool, Rules: rules}},
 			Results: results,
 		}},
 	}

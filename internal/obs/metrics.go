@@ -60,6 +60,12 @@ const (
 	MetricCatalogStaleLookups    = "lusail_catalog_stale_lookups_total"
 	MetricCatalogBuildSeconds    = "lusail_catalog_build_seconds"
 
+	// Static query analysis (package sema, run by the engine before
+	// decomposition).
+	MetricSemaErrors   = "lusail_sema_errors_total"
+	MetricSemaWarnings = "lusail_sema_warnings_total"
+	MetricSemaRewrites = "lusail_sema_rewrites_total"
+
 	// SPARQL protocol server (package endpoint).
 	MetricHTTPRequests       = "lusail_http_requests_total"
 	MetricHTTPErrors         = "lusail_http_errors_total"

@@ -19,11 +19,15 @@ import (
 	"lusail/internal/obs"
 )
 
-// PlanCache memoizes engine plans keyed on the query text, invalidated by
-// the engine's planning epoch. Concurrent requests for the same uncached
-// query single-flight the planning step: one request plans, the rest wait
-// for its result. The cache is bounded; least-recently-used entries are
-// evicted.
+// PlanCache memoizes engine plans keyed on the sema canonical-form hash
+// (sema.Key), invalidated by the engine's planning epoch. Canonical keying
+// means every spelling of one query — different whitespace, prefix names,
+// commutative pattern order, or internal variable names — maps to a single
+// cached plan; the cached plan is built from the canonical text itself, so
+// which spelling arrives first does not matter. Concurrent requests for the
+// same uncached query single-flight the planning step: one request plans,
+// the rest wait for its result. The cache is bounded; least-recently-used
+// entries are evicted.
 type PlanCache struct {
 	eng *core.Engine
 	max int
@@ -44,7 +48,8 @@ type PlanCache struct {
 // plan/err are valid; failed builds are removed from the cache so the next
 // request retries.
 type planEntry struct {
-	query string
+	key   string // sema.Key of the canonical form
+	query string // canonical text, planned on a miss and shown in the snapshot
 	done  chan struct{}
 	plan  *core.Plan
 	err   error
@@ -72,15 +77,16 @@ func NewPlanCache(eng *core.Engine, max int) *PlanCache {
 	}
 }
 
-// Get returns the plan for the query text, planning it on a miss. The
-// second return reports a cache hit. Concurrent callers for one query share
-// a single planning run; a caller whose own context is cancelled while
-// waiting returns its context error, without poisoning the cache for the
-// others.
-func (c *PlanCache) Get(ctx context.Context, query string) (*core.Plan, bool, error) {
+// Get returns the plan for the query whose canonical form is canonical and
+// whose cache key is key (sema.KeyOf(canonical)), planning the canonical
+// text on a miss. The second return reports a cache hit. Concurrent callers
+// for one key share a single planning run; a caller whose own context is
+// cancelled while waiting returns its context error, without poisoning the
+// cache for the others.
+func (c *PlanCache) Get(ctx context.Context, key, canonical string) (*core.Plan, bool, error) {
 	for {
 		c.mu.Lock()
-		e, ok := c.entries[query]
+		e, ok := c.entries[key]
 		if ok {
 			c.lru.MoveToFront(e.elem)
 			c.mu.Unlock()
@@ -111,9 +117,9 @@ func (c *PlanCache) Get(ctx context.Context, query string) (*core.Plan, bool, er
 		}
 
 		// Miss: publish an in-flight entry, then plan outside the lock.
-		e = &planEntry{query: query, done: make(chan struct{})}
+		e = &planEntry{key: key, query: canonical, done: make(chan struct{})}
 		e.elem = c.lru.PushFront(e)
-		c.entries[query] = e
+		c.entries[key] = e
 		for c.lru.Len() > c.max {
 			oldest := c.lru.Back()
 			if oldest == nil || oldest == e.elem {
@@ -127,7 +133,7 @@ func (c *PlanCache) Get(ctx context.Context, query string) (*core.Plan, bool, er
 
 		c.misses.Inc()
 		t0 := time.Now()
-		plan, err := c.eng.PlanString(ctx, query)
+		plan, err := c.eng.PlanString(ctx, canonical)
 		e.plan, e.err = plan, err
 		close(e.done)
 		if err != nil {
@@ -147,8 +153,8 @@ func (c *PlanCache) remove(e *planEntry) {
 }
 
 func (c *PlanCache) removeLocked(e *planEntry) {
-	if cur, ok := c.entries[e.query]; ok && cur == e {
-		delete(c.entries, e.query)
+	if cur, ok := c.entries[e.key]; ok && cur == e {
+		delete(c.entries, e.key)
 		c.lru.Remove(e.elem)
 		c.size.Set(int64(c.lru.Len()))
 	}
@@ -163,7 +169,8 @@ func (c *PlanCache) Len() int {
 
 // PlanCacheEntry is one entry of the admin snapshot.
 type PlanCacheEntry struct {
-	Query      string     `json:"query"`
+	Key        string     `json:"key"`
+	Query      string     `json:"query"` // canonical text
 	Epoch      core.Epoch `json:"epoch"`
 	GJVs       []string   `json:"gjvs,omitempty"`
 	Subqueries int        `json:"subqueries"`
@@ -178,7 +185,7 @@ func (c *PlanCache) Snapshot() []PlanCacheEntry {
 	out := make([]PlanCacheEntry, 0, c.lru.Len())
 	for el := c.lru.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*planEntry)
-		entry := PlanCacheEntry{Query: e.query}
+		entry := PlanCacheEntry{Key: e.key, Query: e.query}
 		select {
 		case <-e.done:
 			if e.plan != nil {

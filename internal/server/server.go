@@ -14,11 +14,13 @@ import (
 	"strings"
 	"time"
 
+	"lusail/internal/client"
 	"lusail/internal/core"
 	"lusail/internal/obs"
 	"lusail/internal/rdf"
 	"lusail/internal/resilience"
 	"lusail/internal/sparql"
+	"lusail/internal/sparql/sema"
 )
 
 // Config configures a lusaild server around an existing engine.
@@ -234,6 +236,42 @@ func (s *Server) writeRejection(w http.ResponseWriter, rej *Rejection) {
 	}
 }
 
+// semaRejectionBody is the structured 400 payload for queries the static
+// analyzer rejects: one entry per error-tier finding, with check name,
+// severity, and source position.
+type semaRejectionBody struct {
+	Error       string                  `json:"error"`
+	Diagnostics []sparql.SemaDiagnostic `json:"diagnostics"`
+}
+
+// writeSemaRejection answers an error-tier sema finding with a structured
+// 400. The query never reached admission or the engine.
+func (s *Server) writeSemaRejection(w http.ResponseWriter, semaErr *sparql.SemaError) {
+	s.errs.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	body := semaRejectionBody{
+		Error:       semaErr.Error(),
+		Diagnostics: semaErr.Diagnostics,
+	}
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		s.cfg.Logf("lusaild: writing sema rejection: %v", err)
+	}
+}
+
+// endpointWarnings filters a profile's warnings down to genuine endpoint
+// degradations: sema findings describe the query text, so they neither mark
+// an answer incomplete nor block result caching.
+func endpointWarnings(ws []resilience.Warning) []resilience.Warning {
+	var out []resilience.Warning
+	for _, w := range ws {
+		if w.Phase != client.PhaseSema {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
 // fail rejects a request with a plain error, counting it.
 func (s *Server) fail(w http.ResponseWriter, msg string, code int) {
 	s.errs.Inc()
@@ -296,6 +334,22 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Static analysis runs before admission: a query the engine would
+	// reject anyway (error-tier sema findings, e.g. a FILTER over a
+	// variable its group never binds) is answered with a structured 400
+	// without spending an admission slot or any endpoint traffic. The vet
+	// sees the original source text, so diagnostics carry line/column
+	// positions; warnings do not block and reach the client via headers.
+	var semaWarnings []sparql.SemaDiagnostic
+	if s.eng.SemaChecksEnabled() {
+		semaErr, rest := sema.Vet(parsed, query)
+		if semaErr != nil {
+			s.writeSemaRejection(w, semaErr)
+			return
+		}
+		semaWarnings = rest
+	}
+
 	// Admission: quota and concurrency are charged before any engine work.
 	tenant := s.tenantOf(r)
 	release, err := s.adm.Admit(r.Context(), tenant)
@@ -320,14 +374,19 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The canonical serialization is the cache key: it normalizes
-	// whitespace and formatting, so differently-formatted but identical
-	// queries share one plan and one cached result.
-	canonical := parsed.String()
+	// The sema canonical form is the cache key: it normalizes whitespace,
+	// prefix declarations, commutative pattern order, and internal variable
+	// names, so every spelling of one query shares one plan and one cached
+	// result. The canonical text is what gets planned on a miss.
+	canonical := sema.CanonicalText(parsed)
+	key := sema.KeyOf(canonical)
+	if len(semaWarnings) > 0 {
+		w.Header().Set("X-Lusail-Sema-Warnings", strconv.Itoa(len(semaWarnings)))
+	}
 	epoch := s.eng.Epoch()
 
 	if s.results != nil {
-		if res, ok := s.results.Get(canonical, epoch); ok {
+		if res, ok := s.results.Get(key, epoch); ok {
 			w.Header().Set("X-Lusail-Cache", "result-hit")
 			s.writeResults(w, r, res)
 			return
@@ -337,7 +396,7 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	var plan *core.Plan
 	var hit bool
 	if s.plans != nil {
-		plan, hit, err = s.plans.Get(ctx, canonical)
+		plan, hit, err = s.plans.Get(ctx, key, canonical)
 	} else {
 		plan, err = s.eng.Plan(ctx, parsed)
 	}
@@ -359,25 +418,29 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 			s.queryError(w, ctx, err)
 			return
 		}
-		if len(prof.Warnings) > 0 {
-			w.Header().Set("X-Lusail-Degraded", strconv.Itoa(len(prof.Warnings)))
+		// Sema findings describe the query, not the answer: only endpoint
+		// warnings mark the response degraded or block result caching.
+		degraded := endpointWarnings(prof.Warnings)
+		if len(degraded) > 0 {
+			w.Header().Set("X-Lusail-Degraded", strconv.Itoa(len(degraded)))
 		}
 		if s.results != nil {
-			s.results.Put(canonical, epoch, res, prof.Warnings)
+			s.results.Put(key, epoch, res, degraded)
 		}
 		s.writeResults(w, r, res)
 		return
 	}
 
-	s.streamJSON(ctx, w, plan, canonical, epoch)
+	s.streamJSON(ctx, w, plan, key, epoch)
 }
 
 // streamJSON executes the plan through the engine's cursor and flushes
 // rows to the wire as the pipeline produces them — every plan shape
 // streams; only blocking modifiers (ORDER BY, aggregates) delay the first
 // row, and then only inside the engine, never by materializing here. Rows
-// are teed into the result cache on the side, up to its row bound.
-func (s *Server) streamJSON(ctx context.Context, w http.ResponseWriter, plan *core.Plan, canonical string, epoch core.Epoch) {
+// are teed into the result cache on the side (keyed by the canonical-form
+// hash), up to its row bound.
+func (s *Server) streamJSON(ctx context.Context, w http.ResponseWriter, plan *core.Plan, key string, epoch core.Epoch) {
 	rows, err := s.eng.ExecutePlanStream(ctx, plan)
 	if err != nil {
 		// Nothing on the wire yet: a clean error response is possible.
@@ -455,7 +518,7 @@ func (s *Server) streamJSON(ctx context.Context, w http.ResponseWriter, plan *co
 		if err := rows.Close(); err != nil {
 			return
 		}
-		s.results.Put(canonical, epoch, cached, rows.Profile().Warnings)
+		s.results.Put(key, epoch, cached, endpointWarnings(rows.Profile().Warnings))
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"lusail/internal/lint/leakcheck"
 	"lusail/internal/resilience"
 	"lusail/internal/server"
+	"lusail/internal/sparql/sema"
 	"lusail/internal/sparql"
 )
 
@@ -353,7 +354,8 @@ func TestPlanCacheDirectSingleFlight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	canonical := parsed.String()
+	canonical := sema.CanonicalText(parsed)
+	key := sema.KeyOf(canonical)
 
 	const n = 16
 	plans := make([]*core.Plan, n)
@@ -362,7 +364,7 @@ func TestPlanCacheDirectSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p, _, err := pc.Get(context.Background(), canonical)
+			p, _, err := pc.Get(context.Background(), key, canonical)
 			if err != nil {
 				t.Errorf("get %d: %v", i, err)
 				return
@@ -378,5 +380,110 @@ func TestPlanCacheDirectSingleFlight(t *testing.T) {
 	}
 	if pc.Len() != 1 {
 		t.Errorf("cache holds %d entries, want 1", pc.Len())
+	}
+}
+
+// TestCanonicalKeyHitRate proves the plan cache keys on the sema canonical
+// form: the same LUBM shape spelled with different whitespace, prefix
+// names, pattern order, and variable names must build exactly one plan —
+// the second spelling is a hit.
+func TestCanonicalKeyHitRate(t *testing.T) {
+	eng := sharedFed(t).NewLusail(core.DefaultOptions())
+	srv := startServer(t, eng, func(cfg *server.Config) {
+		cfg.DisableResultCache = true // the plan cache is under test
+	})
+
+	spellingA := `PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?X WHERE {
+	?X rdf:type ub:GraduateStudent .
+	?X ub:undergraduateDegreeFrom <http://www.University0.edu> .
+}`
+	// Same query: prefixes renamed, patterns reordered, variable renamed
+	// (the projected ?X must keep its name — it is the output schema).
+	spellingB := `PREFIX uni: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+SELECT ?X
+WHERE {
+	?X   uni:undergraduateDegreeFrom   <http://www.University0.edu> .
+	?X <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> uni:GraduateStudent
+}`
+
+	respA, bodyA := get(t, srv.URL+"?query="+url.QueryEscape(spellingA), nil)
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("spelling A: status %d: %s", respA.StatusCode, bodyA)
+	}
+	if got := respA.Header.Get("X-Lusail-Plan-Cache"); got != "miss" {
+		t.Fatalf("spelling A: X-Lusail-Plan-Cache=%q, want miss", got)
+	}
+	respB, bodyB := get(t, srv.URL+"?query="+url.QueryEscape(spellingB), nil)
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("spelling B: status %d: %s", respB.StatusCode, bodyB)
+	}
+	if got := respB.Header.Get("X-Lusail-Plan-Cache"); got != "hit" {
+		t.Errorf("spelling B: X-Lusail-Plan-Cache=%q, want hit (canonical keying)", got)
+	}
+	if srv.PlanCache().Len() != 1 {
+		t.Errorf("plan cache holds %d plans, want 1", srv.PlanCache().Len())
+	}
+
+	// Both spellings must return the same rows.
+	resA, errA := sparql.ParseResultsJSON(bodyA)
+	resB, errB := sparql.ParseResultsJSON(bodyB)
+	if errA != nil || errB != nil {
+		t.Fatalf("parsing results: %v / %v", errA, errB)
+	}
+	if resA.Len() != resB.Len() {
+		t.Errorf("spellings returned different row counts: %d vs %d", resA.Len(), resB.Len())
+	}
+}
+
+// TestSemaRejection checks that an error-tier static-analysis finding is
+// answered with a structured 400 carrying positioned diagnostics, before
+// any engine work.
+func TestSemaRejection(t *testing.T) {
+	eng := sharedFed(t).NewLusail(core.DefaultOptions())
+	srv := startServer(t, eng, nil)
+
+	// FILTER over a variable its group never binds: error tier.
+	bad := `SELECT ?s WHERE {
+  ?s <http://example.org/p> ?o .
+  FILTER(?price > 100)
+}`
+	resp, body := get(t, srv.URL+"?query="+url.QueryEscape(bad), nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q, want application/json", ct)
+	}
+	var rej struct {
+		Error       string                  `json:"error"`
+		Diagnostics []sparql.SemaDiagnostic `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(body, &rej); err != nil {
+		t.Fatalf("rejection is not structured JSON: %v: %s", err, body)
+	}
+	if len(rej.Diagnostics) == 0 {
+		t.Fatal("rejection carries no diagnostics")
+	}
+	d := rej.Diagnostics[0]
+	if d.Check != "unboundvar" || d.Line != 3 {
+		t.Errorf("diagnostic = %+v, want unboundvar at line 3", d)
+	}
+
+	// Warning-tier findings must not block; they surface as a header.
+	warned := `SELECT ?a ?x WHERE {
+  ?a <http://example.org/p> ?b .
+  ?x <http://example.org/q> ?y .
+}`
+	resp, body = get(t, srv.URL+"?query="+url.QueryEscape(warned), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warning-tier query: status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Lusail-Sema-Warnings") == "" {
+		t.Error("missing X-Lusail-Sema-Warnings header on cartesian query")
+	}
+	if resp.Header.Get("X-Lusail-Degraded") != "" {
+		t.Error("sema warnings must not mark the answer degraded")
 	}
 }

@@ -52,6 +52,10 @@ func (p PatternTerm) IsVar() bool { return p.Var != "" }
 // TriplePattern is a triple whose positions may be variables.
 type TriplePattern struct {
 	S, P, O PatternTerm
+	// Pos is the byte offset of the subject term in the source text (0 for
+	// programmatically built patterns). It is ignored by String and by
+	// equality-style helpers; StripPositions zeroes it.
+	Pos int
 }
 
 // Vars returns the variable names used in the pattern, in S, P, O order,
@@ -87,38 +91,52 @@ func (Bind) element()          {}
 // Filter is a FILTER constraint.
 type Filter struct {
 	Expr Expr
+	// Pos is the byte offset of the FILTER keyword in the source text.
+	Pos int
 }
 
 // Optional is an OPTIONAL { ... } block.
 type Optional struct {
 	Group *GroupPattern
+	// Pos is the byte offset of the OPTIONAL keyword in the source text.
+	Pos int
 }
 
 // Union is a chain of alternation branches: A UNION B UNION C.
 type Union struct {
 	Branches []*GroupPattern
+	// Pos is the byte offset of the first branch in the source text.
+	Pos int
 }
 
 // SubSelect is a nested SELECT query inside a group pattern.
 type SubSelect struct {
 	Query *Query
+	// Pos is the byte offset of the nested SELECT in the source text.
+	Pos int
 }
 
 // InlineData is a VALUES block. A zero rdf.Term in a row means UNDEF.
 type InlineData struct {
 	Vars []string
 	Rows [][]rdf.Term
+	// Pos is the byte offset of the VALUES keyword in the source text.
+	Pos int
 }
 
 // Bind is a BIND(expr AS ?var) assignment.
 type Bind struct {
 	Var  string
 	Expr Expr
+	// Pos is the byte offset of the BIND keyword in the source text.
+	Pos int
 }
 
 // GroupPattern is a group graph pattern: an ordered list of elements.
 type GroupPattern struct {
 	Elements []Element
+	// Pos is the byte offset of the opening brace in the source text.
+	Pos int
 }
 
 // TriplePatterns returns the basic graph pattern triples that are direct
@@ -200,6 +218,8 @@ func (g *GroupPattern) Vars() []string {
 type Projection struct {
 	Var string     // output variable name
 	Agg *Aggregate // nil for a plain variable projection
+	// Pos is the byte offset of the projection item in the source text.
+	Pos int
 }
 
 // Aggregate is an aggregate function application (COUNT is what Lusail's
@@ -214,6 +234,8 @@ type Aggregate struct {
 type OrderCond struct {
 	Var  string
 	Desc bool
+	// Pos is the byte offset of the condition in the source text.
+	Pos int
 }
 
 // Query is a parsed SPARQL query.
@@ -271,8 +293,12 @@ func (q *Query) HasAggregates() bool {
 // Expr is a SPARQL filter expression node.
 type Expr interface{ exprNode() }
 
-// ExprVar references a variable's bound value.
-type ExprVar struct{ Name string }
+// ExprVar references a variable's bound value. Pos is the byte offset of
+// the variable in the source text (0 when built programmatically).
+type ExprVar struct {
+	Name string
+	Pos  int
+}
 
 // ExprTerm is a constant term.
 type ExprTerm struct{ Term rdf.Term }

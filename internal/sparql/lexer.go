@@ -94,7 +94,7 @@ func (l *lexer) next() (token, error) {
 		l.pos++
 		name := l.takeWhile(isVarChar)
 		if name == "" {
-			return token{}, fmt.Errorf("offset %d: empty variable name", start)
+			return token{}, l.lexErr(start, string(c), "empty variable name")
 		}
 		return token{kind: tokVar, text: name, pos: start}, nil
 	case c == '"' || c == '\'':
@@ -103,7 +103,7 @@ func (l *lexer) next() (token, error) {
 		l.pos++
 		tag := l.takeWhile(func(r rune) bool { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' })
 		if tag == "" {
-			return token{}, fmt.Errorf("offset %d: empty language tag", start)
+			return token{}, l.lexErr(start, "@", "empty language tag")
 		}
 		return token{kind: tokLangTag, text: tag, pos: start}, nil
 	case strings.HasPrefix(l.in[l.pos:], "^^"):
@@ -165,7 +165,7 @@ func (l *lexer) lexWord() (token, error) {
 		return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.'
 	})
 	if word == "" {
-		return token{}, fmt.Errorf("offset %d: unexpected character %q", start, l.in[l.pos])
+		return token{}, l.lexErr(start, string(l.in[l.pos]), fmt.Sprintf("unexpected character %q", l.in[l.pos]))
 	}
 	// A word followed by ':' is a prefixed-name prefix.
 	if l.pos < len(l.in) && l.in[l.pos] == ':' {
@@ -198,7 +198,11 @@ func (l *lexer) lexString(quote byte) (token, error) {
 	var b strings.Builder
 	for {
 		if l.pos >= len(l.in) {
-			return token{}, fmt.Errorf("offset %d: unterminated string", start)
+			snip := l.in[start:min(start+12, len(l.in))]
+			if i := strings.IndexByte(snip, '\n'); i >= 0 {
+				snip = snip[:i]
+			}
+			return token{}, l.lexErr(start, snip, "unterminated string")
 		}
 		c := l.in[l.pos]
 		if c == quote {
@@ -207,7 +211,7 @@ func (l *lexer) lexString(quote byte) (token, error) {
 		}
 		if c == '\\' {
 			if l.pos+1 >= len(l.in) {
-				return token{}, fmt.Errorf("offset %d: dangling escape", l.pos)
+				return token{}, l.lexErr(l.pos, "\\", "dangling escape")
 			}
 			l.pos++
 			switch l.in[l.pos] {
@@ -220,7 +224,7 @@ func (l *lexer) lexString(quote byte) (token, error) {
 			case '"', '\'', '\\':
 				b.WriteByte(l.in[l.pos])
 			default:
-				return token{}, fmt.Errorf("offset %d: unsupported escape \\%c", l.pos, l.in[l.pos])
+				return token{}, l.lexErr(l.pos, "\\"+string(l.in[l.pos]), fmt.Sprintf("unsupported escape \\%c", l.in[l.pos]))
 			}
 			l.pos++
 			continue
@@ -286,4 +290,12 @@ func (l *lexer) skipSpaceAndComments() {
 
 func isVarChar(r rune) bool {
 	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// lexErr builds a position-carrying ParseError for a failure at pos, with
+// the offending token text. Line/column are derived from the full input so
+// every lexer error is precisely locatable.
+func (l *lexer) lexErr(pos int, tok, msg string) error {
+	line, col := LineCol(l.in, pos)
+	return &ParseError{Pos: pos, Line: line, Col: col, Token: tok, Msg: msg}
 }

@@ -20,14 +20,16 @@ func Parse(input string) (*Query, error) {
 		}
 		return nil, &ParseError{Pos: -1, Msg: err.Error()}
 	}
-	p := &parser{toks: toks, prefixes: map[string]string{}}
+	p := &parser{toks: toks, src: input, prefixes: map[string]string{}}
 	q, err := p.query()
 	if err != nil {
 		var pe *ParseError
 		if errors.As(err, &pe) {
 			return nil, pe
 		}
-		return nil, &ParseError{Pos: p.peek().pos, Msg: err.Error()}
+		// Defensive: every parser error site should already build a
+		// *ParseError via errf; anchor stragglers at the current token.
+		return nil, p.errf(p.peek(), "%s", err.Error())
 	}
 	return q, nil
 }
@@ -45,6 +47,7 @@ func MustParse(input string) *Query {
 type parser struct {
 	toks     []token
 	pos      int
+	src      string
 	prefixes map[string]string
 }
 
@@ -85,16 +88,29 @@ func (p *parser) eatPunct(s string) bool {
 
 func (p *parser) expectPunct(s string) error {
 	if !p.eatPunct(s) {
-		return fmt.Errorf("expected %q, got %s", s, p.peek())
+		t := p.peek()
+		return p.errf(t, "expected %q, got %s", s, t)
 	}
 	return nil
 }
 
 func (p *parser) expectKeyword(kw string) error {
 	if !p.eatKeyword(kw) {
-		return fmt.Errorf("expected %s, got %s", kw, p.peek())
+		t := p.peek()
+		return p.errf(t, "expected %s, got %s", kw, t)
 	}
 	return nil
+}
+
+// errf builds a *ParseError anchored at tok: byte offset, 1-based
+// line/column, and the offending token's text (empty at end of input).
+func (p *parser) errf(tok token, format string, args ...any) error {
+	line, col := LineCol(p.src, tok.pos)
+	text := tok.text
+	if tok.kind == tokEOF {
+		text = ""
+	}
+	return &ParseError{Pos: tok.pos, Line: line, Col: col, Token: text, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) query() (*Query, error) {
@@ -102,12 +118,12 @@ func (p *parser) query() (*Query, error) {
 		p.advance()
 		name := p.advance()
 		if name.kind != tokPName || !strings.HasSuffix(name.text, ":") && !strings.Contains(name.text, ":") {
-			return nil, fmt.Errorf("expected prefix name, got %s", name)
+			return nil, p.errf(name, "expected prefix name, got %s", name)
 		}
 		pfx := strings.SplitN(name.text, ":", 2)[0]
 		iri := p.advance()
 		if iri.kind != tokIRI {
-			return nil, fmt.Errorf("expected IRI after PREFIX %s:, got %s", pfx, iri)
+			return nil, p.errf(iri, "expected IRI after PREFIX %s:, got %s", pfx, iri)
 		}
 		p.prefixes[pfx] = iri.text
 	}
@@ -116,7 +132,7 @@ func (p *parser) query() (*Query, error) {
 		return nil, err
 	}
 	if t := p.peek(); t.kind != tokEOF {
-		return nil, fmt.Errorf("unexpected trailing token %s", t)
+		return nil, p.errf(t, "unexpected trailing token %s", t)
 	}
 	return q, nil
 }
@@ -138,14 +154,15 @@ func (p *parser) selectOrAsk() (*Query, error) {
 		q.Form = AskForm
 	case p.eatKeyword("CONSTRUCT"):
 		q.Form = ConstructForm
-		tmpl := &GroupPattern{}
+		open := p.peek()
+		tmpl := &GroupPattern{Pos: open.pos}
 		save := p.prefixes
 		if err := p.expectPunct("{"); err != nil {
 			return nil, err
 		}
 		for !p.eatPunct("}") {
 			if p.peek().kind == tokEOF {
-				return nil, fmt.Errorf("unterminated CONSTRUCT template")
+				return nil, p.errf(p.peek(), "unterminated CONSTRUCT template")
 			}
 			if err := p.triplesBlock(tmpl); err != nil {
 				return nil, err
@@ -154,10 +171,10 @@ func (p *parser) selectOrAsk() (*Query, error) {
 		p.prefixes = save
 		q.Template = tmpl.TriplePatterns()
 		if len(q.Template) == 0 {
-			return nil, fmt.Errorf("empty CONSTRUCT template")
+			return nil, p.errf(open, "empty CONSTRUCT template")
 		}
 	default:
-		return nil, fmt.Errorf("expected SELECT, ASK, or CONSTRUCT, got %s", p.peek())
+		return nil, p.errf(p.peek(), "expected SELECT, ASK, or CONSTRUCT, got %s", p.peek())
 	}
 	p.eatKeyword("WHERE")
 	g, err := p.groupPattern()
@@ -181,17 +198,18 @@ func (p *parser) projection(q *Query) error {
 		switch {
 		case t.kind == tokVar:
 			p.advance()
-			q.Projection = append(q.Projection, Projection{Var: t.text})
+			q.Projection = append(q.Projection, Projection{Var: t.text, Pos: t.pos})
 		case p.atPunct("("):
 			p.advance()
 			proj, err := p.aggregateProjection()
 			if err != nil {
 				return err
 			}
+			proj.Pos = t.pos
 			q.Projection = append(q.Projection, proj)
 		default:
 			if len(q.Projection) == 0 {
-				return fmt.Errorf("expected projection variable, got %s", t)
+				return p.errf(t, "expected projection variable, got %s", t)
 			}
 			return nil
 		}
@@ -202,7 +220,7 @@ func (p *parser) projection(q *Query) error {
 func (p *parser) aggregateProjection() (Projection, error) {
 	fn := p.advance()
 	if fn.kind != tokKeyword || !isAggregateFunc(fn.text) {
-		return Projection{}, fmt.Errorf("expected aggregate function, got %s", fn)
+		return Projection{}, p.errf(fn, "expected aggregate function, got %s", fn)
 	}
 	agg := &Aggregate{Func: fn.text}
 	if err := p.expectPunct("("); err != nil {
@@ -213,12 +231,12 @@ func (p *parser) aggregateProjection() (Projection, error) {
 	}
 	if p.eatPunct("*") {
 		if agg.Func != "COUNT" {
-			return Projection{}, fmt.Errorf("%s(*) is not valid", agg.Func)
+			return Projection{}, p.errf(fn, "%s(*) is not valid", agg.Func)
 		}
 	} else {
 		v := p.advance()
 		if v.kind != tokVar {
-			return Projection{}, fmt.Errorf("expected variable in %s(), got %s", agg.Func, v)
+			return Projection{}, p.errf(v, "expected variable in %s(), got %s", agg.Func, v)
 		}
 		agg.Var = v.text
 	}
@@ -230,7 +248,7 @@ func (p *parser) aggregateProjection() (Projection, error) {
 	}
 	out := p.advance()
 	if out.kind != tokVar {
-		return Projection{}, fmt.Errorf("expected output variable after AS, got %s", out)
+		return Projection{}, p.errf(out, "expected output variable after AS, got %s", out)
 	}
 	if err := p.expectPunct(")"); err != nil {
 		return Projection{}, err
@@ -257,7 +275,7 @@ func (p *parser) solutionModifiers(q *Query) error {
 				q.GroupBy = append(q.GroupBy, p.advance().text)
 			}
 			if len(q.GroupBy) == 0 {
-				return fmt.Errorf("expected GROUP BY variable, got %s", p.peek())
+				return p.errf(p.peek(), "expected GROUP BY variable, got %s", p.peek())
 			}
 		case p.eatKeyword("ORDER"):
 			if err := p.expectKeyword("BY"); err != nil {
@@ -265,23 +283,26 @@ func (p *parser) solutionModifiers(q *Query) error {
 			}
 			for {
 				switch {
-				case p.eatKeyword("ASC"):
+				case p.atKeyword("ASC"):
+					pos := p.advance().pos
 					v, err := p.parenVar()
 					if err != nil {
 						return err
 					}
-					q.OrderBy = append(q.OrderBy, OrderCond{Var: v})
-				case p.eatKeyword("DESC"):
+					q.OrderBy = append(q.OrderBy, OrderCond{Var: v, Pos: pos})
+				case p.atKeyword("DESC"):
+					pos := p.advance().pos
 					v, err := p.parenVar()
 					if err != nil {
 						return err
 					}
-					q.OrderBy = append(q.OrderBy, OrderCond{Var: v, Desc: true})
+					q.OrderBy = append(q.OrderBy, OrderCond{Var: v, Desc: true, Pos: pos})
 				case p.peek().kind == tokVar:
-					q.OrderBy = append(q.OrderBy, OrderCond{Var: p.advance().text})
+					vt := p.advance()
+					q.OrderBy = append(q.OrderBy, OrderCond{Var: vt.text, Pos: vt.pos})
 				default:
 					if len(q.OrderBy) == 0 {
-						return fmt.Errorf("expected ORDER BY condition, got %s", p.peek())
+						return p.errf(p.peek(), "expected ORDER BY condition, got %s", p.peek())
 					}
 					goto next
 				}
@@ -290,14 +311,14 @@ func (p *parser) solutionModifiers(q *Query) error {
 			t := p.advance()
 			n, err := strconv.Atoi(t.text)
 			if err != nil || n < 0 {
-				return fmt.Errorf("invalid LIMIT %s", t)
+				return p.errf(t, "invalid LIMIT %s", t)
 			}
 			q.Limit = n
 		case p.eatKeyword("OFFSET"):
 			t := p.advance()
 			n, err := strconv.Atoi(t.text)
 			if err != nil || n < 0 {
-				return fmt.Errorf("invalid OFFSET %s", t)
+				return p.errf(t, "invalid OFFSET %s", t)
 			}
 			q.Offset = n
 		default:
@@ -313,7 +334,7 @@ func (p *parser) parenVar() (string, error) {
 	}
 	v := p.advance()
 	if v.kind != tokVar {
-		return "", fmt.Errorf("expected variable, got %s", v)
+		return "", p.errf(v, "expected variable, got %s", v)
 	}
 	if err := p.expectPunct(")"); err != nil {
 		return "", err
@@ -322,12 +343,14 @@ func (p *parser) parenVar() (string, error) {
 }
 
 func (p *parser) groupPattern() (*GroupPattern, error) {
+	open := p.peek()
 	if err := p.expectPunct("{"); err != nil {
 		return nil, err
 	}
-	g := &GroupPattern{}
+	g := &GroupPattern{Pos: open.pos}
 	// GroupGraphPattern ::= '{' ( SubSelect | GroupGraphPatternSub ) '}'
 	if p.atKeyword("SELECT") {
+		selPos := p.peek().pos
 		sub, err := p.selectOrAsk()
 		if err != nil {
 			return nil, err
@@ -336,7 +359,7 @@ func (p *parser) groupPattern() (*GroupPattern, error) {
 		if err := p.expectPunct("}"); err != nil {
 			return nil, err
 		}
-		g.Elements = append(g.Elements, SubSelect{Query: sub})
+		g.Elements = append(g.Elements, SubSelect{Query: sub, Pos: selPos})
 		return g, nil
 	}
 	for {
@@ -346,25 +369,25 @@ func (p *parser) groupPattern() (*GroupPattern, error) {
 		t := p.peek()
 		switch {
 		case t.kind == tokEOF:
-			return nil, fmt.Errorf("unexpected end of query inside group pattern")
+			return nil, p.errf(t, "unexpected end of query inside group pattern")
 		case p.atKeyword("FILTER"):
-			p.advance()
+			kw := p.advance()
 			e, err := p.filterExpr()
 			if err != nil {
 				return nil, err
 			}
-			g.Elements = append(g.Elements, Filter{Expr: e})
+			g.Elements = append(g.Elements, Filter{Expr: e, Pos: kw.pos})
 			p.eatPunct(".")
 		case p.atKeyword("OPTIONAL"):
-			p.advance()
+			kw := p.advance()
 			inner, err := p.groupPattern()
 			if err != nil {
 				return nil, err
 			}
-			g.Elements = append(g.Elements, Optional{Group: inner})
+			g.Elements = append(g.Elements, Optional{Group: inner, Pos: kw.pos})
 			p.eatPunct(".")
 		case p.atKeyword("BIND"):
-			p.advance()
+			kw := p.advance()
 			if err := p.expectPunct("("); err != nil {
 				return nil, err
 			}
@@ -377,19 +400,20 @@ func (p *parser) groupPattern() (*GroupPattern, error) {
 			}
 			v := p.advance()
 			if v.kind != tokVar {
-				return nil, fmt.Errorf("expected variable after AS, got %s", v)
+				return nil, p.errf(v, "expected variable after AS, got %s", v)
 			}
 			if err := p.expectPunct(")"); err != nil {
 				return nil, err
 			}
-			g.Elements = append(g.Elements, Bind{Var: v.text, Expr: e})
+			g.Elements = append(g.Elements, Bind{Var: v.text, Expr: e, Pos: kw.pos})
 			p.eatPunct(".")
 		case p.atKeyword("VALUES"):
-			p.advance()
+			kw := p.advance()
 			vals, err := p.valuesBlock()
 			if err != nil {
 				return nil, err
 			}
+			vals.Pos = kw.pos
 			g.Elements = append(g.Elements, vals)
 			p.eatPunct(".")
 		case p.atPunct("{"):
@@ -413,6 +437,7 @@ func (p *parser) groupOrSubSelect() (Element, error) {
 	// Look ahead: '{' SELECT ... is a sub-select.
 	if p.toks[p.pos+1].kind == tokKeyword && p.toks[p.pos+1].text == "SELECT" {
 		p.advance() // '{'
+		selPos := p.peek().pos
 		sub, err := p.selectOrAsk()
 		if err != nil {
 			return nil, err
@@ -421,8 +446,9 @@ func (p *parser) groupOrSubSelect() (Element, error) {
 		if err := p.expectPunct("}"); err != nil {
 			return nil, err
 		}
-		return SubSelect{Query: sub}, nil
+		return SubSelect{Query: sub, Pos: selPos}, nil
 	}
+	openPos := p.peek().pos
 	first, err := p.groupPattern()
 	if err != nil {
 		return nil, err
@@ -430,9 +456,9 @@ func (p *parser) groupOrSubSelect() (Element, error) {
 	if !p.atKeyword("UNION") {
 		// A plain nested group: flatten it as a single-branch union so the
 		// evaluator treats it uniformly (join with the enclosing group).
-		return Union{Branches: []*GroupPattern{first}}, nil
+		return Union{Branches: []*GroupPattern{first}, Pos: openPos}, nil
 	}
-	u := Union{Branches: []*GroupPattern{first}}
+	u := Union{Branches: []*GroupPattern{first}, Pos: openPos}
 	for p.eatKeyword("UNION") {
 		b, err := p.groupPattern()
 		if err != nil {
@@ -446,6 +472,7 @@ func (p *parser) groupOrSubSelect() (Element, error) {
 // triplesBlock parses one or more triples with ';' and ',' shorthands until
 // something that is not a triple continuation.
 func (p *parser) triplesBlock(g *GroupPattern) error {
+	subjPos := p.peek().pos
 	subj, err := p.patternTerm(false)
 	if err != nil {
 		return err
@@ -460,7 +487,7 @@ func (p *parser) triplesBlock(g *GroupPattern) error {
 			if err != nil {
 				return err
 			}
-			g.Elements = append(g.Elements, TriplePattern{S: subj, P: pred, O: obj})
+			g.Elements = append(g.Elements, TriplePattern{S: subj, P: pred, O: obj, Pos: subjPos})
 			if p.eatPunct(",") {
 				continue
 			}
@@ -490,26 +517,26 @@ func (p *parser) patternTerm(isPredicate bool) (PatternTerm, error) {
 		return Const(rdf.NewIRI(t.text)), nil
 	case tokPName:
 		p.advance()
-		iri, err := p.expandPName(t.text)
+		iri, err := p.expandPName(t)
 		if err != nil {
 			return PatternTerm{}, err
 		}
 		return Const(rdf.NewIRI(iri)), nil
 	case tokA:
 		if !isPredicate {
-			return PatternTerm{}, fmt.Errorf("'a' keyword only valid in predicate position")
+			return PatternTerm{}, p.errf(t, "'a' keyword only valid in predicate position")
 		}
 		p.advance()
 		return Const(rdf.NewIRI(rdf.RDFType)), nil
 	case tokString:
 		if isPredicate {
-			return PatternTerm{}, fmt.Errorf("literal not allowed as predicate")
+			return PatternTerm{}, p.errf(t, "literal not allowed as predicate")
 		}
 		p.advance()
 		return Const(p.literalTail(t.text)), nil
 	case tokNumber:
 		if isPredicate {
-			return PatternTerm{}, fmt.Errorf("number not allowed as predicate")
+			return PatternTerm{}, p.errf(t, "number not allowed as predicate")
 		}
 		p.advance()
 		return Const(numberTerm(t.text)), nil
@@ -519,7 +546,7 @@ func (p *parser) patternTerm(isPredicate bool) (PatternTerm, error) {
 			return Const(rdf.NewBoolean(t.text == "TRUE")), nil
 		}
 	}
-	return PatternTerm{}, fmt.Errorf("expected term or variable, got %s", t)
+	return PatternTerm{}, p.errf(t, "expected term or variable, got %s", t)
 }
 
 // literalTail consumes an optional language tag or datatype after a string.
@@ -536,7 +563,7 @@ func (p *parser) literalTail(lex string) rdf.Term {
 		case tokIRI:
 			return rdf.NewTypedLiteral(lex, dt.text)
 		case tokPName:
-			if iri, err := p.expandPName(dt.text); err == nil {
+			if iri, err := p.expandPName(dt); err == nil {
 				return rdf.NewTypedLiteral(lex, iri)
 			}
 		}
@@ -552,11 +579,11 @@ func numberTerm(text string) rdf.Term {
 	return rdf.NewTypedLiteral(text, rdf.XSDInteger)
 }
 
-func (p *parser) expandPName(pname string) (string, error) {
-	parts := strings.SplitN(pname, ":", 2)
+func (p *parser) expandPName(t token) (string, error) {
+	parts := strings.SplitN(t.text, ":", 2)
 	base, ok := p.prefixes[parts[0]]
 	if !ok {
-		return "", fmt.Errorf("undeclared prefix %q", parts[0])
+		return "", p.errf(t, "undeclared prefix %q", parts[0])
 	}
 	return base + parts[1], nil
 }
@@ -588,6 +615,7 @@ func (p *parser) valuesBlock() (InlineData, error) {
 			return d, err
 		}
 		for !p.eatPunct("}") {
+			rowTok := p.peek()
 			if err := p.expectPunct("("); err != nil {
 				return d, err
 			}
@@ -600,12 +628,12 @@ func (p *parser) valuesBlock() (InlineData, error) {
 				row = append(row, t)
 			}
 			if len(row) != len(d.Vars) {
-				return d, fmt.Errorf("VALUES row has %d terms, want %d", len(row), len(d.Vars))
+				return d, p.errf(rowTok, "VALUES row has %d terms, want %d", len(row), len(d.Vars))
 			}
 			d.Rows = append(d.Rows, row)
 		}
 	default:
-		return d, fmt.Errorf("expected variable or '(' after VALUES, got %s", p.peek())
+		return d, p.errf(p.peek(), "expected variable or '(' after VALUES, got %s", p.peek())
 	}
 	return d, nil
 }
@@ -628,7 +656,7 @@ func (p *parser) valuesTerm() (rdf.Term, error) {
 		return rdf.NewIRI(t.text), nil
 	case tokPName:
 		p.advance()
-		iri, err := p.expandPName(t.text)
+		iri, err := p.expandPName(t)
 		if err != nil {
 			return rdf.Term{}, err
 		}
@@ -640,7 +668,7 @@ func (p *parser) valuesTerm() (rdf.Term, error) {
 		p.advance()
 		return numberTerm(t.text), nil
 	}
-	return rdf.Term{}, fmt.Errorf("invalid VALUES term %s", t)
+	return rdf.Term{}, p.errf(t, "invalid VALUES term %s", t)
 }
 
 // filterExpr parses the constraint after FILTER: either a bracketed
@@ -677,7 +705,7 @@ func (p *parser) filterExpr() (Expr, error) {
 	case p.peek().kind == tokKeyword:
 		return p.primaryExpr()
 	}
-	return nil, fmt.Errorf("expected FILTER constraint, got %s", p.peek())
+	return nil, p.errf(p.peek(), "expected FILTER constraint, got %s", p.peek())
 }
 
 // Expression grammar with precedence: || < && < comparison < additive <
@@ -794,13 +822,13 @@ func (p *parser) primaryExpr() (Expr, error) {
 	switch t.kind {
 	case tokVar:
 		p.advance()
-		return ExprVar{Name: t.text}, nil
+		return ExprVar{Name: t.text, Pos: t.pos}, nil
 	case tokIRI:
 		p.advance()
 		return ExprTerm{Term: rdf.NewIRI(t.text)}, nil
 	case tokPName:
 		p.advance()
-		iri, err := p.expandPName(t.text)
+		iri, err := p.expandPName(t)
 		if err != nil {
 			return nil, err
 		}
@@ -849,7 +877,7 @@ func (p *parser) primaryExpr() (Expr, error) {
 			// Builtin function call: NAME '(' args ')'.
 			p.advance()
 			if err := p.expectPunct("("); err != nil {
-				return nil, fmt.Errorf("unknown expression %s", t)
+				return nil, p.errf(t, "unknown expression %s", t)
 			}
 			call := ExprCall{Func: t.text}
 			for !p.eatPunct(")") {
@@ -867,5 +895,5 @@ func (p *parser) primaryExpr() (Expr, error) {
 			return call, nil
 		}
 	}
-	return nil, fmt.Errorf("unexpected token %s in expression", t)
+	return nil, p.errf(t, "unexpected token %s in expression", t)
 }

@@ -1,0 +1,93 @@
+package sparql
+
+// StripPositions zeroes every source-position (Pos) field in the query,
+// in place, including positions nested inside groups and expressions.
+// Structural comparisons of parsed ASTs (round-trip identity tests,
+// canonicalization) use it so position metadata — which depends on
+// whitespace and prefix spelling — never affects equality.
+func StripPositions(q *Query) {
+	if q == nil {
+		return
+	}
+	for i := range q.Projection {
+		q.Projection[i].Pos = 0
+	}
+	for i := range q.OrderBy {
+		q.OrderBy[i].Pos = 0
+	}
+	for i := range q.Template {
+		q.Template[i].Pos = 0
+	}
+	stripGroupPositions(q.Where)
+}
+
+func stripGroupPositions(g *GroupPattern) {
+	if g == nil {
+		return
+	}
+	g.Pos = 0
+	for i, el := range g.Elements {
+		g.Elements[i] = stripElementPositions(el)
+	}
+}
+
+// stripElementPositions returns the element with every Pos zeroed. Elements
+// are interface values over struct types, so positions in the element
+// itself (and in value-typed expressions inside it) require rebuilding.
+func stripElementPositions(el Element) Element {
+	switch e := el.(type) {
+	case TriplePattern:
+		e.Pos = 0
+		return e
+	case Filter:
+		e.Pos = 0
+		e.Expr = stripExprPositions(e.Expr)
+		return e
+	case Optional:
+		e.Pos = 0
+		stripGroupPositions(e.Group)
+		return e
+	case Union:
+		e.Pos = 0
+		for _, b := range e.Branches {
+			stripGroupPositions(b)
+		}
+		return e
+	case SubSelect:
+		e.Pos = 0
+		StripPositions(e.Query)
+		return e
+	case InlineData:
+		e.Pos = 0
+		return e
+	case Bind:
+		e.Pos = 0
+		e.Expr = stripExprPositions(e.Expr)
+		return e
+	}
+	return el
+}
+
+func stripExprPositions(x Expr) Expr {
+	switch e := x.(type) {
+	case ExprVar:
+		e.Pos = 0
+		return e
+	case ExprBinary:
+		e.L = stripExprPositions(e.L)
+		e.R = stripExprPositions(e.R)
+		return e
+	case ExprUnary:
+		e.X = stripExprPositions(e.X)
+		return e
+	case ExprCall:
+		for i := range e.Args {
+			e.Args[i] = stripExprPositions(e.Args[i])
+		}
+		return e
+	case ExprExists:
+		stripGroupPositions(e.Group)
+		return e
+	}
+	return x
+}

@@ -1,0 +1,281 @@
+// Package sema is lusail's static semantic analyzer for SPARQL queries: a
+// registry of named checks over the parsed sparql.Query AST, a set of
+// provably row-multiset-preserving rewrites, and a canonical normal form
+// whose hash keys the server's plan cache.
+//
+// It mirrors the internal/lint architecture (named analyzers, structured
+// diagnostics with positions, severity tiers) but targets the query
+// language instead of the host language: Lusail's whole premise is
+// deciding where and how to evaluate a query before sending anything over
+// the network, and a malformed-but-parseable query (unbound FILTER
+// variables, accidental cross products, unsatisfiable filters) otherwise
+// sails straight into LADE decomposition and burns endpoint traffic before
+// failing or returning garbage.
+//
+// Severity tiers follow sparql.Severity: error-tier findings describe
+// queries that cannot mean what they say (the engine rejects them with a
+// typed *sparql.SemaError before decomposition, and lusaild answers 400
+// without spending an admission slot); warnings flag likely mistakes with
+// well-defined answers and thread into Profile.Warnings; infos are cost
+// notes.
+//
+// A deliberate finding is suppressed with a justified directive comment in
+// the query text itself:
+//
+//	# lusail-check: cartesian -- bound-join bridging handles the cross product
+//
+// Directives are global to the query, apply only to warning- and info-tier
+// findings (errors are never suppressible — the engine could not execute
+// the query anyway), and are themselves checked: a malformed or unused
+// directive is a diagnostic, so suppressions cannot rot. See the "Query
+// analysis" section of README.md and DESIGN.md §12.
+package sema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lusail/internal/sparql"
+)
+
+// Check is one semantic analyzer over a parsed query.
+type Check struct {
+	// Name is the identifier used in output and suppression directives.
+	Name string
+	// Doc is a one-paragraph description of what the check flags.
+	Doc string
+	// Severity is the tier the check's findings carry.
+	Severity sparql.Severity
+	// Run reports the check's findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one check's view of the query under analysis.
+type Pass struct {
+	Check *Check
+	// Query is the parsed query under analysis. Checks must not mutate it.
+	Query *sparql.Query
+	// Src is the original query text when available ("" when analyzing a
+	// programmatically built AST); it supplies line/column positions.
+	Src string
+
+	diags *[]sparql.SemaDiagnostic
+}
+
+// Reportf records a finding at the given byte offset with the check's
+// severity tier.
+func (p *Pass) Reportf(pos int, format string, args ...any) {
+	p.report(p.Check.Severity, pos, format, args...)
+}
+
+// ReportfSeverity records a finding at an explicit tier, for checks whose
+// findings vary in severity.
+func (p *Pass) ReportfSeverity(sev sparql.Severity, pos int, format string, args ...any) {
+	p.report(sev, pos, format, args...)
+}
+
+func (p *Pass) report(sev sparql.Severity, pos int, format string, args ...any) {
+	d := sparql.SemaDiagnostic{
+		Check:    p.Check.Name,
+		Severity: sev,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	if p.Src != "" {
+		d.Line, d.Col = sparql.LineCol(p.Src, pos)
+	}
+	*p.diags = append(*p.diags, d)
+}
+
+// All returns the full check suite in output order.
+func All() []*Check {
+	return []*Check{
+		checkUnboundVar,
+		checkCartesian,
+		checkFilterSat,
+		checkDupPattern,
+		checkOptWellDesigned,
+	}
+}
+
+// ByName returns the named checks from All, preserving suite order, or an
+// error naming the first unknown entry.
+func ByName(names []string) ([]*Check, error) {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[strings.TrimSpace(n)] = true
+	}
+	var out []*Check
+	for _, c := range All() {
+		if want[c.Name] {
+			out = append(out, c)
+			delete(want, c.Name)
+		}
+	}
+	for n := range want {
+		return nil, fmt.Errorf("sema: unknown check %q", n)
+	}
+	return out, nil
+}
+
+// DirectiveCheck is the pseudo-check name under which malformed and unused
+// suppression directives are reported. It cannot be suppressed.
+const DirectiveCheck = "directive"
+
+// Analyze runs the full check suite over the query and returns the
+// surviving diagnostics sorted by position. src, when non-empty, is the
+// original query text: it supplies line/column positions and is scanned
+// for suppression directives.
+func Analyze(q *sparql.Query, src string) []sparql.SemaDiagnostic {
+	return AnalyzeWith(q, src, All())
+}
+
+// AnalyzeWith is Analyze restricted to the given checks.
+func AnalyzeWith(q *sparql.Query, src string, checks []*Check) []sparql.SemaDiagnostic {
+	var raw []sparql.SemaDiagnostic
+	for _, c := range checks {
+		c.Run(&Pass{Check: c, Query: q, Src: src, diags: &raw})
+	}
+
+	running := map[string]bool{}
+	for _, c := range checks {
+		running[c.Name] = true
+	}
+	dirs := parseDirectives(src, running)
+	var out []sparql.SemaDiagnostic
+	for _, d := range raw {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.covers(d) {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range dirs {
+		d := sparql.SemaDiagnostic{Check: DirectiveCheck, Severity: sparql.SevWarning, Pos: dir.pos}
+		switch {
+		case dir.bad != "":
+			d.Message = dir.bad
+		case !dir.used:
+			d.Message = "unused suppression directive: nothing to suppress here; delete it"
+		default:
+			continue
+		}
+		if src != "" {
+			d.Line, d.Col = sparql.LineCol(src, dir.pos)
+		}
+		out = append(out, d)
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}
+
+// Vet runs Analyze and splits the result: error-tier findings become a
+// typed *sparql.SemaError (nil when the query is clean), the rest are
+// returned for warning channels. This is the entry point the engine and
+// lusaild share, so a query rejected at the API edge is exactly one the
+// engine would have rejected.
+func Vet(q *sparql.Query, src string) (*sparql.SemaError, []sparql.SemaDiagnostic) {
+	diags := Analyze(q, src)
+	var errs, rest []sparql.SemaDiagnostic
+	for _, d := range diags {
+		if d.Severity == sparql.SevError {
+			errs = append(errs, d)
+		} else {
+			rest = append(rest, d)
+		}
+	}
+	if len(errs) > 0 {
+		return &sparql.SemaError{Diagnostics: errs}, rest
+	}
+	return nil, rest
+}
+
+// directivePrefix introduces a suppression comment inside the query text.
+const directivePrefix = "# lusail-check:"
+
+// directive is one parsed suppression comment.
+type directive struct {
+	pos    int
+	checks []string
+	bad    string // non-empty: malformed, with reason
+	used   bool
+}
+
+// covers reports whether the directive suppresses the diagnostic.
+// Directives are query-global (SPARQL has no stable line structure worth
+// anchoring to) and never cover error-tier findings or other directive
+// findings.
+func (d *directive) covers(diag sparql.SemaDiagnostic) bool {
+	if d.bad != "" || diag.Severity == sparql.SevError || diag.Check == DirectiveCheck {
+		return false
+	}
+	for _, c := range d.checks {
+		if c == diag.Check {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirectives extracts suppression directives from the query source's
+// comment lines, validating check names against the checks being run.
+func parseDirectives(src string, running map[string]bool) []*directive {
+	if src == "" {
+		return nil
+	}
+	known := map[string]bool{}
+	for _, c := range All() {
+		known[c.Name] = true
+	}
+	var out []*directive
+	offset := 0
+	for _, line := range strings.SplitAfter(src, "\n") {
+		trimmed := strings.TrimLeft(line, " \t")
+		pos := offset + (len(line) - len(trimmed))
+		offset += len(line)
+		rest, ok := strings.CutPrefix(strings.TrimRight(trimmed, "\r\n"), directivePrefix)
+		if !ok {
+			continue
+		}
+		d := &directive{pos: pos}
+		out = append(out, d)
+		names, justification, found := strings.Cut(rest, " -- ")
+		if !found || strings.TrimSpace(justification) == "" {
+			d.bad = "suppression without justification: append \" -- <why this is safe>\""
+			continue
+		}
+		for _, n := range strings.Split(names, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if !known[n] {
+				d.bad = fmt.Sprintf("unknown check %q in suppression", n)
+				break
+			}
+			if running[n] {
+				d.checks = append(d.checks, n)
+			} else {
+				// The check is not part of this run; the directive cannot be
+				// marked used, so don't hold it to the unused check.
+				d.used = true
+			}
+		}
+		if d.bad == "" && len(d.checks) == 0 && !d.used {
+			d.bad = "suppression names no check"
+		}
+	}
+	return out
+}

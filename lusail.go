@@ -172,6 +172,16 @@ type (
 	// ParseError is the typed error for malformed SPARQL, carrying the byte
 	// offset of the failure. Extract with errors.As.
 	ParseError = sparql.ParseError
+	// SemaError is the typed error for queries rejected by static query
+	// analysis before planning (error-tier findings such as an unbound
+	// projection). It carries the diagnostics; extract with errors.As.
+	SemaError = sparql.SemaError
+	// SemaDiagnostic is one static-analysis finding: check name, severity,
+	// message, and (when source text was available) line/column.
+	SemaDiagnostic = sparql.SemaDiagnostic
+	// SemaSeverity is the tier of a SemaDiagnostic: SevError findings
+	// reject the query, SevWarning and SevInfo surface in the profile.
+	SemaSeverity = sparql.Severity
 )
 
 // Sentinel errors of the resilience layer; test with errors.Is.
@@ -187,6 +197,13 @@ var (
 const (
 	FailFast = core.FailFast
 	Degrade  = core.Degrade
+)
+
+// Severity tiers of static-analysis diagnostics (SemaDiagnostic.Severity).
+const (
+	SevInfo    = sparql.SevInfo
+	SevWarning = sparql.SevWarning
+	SevError   = sparql.SevError
 )
 
 // Threshold modes for Options.Threshold (paper Section 5.4).

@@ -27,3 +27,27 @@ if [ "$got" != "$want" ]; then
 fi
 
 echo "vet-smoke: registry matches the documented set ($(echo "$want" | wc -l) analyzers)"
+
+# -timings must emit one stderr line per analyzer plus a total, so a
+# regressing analyzer's cost is visible in CI logs.
+timing_lines="$(go run ./cmd/lusail-vet -timings ./internal/obs 2>&1 >/dev/null | grep -c '^timings: ' || true)"
+expected=$(( $(echo "$want" | wc -l) + 1 ))
+if [ "$timing_lines" -ne "$expected" ]; then
+    echo "lusail-vet -timings printed $timing_lines lines, want $expected (one per analyzer + total)" >&2
+    exit 1
+fi
+echo "vet-smoke: -timings reports all $expected rows"
+
+# The query-analysis registry (lusail-check) is pinned the same way.
+want_checks="unboundvar
+cartesian
+filtersat
+duppattern
+optwelldesigned"
+got_checks="$(go run ./cmd/lusail-check -list | grep -E '^[a-z]' | sed 's/ .*//' || true)"
+if [ "$got_checks" != "$want_checks" ]; then
+    echo "lusail-check registry does not match the documented check set" >&2
+    diff <(echo "$want_checks") <(echo "$got_checks") >&2 || true
+    exit 1
+fi
+echo "vet-smoke: lusail-check registry matches the documented set ($(echo "$want_checks" | wc -l) checks)"
